@@ -1,0 +1,95 @@
+// Host-side toolchain performance (google-benchmark): how fast the AFT
+// compiles, assembles, links, and how fast the simulator retires
+// instructions. These are developer-experience numbers, not paper results.
+#include <benchmark/benchmark.h>
+
+#include "src/aft/aft.h"
+#include "src/apps/app_sources.h"
+#include "src/asm/assembler.h"
+#include "src/compiler/codegen.h"
+#include "src/os/os.h"
+
+namespace amulet {
+namespace {
+
+void BM_BuildSingleAppFirmware(benchmark::State& state) {
+  const AppSpec& app = QuicksortApp();
+  AftOptions options;
+  options.model = MemoryModel::kMpu;
+  for (auto _ : state) {
+    auto fw = BuildFirmware({{app.name, app.source}}, options);
+    if (!fw.ok()) {
+      state.SkipWithError(fw.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(fw->image.chunks.size());
+  }
+}
+BENCHMARK(BM_BuildSingleAppFirmware);
+
+void BM_BuildNineAppFirmware(benchmark::State& state) {
+  std::vector<AppSource> sources;
+  for (const AppSpec& app : AmuletAppSuite()) {
+    sources.push_back({app.name, app.source});
+  }
+  AftOptions options;
+  options.model = MemoryModel::kMpu;
+  for (auto _ : state) {
+    auto fw = BuildFirmware(sources, options);
+    if (!fw.ok()) {
+      state.SkipWithError(fw.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(fw->apps.size());
+  }
+}
+BENCHMARK(BM_BuildNineAppFirmware);
+
+void BM_AssembleRuntime(benchmark::State& state) {
+  const std::string source = RuntimeAssembly();
+  for (auto _ : state) {
+    auto object = Assemble(source, "runtime.s");
+    if (!object.ok()) {
+      state.SkipWithError(object.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(object->sections.size());
+  }
+}
+BENCHMARK(BM_AssembleRuntime);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  // Simulated instructions per second of host time.
+  const AppSpec& app = QuicksortApp();
+  AftOptions aft;
+  aft.model = MemoryModel::kMpu;
+  auto fw = BuildFirmware({{app.name, app.source}}, aft);
+  if (!fw.ok()) {
+    state.SkipWithError(fw.status().ToString().c_str());
+    return;
+  }
+  Machine machine;
+  AmuletOs os(&machine, std::move(*fw), OsOptions{});
+  if (!os.Boot().ok()) {
+    state.SkipWithError("boot failed");
+    return;
+  }
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    const uint64_t before = machine.cpu().instruction_count();
+    auto r = os.Deliver(0, EventType::kButton, 1);
+    if (!r.ok()) {
+      state.SkipWithError("dispatch failed");
+      return;
+    }
+    instructions += machine.cpu().instruction_count() - before;
+  }
+  state.counters["sim_insns_per_s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+}  // namespace
+}  // namespace amulet
+
+BENCHMARK_MAIN();

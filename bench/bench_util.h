@@ -1,0 +1,84 @@
+// Shared helpers for the paper-reproduction benchmarks: single-app firmware
+// boot, hardware-timer-style measurement (16-cycle precision, as in the
+// paper's Section 4.2), and table rendering.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/aft/aft.h"
+#include "src/apps/app_sources.h"
+#include "src/common/strings.h"
+#include "src/os/os.h"
+
+namespace amulet {
+
+struct BenchRig {
+  Machine machine;
+  std::unique_ptr<AmuletOs> os;
+};
+
+// Builds + boots a single-app firmware. Dies loudly on error (benchmarks are
+// developer tools).
+inline std::unique_ptr<BenchRig> BootApp(const AppSpec& app, MemoryModel model,
+                                         int fram_wait_states, bool future_mpu = false,
+                                         bool zero_shared_stack = false) {
+  AftOptions aft;
+  aft.model = model;
+  aft.future_mpu = future_mpu;
+  aft.zero_shared_stack = zero_shared_stack;
+  auto fw = BuildFirmware({{app.name, app.source}}, aft);
+  if (!fw.ok()) {
+    std::fprintf(stderr, "BuildFirmware(%s, %s) failed: %s\n", app.name.c_str(),
+                 std::string(MemoryModelName(model)).c_str(), fw.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto rig = std::make_unique<BenchRig>();
+  OsOptions options;
+  options.fram_wait_states = fram_wait_states;
+  options.fault_policy = FaultPolicy::kLogOnly;
+  rig->os = std::make_unique<AmuletOs>(&rig->machine, std::move(*fw), options);
+  Status status = rig->os->Boot();
+  if (!status.ok()) {
+    std::fprintf(stderr, "Boot failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  return rig;
+}
+
+// One timed handler dispatch, measured the way the paper measured (hardware
+// timer before/after, 16-cycle precision).
+inline uint64_t TimedButtonDispatch(BenchRig* rig, uint16_t button) {
+  const uint64_t t0 = rig->machine.timer().now_cycles() >> 4;
+  auto r = rig->os->Deliver(0, EventType::kButton, button);
+  if (!r.ok() || r->faulted) {
+    std::fprintf(stderr, "dispatch failed%s\n", r.ok() ? " (faulted)" : "");
+    std::exit(1);
+  }
+  const uint64_t t1 = rig->machine.timer().now_cycles() >> 4;
+  return (t1 - t0) << 4;
+}
+
+// Mean over `runs` timed dispatches (the paper: "each application was run
+// 200 times").
+inline double MeanButtonCycles(BenchRig* rig, uint16_t button, int runs) {
+  uint64_t total = 0;
+  for (int i = 0; i < runs; ++i) {
+    total += TimedButtonDispatch(rig, button);
+  }
+  return static_cast<double>(total) / runs;
+}
+
+inline void PrintRule(int width = 86) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace amulet
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,120 @@
+#include "src/aft/checks.h"
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+std::string_view MemoryModelName(MemoryModel model) {
+  switch (model) {
+    case MemoryModel::kNoIsolation:
+      return "NoIsolation";
+    case MemoryModel::kFeatureLimited:
+      return "FeatureLimited";
+    case MemoryModel::kSoftwareOnly:
+      return "SoftwareOnly";
+    case MemoryModel::kMpu:
+      return "MPU";
+  }
+  return "?";
+}
+
+BoundSymbols BoundSymbolsFor(const std::string& app_name) {
+  BoundSymbols bounds;
+  bounds.data_lo = "__bnd_" + app_name + "_data_lo";
+  bounds.data_hi = "__bnd_" + app_name + "_data_hi";
+  bounds.code_lo = "__bnd_" + app_name + "_code_lo";
+  bounds.code_hi = "__bnd_" + app_name + "_code_hi";
+  return bounds;
+}
+
+Result<CheckStats> InsertChecks(IrProgram* program, MemoryModel model,
+                                const BoundSymbols& bounds) {
+  CheckStats stats;
+  for (IrFunction& fn : program->functions) {
+    std::vector<IrInst> rewritten;
+    rewritten.reserve(fn.insts.size());
+    for (IrInst& inst : fn.insts) {
+      if (inst.op != IrOp::kCheckMarker) {
+        rewritten.push_back(std::move(inst));
+        continue;
+      }
+      const CheckMarker& marker = inst.marker;
+      switch (model) {
+        case MemoryModel::kNoIsolation:
+          break;  // drop
+
+        case MemoryModel::kFeatureLimited: {
+          if (marker.kind != AccessKindIr::kArray) {
+            return FailedPreconditionError(StrFormat(
+                "%s: pointer access reached phase 2 under FeatureLimited (phase 1 "
+                "should have rejected this app)",
+                fn.name.c_str()));
+          }
+          IrInst check;
+          check.op = IrOp::kCheckIndex;
+          check.a = marker.index_vr;
+          check.imm = marker.limit;
+          rewritten.push_back(check);
+          ++stats.index_checks;
+          break;
+        }
+
+        case MemoryModel::kMpu: {
+          IrInst low;
+          low.op = IrOp::kCheckLow;
+          low.a = marker.addr_vr;
+          if (marker.kind == AccessKindIr::kFnPtr) {
+            low.symbol = bounds.code_lo;
+            ++stats.code_checks;
+          } else {
+            low.symbol = bounds.data_lo;
+            ++stats.data_checks;
+          }
+          rewritten.push_back(low);
+          break;
+        }
+
+        case MemoryModel::kSoftwareOnly: {
+          IrInst low;
+          low.op = IrOp::kCheckLow;
+          low.a = marker.addr_vr;
+          IrInst high;
+          high.op = IrOp::kCheckHigh;
+          high.a = marker.addr_vr;
+          if (marker.kind == AccessKindIr::kFnPtr) {
+            low.symbol = bounds.code_lo;
+            high.symbol = bounds.code_hi;
+            ++stats.code_checks;
+          } else {
+            low.symbol = bounds.data_lo;
+            high.symbol = bounds.data_hi;
+            ++stats.data_checks;
+          }
+          rewritten.push_back(low);
+          rewritten.push_back(high);
+          break;
+        }
+      }
+    }
+    fn.insts = std::move(rewritten);
+
+    // Return-address validation (both full-featured isolating models; the
+    // paper: "we leverage the compiler to insert code to bounds-check the
+    // return address before every function return").
+    if (model == MemoryModel::kMpu) {
+      fn.ret_check = RetCheckKind::kLow;
+      fn.ret_check_low_sym = bounds.code_lo;
+      ++stats.ret_checks;
+    } else if (model == MemoryModel::kSoftwareOnly) {
+      fn.ret_check = RetCheckKind::kLowHigh;
+      fn.ret_check_low_sym = bounds.code_lo;
+      fn.ret_check_high_sym = bounds.code_hi;
+      ++stats.ret_checks;
+    } else {
+      fn.ret_check = RetCheckKind::kNone;
+    }
+  }
+  return stats;
+}
+
+}  // namespace amulet

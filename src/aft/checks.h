@@ -1,0 +1,48 @@
+// AFT phase 2: rewrites the lowering's abstract kCheckMarker instructions
+// into model-specific isolation checks, referencing the app's bound symbols
+// (defined with placeholder-free final values by phase 4's layout).
+//
+//   kNoIsolation:    markers deleted.
+//   kFeatureLimited: array markers -> kCheckIndex (routine-call bounds check,
+//                    as in the original AmuletC toolchain). Pointer markers
+//                    are a phase-1 violation and rejected here defensively.
+//   kMpu:            data markers -> kCheckLow(data_lo); fn-ptr markers ->
+//                    kCheckLow(code_lo); return-address low check. Upper
+//                    bounds are enforced by the MPU segment 3 configuration.
+//   kSoftwareOnly:   both kCheckLow and kCheckHigh on data and code, plus a
+//                    two-sided return-address check.
+#ifndef SRC_AFT_CHECKS_H_
+#define SRC_AFT_CHECKS_H_
+
+#include <string>
+
+#include "src/aft/model.h"
+#include "src/common/status.h"
+#include "src/compiler/ir.h"
+
+namespace amulet {
+
+struct BoundSymbols {
+  std::string data_lo;  // app data/stack region start   (D_i in the paper)
+  std::string data_hi;  // app data/stack region end
+  std::string code_lo;  // app code region start         (C_i in the paper)
+  std::string code_hi;  // app code region end
+};
+
+// Canonical bound-symbol names for an app.
+BoundSymbols BoundSymbolsFor(const std::string& app_name);
+
+// Statistics phase 2 reports (ARP consumes these).
+struct CheckStats {
+  int data_checks = 0;   // address-compare checks on data accesses
+  int code_checks = 0;   // fn-pointer target checks
+  int index_checks = 0;  // feature-limited array checks
+  int ret_checks = 0;    // functions that got a return-address check
+};
+
+Result<CheckStats> InsertChecks(IrProgram* program, MemoryModel model,
+                                const BoundSymbols& bounds);
+
+}  // namespace amulet
+
+#endif  // SRC_AFT_CHECKS_H_

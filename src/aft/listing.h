@@ -1,0 +1,25 @@
+// Human-readable firmware listing: memory-region map, symbol table, and a
+// disassembly of every code region (OS text + each app's text), with symbol
+// annotations. Used by the amuletc CLI and handy when debugging codegen.
+#ifndef SRC_AFT_LISTING_H_
+#define SRC_AFT_LISTING_H_
+
+#include <string>
+
+#include "src/aft/aft.h"
+
+namespace amulet {
+
+// Full listing (map + symbols + disassembly).
+std::string RenderListing(const Firmware& firmware);
+
+// Just the region map (one line per region).
+std::string RenderRegionMap(const Firmware& firmware);
+
+// Disassembles [begin, end) out of the linked image, annotating addresses
+// that carry symbols.
+std::string DisassembleRange(const Firmware& firmware, uint16_t begin, uint16_t end);
+
+}  // namespace amulet
+
+#endif  // SRC_AFT_LISTING_H_

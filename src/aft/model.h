@@ -1,0 +1,29 @@
+// The four memory-isolation models compared by the paper (Table 1, Figures
+// 2 and 3). Naming follows the paper's "Memory_Models" legend.
+#ifndef SRC_AFT_MODEL_H_
+#define SRC_AFT_MODEL_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace amulet {
+
+enum class MemoryModel : uint8_t {
+  kNoIsolation,     // baseline: no checks, MPU off
+  kFeatureLimited,  // native Amulet: no pointers/recursion, array index checks
+  kSoftwareOnly,    // full C; compiler inserts lower AND upper address checks
+  kMpu,             // full C; compiler inserts lower checks, MPU guards above
+};
+
+std::string_view MemoryModelName(MemoryModel model);
+
+inline constexpr MemoryModel kAllModels[] = {
+    MemoryModel::kNoIsolation,
+    MemoryModel::kFeatureLimited,
+    MemoryModel::kMpu,
+    MemoryModel::kSoftwareOnly,
+};
+
+}  // namespace amulet
+
+#endif  // SRC_AFT_MODEL_H_

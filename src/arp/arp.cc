@@ -1,0 +1,162 @@
+#include "src/arp/arp.h"
+
+#include "src/common/strings.h"
+#include "src/os/os.h"
+
+namespace amulet {
+
+namespace {
+constexpr double kSecondsPerWeek = 7 * 24 * 3600.0;
+
+// Synthetic event arguments for profiling dispatches.
+struct EventArgs {
+  uint16_t a0 = 0;
+  uint16_t a1 = 0;
+  uint16_t a2 = 0;
+};
+
+EventArgs ArgsFor(EventType type, SensorSuite* sensors, uint64_t t_ms) {
+  EventArgs args;
+  switch (type) {
+    case EventType::kAccel: {
+      AccelSample s = sensors->Accel(t_ms);
+      args.a0 = static_cast<uint16_t>(s.x_mg);
+      args.a1 = static_cast<uint16_t>(s.y_mg);
+      args.a2 = static_cast<uint16_t>(s.z_mg);
+      break;
+    }
+    case EventType::kHeartRate:
+      args.a0 = static_cast<uint16_t>(sensors->HeartRateBpm(t_ms));
+      break;
+    case EventType::kTimer:
+      args.a0 = 0;
+      break;
+    case EventType::kTemp:
+      args.a0 = static_cast<uint16_t>(sensors->TempCentiC(t_ms));
+      break;
+    case EventType::kLight:
+      args.a0 = static_cast<uint16_t>(sensors->LightLux(t_ms));
+      break;
+    case EventType::kBattery:
+      args.a0 = static_cast<uint16_t>(sensors->BatteryPercent(t_ms));
+      break;
+    default:
+      break;
+  }
+  return args;
+}
+
+}  // namespace
+
+Result<AppProfile> ProfileApp(const AppSpec& app, MemoryModel model, const ArpOptions& options) {
+  AppProfile profile;
+  profile.app_name = app.name;
+  profile.model = model;
+
+  AftOptions aft;
+  aft.model = model;
+  ASSIGN_OR_RETURN(Firmware fw, BuildFirmware({{app.name, app.source}}, aft));
+  const AppImage& image = fw.apps[0];
+  const uint16_t data_lo = image.data_lo;
+  const uint16_t data_hi = image.data_hi;
+
+  Machine machine;
+  OsOptions os_options;
+  os_options.fram_wait_states = options.fram_wait_states;
+  os_options.fault_policy = FaultPolicy::kLogOnly;
+  AmuletOs os(&machine, std::move(fw), os_options);
+
+  // Count app-region data traffic per dispatch via the bus observer.
+  uint64_t data_accesses = 0;
+  machine.bus().SetObserver([&](const BusObserverEvent& event) {
+    if (event.kind == AccessKind::kFetch) {
+      return;
+    }
+    if (event.addr >= data_lo && event.addr < data_hi) {
+      ++data_accesses;
+    }
+  });
+
+  RETURN_IF_ERROR(os.Boot());
+  os.sensors().set_mode(ActivityMode::kWalking);
+
+  uint64_t t_ms = 0;
+  for (size_t i = 0; i < static_cast<size_t>(EventType::kCount); ++i) {
+    const EventType type = static_cast<EventType>(i);
+    if (type == EventType::kInit) {
+      continue;
+    }
+    if (app.event_rate_hz[i] <= 0) {
+      continue;
+    }
+    HandlerProfile handler;
+    for (int sample = 0; sample < options.samples_per_event; ++sample) {
+      t_ms += 37;  // vary synthetic inputs
+      EventArgs args = ArgsFor(type, &os.sensors(), t_ms);
+      data_accesses = 0;
+      ASSIGN_OR_RETURN(AmuletOs::DispatchResult r,
+                       os.Deliver(0, type, args.a0, args.a1, args.a2));
+      if (r.faulted) {
+        return InternalError(StrFormat("app '%s' faulted while profiling %s",
+                                       app.name.c_str(), EventHandlerName(type)));
+      }
+      handler.mean_cycles += static_cast<double>(r.cycles);
+      handler.mean_syscalls += static_cast<double>(r.syscalls);
+      handler.mean_data_accesses += static_cast<double>(data_accesses);
+      ++handler.samples;
+    }
+    if (handler.samples > 0) {
+      handler.mean_cycles /= handler.samples;
+      handler.mean_syscalls /= handler.samples;
+      handler.mean_data_accesses /= handler.samples;
+    }
+    profile.handlers[type] = handler;
+  }
+
+  for (const auto& [type, handler] : profile.handlers) {
+    const double rate = app.event_rate_hz[static_cast<size_t>(type)];
+    profile.cycles_per_week += rate * kSecondsPerWeek * handler.mean_cycles;
+    profile.syscalls_per_week += rate * kSecondsPerWeek * handler.mean_syscalls;
+  }
+  return profile;
+}
+
+OverheadResult ComputeOverhead(const AppProfile& baseline, const AppProfile& isolated,
+                               const EnergyModel& energy) {
+  OverheadResult result;
+  result.app_name = isolated.app_name;
+  result.model = isolated.model;
+  result.overhead_cycles_per_week = isolated.cycles_per_week - baseline.cycles_per_week;
+  if (result.overhead_cycles_per_week < 0) {
+    result.overhead_cycles_per_week = 0;
+  }
+  result.battery_impact_percent = energy.BatteryImpactPercent(result.overhead_cycles_per_week);
+  return result;
+}
+
+std::string RenderProfile(const AppProfile& profile) {
+  std::string out = StrFormat("ARP profile: %s [%s]\n", profile.app_name.c_str(),
+                              std::string(MemoryModelName(profile.model)).c_str());
+  for (const auto& [type, handler] : profile.handlers) {
+    out += StrFormat("  %-14s cycles=%9.1f data_accesses=%8.1f syscalls=%5.1f (n=%d)\n",
+                     EventHandlerName(type), handler.mean_cycles, handler.mean_data_accesses,
+                     handler.mean_syscalls, handler.samples);
+  }
+  out += StrFormat("  weekly: %.3f Gcycles, %.0f syscalls\n", profile.cycles_per_week / 1e9,
+                   profile.syscalls_per_week);
+  return out;
+}
+
+std::string RenderOverheadTable(const std::vector<OverheadResult>& rows) {
+  std::string out;
+  out += StrFormat("%-16s %-16s %16s %16s\n", "Application", "Model", "Overhead (Gcyc/wk)",
+                   "Battery impact %");
+  for (const OverheadResult& row : rows) {
+    out += StrFormat("%-16s %-16s %18.4f %16.4f\n", row.app_name.c_str(),
+                     std::string(MemoryModelName(row.model)).c_str(),
+                     row.overhead_cycles_per_week / 1e9, row.battery_impact_percent);
+  }
+  return out;
+}
+
+}  // namespace amulet

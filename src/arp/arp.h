@@ -1,0 +1,63 @@
+// Amulet Resource Profiler (ARP): measures per-event-handler costs (cycles,
+// data accesses, context switches) by running an app on the simulator, then
+// extrapolates to weekly totals from the app's event-rate profile and to
+// battery impact through the energy model — the methodology behind the
+// paper's Figure 2.
+#ifndef SRC_ARP_ARP_H_
+#define SRC_ARP_ARP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/aft/model.h"
+#include "src/apps/app_sources.h"
+#include "src/arp/energy_model.h"
+#include "src/common/status.h"
+
+namespace amulet {
+
+struct ArpOptions {
+  int samples_per_event = 40;  // dispatches averaged per handler
+  int fram_wait_states = 1;
+  EnergyModel energy;
+};
+
+struct HandlerProfile {
+  double mean_cycles = 0;
+  double mean_data_accesses = 0;  // reads+writes landing in the app's region
+  double mean_syscalls = 0;       // context switches into the OS
+  int samples = 0;
+};
+
+struct AppProfile {
+  std::string app_name;
+  MemoryModel model = MemoryModel::kNoIsolation;
+  std::map<EventType, HandlerProfile> handlers;
+  // Rate-weighted extrapolation over one week (604800 s).
+  double cycles_per_week = 0;
+  double syscalls_per_week = 0;
+};
+
+// Builds a single-app firmware under `model`, boots it, drives each
+// subscribed event type with synthetic inputs, and averages the costs.
+Result<AppProfile> ProfileApp(const AppSpec& app, MemoryModel model, const ArpOptions& options);
+
+// Isolation overhead of `model` relative to a kNoIsolation profile of the
+// same app (cycles/week), as plotted in Figure 2.
+struct OverheadResult {
+  std::string app_name;
+  MemoryModel model;
+  double overhead_cycles_per_week = 0;
+  double battery_impact_percent = 0;
+};
+OverheadResult ComputeOverhead(const AppProfile& baseline, const AppProfile& isolated,
+                               const EnergyModel& energy);
+
+// ARP-view-style text rendering.
+std::string RenderProfile(const AppProfile& profile);
+std::string RenderOverheadTable(const std::vector<OverheadResult>& rows);
+
+}  // namespace amulet
+
+#endif  // SRC_ARP_ARP_H_

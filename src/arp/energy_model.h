@@ -1,0 +1,35 @@
+// Energy model used to convert isolation-overhead cycles into battery-life
+// impact (right-hand axis of the paper's Figure 2).
+//
+// Defaults approximate the Amulet wristband: MSP430FR5969 @ 16 MHz active,
+// ~300 uA/MHz effective active current at 3 V, 110 mAh battery. With these
+// constants one billion overhead cycles/week costs ~0.08% of the battery,
+// putting the nine-app suite in the paper's 0-0.5% band.
+#ifndef SRC_ARP_ENERGY_MODEL_H_
+#define SRC_ARP_ENERGY_MODEL_H_
+
+namespace amulet {
+
+struct EnergyModel {
+  double cpu_mhz = 16.0;
+  double active_ua_per_mhz = 300.0;
+  double battery_mah = 110.0;
+
+  // Coulombs drawn per CPU cycle while active.
+  double ChargePerCycle() const {
+    const double active_amps = active_ua_per_mhz * cpu_mhz * 1e-6;
+    const double hz = cpu_mhz * 1e6;
+    return active_amps / hz;
+  }
+
+  double BatteryCharge() const { return battery_mah * 1e-3 * 3600.0; }
+
+  // Percent of total battery charge consumed by `cycles` of extra CPU work.
+  double BatteryImpactPercent(double cycles) const {
+    return cycles * ChargePerCycle() / BatteryCharge() * 100.0;
+  }
+};
+
+}  // namespace amulet
+
+#endif  // SRC_ARP_ENERGY_MODEL_H_

@@ -1,0 +1,856 @@
+#include "src/asm/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/isa/encoding.h"
+#include "src/isa/instruction.h"
+
+namespace amulet {
+
+namespace {
+
+// A parsed expression: at most one symbol reference plus a constant.
+struct Expr {
+  std::string symbol;  // empty = pure constant
+  int32_t addend = 0;
+
+  bool has_symbol() const { return !symbol.empty(); }
+};
+
+// A parsed operand before relocation bookkeeping.
+struct ParsedOperand {
+  Operand op;
+  std::optional<Expr> expr;  // set when op.ext depends on a symbol
+};
+
+class Assembler {
+ public:
+  Assembler(std::string_view source, std::string_view unit, std::set<int> far_jump_lines)
+      : source_(source), unit_(unit), far_jump_lines_(std::move(far_jump_lines)) {}
+
+  Result<ObjectFile> Run();
+
+ private:
+  Status Error(const std::string& message) const {
+    return ParseError(StrFormat("%s:%d: %s", std::string(unit_).c_str(), line_no_, message.c_str()));
+  }
+
+  AsmSection& CurrentSection();
+  uint32_t Here() { return static_cast<uint32_t>(CurrentSection().bytes.size()); }
+  void EmitByte(uint8_t b) { CurrentSection().bytes.push_back(b); }
+  void EmitWord(uint16_t w) {
+    EmitByte(static_cast<uint8_t>(w & 0xFF));
+    EmitByte(static_cast<uint8_t>(w >> 8));
+  }
+  Status AlignWord();
+
+  Status ProcessLine(std::string_view line);
+  Status ProcessDirective(std::string_view name, std::string_view rest);
+  Status ProcessInstruction(std::string_view mnemonic, std::string_view rest);
+
+  Result<Expr> ParseExpr(std::string_view text) const;
+  Result<int32_t> ParseConstExpr(std::string_view text) const;
+  Result<ParsedOperand> ParseOperand(std::string_view text) const;
+  static std::optional<Reg> ParseReg(std::string_view text);
+  Result<int32_t> ParseNumber(std::string_view text) const;
+
+  Status EncodeAndEmit(Instruction insn, const std::optional<Expr>& src_expr,
+                       const std::optional<Expr>& dst_expr);
+  Status EmitJump(Opcode op, std::string_view target_text);
+
+  std::string_view source_;
+  std::string_view unit_;
+  int line_no_ = 0;
+  std::string current_section_ = ".text";
+  ObjectFile object_;
+  std::map<std::string, int32_t> constants_;  // .equ definitions
+  std::set<int> far_jump_lines_;              // relaxation: lines forced to far form
+};
+
+AsmSection& Assembler::CurrentSection() {
+  if (AsmSection* existing = object_.FindSection(current_section_)) {
+    return *existing;
+  }
+  object_.sections.push_back(AsmSection{current_section_, {}});
+  return object_.sections.back();
+}
+
+Status Assembler::AlignWord() {
+  if (Here() % 2 != 0) {
+    EmitByte(0);
+  }
+  return OkStatus();
+}
+
+Result<int32_t> Assembler::ParseNumber(std::string_view text) const {
+  text = Trim(text);
+  if (text.empty()) {
+    return Error("empty number");
+  }
+  bool negative = false;
+  if (text[0] == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  } else if (text[0] == '+') {
+    text.remove_prefix(1);
+  }
+  if (text.size() >= 3 && text[0] == '\'' && text.back() == '\'') {
+    std::string_view body = text.substr(1, text.size() - 2);
+    char c;
+    if (body.size() == 1) {
+      c = body[0];
+    } else if (body.size() == 2 && body[0] == '\\') {
+      switch (body[1]) {
+        case 'n':
+          c = '\n';
+          break;
+        case 't':
+          c = '\t';
+          break;
+        case '0':
+          c = '\0';
+          break;
+        case '\\':
+          c = '\\';
+          break;
+        case '\'':
+          c = '\'';
+          break;
+        default:
+          return Error("unknown character escape");
+      }
+    } else {
+      return Error("bad character literal");
+    }
+    int32_t v = static_cast<uint8_t>(c);
+    return negative ? -v : v;
+  }
+  int base = 10;
+  if (StartsWith(text, "0x") || StartsWith(text, "0X")) {
+    base = 16;
+    text.remove_prefix(2);
+  }
+  if (text.empty()) {
+    return Error("empty number");
+  }
+  int64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (base == 16 && c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Error(StrFormat("bad digit '%c' in number", c));
+    }
+    value = value * base + digit;
+    if (value > 0xFFFFFF) {
+      return Error("number out of range");
+    }
+  }
+  return static_cast<int32_t>(negative ? -value : value);
+}
+
+namespace {
+bool IsSymbolStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '$'; }
+bool IsSymbolChar(char c) { return IsSymbolStart(c) || std::isdigit(static_cast<unsigned char>(c)); }
+}  // namespace
+
+Result<Expr> Assembler::ParseExpr(std::string_view text) const {
+  text = Trim(text);
+  if (text.empty()) {
+    return Error("empty expression");
+  }
+  Expr expr;
+  size_t pos = 0;
+  int sign = 1;
+  bool expecting_term = true;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (!expecting_term) {
+      if (c == '+') {
+        sign = 1;
+        expecting_term = true;
+        ++pos;
+        continue;
+      }
+      if (c == '-') {
+        sign = -1;
+        expecting_term = true;
+        ++pos;
+        continue;
+      }
+      return Error(StrFormat("unexpected '%c' in expression '%s'", c, std::string(text).c_str()));
+    }
+    // A term: number, char literal, or symbol.
+    if (c == '-' ) {
+      sign = -sign;
+      ++pos;
+      continue;
+    }
+    size_t term_start = pos;
+    if (c == '\'') {
+      size_t end = text.find('\'', pos + 1);
+      if (end == std::string_view::npos) {
+        return Error("unterminated character literal");
+      }
+      pos = end + 1;
+      ASSIGN_OR_RETURN(int32_t value, ParseNumber(text.substr(term_start, pos - term_start)));
+      expr.addend += sign * value;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (pos < text.size() && IsSymbolChar(text[pos])) {
+        ++pos;
+      }
+      ASSIGN_OR_RETURN(int32_t value, ParseNumber(text.substr(term_start, pos - term_start)));
+      expr.addend += sign * value;
+    } else if (IsSymbolStart(c)) {
+      while (pos < text.size() && IsSymbolChar(text[pos])) {
+        ++pos;
+      }
+      std::string name(text.substr(term_start, pos - term_start));
+      auto it = constants_.find(name);
+      if (it != constants_.end()) {
+        expr.addend += sign * it->second;
+      } else {
+        if (expr.has_symbol()) {
+          return Error(StrFormat("expression references two symbols ('%s' and '%s')",
+                                 expr.symbol.c_str(), name.c_str()));
+        }
+        if (sign < 0) {
+          return Error(StrFormat("cannot negate symbol '%s'", name.c_str()));
+        }
+        expr.symbol = std::move(name);
+      }
+    } else {
+      return Error(StrFormat("unexpected '%c' in expression", c));
+    }
+    sign = 1;
+    expecting_term = false;
+  }
+  if (expecting_term) {
+    return Error("expression ends with an operator");
+  }
+  return expr;
+}
+
+Result<int32_t> Assembler::ParseConstExpr(std::string_view text) const {
+  ASSIGN_OR_RETURN(Expr expr, ParseExpr(text));
+  if (expr.has_symbol()) {
+    return Error(StrFormat("'%s' must be a compile-time constant here", expr.symbol.c_str()));
+  }
+  return expr.addend;
+}
+
+std::optional<Reg> Assembler::ParseReg(std::string_view text) {
+  std::string lower = ToLower(Trim(text));
+  if (lower == "pc") return Reg::kPc;
+  if (lower == "sp") return Reg::kSp;
+  if (lower == "sr") return Reg::kSr;
+  if (lower.size() >= 2 && lower[0] == 'r') {
+    int n = 0;
+    for (size_t i = 1; i < lower.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(lower[i]))) {
+        return std::nullopt;
+      }
+      n = n * 10 + (lower[i] - '0');
+    }
+    if (n <= 15) {
+      return RegFromIndex(static_cast<uint8_t>(n));
+    }
+  }
+  return std::nullopt;
+}
+
+Result<ParsedOperand> Assembler::ParseOperand(std::string_view text) const {
+  text = Trim(text);
+  if (text.empty()) {
+    return Error("empty operand");
+  }
+  ParsedOperand out;
+  if (text[0] == '#') {
+    ASSIGN_OR_RETURN(Expr expr, ParseExpr(text.substr(1)));
+    if (expr.has_symbol()) {
+      out.op = RawImmediateOp(static_cast<uint16_t>(expr.addend));
+      out.expr = std::move(expr);
+    } else {
+      out.op = ImmediateOp(static_cast<uint16_t>(expr.addend & 0xFFFF));
+    }
+    return out;
+  }
+  if (text[0] == '&') {
+    ASSIGN_OR_RETURN(Expr expr, ParseExpr(text.substr(1)));
+    out.op = AbsoluteOp(static_cast<uint16_t>(expr.addend & 0xFFFF));
+    if (expr.has_symbol()) {
+      out.expr = std::move(expr);
+    }
+    return out;
+  }
+  if (text[0] == '@') {
+    bool post_inc = text.back() == '+';
+    std::string_view reg_text = text.substr(1, text.size() - 1 - (post_inc ? 1 : 0));
+    std::optional<Reg> reg = ParseReg(reg_text);
+    if (!reg.has_value()) {
+      return Error(StrFormat("bad register in '%s'", std::string(text).c_str()));
+    }
+    out.op = post_inc ? IndirectAutoIncOp(*reg) : IndirectOp(*reg);
+    return out;
+  }
+  if (text.back() == ')') {
+    size_t open = text.rfind('(');
+    if (open == std::string_view::npos) {
+      return Error(StrFormat("mismatched ')' in '%s'", std::string(text).c_str()));
+    }
+    std::optional<Reg> reg = ParseReg(text.substr(open + 1, text.size() - open - 2));
+    if (!reg.has_value()) {
+      return Error(StrFormat("bad register in '%s'", std::string(text).c_str()));
+    }
+    ASSIGN_OR_RETURN(Expr expr, ParseExpr(text.substr(0, open)));
+    out.op = IndexedOp(*reg, static_cast<uint16_t>(expr.addend & 0xFFFF));
+    if (expr.has_symbol()) {
+      out.expr = std::move(expr);
+    }
+    return out;
+  }
+  if (std::optional<Reg> reg = ParseReg(text)) {
+    out.op = RegOp(*reg);
+    return out;
+  }
+  // Catch likely register typos ("r99") before treating them as symbols.
+  if ((text[0] == 'r' || text[0] == 'R') && text.size() > 1 &&
+      std::isdigit(static_cast<unsigned char>(text[1]))) {
+    bool all_digits = true;
+    for (size_t i = 1; i < text.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+        all_digits = false;
+        break;
+      }
+    }
+    if (all_digits) {
+      return Error(StrFormat("'%s' is not a valid register", std::string(text).c_str()));
+    }
+  }
+  // Bare expression: symbolic (PC-relative) data addressing.
+  ASSIGN_OR_RETURN(Expr expr, ParseExpr(text));
+  out.op = SymbolicOp(static_cast<uint16_t>(expr.addend & 0xFFFF));
+  if (expr.has_symbol()) {
+    out.expr = std::move(expr);
+  } else {
+    return Error(StrFormat("symbolic operand '%s' needs a symbol (use &addr for absolute)",
+                           std::string(text).c_str()));
+  }
+  return out;
+}
+
+Status Assembler::EncodeAndEmit(Instruction insn, const std::optional<Expr>& src_expr,
+                                const std::optional<Expr>& dst_expr) {
+  RETURN_IF_ERROR(AlignWord());
+  Result<std::vector<uint16_t>> encoded = Encode(insn);
+  if (!encoded.ok()) {
+    return Error(encoded.status().message());
+  }
+  const uint32_t insn_offset = Here();
+  // Record relocations for symbol-dependent extension words.
+  uint32_t ext_offset = insn_offset + 2;
+  const bool src_has_ext = IsFormatOne(insn.op) && ModeHasExtWord(insn.src.mode);
+  if (src_has_ext) {
+    if (src_expr.has_value()) {
+      RelocKind kind = insn.src.mode == AddrMode::kSymbolic ? RelocKind::kPcRelWord
+                                                            : RelocKind::kAbsWord;
+      object_.relocations.push_back(
+          {kind, current_section_, ext_offset, src_expr->symbol, src_expr->addend});
+    }
+    ext_offset += 2;
+  }
+  const bool dst_has_ext = insn.op != Opcode::kReti && ModeHasExtWord(insn.dst.mode);
+  if (dst_has_ext) {
+    const std::optional<Expr>& expr = IsFormatTwo(insn.op) ? src_expr : dst_expr;
+    if (expr.has_value()) {
+      RelocKind kind = insn.dst.mode == AddrMode::kSymbolic ? RelocKind::kPcRelWord
+                                                            : RelocKind::kAbsWord;
+      object_.relocations.push_back(
+          {kind, current_section_, ext_offset, expr->symbol, expr->addend});
+    }
+  }
+  for (uint16_t word : *encoded) {
+    EmitWord(word);
+  }
+  return OkStatus();
+}
+
+Status Assembler::EmitJump(Opcode op, std::string_view target_text) {
+  ASSIGN_OR_RETURN(Expr expr, ParseExpr(target_text));
+  if (!expr.has_symbol()) {
+    return Error("jump target must be a label");
+  }
+  RETURN_IF_ERROR(AlignWord());
+
+  // Far form (relaxation): the 10-bit offset cannot reach the target, so
+  // emit the inverted condition skipping over an unbounded `br #target`
+  // (2 words). Plain jmp becomes a bare br.
+  if (far_jump_lines_.count(line_no_) != 0) {
+    if (op != Opcode::kJmp) {
+      static const std::map<Opcode, Opcode> kInverse = {
+          {Opcode::kJnz, Opcode::kJz}, {Opcode::kJz, Opcode::kJnz},
+          {Opcode::kJnc, Opcode::kJc}, {Opcode::kJc, Opcode::kJnc},
+          {Opcode::kJge, Opcode::kJl}, {Opcode::kJl, Opcode::kJge},
+      };
+      auto it = kInverse.find(op);
+      if (it == kInverse.end()) {
+        return Error("jn has no single-instruction inverse; cannot relax");
+      }
+      Instruction skip;
+      skip.op = it->second;
+      skip.jump_offset_words = 2;  // over the two-word br
+      Result<std::vector<uint16_t>> encoded = Encode(skip);
+      if (!encoded.ok()) {
+        return Error(encoded.status().message());
+      }
+      EmitWord((*encoded)[0]);
+    }
+    // br #target == mov #target, pc
+    Instruction br;
+    br.op = Opcode::kMov;
+    br.src = RawImmediateOp(0);
+    br.dst = RegOp(Reg::kPc);
+    Result<std::vector<uint16_t>> encoded = Encode(br);
+    if (!encoded.ok()) {
+      return Error(encoded.status().message());
+    }
+    object_.relocations.push_back({RelocKind::kAbsWord, current_section_,
+                                   Here() + 2, expr.symbol, expr.addend, line_no_});
+    for (uint16_t word : *encoded) {
+      EmitWord(word);
+    }
+    return OkStatus();
+  }
+
+  object_.relocations.push_back(
+      {RelocKind::kJump, current_section_, Here(), expr.symbol, expr.addend, line_no_});
+  Instruction insn;
+  insn.op = op;
+  insn.jump_offset_words = 0;
+  Result<std::vector<uint16_t>> encoded = Encode(insn);
+  if (!encoded.ok()) {
+    return Error(encoded.status().message());
+  }
+  EmitWord((*encoded)[0]);
+  return OkStatus();
+}
+
+Status Assembler::ProcessDirective(std::string_view name, std::string_view rest) {
+  std::string lower = ToLower(name);
+  if (lower == ".section") {
+    std::string_view section = Trim(rest);
+    if (section.empty()) {
+      return Error(".section needs a name");
+    }
+    current_section_ = std::string(section);
+    return OkStatus();
+  }
+  if (lower == ".text" || lower == ".data") {
+    current_section_ = lower;
+    return OkStatus();
+  }
+  if (lower == ".global" || lower == ".globl" || lower == ".type" || lower == ".size") {
+    return OkStatus();  // accepted for compatibility; all symbols are global
+  }
+  if (lower == ".align" || lower == ".even") {
+    return AlignWord();
+  }
+  if (lower == ".word") {
+    RETURN_IF_ERROR(AlignWord());
+    for (std::string_view part : Split(rest, ',')) {
+      ASSIGN_OR_RETURN(Expr expr, ParseExpr(part));
+      if (expr.has_symbol()) {
+        object_.relocations.push_back(
+            {RelocKind::kAbsWord, current_section_, Here(), expr.symbol, expr.addend});
+        EmitWord(0);
+      } else {
+        EmitWord(static_cast<uint16_t>(expr.addend & 0xFFFF));
+      }
+    }
+    return OkStatus();
+  }
+  if (lower == ".byte") {
+    for (std::string_view part : Split(rest, ',')) {
+      ASSIGN_OR_RETURN(int32_t value, ParseConstExpr(part));
+      EmitByte(static_cast<uint8_t>(value & 0xFF));
+    }
+    return OkStatus();
+  }
+  if (lower == ".space" || lower == ".skip") {
+    ASSIGN_OR_RETURN(int32_t count, ParseConstExpr(rest));
+    if (count < 0 || count > 0x10000) {
+      return Error(".space size out of range");
+    }
+    for (int32_t i = 0; i < count; ++i) {
+      EmitByte(0);
+    }
+    return OkStatus();
+  }
+  if (lower == ".ascii" || lower == ".asciz") {
+    std::string_view body = Trim(rest);
+    if (body.size() < 2 || body.front() != '"' || body.back() != '"') {
+      return Error("string directive needs a quoted string");
+    }
+    body = body.substr(1, body.size() - 2);
+    for (size_t i = 0; i < body.size(); ++i) {
+      char c = body[i];
+      if (c == '\\' && i + 1 < body.size()) {
+        ++i;
+        switch (body[i]) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case '0':
+            c = '\0';
+            break;
+          case '\\':
+            c = '\\';
+            break;
+          case '"':
+            c = '"';
+            break;
+          default:
+            return Error("unknown string escape");
+        }
+      }
+      EmitByte(static_cast<uint8_t>(c));
+    }
+    if (lower == ".asciz") {
+      EmitByte(0);
+    }
+    return OkStatus();
+  }
+  if (lower == ".equ" || lower == ".set") {
+    std::vector<std::string_view> parts = Split(rest, ',');
+    if (parts.size() != 2) {
+      return Error(".equ needs 'name, value'");
+    }
+    std::string sym(Trim(parts[0]));
+    ASSIGN_OR_RETURN(int32_t value, ParseConstExpr(parts[1]));
+    constants_[sym] = value;
+    return OkStatus();
+  }
+  return Error(StrFormat("unknown directive '%s'", lower.c_str()));
+}
+
+Status Assembler::ProcessInstruction(std::string_view mnemonic, std::string_view rest) {
+  std::string name = ToLower(mnemonic);
+  bool byte = false;
+  if (size_t dot = name.find('.'); dot != std::string::npos) {
+    std::string suffix = name.substr(dot + 1);
+    name = name.substr(0, dot);
+    if (suffix == "b") {
+      byte = true;
+    } else if (suffix != "w") {
+      return Error(StrFormat("unknown size suffix '.%s'", suffix.c_str()));
+    }
+  }
+
+  std::vector<std::string_view> raw_ops;
+  std::string_view trimmed = Trim(rest);
+  if (!trimmed.empty()) {
+    for (std::string_view part : Split(trimmed, ',')) {
+      raw_ops.push_back(Trim(part));
+    }
+  }
+
+  auto require_operands = [&](size_t n) -> Status {
+    if (raw_ops.size() != n) {
+      return Error(StrFormat("'%s' expects %zu operand(s), got %zu", name.c_str(), n,
+                             raw_ops.size()));
+    }
+    return OkStatus();
+  };
+
+  // Jumps and aliases.
+  static const std::map<std::string, Opcode> kJumps = {
+      {"jnz", Opcode::kJnz}, {"jne", Opcode::kJnz}, {"jz", Opcode::kJz},
+      {"jeq", Opcode::kJz},  {"jnc", Opcode::kJnc}, {"jlo", Opcode::kJnc},
+      {"jc", Opcode::kJc},   {"jhs", Opcode::kJc},  {"jn", Opcode::kJn},
+      {"jge", Opcode::kJge}, {"jl", Opcode::kJl},   {"jmp", Opcode::kJmp},
+  };
+  if (auto it = kJumps.find(name); it != kJumps.end()) {
+    RETURN_IF_ERROR(require_operands(1));
+    return EmitJump(it->second, raw_ops[0]);
+  }
+
+  static const std::map<std::string, Opcode> kFormatOne = {
+      {"mov", Opcode::kMov},   {"add", Opcode::kAdd}, {"addc", Opcode::kAddc},
+      {"subc", Opcode::kSubc}, {"sub", Opcode::kSub}, {"cmp", Opcode::kCmp},
+      {"dadd", Opcode::kDadd}, {"bit", Opcode::kBit}, {"bic", Opcode::kBic},
+      {"bis", Opcode::kBis},   {"xor", Opcode::kXor}, {"and", Opcode::kAnd},
+  };
+  static const std::map<std::string, Opcode> kFormatTwo = {
+      {"rrc", Opcode::kRrc},   {"swpb", Opcode::kSwpb}, {"rra", Opcode::kRra},
+      {"sxt", Opcode::kSxt},   {"push", Opcode::kPush}, {"call", Opcode::kCall},
+  };
+
+  Instruction insn;
+  insn.byte = byte;
+
+  if (auto it = kFormatOne.find(name); it != kFormatOne.end()) {
+    RETURN_IF_ERROR(require_operands(2));
+    insn.op = it->second;
+    ASSIGN_OR_RETURN(ParsedOperand src, ParseOperand(raw_ops[0]));
+    ASSIGN_OR_RETURN(ParsedOperand dst, ParseOperand(raw_ops[1]));
+    insn.src = src.op;
+    insn.dst = dst.op;
+    return EncodeAndEmit(insn, src.expr, dst.expr);
+  }
+  if (auto it = kFormatTwo.find(name); it != kFormatTwo.end()) {
+    RETURN_IF_ERROR(require_operands(1));
+    insn.op = it->second;
+    ASSIGN_OR_RETURN(ParsedOperand op, ParseOperand(raw_ops[0]));
+    insn.dst = op.op;
+    return EncodeAndEmit(insn, op.expr, std::nullopt);
+  }
+  if (name == "reti") {
+    RETURN_IF_ERROR(require_operands(0));
+    insn.op = Opcode::kReti;
+    return EncodeAndEmit(insn, std::nullopt, std::nullopt);
+  }
+
+  // Emulated mnemonics (expand to core forms; cycle counts match hardware).
+  auto one_op = [&](Opcode op, Operand src) -> Status {
+    RETURN_IF_ERROR(require_operands(1));
+    insn.op = op;
+    insn.src = src;
+    ASSIGN_OR_RETURN(ParsedOperand dst, ParseOperand(raw_ops[0]));
+    insn.dst = dst.op;
+    return EncodeAndEmit(insn, std::nullopt, dst.expr);
+  };
+  auto flag_op = [&](Opcode op, uint16_t bits) -> Status {
+    RETURN_IF_ERROR(require_operands(0));
+    insn.op = op;
+    insn.src = ImmediateOp(bits);
+    insn.dst = RegOp(Reg::kSr);
+    return EncodeAndEmit(insn, std::nullopt, std::nullopt);
+  };
+
+  if (name == "nop") {
+    RETURN_IF_ERROR(require_operands(0));
+    insn.op = Opcode::kMov;
+    insn.src = RegOp(Reg::kCg);
+    insn.dst = RegOp(Reg::kCg);
+    return EncodeAndEmit(insn, std::nullopt, std::nullopt);
+  }
+  if (name == "ret") {
+    RETURN_IF_ERROR(require_operands(0));
+    insn.op = Opcode::kMov;
+    insn.src = IndirectAutoIncOp(Reg::kSp);
+    insn.dst = RegOp(Reg::kPc);
+    return EncodeAndEmit(insn, std::nullopt, std::nullopt);
+  }
+  if (name == "pop") {
+    RETURN_IF_ERROR(require_operands(1));
+    insn.op = Opcode::kMov;
+    insn.src = IndirectAutoIncOp(Reg::kSp);
+    ASSIGN_OR_RETURN(ParsedOperand dst, ParseOperand(raw_ops[0]));
+    insn.dst = dst.op;
+    return EncodeAndEmit(insn, std::nullopt, dst.expr);
+  }
+  if (name == "br") {
+    RETURN_IF_ERROR(require_operands(1));
+    insn.op = Opcode::kMov;
+    ASSIGN_OR_RETURN(ParsedOperand src, ParseOperand(raw_ops[0]));
+    insn.src = src.op;
+    insn.dst = RegOp(Reg::kPc);
+    return EncodeAndEmit(insn, src.expr, std::nullopt);
+  }
+  if (name == "clr") {
+    return one_op(Opcode::kMov, ImmediateOp(0));
+  }
+  if (name == "inc") {
+    return one_op(Opcode::kAdd, ImmediateOp(1));
+  }
+  if (name == "incd") {
+    return one_op(Opcode::kAdd, ImmediateOp(2));
+  }
+  if (name == "dec") {
+    return one_op(Opcode::kSub, ImmediateOp(1));
+  }
+  if (name == "decd") {
+    return one_op(Opcode::kSub, ImmediateOp(2));
+  }
+  if (name == "tst") {
+    return one_op(Opcode::kCmp, ImmediateOp(0));
+  }
+  if (name == "inv") {
+    return one_op(Opcode::kXor, ImmediateOp(0xFFFF));
+  }
+  if (name == "adc") {
+    return one_op(Opcode::kAddc, ImmediateOp(0));
+  }
+  if (name == "sbc") {
+    return one_op(Opcode::kSubc, ImmediateOp(0));
+  }
+  if (name == "rla" || name == "rlc") {
+    RETURN_IF_ERROR(require_operands(1));
+    insn.op = name == "rla" ? Opcode::kAdd : Opcode::kAddc;
+    ASSIGN_OR_RETURN(ParsedOperand op, ParseOperand(raw_ops[0]));
+    insn.src = op.op;
+    insn.dst = op.op;
+    return EncodeAndEmit(insn, op.expr, op.expr);
+  }
+  if (name == "dint") {
+    return flag_op(Opcode::kBic, kSrGie);
+  }
+  if (name == "eint") {
+    return flag_op(Opcode::kBis, kSrGie);
+  }
+  if (name == "clrc") {
+    return flag_op(Opcode::kBic, kSrCarry);
+  }
+  if (name == "setc") {
+    return flag_op(Opcode::kBis, kSrCarry);
+  }
+  if (name == "clrz") {
+    return flag_op(Opcode::kBic, kSrZero);
+  }
+  if (name == "setz") {
+    return flag_op(Opcode::kBis, kSrZero);
+  }
+  if (name == "clrn") {
+    return flag_op(Opcode::kBic, kSrNegative);
+  }
+  if (name == "setn") {
+    return flag_op(Opcode::kBis, kSrNegative);
+  }
+  return Error(StrFormat("unknown mnemonic '%s'", name.c_str()));
+}
+
+Status Assembler::ProcessLine(std::string_view line) {
+  // Strip comments (';' and '//').
+  if (size_t pos = line.find(';'); pos != std::string_view::npos) {
+    line = line.substr(0, pos);
+  }
+  if (size_t pos = line.find("//"); pos != std::string_view::npos) {
+    line = line.substr(0, pos);
+  }
+  line = Trim(line);
+  if (line.empty()) {
+    return OkStatus();
+  }
+  // Labels (possibly several on one line).
+  while (true) {
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      break;
+    }
+    std::string_view label = Trim(line.substr(0, colon));
+    if (label.empty() || !IsSymbolStart(label[0])) {
+      break;  // not a label; maybe an operand with ':'? (none in this ISA)
+    }
+    for (char c : label) {
+      if (!IsSymbolChar(c)) {
+        return Error(StrFormat("bad label '%s'", std::string(label).c_str()));
+      }
+    }
+    for (const AsmSymbol& sym : object_.symbols) {
+      if (sym.name == label) {
+        return Error(StrFormat("duplicate symbol '%s'", std::string(label).c_str()));
+      }
+    }
+    // Code labels must be word-aligned.
+    RETURN_IF_ERROR(AlignWord());
+    object_.symbols.push_back({std::string(label), current_section_, Here()});
+    line = Trim(line.substr(colon + 1));
+    if (line.empty()) {
+      return OkStatus();
+    }
+  }
+  // Directive or instruction.
+  size_t space = line.find_first_of(" \t");
+  std::string_view head = space == std::string_view::npos ? line : line.substr(0, space);
+  std::string_view rest = space == std::string_view::npos ? "" : line.substr(space + 1);
+  if (head[0] == '.') {
+    return ProcessDirective(head, rest);
+  }
+  return ProcessInstruction(head, rest);
+}
+
+Result<ObjectFile> Assembler::Run() {
+  // Pre-scan for .equ so constants may be used before their defining line.
+  int saved_line = 0;
+  line_no_ = 0;
+  for (std::string_view line : Split(source_, '\n')) {
+    ++line_no_;
+    std::string_view body = line;
+    if (size_t pos = body.find(';'); pos != std::string_view::npos) {
+      body = body.substr(0, pos);
+    }
+    body = Trim(body);
+    if (StartsWith(body, ".equ") || StartsWith(body, ".set")) {
+      size_t space = body.find_first_of(" \t");
+      if (space != std::string_view::npos) {
+        // Errors deferred to the main pass (where ordering is diagnosable).
+        std::vector<std::string_view> parts = Split(body.substr(space + 1), ',');
+        if (parts.size() == 2) {
+          Result<int32_t> value = ParseConstExpr(parts[1]);
+          if (value.ok()) {
+            constants_[std::string(Trim(parts[0]))] = *value;
+          }
+        }
+      }
+    }
+  }
+  line_no_ = saved_line;
+
+  for (std::string_view line : Split(source_, '\n')) {
+    ++line_no_;
+    RETURN_IF_ERROR(ProcessLine(line));
+  }
+  return std::move(object_);
+}
+
+}  // namespace
+
+Result<ObjectFile> Assemble(std::string_view source, std::string_view unit_name) {
+  // Jump relaxation: assemble, then check every same-section jump against
+  // its (object-local) target offset; out-of-range sites are re-assembled in
+  // their far form. Far forms only grow code, so the far set is monotone and
+  // the loop converges.
+  std::set<int> far_lines;
+  for (int iteration = 0; iteration < 64; ++iteration) {
+    Assembler assembler(source, unit_name, far_lines);
+    ASSIGN_OR_RETURN(ObjectFile object, assembler.Run());
+    size_t before = far_lines.size();
+    for (const Relocation& reloc : object.relocations) {
+      if (reloc.kind != RelocKind::kJump) {
+        continue;
+      }
+      for (const AsmSymbol& sym : object.symbols) {
+        if (sym.name == reloc.symbol && sym.section == reloc.section) {
+          const int32_t delta = static_cast<int32_t>(sym.offset) + reloc.addend -
+                                (static_cast<int32_t>(reloc.offset) + 2);
+          const int32_t words = delta / 2;
+          if (words < -512 || words > 511) {
+            far_lines.insert(reloc.line);
+          }
+          break;
+        }
+      }
+    }
+    if (far_lines.size() == before) {
+      return object;
+    }
+  }
+  return ParseError(std::string(unit_name) + ": jump relaxation did not converge");
+}
+
+}  // namespace amulet

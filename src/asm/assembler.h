@@ -1,0 +1,41 @@
+// Two-pass MSP430 assembler.
+//
+// Syntax (classic mspgcc flavour):
+//   label:                      ; define a symbol at the current location
+//   mov.b #0x41, &0x070e        ; instructions, case-insensitive mnemonics
+//   jnz loop                    ; jumps take a label/expression target
+//   .section .app1.text         ; switch/open a named section
+//   .text / .data               ; shortcuts for .text/.data
+//   .word expr, expr            ; 16-bit data (relocatable)
+//   .byte 1, 2, 'a'             ; 8-bit data
+//   .space 32                   ; zero fill
+//   .ascii "hi" / .asciz "hi"   ; string data
+//   .align                      ; pad to even address
+//   .equ NAME, expr             ; assembler constant (must fold)
+//   ; comment — also '//' comments
+//
+// Emulated mnemonics (nop, ret, pop, br, clr, inc, dec, tst, rla, rlc, inv,
+// adc, sbc, dint, eint, setc/clrc/..., jhs/jlo/jne/jeq) expand to their core
+// forms, so cycle counts match the real part.
+//
+// Numeric immediates that fit the constant generator (#0 #1 #2 #4 #8 #-1)
+// are encoded through R2/R3 with no extension word; symbolic immediates
+// always take an extension word (their value is only known at link time).
+#ifndef SRC_ASM_ASSEMBLER_H_
+#define SRC_ASM_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/asm/object.h"
+#include "src/common/status.h"
+
+namespace amulet {
+
+// Assembles `source` into a relocatable object. Errors carry line numbers.
+// `unit_name` appears in error messages only.
+Result<ObjectFile> Assemble(std::string_view source, std::string_view unit_name = "<asm>");
+
+}  // namespace amulet
+
+#endif  // SRC_ASM_ASSEMBLER_H_

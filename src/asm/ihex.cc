@@ -1,0 +1,142 @@
+#include "src/asm/ihex.h"
+
+#include <cctype>
+#include <map>
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+namespace {
+
+constexpr int kBytesPerRecord = 16;
+
+void AppendRecord(std::string* out, uint16_t addr, const uint8_t* data, int count) {
+  uint8_t checksum = static_cast<uint8_t>(count) + static_cast<uint8_t>(addr >> 8) +
+                     static_cast<uint8_t>(addr & 0xFF);
+  *out += StrFormat(":%02X%04X00", count, addr);
+  for (int i = 0; i < count; ++i) {
+    *out += StrFormat("%02X", data[i]);
+    checksum = static_cast<uint8_t>(checksum + data[i]);
+  }
+  *out += StrFormat("%02X\n", static_cast<uint8_t>(-checksum) & 0xFF);
+}
+
+Result<int> HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  return ParseError(StrFormat("bad hex digit '%c'", c));
+}
+
+Result<int> HexByte(std::string_view text, size_t offset) {
+  if (offset + 1 >= text.size()) {
+    return ParseError("record truncated");
+  }
+  ASSIGN_OR_RETURN(int hi, HexNibble(text[offset]));
+  ASSIGN_OR_RETURN(int lo, HexNibble(text[offset + 1]));
+  return hi * 16 + lo;
+}
+
+}  // namespace
+
+std::string WriteIntelHex(const Image& image) {
+  std::string out;
+  for (const auto& [base, bytes] : image.chunks) {
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+      const int count =
+          static_cast<int>(std::min<size_t>(kBytesPerRecord, bytes.size() - offset));
+      AppendRecord(&out, static_cast<uint16_t>(base + offset), bytes.data() + offset, count);
+      offset += count;
+    }
+  }
+  out += ":00000001FF\n";
+  return out;
+}
+
+Result<Image> ParseIntelHex(const std::string& text) {
+  // Collect bytes sparsely, then coalesce into maximal runs.
+  std::map<uint32_t, uint8_t> memory;
+  bool saw_eof = false;
+  int line_no = 0;
+  for (std::string_view line : Split(text, '\n')) {
+    ++line_no;
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    if (saw_eof) {
+      return ParseError(StrFormat("line %d: data after the EOF record", line_no));
+    }
+    if (line[0] != ':') {
+      return ParseError(StrFormat("line %d: record must start with ':'", line_no));
+    }
+    ASSIGN_OR_RETURN(int count, HexByte(line, 1));
+    ASSIGN_OR_RETURN(int addr_hi, HexByte(line, 3));
+    ASSIGN_OR_RETURN(int addr_lo, HexByte(line, 5));
+    ASSIGN_OR_RETURN(int type, HexByte(line, 7));
+    const uint16_t addr = static_cast<uint16_t>(addr_hi << 8 | addr_lo);
+    if (line.size() != static_cast<size_t>(9 + 2 * count + 2)) {
+      return ParseError(StrFormat("line %d: record length mismatch", line_no));
+    }
+    uint8_t checksum = static_cast<uint8_t>(count + addr_hi + addr_lo + type);
+    if (type == 1) {
+      if (count != 0) {
+        return ParseError(StrFormat("line %d: EOF record with data", line_no));
+      }
+      ASSIGN_OR_RETURN(int stated, HexByte(line, 9));
+      if (static_cast<uint8_t>(checksum + stated) != 0) {
+        return ParseError(StrFormat("line %d: checksum mismatch", line_no));
+      }
+      saw_eof = true;
+      continue;
+    }
+    if (type != 0) {
+      return ParseError(StrFormat("line %d: unsupported record type %02x", line_no, type));
+    }
+    for (int i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(int byte, HexByte(line, 9 + 2 * i));
+      const uint32_t at = static_cast<uint32_t>(addr) + static_cast<uint32_t>(i);
+      if (at > 0xFFFF) {
+        return ParseError(StrFormat("line %d: record crosses the 64 KiB boundary", line_no));
+      }
+      memory[at] = static_cast<uint8_t>(byte);
+      checksum = static_cast<uint8_t>(checksum + byte);
+    }
+    ASSIGN_OR_RETURN(int stated, HexByte(line, 9 + 2 * count));
+    if (static_cast<uint8_t>(checksum + stated) != 0) {
+      return ParseError(StrFormat("line %d: checksum mismatch", line_no));
+    }
+  }
+  if (!saw_eof) {
+    return ParseError("missing EOF record");
+  }
+  Image image;
+  uint32_t run_base = 0;
+  std::vector<uint8_t> run;
+  uint32_t expected_next = 0x20000;  // sentinel: no open run
+  for (const auto& [addr, byte] : memory) {
+    if (addr != expected_next) {
+      if (!run.empty()) {
+        image.chunks[static_cast<uint16_t>(run_base)] = run;
+      }
+      run.clear();
+      run_base = addr;
+    }
+    run.push_back(byte);
+    expected_next = addr + 1;
+  }
+  if (!run.empty()) {
+    image.chunks[static_cast<uint16_t>(run_base)] = run;
+  }
+  return image;
+}
+
+}  // namespace amulet

@@ -1,0 +1,26 @@
+// Intel HEX (I8HEX) serialization of linked firmware images — the format
+// MSP430 flashers (mspdebug, TI FET tools) consume. Supports data records
+// (type 00) and end-of-file (type 01); 16-bit address space only, which is
+// exactly our simulated part.
+#ifndef SRC_ASM_IHEX_H_
+#define SRC_ASM_IHEX_H_
+
+#include <string>
+
+#include "src/asm/object.h"
+#include "src/common/status.h"
+
+namespace amulet {
+
+// Renders every chunk of the image as :LLAAAA00DD..CC records (16 data bytes
+// per record), followed by the EOF record. Symbols are not representable in
+// Intel HEX and are dropped.
+std::string WriteIntelHex(const Image& image);
+
+// Parses Intel HEX text back into an image (chunks only; adjacent records
+// merge into maximal runs). Rejects malformed records and checksum errors.
+Result<Image> ParseIntelHex(const std::string& text);
+
+}  // namespace amulet
+
+#endif  // SRC_ASM_IHEX_H_

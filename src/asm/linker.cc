@@ -1,0 +1,180 @@
+#include "src/asm/linker.h"
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+void Linker::AddObject(ObjectFile object) { objects_.push_back(std::move(object)); }
+
+void Linker::DefineAbsolute(const std::string& name, uint16_t value) {
+  absolute_symbols_[name] = value;
+}
+
+uint32_t Linker::SectionSize(const std::string& name) const {
+  uint32_t total = 0;
+  for (const ObjectFile& object : objects_) {
+    for (const AsmSection& section : object.sections) {
+      if (section.name == name) {
+        total += static_cast<uint32_t>(section.bytes.size());
+        if (total % 2 != 0) {
+          ++total;  // each object's piece is padded to word alignment
+        }
+      }
+    }
+  }
+  return total;
+}
+
+Result<Image> Linker::Link(const std::vector<LayoutRule>& layout) const {
+  // 1. Assign a base to every (object, section) piece.
+  struct Piece {
+    const ObjectFile* object;
+    const AsmSection* section;
+    uint16_t base;
+  };
+  std::map<std::string, uint32_t> cursor;  // section name -> next free address
+  std::map<std::string, bool> placed;
+  for (const LayoutRule& rule : layout) {
+    if (rule.base % 2 != 0) {
+      return LinkError(StrFormat("section '%s' placed at odd address %s", rule.section.c_str(),
+                                 HexWord(rule.base).c_str()));
+    }
+    if (placed.count(rule.section) != 0) {
+      return LinkError(StrFormat("section '%s' placed twice", rule.section.c_str()));
+    }
+    placed[rule.section] = true;
+    cursor[rule.section] = rule.base;
+  }
+
+  std::vector<Piece> pieces;
+  // (object index, section name) -> placed base, for symbol/reloc resolution.
+  std::map<std::pair<size_t, std::string>, uint16_t> piece_base;
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    for (const AsmSection& section : objects_[i].sections) {
+      if (section.bytes.empty()) {
+        continue;
+      }
+      auto it = cursor.find(section.name);
+      if (it == cursor.end()) {
+        return LinkError(StrFormat("no layout rule for non-empty section '%s'",
+                                   section.name.c_str()));
+      }
+      uint32_t base = it->second;
+      if (base + section.bytes.size() > 0x10000) {
+        return LinkError(StrFormat("section '%s' overflows the 64 KiB address space",
+                                   section.name.c_str()));
+      }
+      pieces.push_back({&objects_[i], &section, static_cast<uint16_t>(base)});
+      piece_base[{i, section.name}] = static_cast<uint16_t>(base);
+      base += static_cast<uint32_t>(section.bytes.size());
+      if (base % 2 != 0) {
+        ++base;
+      }
+      it->second = base;
+    }
+  }
+
+  // 2. Build the global symbol table.
+  Image image;
+  image.symbols = absolute_symbols_;
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    for (const AsmSymbol& symbol : objects_[i].symbols) {
+      auto base_it = piece_base.find({i, symbol.section});
+      if (base_it == piece_base.end()) {
+        // Symbol in an empty/unplaced section: only valid at its section start
+        // when the section is empty everywhere; treat as error for clarity.
+        return LinkError(StrFormat("symbol '%s' defined in unplaced section '%s'",
+                                   symbol.name.c_str(), symbol.section.c_str()));
+      }
+      uint16_t address = static_cast<uint16_t>(base_it->second + symbol.offset);
+      auto [it, inserted] = image.symbols.emplace(symbol.name, address);
+      if (!inserted) {
+        return LinkError(StrFormat("duplicate symbol '%s'", symbol.name.c_str()));
+      }
+    }
+  }
+
+  // 3. Copy section bytes into chunks.
+  std::map<uint16_t, std::vector<uint8_t>>& chunks = image.chunks;
+  for (const Piece& piece : pieces) {
+    chunks[piece.base] = piece.section->bytes;
+  }
+
+  // 4. Apply relocations.
+  auto patch_word = [&](uint16_t addr, uint16_t value) -> Status {
+    for (auto& [base, bytes] : chunks) {
+      if (addr >= base && static_cast<uint32_t>(addr) + 1 < static_cast<uint32_t>(base) + bytes.size() + 1) {
+        uint32_t off = addr - base;
+        if (off + 1 >= bytes.size()) {
+          break;
+        }
+        bytes[off] = static_cast<uint8_t>(value & 0xFF);
+        bytes[off + 1] = static_cast<uint8_t>(value >> 8);
+        return OkStatus();
+      }
+    }
+    return LinkError(StrFormat("relocation target %s outside any chunk", HexWord(addr).c_str()));
+  };
+  auto read_word = [&](uint16_t addr) -> uint16_t {
+    for (auto& [base, bytes] : chunks) {
+      if (addr >= base && static_cast<uint32_t>(addr) + 1 < static_cast<uint32_t>(base) + bytes.size() + 1) {
+        uint32_t off = addr - base;
+        if (off + 1 < bytes.size()) {
+          return static_cast<uint16_t>(bytes[off] | (bytes[off + 1] << 8));
+        }
+      }
+    }
+    return 0;
+  };
+
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    for (const Relocation& reloc : objects_[i].relocations) {
+      auto base_it = piece_base.find({i, reloc.section});
+      if (base_it == piece_base.end()) {
+        return LinkError(StrFormat("relocation in unplaced section '%s'", reloc.section.c_str()));
+      }
+      const uint16_t place = static_cast<uint16_t>(base_it->second + reloc.offset);
+      auto sym_it = image.symbols.find(reloc.symbol);
+      if (sym_it == image.symbols.end()) {
+        return LinkError(StrFormat("undefined symbol '%s'", reloc.symbol.c_str()));
+      }
+      const int32_t target = static_cast<int32_t>(sym_it->second) + reloc.addend;
+      switch (reloc.kind) {
+        case RelocKind::kAbsWord:
+          RETURN_IF_ERROR(patch_word(place, static_cast<uint16_t>(target & 0xFFFF)));
+          break;
+        case RelocKind::kPcRelWord:
+          RETURN_IF_ERROR(
+              patch_word(place, static_cast<uint16_t>((target - place) & 0xFFFF)));
+          break;
+        case RelocKind::kJump: {
+          const int32_t delta = target - (static_cast<int32_t>(place) + 2);
+          if (delta % 2 != 0) {
+            return LinkError(StrFormat("jump to odd address %s", HexWord(target).c_str()));
+          }
+          const int32_t words = delta / 2;
+          if (words < -512 || words > 511) {
+            return LinkError(StrFormat("jump to '%s' out of range (%d words)",
+                                       reloc.symbol.c_str(), words));
+          }
+          uint16_t insn_word = read_word(place);
+          insn_word = static_cast<uint16_t>((insn_word & ~0x03FF) |
+                                            (static_cast<uint16_t>(words) & 0x03FF));
+          RETURN_IF_ERROR(patch_word(place, insn_word));
+          break;
+        }
+      }
+    }
+  }
+  return image;
+}
+
+void LoadImage(const Image& image, Bus* bus) {
+  for (const auto& [base, bytes] : image.chunks) {
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      bus->PokeByte(static_cast<uint16_t>(base + i), bytes[i]);
+    }
+  }
+}
+
+}  // namespace amulet

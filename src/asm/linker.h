@@ -1,0 +1,56 @@
+// Linker: places sections at absolute addresses, merges same-named sections
+// from multiple objects (in AddObject order), resolves symbols, applies
+// relocations, and produces a loadable firmware Image.
+//
+// The AFT's phase 4 drives this with a layout computed from per-app code and
+// data sizes, plus externally defined absolute symbols for the isolation
+// bounds (the "placeholder values for app boundaries" of the paper's
+// phase 2, patched here).
+#ifndef SRC_ASM_LINKER_H_
+#define SRC_ASM_LINKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/asm/object.h"
+#include "src/common/status.h"
+#include "src/mcu/bus.h"
+
+namespace amulet {
+
+// One placement directive: put `section` at `base`. Sections not mentioned
+// are an error if non-empty (nothing is placed implicitly).
+struct LayoutRule {
+  std::string section;
+  uint16_t base = 0;
+};
+
+class Linker {
+ public:
+  // Objects contribute sections in the order added.
+  void AddObject(ObjectFile object);
+
+  // Defines an absolute symbol (isolation bounds, HOSTIO addresses, ...).
+  // Overrides nothing: colliding with an object symbol is a link error.
+  void DefineAbsolute(const std::string& name, uint16_t value);
+
+  // Total byte size of a section across all added objects (0 if absent).
+  // Phase 4 uses this to compute the layout before linking.
+  uint32_t SectionSize(const std::string& name) const;
+
+  Result<Image> Link(const std::vector<LayoutRule>& layout) const;
+
+ private:
+  std::vector<ObjectFile> objects_;
+  std::map<std::string, uint16_t> absolute_symbols_;
+};
+
+// Loads every chunk of the image into simulator memory (host-side poke; no
+// cycles, no MPU).
+void LoadImage(const Image& image, Bus* bus);
+
+}  // namespace amulet
+
+#endif  // SRC_ASM_LINKER_H_

@@ -1,0 +1,73 @@
+// Relocatable object model produced by the assembler and consumed by the
+// linker. Deliberately minimal: named sections of raw bytes, a flat symbol
+// table, and three relocation kinds (absolute word, PC-relative extension
+// word, 10-bit jump field).
+#ifndef SRC_ASM_OBJECT_H_
+#define SRC_ASM_OBJECT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace amulet {
+
+struct AsmSymbol {
+  std::string name;
+  std::string section;  // defining section
+  uint32_t offset = 0;  // byte offset within the section
+};
+
+enum class RelocKind : uint8_t {
+  kAbsWord,   // 16-bit word at `offset` := S + A
+  kPcRelWord, // extension word for symbolic addressing := S + A - addr(word)
+  kJump,      // 10-bit field in the instruction word := (S + A - (addr+2)) / 2
+};
+
+struct Relocation {
+  RelocKind kind = RelocKind::kAbsWord;
+  std::string section;   // section containing the word to patch
+  uint32_t offset = 0;   // byte offset of the word to patch
+  std::string symbol;    // referenced symbol (resolved by the linker)
+  int32_t addend = 0;
+  // Source line of the emitting instruction (kJump only); lets the
+  // relaxation pass re-assemble out-of-range jumps in their far form.
+  int line = 0;
+};
+
+struct AsmSection {
+  std::string name;
+  std::vector<uint8_t> bytes;
+};
+
+struct ObjectFile {
+  std::vector<AsmSection> sections;
+  std::vector<AsmSymbol> symbols;
+  std::vector<Relocation> relocations;
+
+  AsmSection* FindSection(const std::string& name) {
+    for (AsmSection& section : sections) {
+      if (section.name == name) {
+        return &section;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Final linked firmware: absolute chunks plus the resolved symbol table.
+struct Image {
+  // base address -> bytes (one chunk per placed section group)
+  std::map<uint16_t, std::vector<uint8_t>> chunks;
+  std::map<std::string, uint16_t> symbols;
+
+  bool HasSymbol(const std::string& name) const { return symbols.count(name) != 0; }
+  uint16_t SymbolOrZero(const std::string& name) const {
+    auto it = symbols.find(name);
+    return it != symbols.end() ? it->second : 0;
+  }
+};
+
+}  // namespace amulet
+
+#endif  // SRC_ASM_OBJECT_H_

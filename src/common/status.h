@@ -1,0 +1,129 @@
+// Status and Result<T>: exception-free error propagation used across the Amulet
+// isolation toolchain. Library code returns Status (or Result<T>) instead of
+// throwing; callers either handle the error or forward it with RETURN_IF_ERROR.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace amulet {
+
+// Broad error categories; the message carries the specifics.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // symbol/section/app lookup failed
+  kAlreadyExists,     // duplicate definition
+  kOutOfRange,        // address/size outside the representable range
+  kFailedPrecondition,// operation not legal in the current state
+  kUnimplemented,     // feature intentionally absent
+  kResourceExhausted, // out of memory regions, registers, queue slots
+  kInternal,          // invariant violation inside the library
+  kParseError,        // assembler/compiler front-end rejection
+  kTypeError,         // semantic analysis rejection
+  kLinkError,         // layout/fixup failure
+  kRuntimeFault,      // simulated program faulted (isolation check / MPU)
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap, copyable status. OK carries no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring absl.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status ParseError(std::string message);
+Status TypeError(std::string message);
+Status LinkError(std::string message);
+Status RuntimeFaultError(std::string message);
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit from value and from error status, so `return value;` and
+  // `return SomeError(...);` both work.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    // An OK status without a value is a programming error; degrade to internal.
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = InternalError("Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  T& value() & { return std::get<T>(payload_); }
+  const T& value() const& { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace amulet
+
+// Early-return helpers. Usable in any function returning Status or Result<T>.
+#define RETURN_IF_ERROR(expr)                        \
+  do {                                               \
+    ::amulet::Status status_macro_ = (expr);         \
+    if (!status_macro_.ok()) return status_macro_;   \
+  } while (false)
+
+#define AMULET_CONCAT_INNER_(a, b) a##b
+#define AMULET_CONCAT_(a, b) AMULET_CONCAT_INNER_(a, b)
+
+// ASSIGN_OR_RETURN(lhs, rexpr): evaluates rexpr (a Result<T>); on error returns
+// the status, otherwise moves the value into lhs (which may be a declaration).
+#define ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  auto AMULET_CONCAT_(result_macro_, __LINE__) = (rexpr);                \
+  if (!AMULET_CONCAT_(result_macro_, __LINE__).ok()) {                   \
+    return AMULET_CONCAT_(result_macro_, __LINE__).status();             \
+  }                                                                      \
+  lhs = std::move(AMULET_CONCAT_(result_macro_, __LINE__)).value()
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+// Small string/format helpers shared by the toolchain (hex formatting,
+// splitting, trimming, printf-style StrFormat).
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amulet {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// "0x4400"-style, always 4 hex digits for 16-bit values.
+std::string HexWord(uint16_t value);
+// "0x3f"-style, 2 hex digits.
+std::string HexByte(uint8_t value);
+
+// Split on a delimiter; keeps empty fields.
+std::vector<std::string_view> Split(std::string_view text, char delimiter);
+
+// Strip leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// ASCII case-insensitive equality (assembler mnemonics are case-insensitive).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Lowercase copy (ASCII only).
+std::string ToLower(std::string_view text);
+
+// Comma separators for large counts: 1234567 -> "1,234,567".
+std::string WithThousands(uint64_t value);
+
+}  // namespace amulet
+
+#endif  // SRC_COMMON_STRINGS_H_

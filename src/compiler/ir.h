@@ -1,0 +1,138 @@
+// Three-address IR between the AmuletC front end and the MSP430 code
+// generator. The Amulet Firmware Toolchain's phase 2 operates here: memory
+// accesses that need isolation are lowered with explicit kCheckMarker
+// instructions, which phase 2 rewrites into the model-specific checks
+// (index bounds call, lower/upper address compares) or deletes.
+#ifndef SRC_COMPILER_IR_H_
+#define SRC_COMPILER_IR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace amulet {
+
+enum class IrOp : uint8_t {
+  kConst,          // dst <- imm
+  kCopy,           // dst <- a
+  kBin,            // dst <- a <bin> b
+  kShiftImm,       // dst <- a shifted by imm (bin is kShl/kShr/kSar)
+  kCmp,            // dst <- (a <rel> b) ? 1 : 0
+  kNeg,            // dst <- -a
+  kNot,            // dst <- ~a
+  kLoadLocal,      // dst <- frame[slot + imm]         (statically safe)
+  kStoreLocal,     // frame[slot + imm] <- a
+  kLoadGlobal,     // dst <- [symbol + imm]            (statically safe)
+  kStoreGlobal,    // [symbol + imm] <- a
+  kLoad,           // dst <- [a]                        (computed; see markers)
+  kStore,          // [a] <- b
+  kAddrLocal,      // dst <- FP + slotoffset + imm
+  kAddrGlobal,     // dst <- symbol + imm
+  kCall,           // dst <- symbol(args)   (dst = -1 for void)
+  kCallApi,        // dst <- api(imm=number, symbol=name)(args): context switch
+  kCallInd,        // dst <- (*a)(args)
+  kRet,            // return a (or none when a = -1)
+  kJump,           // goto label imm
+  kBranchZero,     // if a == 0 goto label imm
+  kBranchNonZero,  // if a != 0 goto label imm
+  kLabel,          // label imm
+  kCheckMarker,    // abstract isolation marker (see CheckMarker) — phase 2 input
+  kCheckLow,       // fault if a < symbol (+imm addend)      — phase 2 output
+  kCheckHigh,      // fault if a >= symbol (+imm addend)     — phase 2 output
+  kCheckIndex,     // fault if a >= imm (unsigned; routine call) — phase 2 output
+  kWiden,          // dst(4) <- a(2), sign- or zero-extended (signed_load)
+  kNarrow,         // dst(2) <- low word of a(4)
+};
+
+enum class IrBin : uint8_t {
+  kAdd, kSub, kAnd, kOr, kXor,
+  kShl, kShr, kSar,        // kShr logical, kSar arithmetic
+  kMul, kDivS, kDivU, kModS, kModU,
+};
+
+enum class IrRel : uint8_t {
+  kEq, kNe, kLtS, kLtU, kLeS, kLeU, kGtS, kGtU, kGeS, kGeU,
+};
+
+// What kind of memory access follows this marker.
+enum class AccessKindIr : uint8_t {
+  kArray,    // app array with static length: index vr + length known
+  kPointer,  // arbitrary computed data address
+  kFnPtr,    // indirect call target
+};
+
+struct CheckMarker {
+  AccessKindIr kind = AccessKindIr::kPointer;
+  int addr_vr = -1;   // address being accessed (kPointer/kFnPtr/kArray)
+  int index_vr = -1;  // kArray: element index
+  int limit = 0;      // kArray: static element count
+};
+
+struct IrInst {
+  IrOp op = IrOp::kLabel;
+  int dst = -1;
+  int a = -1;
+  int b = -1;
+  int32_t imm = 0;
+  uint8_t width = 2;        // operand bytes: 1/2 for loads/stores, 2/4 for ALU ops
+  bool signed_load = false; // sign-extend byte loads
+  IrBin bin = IrBin::kAdd;
+  IrRel rel = IrRel::kEq;
+  std::string symbol;
+  std::vector<int> args;
+  CheckMarker marker;
+};
+
+struct LocalSlot {
+  int size = 2;
+  int align = 2;
+  bool is_param = false;
+  int param_index = -1;
+  std::string name;  // diagnostics
+};
+
+enum class RetCheckKind : uint8_t { kNone, kLow, kLowHigh };
+
+struct IrFunction {
+  std::string name;
+  bool returns_value = false;
+  int num_params = 0;
+  int num_vregs = 0;
+  std::vector<uint8_t> vreg_width;  // per-vreg value size: 2 or 4 bytes
+  std::vector<LocalSlot> locals;  // slot id -> layout info
+  std::vector<IrInst> insts;
+  int next_label = 0;
+
+  // Set by AFT phase 2: return-address validation in the epilogue.
+  RetCheckKind ret_check = RetCheckKind::kNone;
+  std::string ret_check_low_sym;
+  std::string ret_check_high_sym;
+
+  int NewVreg(int width = 2) {
+    vreg_width.push_back(static_cast<uint8_t>(width));
+    return num_vregs++;
+  }
+  int NewLabel() { return next_label++; }
+};
+
+// The compiled translation unit, pre-assembly.
+struct IrProgram {
+  std::string app_name;
+  std::vector<IrFunction> functions;
+  // Globals to emit into the app data section: (symbol, bytes, relocs).
+  struct GlobalBlob {
+    std::string symbol;
+    std::vector<uint8_t> bytes;
+    std::vector<GlobalVar::InitReloc> relocs;  // symbol names are AST-level
+    int align = 2;
+  };
+  std::vector<GlobalBlob> globals;
+  std::vector<std::string> strings;  // id -> contents (NUL appended at emit)
+};
+
+}  // namespace amulet
+
+#endif  // SRC_COMPILER_IR_H_

@@ -1,0 +1,1048 @@
+#include "src/compiler/lower.h"
+
+#include <map>
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+namespace {
+
+bool IsPowerOfTwo(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+// Value class of a type in vreg terms: 4 bytes for long, else 2 (bytes are
+// carried in 16-bit vregs and truncated at store time).
+int VregWidthOf(const Type* t) { return t->IsWide() ? 4 : 2; }
+
+int Log2(int v) {
+  int n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+class Lowerer {
+ public:
+  Lowerer(Program* program, std::string app_name)
+      : program_(program), app_(std::move(app_name)) {}
+
+  Result<IrProgram> Run();
+
+ private:
+  Status Error(SourceLoc loc, const std::string& message) const {
+    return TypeError(StrFormat("%s:%d:%d: %s", program_->name.c_str(), loc.line, loc.col,
+                               message.c_str()));
+  }
+
+  std::string GlobalSym(const std::string& name) const { return app_ + "_g_" + name; }
+  std::string FuncSym(const std::string& name) const { return app_ + "_f_" + name; }
+  std::string StringSym(int id) const { return StrFormat("%s_s_%d", app_.c_str(), id); }
+
+  IrInst& Emit(IrOp op) {
+    fn_->insts.emplace_back();
+    fn_->insts.back().op = op;
+    return fn_->insts.back();
+  }
+  int EmitConst(int32_t value, int width = 2) {
+    int vr = fn_->NewVreg(width);
+    IrInst& i = Emit(IrOp::kConst);
+    i.dst = vr;
+    i.imm = value;
+    i.width = static_cast<uint8_t>(width);
+    return vr;
+  }
+  int EmitBin(IrBin bin, int a, int b, int width = 2) {
+    int vr = fn_->NewVreg(width);
+    IrInst& i = Emit(IrOp::kBin);
+    i.dst = vr;
+    i.a = a;
+    i.b = b;
+    i.bin = bin;
+    i.width = static_cast<uint8_t>(width);
+    return vr;
+  }
+  int EmitShiftImm(IrBin bin, int a, int amount, int width = 2) {
+    int vr = fn_->NewVreg(width);
+    IrInst& i = Emit(IrOp::kShiftImm);
+    i.dst = vr;
+    i.a = a;
+    i.imm = amount;
+    i.bin = bin;
+    i.width = static_cast<uint8_t>(width);
+    return vr;
+  }
+  // Adjusts `vr` (holding a value of `from`) to the 2/4-byte class of
+  // `to_width`. Signedness of the widening comes from the source type.
+  int CoerceToWidth(int vr, const Type* from, int to_width) {
+    const int from_width = VregWidthOf(from);
+    if (from_width == to_width) {
+      return vr;
+    }
+    int dst = fn_->NewVreg(to_width);
+    IrInst& i = Emit(to_width == 4 ? IrOp::kWiden : IrOp::kNarrow);
+    i.dst = dst;
+    i.a = vr;
+    i.signed_load = from->IsSigned();
+    return dst;
+  }
+  int CoerceToType(int vr, const Type* from, const Type* to) {
+    return CoerceToWidth(vr, from, VregWidthOf(to));
+  }
+  void EmitLabel(int label) { Emit(IrOp::kLabel).imm = label; }
+  void EmitJump(int label) { Emit(IrOp::kJump).imm = label; }
+
+  // Scales `vr` by a byte size (pointer arithmetic).
+  int EmitScale(int vr, int size) {
+    if (size == 1) {
+      return vr;
+    }
+    if (IsPowerOfTwo(size)) {
+      return EmitShiftImm(IrBin::kShl, vr, Log2(size));
+    }
+    int size_vr = EmitConst(size);
+    return EmitBin(IrBin::kMul, vr, size_vr);
+  }
+
+  // An lvalue destination.
+  struct Place {
+    enum class Kind { kLocal, kGlobal, kComputed } kind = Kind::kLocal;
+    int slot = -1;          // kLocal
+    std::string symbol;     // kGlobal
+    int offset = 0;         // kLocal / kGlobal byte offset
+    int addr_vr = -1;       // kComputed
+    uint8_t width = 2;
+    bool signed_load = false;
+    const Type* type = nullptr;
+  };
+
+  void SetAccessWidth(Place* place, const Type* t) {
+    place->type = t;
+    place->width = static_cast<uint8_t>(t->IsByte() ? 1 : (t->IsWide() ? 4 : 2));
+    place->signed_load = t->kind == TypeKind::kInt8;
+  }
+
+  // Emits the abstract isolation marker for a computed access.
+  void EmitMarker(AccessKindIr kind, int addr_vr, int index_vr = -1, int limit = 0) {
+    IrInst& i = Emit(IrOp::kCheckMarker);
+    i.marker.kind = kind;
+    i.marker.addr_vr = addr_vr;
+    i.marker.index_vr = index_vr;
+    i.marker.limit = limit;
+  }
+
+  int LoadPlace(const Place& place) {
+    int vr = fn_->NewVreg(place.width == 4 ? 4 : 2);
+    switch (place.kind) {
+      case Place::Kind::kLocal: {
+        IrInst& i = Emit(IrOp::kLoadLocal);
+        i.dst = vr;
+        i.a = place.slot;
+        i.imm = place.offset;
+        i.width = place.width;
+        i.signed_load = place.signed_load;
+        break;
+      }
+      case Place::Kind::kGlobal: {
+        IrInst& i = Emit(IrOp::kLoadGlobal);
+        i.dst = vr;
+        i.symbol = place.symbol;
+        i.imm = place.offset;
+        i.width = place.width;
+        i.signed_load = place.signed_load;
+        break;
+      }
+      case Place::Kind::kComputed: {
+        IrInst& i = Emit(IrOp::kLoad);
+        i.dst = vr;
+        i.a = place.addr_vr;
+        i.width = place.width;
+        i.signed_load = place.signed_load;
+        break;
+      }
+    }
+    return vr;
+  }
+
+  void StorePlace(const Place& place, int value_vr) {
+    switch (place.kind) {
+      case Place::Kind::kLocal: {
+        IrInst& i = Emit(IrOp::kStoreLocal);
+        i.a = place.slot;
+        i.b = value_vr;
+        i.imm = place.offset;
+        i.width = place.width;
+        break;
+      }
+      case Place::Kind::kGlobal: {
+        IrInst& i = Emit(IrOp::kStoreGlobal);
+        i.symbol = place.symbol;
+        i.b = value_vr;
+        i.imm = place.offset;
+        i.width = place.width;
+        break;
+      }
+      case Place::Kind::kComputed: {
+        IrInst& i = Emit(IrOp::kStore);
+        i.a = place.addr_vr;
+        i.b = value_vr;
+        i.width = place.width;
+        break;
+      }
+    }
+  }
+
+  // Materializes the address of a place into a vreg (for & and arrays).
+  int PlaceAddress(const Place& place) {
+    switch (place.kind) {
+      case Place::Kind::kLocal: {
+        int vr = fn_->NewVreg();
+        IrInst& i = Emit(IrOp::kAddrLocal);
+        i.dst = vr;
+        i.a = place.slot;
+        i.imm = place.offset;
+        return vr;
+      }
+      case Place::Kind::kGlobal: {
+        int vr = fn_->NewVreg();
+        IrInst& i = Emit(IrOp::kAddrGlobal);
+        i.dst = vr;
+        i.symbol = place.symbol;
+        i.imm = place.offset;
+        return vr;
+      }
+      case Place::Kind::kComputed:
+        return place.addr_vr;
+    }
+    return -1;
+  }
+
+  Result<Place> LowerPlace(const Expr& e);
+  Result<int> LowerExpr(const Expr& e);
+  Result<int> LowerCall(const Expr& e);
+  Status LowerCondBranch(const Expr& e, int true_label, int false_label);
+  Status LowerStmt(const Stmt& s);
+  Status LowerFunction(FunctionDecl* fn);
+
+  int SlotOf(const VarSymbol* var) {
+    auto it = slot_of_.find(var);
+    if (it != slot_of_.end()) {
+      return it->second;
+    }
+    LocalSlot slot;
+    slot.size = std::max(2, var->type->SizeBytes());
+    slot.align = 2;
+    slot.is_param = var->is_param;
+    slot.param_index = var->param_index;
+    slot.name = var->name;
+    fn_->locals.push_back(slot);
+    int id = static_cast<int>(fn_->locals.size() - 1);
+    slot_of_[var] = id;
+    return id;
+  }
+
+  Program* program_;
+  std::string app_;
+  IrProgram out_;
+  IrFunction* fn_ = nullptr;
+  std::map<const VarSymbol*, int> slot_of_;
+  std::vector<int> break_labels_;
+  std::vector<int> continue_labels_;
+  const Type* ret_type_ = nullptr;
+};
+
+Result<Lowerer::Place> Lowerer::LowerPlace(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kVarRef: {
+      Place place;
+      SetAccessWidth(&place, e.type);
+      if (e.var == nullptr) {
+        return Error(e.loc, "function name is not an lvalue");
+      }
+      if (e.var->is_global) {
+        place.kind = Place::Kind::kGlobal;
+        place.symbol = GlobalSym(e.var->name);
+      } else {
+        place.kind = Place::Kind::kLocal;
+        place.slot = SlotOf(e.var);
+      }
+      return place;
+    }
+    case ExprKind::kDeref: {
+      ASSIGN_OR_RETURN(int addr, LowerExpr(*e.a));
+      Place place;
+      place.kind = Place::Kind::kComputed;
+      place.addr_vr = addr;
+      SetAccessWidth(&place, e.type);
+      EmitMarker(AccessKindIr::kPointer, addr);
+      return place;
+    }
+    case ExprKind::kIndex: {
+      const Type* base_type = e.a->type;
+      if (base_type->IsArray()) {
+        ASSIGN_OR_RETURN(Place base, LowerPlace(*e.a));
+        // Constant index: stays a static access (the access is provably in
+        // bounds, so no isolation marker is needed).
+        if (e.b->kind == ExprKind::kIntLit) {
+          int32_t idx = e.b->int_value;
+          if (idx < 0 || idx >= base_type->array_length) {
+            return Error(e.loc, "constant array index out of bounds");
+          }
+          const int byte_offset = idx * base_type->element->SizeBytes();
+          if (base.kind != Place::Kind::kComputed) {
+            base.offset += byte_offset;
+            SetAccessWidth(&base, e.type);
+            return base;
+          }
+          // Computed base (array reached through a pointer): the pointer
+          // access was already marked; a constant offset stays within the
+          // same object.
+          if (byte_offset != 0) {
+            int off = EmitConst(byte_offset);
+            base.addr_vr = EmitBin(IrBin::kAdd, base.addr_vr, off);
+          }
+          SetAccessWidth(&base, e.type);
+          return base;
+        }
+        int base_addr = PlaceAddress(base);
+        ASSIGN_OR_RETURN(int idx, LowerExpr(*e.b));
+        int scaled = EmitScale(idx, base_type->element->SizeBytes());
+        int addr = EmitBin(IrBin::kAdd, base_addr, scaled);
+        Place place;
+        place.kind = Place::Kind::kComputed;
+        place.addr_vr = addr;
+        SetAccessWidth(&place, e.type);
+        EmitMarker(AccessKindIr::kArray, addr, idx, base_type->array_length);
+        return place;
+      }
+      // Pointer indexing.
+      ASSIGN_OR_RETURN(int base_vr, LowerExpr(*e.a));
+      ASSIGN_OR_RETURN(int idx, LowerExpr(*e.b));
+      const Type* ptr = base_type->IsArray() ? nullptr : base_type;
+      if (ptr->IsArray()) {
+        return Error(e.loc, "internal: array not decayed");
+      }
+      int scaled = EmitScale(idx, e.type->SizeBytes());
+      int addr = EmitBin(IrBin::kAdd, base_vr, scaled);
+      Place place;
+      place.kind = Place::Kind::kComputed;
+      place.addr_vr = addr;
+      SetAccessWidth(&place, e.type);
+      EmitMarker(AccessKindIr::kPointer, addr);
+      return place;
+    }
+    case ExprKind::kMember: {
+      if (e.is_arrow) {
+        ASSIGN_OR_RETURN(int base, LowerExpr(*e.a));
+        int addr = base;
+        if (e.resolved_field->offset != 0) {
+          int off = EmitConst(e.resolved_field->offset);
+          addr = EmitBin(IrBin::kAdd, base, off);
+        }
+        Place place;
+        place.kind = Place::Kind::kComputed;
+        place.addr_vr = addr;
+        SetAccessWidth(&place, e.type);
+        EmitMarker(AccessKindIr::kPointer, addr);
+        return place;
+      }
+      ASSIGN_OR_RETURN(Place base, LowerPlace(*e.a));
+      base.offset += e.resolved_field->offset;
+      if (base.kind == Place::Kind::kComputed) {
+        // base.addr_vr points at the struct; add the offset.
+        if (e.resolved_field->offset != 0) {
+          int off = EmitConst(e.resolved_field->offset);
+          base.addr_vr = EmitBin(IrBin::kAdd, base.addr_vr, off);
+        }
+      }
+      SetAccessWidth(&base, e.type);
+      return base;
+    }
+    default:
+      return Error(e.loc, "expression is not an lvalue");
+  }
+}
+
+Result<int> Lowerer::LowerCall(const Expr& e) {
+  if (e.args.size() > 4) {
+    return Error(e.loc, "AmuletC supports at most 4 arguments per call");
+  }
+  // Parameter types (for 16<->32 coercion and the register-word budget).
+  const Type* fn_type = e.a->type;
+  if (fn_type->IsPointer() && fn_type->pointee->IsFunction()) {
+    fn_type = fn_type->pointee;
+  }
+  int arg_words = 0;
+  std::vector<int> arg_vrs;
+  for (size_t arg_index = 0; arg_index < e.args.size(); ++arg_index) {
+    const auto& arg = e.args[arg_index];
+    const Type* param_type = fn_type->IsFunction() && arg_index < fn_type->params.size()
+                                 ? fn_type->params[arg_index]
+                                 : arg->type;
+    arg_words += VregWidthOf(param_type) / 2;
+    // Arrays decay: pass their address.
+    if (arg->type->IsArray()) {
+      ASSIGN_OR_RETURN(Place place, LowerPlace(*arg));
+      arg_vrs.push_back(PlaceAddress(place));
+    } else {
+      ASSIGN_OR_RETURN(int vr, LowerExpr(*arg));
+      arg_vrs.push_back(CoerceToWidth(vr, arg->type, VregWidthOf(param_type)));
+    }
+  }
+  if (arg_words > 4) {
+    return Error(e.loc,
+                 "arguments exceed the 4 register words available (long takes two)");
+  }
+  const Expr& callee = *e.a;
+  const bool returns_value = !e.type->IsVoid();
+  int dst = returns_value ? fn_->NewVreg(VregWidthOf(e.type)) : -1;
+  if (callee.kind == ExprKind::kVarRef && callee.func_ref != nullptr) {
+    FunctionDecl* target = callee.func_ref;
+    if (target->is_api) {
+      IrInst& i = Emit(IrOp::kCallApi);
+      i.dst = dst;
+      i.imm = target->api_number;
+      i.symbol = target->name;
+      i.args = std::move(arg_vrs);
+    } else {
+      IrInst& i = Emit(IrOp::kCall);
+      i.dst = dst;
+      i.symbol = FuncSym(target->name);
+      i.args = std::move(arg_vrs);
+    }
+    return dst;
+  }
+  // Indirect call: check the target address like a code pointer.
+  ASSIGN_OR_RETURN(int target_vr, LowerExpr(callee));
+  EmitMarker(AccessKindIr::kFnPtr, target_vr);
+  IrInst& i = Emit(IrOp::kCallInd);
+  i.dst = dst;
+  i.a = target_vr;
+  i.args = std::move(arg_vrs);
+  return dst;
+}
+
+Status Lowerer::LowerCondBranch(const Expr& e, int true_label, int false_label) {
+  if (e.kind == ExprKind::kBinary && e.bin_op == BinOp::kLogAnd) {
+    int mid = fn_->NewLabel();
+    RETURN_IF_ERROR(LowerCondBranch(*e.a, mid, false_label));
+    EmitLabel(mid);
+    return LowerCondBranch(*e.b, true_label, false_label);
+  }
+  if (e.kind == ExprKind::kBinary && e.bin_op == BinOp::kLogOr) {
+    int mid = fn_->NewLabel();
+    RETURN_IF_ERROR(LowerCondBranch(*e.a, true_label, mid));
+    EmitLabel(mid);
+    return LowerCondBranch(*e.b, true_label, false_label);
+  }
+  if (e.kind == ExprKind::kUnary && e.un_op == UnOp::kLogNot) {
+    return LowerCondBranch(*e.a, false_label, true_label);
+  }
+  ASSIGN_OR_RETURN(int vr, LowerExpr(e));
+  IrInst& br = Emit(IrOp::kBranchNonZero);
+  br.a = vr;
+  br.imm = true_label;
+  EmitJump(false_label);
+  return OkStatus();
+}
+
+Result<int> Lowerer::LowerExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return EmitConst(e.int_value, VregWidthOf(e.type));
+
+    case ExprKind::kStringLit: {
+      int vr = fn_->NewVreg();
+      IrInst& i = Emit(IrOp::kAddrGlobal);
+      i.dst = vr;
+      i.symbol = StringSym(e.string_id);
+      return vr;
+    }
+
+    case ExprKind::kVarRef: {
+      if (e.func_ref != nullptr) {
+        // Function name as a value: its address.
+        int vr = fn_->NewVreg();
+        IrInst& i = Emit(IrOp::kAddrGlobal);
+        i.dst = vr;
+        i.symbol = FuncSym(e.func_ref->name);
+        return vr;
+      }
+      if (e.type->IsArray()) {
+        ASSIGN_OR_RETURN(Place place, LowerPlace(e));
+        return PlaceAddress(place);
+      }
+      ASSIGN_OR_RETURN(Place place, LowerPlace(e));
+      return LoadPlace(place);
+    }
+
+    case ExprKind::kBinary: {
+      const BinOp op = e.bin_op;
+      if (op == BinOp::kLogAnd || op == BinOp::kLogOr) {
+        int true_l = fn_->NewLabel();
+        int false_l = fn_->NewLabel();
+        int end_l = fn_->NewLabel();
+        int result = fn_->NewVreg();
+        RETURN_IF_ERROR(LowerCondBranch(e, true_l, false_l));
+        EmitLabel(true_l);
+        IrInst& one = Emit(IrOp::kConst);
+        one.dst = result;
+        one.imm = 1;
+        EmitJump(end_l);
+        EmitLabel(false_l);
+        IrInst& zero = Emit(IrOp::kConst);
+        zero.dst = result;
+        zero.imm = 0;
+        EmitLabel(end_l);
+        return result;
+      }
+      if (op == BinOp::kLt || op == BinOp::kGt || op == BinOp::kLe || op == BinOp::kGe ||
+          op == BinOp::kEq || op == BinOp::kNe) {
+        ASSIGN_OR_RETURN(int a, LowerExpr(*e.a));
+        ASSIGN_OR_RETURN(int b, LowerExpr(*e.b));
+        const Type* ta = e.a->type;
+        const Type* tb = e.b->type;
+        const bool wide = ta->IsWide() || tb->IsWide();
+        bool unsigned_cmp = e.a->type->IsPointer() || e.b->type->IsPointer() ||
+                            e.a->type->kind == TypeKind::kUInt16 ||
+                            e.b->type->kind == TypeKind::kUInt16 ||
+                            e.a->type->kind == TypeKind::kUInt8 ||
+                            e.b->type->kind == TypeKind::kUInt8;
+        if (wide) {
+          // A u16 operand widens losslessly into i32, so only u32 makes the
+          // 32-bit comparison unsigned.
+          unsigned_cmp = ta->kind == TypeKind::kUInt32 || tb->kind == TypeKind::kUInt32;
+          a = CoerceToWidth(a, ta, 4);
+          b = CoerceToWidth(b, tb, 4);
+        }
+        IrRel rel = IrRel::kEq;
+        switch (op) {
+          case BinOp::kLt: rel = unsigned_cmp ? IrRel::kLtU : IrRel::kLtS; break;
+          case BinOp::kGt: rel = unsigned_cmp ? IrRel::kGtU : IrRel::kGtS; break;
+          case BinOp::kLe: rel = unsigned_cmp ? IrRel::kLeU : IrRel::kLeS; break;
+          case BinOp::kGe: rel = unsigned_cmp ? IrRel::kGeU : IrRel::kGeS; break;
+          case BinOp::kEq: rel = IrRel::kEq; break;
+          case BinOp::kNe: rel = IrRel::kNe; break;
+          default: break;
+        }
+        int vr = fn_->NewVreg();
+        IrInst& i = Emit(IrOp::kCmp);
+        i.dst = vr;
+        i.a = a;
+        i.b = b;
+        i.rel = rel;
+        i.width = static_cast<uint8_t>(wide ? 4 : 2);
+        return vr;
+      }
+      // Pointer arithmetic scaling.
+      const Type* ta = e.a->type;
+      const Type* tb = e.b->type;
+      const bool a_ptr = ta->IsPointer() || ta->IsArray();
+      const bool b_ptr = tb->IsPointer() || tb->IsArray();
+      if (op == BinOp::kAdd && (a_ptr || b_ptr)) {
+        const Expr& ptr_e = a_ptr ? *e.a : *e.b;
+        const Expr& int_e = a_ptr ? *e.b : *e.a;
+        const Type* pointee = ptr_e.type->IsArray() ? ptr_e.type->element
+                                                    : ptr_e.type->pointee;
+        ASSIGN_OR_RETURN(int ptr_vr, LowerExpr(ptr_e));
+        ASSIGN_OR_RETURN(int int_vr, LowerExpr(int_e));
+        int scaled = EmitScale(int_vr, pointee->SizeBytes());
+        return EmitBin(IrBin::kAdd, ptr_vr, scaled);
+      }
+      if (op == BinOp::kSub && a_ptr && b_ptr) {
+        const Type* pointee = ta->IsArray() ? ta->element : ta->pointee;
+        ASSIGN_OR_RETURN(int a, LowerExpr(*e.a));
+        ASSIGN_OR_RETURN(int b, LowerExpr(*e.b));
+        int diff = EmitBin(IrBin::kSub, a, b);
+        int size = pointee->SizeBytes();
+        if (size == 1) {
+          return diff;
+        }
+        if (IsPowerOfTwo(size)) {
+          return EmitShiftImm(IrBin::kSar, diff, Log2(size));
+        }
+        int size_vr = EmitConst(size);
+        return EmitBin(IrBin::kDivS, diff, size_vr);
+      }
+      if (op == BinOp::kSub && a_ptr) {
+        const Type* pointee = ta->IsArray() ? ta->element : ta->pointee;
+        ASSIGN_OR_RETURN(int a, LowerExpr(*e.a));
+        ASSIGN_OR_RETURN(int b, LowerExpr(*e.b));
+        int scaled = EmitScale(b, pointee->SizeBytes());
+        return EmitBin(IrBin::kSub, a, scaled);
+      }
+      // Plain integer arithmetic.
+      const int result_width = VregWidthOf(e.type);
+      ASSIGN_OR_RETURN(int a, LowerExpr(*e.a));
+      a = CoerceToWidth(a, ta, result_width);
+      // Shift by a constant gets the cheap unrolled form.
+      if ((op == BinOp::kShl || op == BinOp::kShr) && e.b->kind == ExprKind::kIntLit) {
+        int amount = e.b->int_value & (result_width == 4 ? 31 : 15);
+        const bool arithmetic = op == BinOp::kShr && e.type->IsSigned();
+        return EmitShiftImm(op == BinOp::kShl ? IrBin::kShl
+                                              : (arithmetic ? IrBin::kSar : IrBin::kShr),
+                            a, amount, result_width);
+      }
+      ASSIGN_OR_RETURN(int b, LowerExpr(*e.b));
+      b = CoerceToWidth(b, tb, result_width);
+      IrBin bin = IrBin::kAdd;
+      const bool unsigned_arith =
+          e.type->kind == TypeKind::kUInt16 || e.type->kind == TypeKind::kUInt32;
+      switch (op) {
+        case BinOp::kAdd: bin = IrBin::kAdd; break;
+        case BinOp::kSub: bin = IrBin::kSub; break;
+        case BinOp::kMul: bin = IrBin::kMul; break;
+        case BinOp::kDiv: bin = unsigned_arith ? IrBin::kDivU : IrBin::kDivS; break;
+        case BinOp::kMod: bin = unsigned_arith ? IrBin::kModU : IrBin::kModS; break;
+        case BinOp::kAnd: bin = IrBin::kAnd; break;
+        case BinOp::kOr: bin = IrBin::kOr; break;
+        case BinOp::kXor: bin = IrBin::kXor; break;
+        case BinOp::kShl: bin = IrBin::kShl; break;
+        case BinOp::kShr: bin = unsigned_arith ? IrBin::kShr : IrBin::kSar; break;
+        default:
+          return Error(e.loc, "internal: unhandled binary operator");
+      }
+      return EmitBin(bin, a, b, result_width);
+    }
+
+    case ExprKind::kUnary: {
+      if (e.un_op == UnOp::kLogNot) {
+        ASSIGN_OR_RETURN(int a, LowerExpr(*e.a));
+        const int w = VregWidthOf(e.a->type);
+        int zero = EmitConst(0, w);
+        int vr = fn_->NewVreg();
+        IrInst& i = Emit(IrOp::kCmp);
+        i.dst = vr;
+        i.a = a;
+        i.b = zero;
+        i.rel = IrRel::kEq;
+        i.width = static_cast<uint8_t>(w);
+        return vr;
+      }
+      ASSIGN_OR_RETURN(int a, LowerExpr(*e.a));
+      const int w = VregWidthOf(e.type);
+      int vr = fn_->NewVreg(w);
+      IrInst& i = Emit(e.un_op == UnOp::kNeg ? IrOp::kNeg : IrOp::kNot);
+      i.dst = vr;
+      i.a = a;
+      i.width = static_cast<uint8_t>(w);
+      return vr;
+    }
+
+    case ExprKind::kAssign: {
+      const bool compound = e.is_prefix;
+      ASSIGN_OR_RETURN(Place place, LowerPlace(*e.a));
+      const int place_width = VregWidthOf(e.a->type);
+      int value;
+      if (compound) {
+        int old = LoadPlace(place);
+        // Pointer += n scales.
+        if (e.a->type->IsPointer() && (e.bin_op == BinOp::kAdd || e.bin_op == BinOp::kSub)) {
+          ASSIGN_OR_RETURN(int rhs, LowerExpr(*e.b));
+          int scaled = EmitScale(rhs, e.a->type->pointee->SizeBytes());
+          value = EmitBin(e.bin_op == BinOp::kAdd ? IrBin::kAdd : IrBin::kSub, old, scaled);
+        } else {
+          ASSIGN_OR_RETURN(int rhs, LowerExpr(*e.b));
+          rhs = CoerceToWidth(rhs, e.b->type, place_width);
+          IrBin bin;
+          const bool unsigned_arith = e.a->type->kind == TypeKind::kUInt16 ||
+                                      e.a->type->kind == TypeKind::kUInt32;
+          switch (e.bin_op) {
+            case BinOp::kAdd: bin = IrBin::kAdd; break;
+            case BinOp::kSub: bin = IrBin::kSub; break;
+            case BinOp::kMul: bin = IrBin::kMul; break;
+            case BinOp::kDiv: bin = unsigned_arith ? IrBin::kDivU : IrBin::kDivS; break;
+            case BinOp::kMod: bin = unsigned_arith ? IrBin::kModU : IrBin::kModS; break;
+            case BinOp::kAnd: bin = IrBin::kAnd; break;
+            case BinOp::kOr: bin = IrBin::kOr; break;
+            case BinOp::kXor: bin = IrBin::kXor; break;
+            case BinOp::kShl: bin = IrBin::kShl; break;
+            case BinOp::kShr: bin = unsigned_arith ? IrBin::kShr : IrBin::kSar; break;
+            default:
+              return Error(e.loc, "internal: unhandled compound operator");
+          }
+          value = EmitBin(bin, old, rhs, place_width);
+        }
+      } else {
+        if (e.a->type->IsStruct()) {
+          return Error(e.loc, "struct assignment is not supported; copy fields explicitly");
+        }
+        ASSIGN_OR_RETURN(value, LowerExpr(*e.b));
+        value = CoerceToWidth(value, e.b->type, place_width);
+      }
+      StorePlace(place, value);
+      return value;
+    }
+
+    case ExprKind::kCall:
+      return LowerCall(e);
+
+    case ExprKind::kIndex:
+    case ExprKind::kMember:
+    case ExprKind::kDeref: {
+      if (e.type->IsArray() || e.type->IsStruct()) {
+        // Aggregate value contexts are address contexts in AmuletC.
+        ASSIGN_OR_RETURN(Place place, LowerPlace(e));
+        return PlaceAddress(place);
+      }
+      ASSIGN_OR_RETURN(Place place, LowerPlace(e));
+      return LoadPlace(place);
+    }
+
+    case ExprKind::kAddrOf: {
+      if (e.a->kind == ExprKind::kVarRef && e.a->func_ref != nullptr) {
+        int vr = fn_->NewVreg();
+        IrInst& i = Emit(IrOp::kAddrGlobal);
+        i.dst = vr;
+        i.symbol = FuncSym(e.a->func_ref->name);
+        return vr;
+      }
+      ASSIGN_OR_RETURN(Place place, LowerPlace(*e.a));
+      return PlaceAddress(place);
+    }
+
+    case ExprKind::kCast: {
+      ASSIGN_OR_RETURN(int a, LowerExpr(*e.a));
+      // 16 <-> 32 adjustment first; byte masking below operates on 16 bits.
+      a = CoerceToWidth(a, e.a->type, VregWidthOf(e.target_type));
+      // Narrowing to a byte masks; sign-extension happens on later loads.
+      if (e.target_type->IsByte() && !e.a->type->IsByte()) {
+        int mask = EmitConst(0xFF);
+        int vr = EmitBin(IrBin::kAnd, a, mask);
+        if (e.target_type->kind == TypeKind::kInt8) {
+          // Sign-extend the low byte for signed chars.
+          int shifted = EmitShiftImm(IrBin::kShl, vr, 8);
+          return EmitShiftImm(IrBin::kSar, shifted, 8);
+        }
+        return vr;
+      }
+      return a;
+    }
+
+    case ExprKind::kSizeof:
+      return Error(e.loc, "internal: sizeof should have been folded");
+
+    case ExprKind::kCond: {
+      int true_l = fn_->NewLabel();
+      int false_l = fn_->NewLabel();
+      int end_l = fn_->NewLabel();
+      const int width = VregWidthOf(e.type);
+      int result = fn_->NewVreg(width);
+      RETURN_IF_ERROR(LowerCondBranch(*e.a, true_l, false_l));
+      EmitLabel(true_l);
+      ASSIGN_OR_RETURN(int tv, LowerExpr(*e.b));
+      tv = CoerceToWidth(tv, e.b->type, width);
+      IrInst& ct = Emit(IrOp::kCopy);
+      ct.dst = result;
+      ct.a = tv;
+      ct.width = static_cast<uint8_t>(width);
+      EmitJump(end_l);
+      EmitLabel(false_l);
+      ASSIGN_OR_RETURN(int fv, LowerExpr(*e.c));
+      fv = CoerceToWidth(fv, e.c->type, width);
+      IrInst& cf = Emit(IrOp::kCopy);
+      cf.dst = result;
+      cf.a = fv;
+      cf.width = static_cast<uint8_t>(width);
+      EmitLabel(end_l);
+      return result;
+    }
+
+    case ExprKind::kIncDec: {
+      ASSIGN_OR_RETURN(Place place, LowerPlace(*e.a));
+      const int width = VregWidthOf(e.a->type);
+      int old = LoadPlace(place);
+      int delta_bytes = 1;
+      if (e.a->type->IsPointer()) {
+        delta_bytes = e.a->type->pointee->SizeBytes();
+      }
+      int delta = EmitConst(delta_bytes, width);
+      int updated = EmitBin(e.is_increment ? IrBin::kAdd : IrBin::kSub, old, delta, width);
+      StorePlace(place, updated);
+      return e.is_prefix ? updated : old;
+    }
+  }
+  return Error(e.loc, "internal: unhandled expression in lowering");
+}
+
+Status Lowerer::LowerStmt(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kEmpty:
+      return OkStatus();
+    case StmtKind::kExpr:
+      return LowerExpr(*s.expr).status();
+    case StmtKind::kDecl: {
+      int slot = SlotOf(s.decl_var);
+      (void)slot;
+      if (s.has_init_list) {
+        const Type* t = s.decl_type;
+        if (t->IsArray()) {
+          const int elem_size = t->element->SizeBytes();
+          const int elem_width = VregWidthOf(t->element);
+          Place place;
+          place.kind = Place::Kind::kLocal;
+          place.slot = SlotOf(s.decl_var);
+          SetAccessWidth(&place, t->element);
+          for (int i = 0; i < t->array_length; ++i) {
+            int value;
+            if (i < static_cast<int>(s.init_list.size())) {
+              ASSIGN_OR_RETURN(value, LowerExpr(*s.init_list[i]));
+              value = CoerceToWidth(value, s.init_list[i]->type, elem_width);
+            } else {
+              value = EmitConst(0, elem_width);
+            }
+            place.offset = i * elem_size;
+            StorePlace(place, value);
+          }
+          return OkStatus();
+        }
+        // Struct init.
+        const StructDef* def = t->struct_def;
+        Place place;
+        place.kind = Place::Kind::kLocal;
+        place.slot = SlotOf(s.decl_var);
+        for (size_t i = 0; i < def->fields.size(); ++i) {
+          const int field_width = VregWidthOf(def->fields[i].type);
+          int value;
+          if (i < s.init_list.size()) {
+            ASSIGN_OR_RETURN(value, LowerExpr(*s.init_list[i]));
+            value = CoerceToWidth(value, s.init_list[i]->type, field_width);
+          } else {
+            value = EmitConst(0, field_width);
+          }
+          place.offset = def->fields[i].offset;
+          SetAccessWidth(&place, def->fields[i].type);
+          StorePlace(place, value);
+        }
+        return OkStatus();
+      }
+      if (s.init_expr != nullptr) {
+        ASSIGN_OR_RETURN(int value, LowerExpr(*s.init_expr));
+        value = CoerceToWidth(value, s.init_expr->type, VregWidthOf(s.decl_type));
+        Place place;
+        place.kind = Place::Kind::kLocal;
+        place.slot = SlotOf(s.decl_var);
+        SetAccessWidth(&place, s.decl_type);
+        StorePlace(place, value);
+      }
+      return OkStatus();
+    }
+    case StmtKind::kIf: {
+      int then_l = fn_->NewLabel();
+      int else_l = fn_->NewLabel();
+      int end_l = s.else_branch != nullptr ? fn_->NewLabel() : else_l;
+      RETURN_IF_ERROR(LowerCondBranch(*s.expr, then_l, else_l));
+      EmitLabel(then_l);
+      RETURN_IF_ERROR(LowerStmt(*s.then_branch));
+      if (s.else_branch != nullptr) {
+        EmitJump(end_l);
+        EmitLabel(else_l);
+        RETURN_IF_ERROR(LowerStmt(*s.else_branch));
+      }
+      EmitLabel(end_l);
+      return OkStatus();
+    }
+    case StmtKind::kWhile: {
+      int head = fn_->NewLabel();
+      int body = fn_->NewLabel();
+      int end = fn_->NewLabel();
+      EmitLabel(head);
+      RETURN_IF_ERROR(LowerCondBranch(*s.expr, body, end));
+      EmitLabel(body);
+      break_labels_.push_back(end);
+      continue_labels_.push_back(head);
+      RETURN_IF_ERROR(LowerStmt(*s.then_branch));
+      break_labels_.pop_back();
+      continue_labels_.pop_back();
+      EmitJump(head);
+      EmitLabel(end);
+      return OkStatus();
+    }
+    case StmtKind::kDoWhile: {
+      int body = fn_->NewLabel();
+      int cond = fn_->NewLabel();
+      int end = fn_->NewLabel();
+      EmitLabel(body);
+      break_labels_.push_back(end);
+      continue_labels_.push_back(cond);
+      RETURN_IF_ERROR(LowerStmt(*s.then_branch));
+      break_labels_.pop_back();
+      continue_labels_.pop_back();
+      EmitLabel(cond);
+      RETURN_IF_ERROR(LowerCondBranch(*s.expr, body, end));
+      EmitLabel(end);
+      return OkStatus();
+    }
+    case StmtKind::kFor: {
+      if (s.init_stmt != nullptr) {
+        RETURN_IF_ERROR(LowerStmt(*s.init_stmt));
+      } else if (s.init_expr != nullptr) {
+        RETURN_IF_ERROR(LowerExpr(*s.init_expr).status());
+      }
+      int head = fn_->NewLabel();
+      int body = fn_->NewLabel();
+      int step = fn_->NewLabel();
+      int end = fn_->NewLabel();
+      EmitLabel(head);
+      if (s.expr != nullptr) {
+        RETURN_IF_ERROR(LowerCondBranch(*s.expr, body, end));
+      }
+      EmitLabel(body);
+      break_labels_.push_back(end);
+      continue_labels_.push_back(step);
+      RETURN_IF_ERROR(LowerStmt(*s.then_branch));
+      break_labels_.pop_back();
+      continue_labels_.pop_back();
+      EmitLabel(step);
+      if (s.step_expr != nullptr) {
+        RETURN_IF_ERROR(LowerExpr(*s.step_expr).status());
+      }
+      EmitJump(head);
+      EmitLabel(end);
+      return OkStatus();
+    }
+    case StmtKind::kReturn: {
+      IrInst* ret = nullptr;
+      if (s.expr != nullptr) {
+        ASSIGN_OR_RETURN(int vr, LowerExpr(*s.expr));
+        vr = CoerceToWidth(vr, s.expr->type, VregWidthOf(ret_type_));
+        ret = &Emit(IrOp::kRet);
+        ret->a = vr;
+        ret->width = static_cast<uint8_t>(VregWidthOf(ret_type_));
+      } else {
+        ret = &Emit(IrOp::kRet);
+        ret->a = -1;
+      }
+      return OkStatus();
+    }
+    case StmtKind::kBreak:
+      EmitJump(break_labels_.back());
+      return OkStatus();
+    case StmtKind::kContinue:
+      EmitJump(continue_labels_.back());
+      return OkStatus();
+    case StmtKind::kBlock:
+      for (const auto& inner : s.body) {
+        RETURN_IF_ERROR(LowerStmt(*inner));
+      }
+      return OkStatus();
+    case StmtKind::kSwitch: {
+      ASSIGN_OR_RETURN(int value, LowerExpr(*s.expr));
+      int end = fn_->NewLabel();
+      // First pass: assign a label per case/default; emit the dispatch chain.
+      std::vector<std::pair<const Stmt*, int>> labels;
+      int default_label = end;
+      for (const auto& inner : s.body) {
+        if (inner->kind == StmtKind::kCase || inner->kind == StmtKind::kDefault) {
+          int l = fn_->NewLabel();
+          labels.push_back({inner.get(), l});
+          if (inner->kind == StmtKind::kDefault) {
+            default_label = l;
+          }
+        }
+      }
+      for (const auto& [stmt, label] : labels) {
+        if (stmt->kind == StmtKind::kCase) {
+          int case_vr = EmitConst(stmt->case_const);
+          int cmp = fn_->NewVreg();
+          IrInst& c = Emit(IrOp::kCmp);
+          c.dst = cmp;
+          c.a = value;
+          c.b = case_vr;
+          c.rel = IrRel::kEq;
+          IrInst& br = Emit(IrOp::kBranchNonZero);
+          br.a = cmp;
+          br.imm = label;
+        }
+      }
+      EmitJump(default_label);
+      // Second pass: bodies, with case labels interleaved.
+      break_labels_.push_back(end);
+      size_t label_idx = 0;
+      for (const auto& inner : s.body) {
+        if (inner->kind == StmtKind::kCase || inner->kind == StmtKind::kDefault) {
+          EmitLabel(labels[label_idx++].second);
+          continue;
+        }
+        RETURN_IF_ERROR(LowerStmt(*inner));
+      }
+      break_labels_.pop_back();
+      EmitLabel(end);
+      return OkStatus();
+    }
+    case StmtKind::kCase:
+    case StmtKind::kDefault:
+    case StmtKind::kGoto:
+    case StmtKind::kAsm:
+      return Error(s.loc, "internal: statement should have been rejected by sema");
+  }
+  return Error(s.loc, "internal: unhandled statement in lowering");
+}
+
+Status Lowerer::LowerFunction(FunctionDecl* fn_decl) {
+  out_.functions.emplace_back();
+  fn_ = &out_.functions.back();
+  fn_->name = FuncSym(fn_decl->name);
+  fn_->returns_value = !fn_decl->signature->return_type->IsVoid();
+  fn_->num_params = static_cast<int>(fn_decl->params.size());
+  ret_type_ = fn_decl->signature->return_type;
+  int param_words = 0;
+  for (const ParamDecl& param : fn_decl->params) {
+    param_words += VregWidthOf(param.type) / 2;
+  }
+  if (fn_->num_params > 4 || param_words > 4) {
+    return Error(fn_decl->loc,
+                 "AmuletC supports at most 4 register words of parameters");
+  }
+  slot_of_.clear();
+  // Parameters occupy the first slots, in order.
+  for (const auto& sym : fn_decl->symbols) {
+    if (sym->is_param) {
+      SlotOf(sym.get());
+    }
+  }
+  RETURN_IF_ERROR(LowerStmt(*fn_decl->body));
+  // Implicit return (void functions / fall off the end).
+  Emit(IrOp::kRet).a = -1;
+  fn_ = nullptr;
+  return OkStatus();
+}
+
+Result<IrProgram> Lowerer::Run() {
+  out_.app_name = app_;
+  for (auto& g : program_->globals) {
+    IrProgram::GlobalBlob blob;
+    blob.symbol = GlobalSym(g->name);
+    blob.bytes = g->init_bytes;
+    blob.align = g->type->AlignBytes();
+    for (const auto& reloc : g->init_relocs) {
+      // Map AST names to assembly symbols (function or global).
+      if (program_->FindFunction(reloc.symbol) != nullptr) {
+        blob.relocs.push_back({reloc.offset, FuncSym(reloc.symbol)});
+      } else if (program_->FindGlobal(reloc.symbol) != nullptr) {
+        blob.relocs.push_back({reloc.offset, GlobalSym(reloc.symbol)});
+      } else {
+        return TypeError(StrFormat("global '%s': initializer references unknown '%s'",
+                                   g->name.c_str(), reloc.symbol.c_str()));
+      }
+    }
+    out_.globals.push_back(std::move(blob));
+  }
+  out_.strings = program_->string_pool;
+  for (auto& fn : program_->functions) {
+    if (fn->body != nullptr) {
+      RETURN_IF_ERROR(LowerFunction(fn.get()));
+    }
+  }
+  return std::move(out_);
+}
+
+}  // namespace
+
+Result<IrProgram> LowerProgram(Program* program, const std::string& app_name) {
+  Lowerer lowerer(program, app_name);
+  return lowerer.Run();
+}
+
+}  // namespace amulet

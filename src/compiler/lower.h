@@ -1,0 +1,22 @@
+// AST -> IR lowering. Every memory access that cannot be proven safe at
+// compile time (pointer dereference, dynamically-indexed array, ->field,
+// indirect call) is lowered with an explicit kCheckMarker so AFT phase 2 can
+// insert the memory-model-specific isolation checks.
+#ifndef SRC_COMPILER_LOWER_H_
+#define SRC_COMPILER_LOWER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/compiler/ir.h"
+#include "src/lang/ast.h"
+
+namespace amulet {
+
+// `app_name` must be a valid assembly-symbol fragment; all emitted symbols
+// are prefixed "<app_name>_". API calls stay abstract (kCallApi).
+Result<IrProgram> LowerProgram(Program* program, const std::string& app_name);
+
+}  // namespace amulet
+
+#endif  // SRC_COMPILER_LOWER_H_

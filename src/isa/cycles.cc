@@ -1,0 +1,128 @@
+#include "src/isa/cycles.h"
+
+namespace amulet {
+
+namespace {
+
+// Source operands fall into three timing groups.
+enum class SrcGroup { kRegisterLike, kIndirectLike, kIndexedLike };
+
+SrcGroup GroupOf(const Operand& op) {
+  switch (op.mode) {
+    case AddrMode::kRegister:
+    case AddrMode::kConst:
+      return SrcGroup::kRegisterLike;
+    case AddrMode::kIndirect:
+    case AddrMode::kIndirectAutoInc:
+    case AddrMode::kImmediate:
+      return SrcGroup::kIndirectLike;
+    case AddrMode::kIndexed:
+    case AddrMode::kSymbolic:
+    case AddrMode::kAbsolute:
+      return SrcGroup::kIndexedLike;
+  }
+  return SrcGroup::kRegisterLike;
+}
+
+bool DstIsMemory(const Operand& op) { return op.mode != AddrMode::kRegister; }
+
+bool DstIsPc(const Operand& op) {
+  return op.mode == AddrMode::kRegister && op.reg == Reg::kPc;
+}
+
+int FormatOneCycles(const Instruction& insn) {
+  const SrcGroup src = GroupOf(insn.src);
+  const bool dst_mem = DstIsMemory(insn.dst);
+  // SLAU144 Table 3-15 (condensed).
+  int base;
+  switch (src) {
+    case SrcGroup::kRegisterLike:
+      base = dst_mem ? 4 : 1;
+      break;
+    case SrcGroup::kIndirectLike:
+      base = dst_mem ? 5 : 2;
+      break;
+    case SrcGroup::kIndexedLike:
+      base = dst_mem ? 6 : 3;
+      break;
+  }
+  if (DstIsPc(insn.dst)) {
+    // Branch through a register destination refills the pipeline.
+    if (src == SrcGroup::kRegisterLike) {
+      base += 1;  // MOV Rn,PC = 2
+    } else if (insn.src.mode == AddrMode::kIndirectAutoInc ||
+               insn.src.mode == AddrMode::kImmediate) {
+      base += 1;  // MOV @Rn+,PC / BR #N = 3
+    }
+    // @Rn -> PC and x(Rn) -> PC keep the base count.
+  }
+  return base;
+}
+
+int FormatTwoCycles(const Instruction& insn) {
+  const Operand& op = insn.dst;
+  switch (insn.op) {
+    case Opcode::kRrc:
+    case Opcode::kRra:
+    case Opcode::kSwpb:
+    case Opcode::kSxt:
+      switch (GroupOf(op)) {
+        case SrcGroup::kRegisterLike:
+          return 1;
+        case SrcGroup::kIndirectLike:
+          return 3;
+        case SrcGroup::kIndexedLike:
+          return 4;
+      }
+      return 1;
+    case Opcode::kPush:
+      switch (op.mode) {
+        case AddrMode::kRegister:
+        case AddrMode::kConst:
+          return 3;
+        case AddrMode::kIndirect:
+          return 4;
+        case AddrMode::kIndirectAutoInc:
+          return 5;
+        case AddrMode::kImmediate:
+          return 4;
+        case AddrMode::kIndexed:
+        case AddrMode::kSymbolic:
+        case AddrMode::kAbsolute:
+          return 5;
+      }
+      return 3;
+    case Opcode::kCall:
+      switch (op.mode) {
+        case AddrMode::kRegister:
+        case AddrMode::kConst:
+        case AddrMode::kIndirect:
+          return 4;
+        case AddrMode::kIndirectAutoInc:
+        case AddrMode::kImmediate:
+        case AddrMode::kIndexed:
+        case AddrMode::kSymbolic:
+        case AddrMode::kAbsolute:
+          return 5;
+      }
+      return 4;
+    case Opcode::kReti:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+int InstructionCycles(const Instruction& insn) {
+  if (IsJump(insn.op)) {
+    return 2;  // all jumps: 2 cycles, taken or not
+  }
+  if (IsFormatTwo(insn.op)) {
+    return FormatTwoCycles(insn);
+  }
+  return FormatOneCycles(insn);
+}
+
+}  // namespace amulet

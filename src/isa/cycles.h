@@ -1,0 +1,24 @@
+// Per-instruction CPU cycle model, following the MSP430x2xx-family CPU cycle
+// tables (TI SLAU144/SLAU367). These counts assume zero-wait memory; the MCU
+// layer adds FRAM wait-state penalties per bus access on top.
+#ifndef SRC_ISA_CYCLES_H_
+#define SRC_ISA_CYCLES_H_
+
+#include <cstdint>
+
+#include "src/isa/instruction.h"
+
+namespace amulet {
+
+// Base cycle count for one instruction. `dst_is_pc` is true when a Format-I
+// destination is the PC register (branch-like MOVs cost one extra cycle for
+// the pipeline refill with several source modes).
+int InstructionCycles(const Instruction& insn);
+
+// Cycles consumed by an interrupt accept sequence (push PC, push SR, fetch
+// vector): 6 on the MSP430.
+inline constexpr int kInterruptAcceptCycles = 6;
+
+}  // namespace amulet
+
+#endif  // SRC_ISA_CYCLES_H_

@@ -1,0 +1,58 @@
+#include "src/isa/disassembler.h"
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+namespace {
+
+// Address of an operand's extension word, needed to resolve symbolic mode.
+std::string OperandText(const Operand& op, uint16_t ext_word_addr) {
+  switch (op.mode) {
+    case AddrMode::kRegister:
+      return std::string(RegName(op.reg));
+    case AddrMode::kIndexed:
+      return StrFormat("%d(%s)", static_cast<int16_t>(op.ext), std::string(RegName(op.reg)).c_str());
+    case AddrMode::kSymbolic: {
+      uint16_t target = static_cast<uint16_t>(ext_word_addr + op.ext);
+      return HexWord(target);
+    }
+    case AddrMode::kAbsolute:
+      return StrFormat("&%s", HexWord(op.ext).c_str());
+    case AddrMode::kIndirect:
+      return StrFormat("@%s", std::string(RegName(op.reg)).c_str());
+    case AddrMode::kIndirectAutoInc:
+      return StrFormat("@%s+", std::string(RegName(op.reg)).c_str());
+    case AddrMode::kImmediate:
+    case AddrMode::kConst:
+      return StrFormat("#%d", static_cast<int16_t>(op.ext));
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Disassemble(const Instruction& insn, uint16_t pc) {
+  std::string name(OpcodeName(insn.op));
+  if (insn.byte) {
+    name += ".b";
+  }
+  if (IsJump(insn.op)) {
+    uint16_t target = static_cast<uint16_t>(pc + 2 + 2 * insn.jump_offset_words);
+    return StrFormat("%-8s %s", name.c_str(), HexWord(target).c_str());
+  }
+  if (insn.op == Opcode::kReti) {
+    return name;
+  }
+  if (IsFormatTwo(insn.op)) {
+    uint16_t ext_addr = static_cast<uint16_t>(pc + 2);
+    return StrFormat("%-8s %s", name.c_str(), OperandText(insn.dst, ext_addr).c_str());
+  }
+  uint16_t src_ext_addr = static_cast<uint16_t>(pc + 2);
+  uint16_t dst_ext_addr =
+      static_cast<uint16_t>(pc + 2 + (ModeHasExtWord(insn.src.mode) ? 2 : 0));
+  return StrFormat("%-8s %s, %s", name.c_str(), OperandText(insn.src, src_ext_addr).c_str(),
+                   OperandText(insn.dst, dst_ext_addr).c_str());
+}
+
+}  // namespace amulet

@@ -1,0 +1,19 @@
+// Textual disassembly of decoded instructions, in the classic MSP430 assembly
+// syntax the project's own assembler accepts (round-trippable).
+#ifndef SRC_ISA_DISASSEMBLER_H_
+#define SRC_ISA_DISASSEMBLER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/instruction.h"
+
+namespace amulet {
+
+// `pc` is the address of the instruction's first word; used to render
+// symbolic operands and jump targets as absolute addresses.
+std::string Disassemble(const Instruction& insn, uint16_t pc);
+
+}  // namespace amulet
+
+#endif  // SRC_ISA_DISASSEMBLER_H_

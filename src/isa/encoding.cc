@@ -1,0 +1,306 @@
+#include "src/isa/encoding.h"
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+namespace {
+
+struct FieldEncoding {
+  uint8_t reg = 0;
+  uint8_t as = 0;        // 2-bit addressing field
+  bool has_ext = false;  // extension word follows
+  uint16_t ext = 0;
+};
+
+// Maps a source-position operand onto the As/reg fields. Constant-generator
+// values use the dedicated R2/R3 combinations and need no extension word
+// (that is the whole point of the CG hardware).
+Result<FieldEncoding> EncodeSrc(const Operand& op) {
+  FieldEncoding out;
+  switch (op.mode) {
+    case AddrMode::kRegister:
+      out.reg = RegIndex(op.reg);
+      out.as = 0;
+      return out;
+    case AddrMode::kIndexed:
+      if (op.reg == Reg::kPc || op.reg == Reg::kSr || op.reg == Reg::kCg) {
+        return InvalidArgumentError("indexed mode is not encodable on PC/SR/R3");
+      }
+      out.reg = RegIndex(op.reg);
+      out.as = 1;
+      out.has_ext = true;
+      out.ext = op.ext;
+      return out;
+    case AddrMode::kSymbolic:
+      out.reg = RegIndex(Reg::kPc);
+      out.as = 1;
+      out.has_ext = true;
+      out.ext = op.ext;
+      return out;
+    case AddrMode::kAbsolute:
+      out.reg = RegIndex(Reg::kSr);
+      out.as = 1;
+      out.has_ext = true;
+      out.ext = op.ext;
+      return out;
+    case AddrMode::kIndirect:
+      if (op.reg == Reg::kSr || op.reg == Reg::kCg) {
+        return InvalidArgumentError("@SR/@R3 encode constants, not indirect mode");
+      }
+      out.reg = RegIndex(op.reg);
+      out.as = 2;
+      return out;
+    case AddrMode::kIndirectAutoInc:
+      if (op.reg == Reg::kPc || op.reg == Reg::kSr || op.reg == Reg::kCg) {
+        return InvalidArgumentError("@Rn+ is not encodable on PC/SR/R3");
+      }
+      out.reg = RegIndex(op.reg);
+      out.as = 3;
+      return out;
+    case AddrMode::kImmediate:
+      out.reg = RegIndex(Reg::kPc);
+      out.as = 3;
+      out.has_ext = true;
+      out.ext = op.ext;
+      return out;
+    case AddrMode::kConst:
+      switch (op.ext) {
+        case 0:
+          out.reg = RegIndex(Reg::kCg);
+          out.as = 0;
+          return out;
+        case 1:
+          out.reg = RegIndex(Reg::kCg);
+          out.as = 1;
+          return out;
+        case 2:
+          out.reg = RegIndex(Reg::kCg);
+          out.as = 2;
+          return out;
+        case 0xFFFF:
+          out.reg = RegIndex(Reg::kCg);
+          out.as = 3;
+          return out;
+        case 4:
+          out.reg = RegIndex(Reg::kSr);
+          out.as = 2;
+          return out;
+        case 8:
+          out.reg = RegIndex(Reg::kSr);
+          out.as = 3;
+          return out;
+        default:
+          return InvalidArgumentError(
+              StrFormat("value %u is not constant-generator expressible", op.ext));
+      }
+  }
+  return InternalError("unhandled addressing mode");
+}
+
+// Destination field is a single Ad bit: register (0) or indexed-class (1).
+Result<FieldEncoding> EncodeDst(const Operand& op) {
+  FieldEncoding out;
+  switch (op.mode) {
+    case AddrMode::kRegister:
+      out.reg = RegIndex(op.reg);
+      out.as = 0;
+      return out;
+    case AddrMode::kIndexed:
+      if (op.reg == Reg::kPc || op.reg == Reg::kSr || op.reg == Reg::kCg) {
+        return InvalidArgumentError("indexed destination is not encodable on PC/SR/R3");
+      }
+      out.reg = RegIndex(op.reg);
+      out.as = 1;
+      out.has_ext = true;
+      out.ext = op.ext;
+      return out;
+    case AddrMode::kSymbolic:
+      out.reg = RegIndex(Reg::kPc);
+      out.as = 1;
+      out.has_ext = true;
+      out.ext = op.ext;
+      return out;
+    case AddrMode::kAbsolute:
+      out.reg = RegIndex(Reg::kSr);
+      out.as = 1;
+      out.has_ext = true;
+      out.ext = op.ext;
+      return out;
+    default:
+      return InvalidArgumentError("destination must be register/indexed/symbolic/absolute");
+  }
+}
+
+Result<Operand> DecodeSrc(uint8_t reg, uint8_t as) {
+  // Constant generators first.
+  if (reg == RegIndex(Reg::kCg)) {
+    switch (as) {
+      case 0:
+        return Operand{AddrMode::kConst, Reg::kCg, 0};
+      case 1:
+        return Operand{AddrMode::kConst, Reg::kCg, 1};
+      case 2:
+        return Operand{AddrMode::kConst, Reg::kCg, 2};
+      case 3:
+        return Operand{AddrMode::kConst, Reg::kCg, 0xFFFF};
+      default:
+        break;
+    }
+  }
+  if (reg == RegIndex(Reg::kSr) && as >= 2) {
+    // Normalized to reg=kCg so operands compare equal regardless of which
+    // constant-generator register realizes them.
+    return Operand{AddrMode::kConst, Reg::kCg, static_cast<uint16_t>(as == 2 ? 4 : 8)};
+  }
+  switch (as) {
+    case 0:
+      return Operand{AddrMode::kRegister, RegFromIndex(reg), 0};
+    case 1:
+      if (reg == RegIndex(Reg::kPc)) {
+        return Operand{AddrMode::kSymbolic, Reg::kPc, 0};
+      }
+      if (reg == RegIndex(Reg::kSr)) {
+        return Operand{AddrMode::kAbsolute, Reg::kSr, 0};
+      }
+      return Operand{AddrMode::kIndexed, RegFromIndex(reg), 0};
+    case 2:
+      return Operand{AddrMode::kIndirect, RegFromIndex(reg), 0};
+    case 3:
+      if (reg == RegIndex(Reg::kPc)) {
+        return Operand{AddrMode::kImmediate, Reg::kPc, 0};
+      }
+      return Operand{AddrMode::kIndirectAutoInc, RegFromIndex(reg), 0};
+    default:
+      return InternalError("addressing field out of range");
+  }
+}
+
+Result<Operand> DecodeDst(uint8_t reg, uint8_t ad) {
+  if (ad == 0) {
+    return Operand{AddrMode::kRegister, RegFromIndex(reg), 0};
+  }
+  if (reg == RegIndex(Reg::kPc)) {
+    return Operand{AddrMode::kSymbolic, Reg::kPc, 0};
+  }
+  if (reg == RegIndex(Reg::kSr)) {
+    return Operand{AddrMode::kAbsolute, Reg::kSr, 0};
+  }
+  if (reg == RegIndex(Reg::kCg)) {
+    return InvalidArgumentError("R3 destination with Ad=1 is a reserved encoding");
+  }
+  return Operand{AddrMode::kIndexed, RegFromIndex(reg), 0};
+}
+
+}  // namespace
+
+Result<std::vector<uint16_t>> Encode(const Instruction& insn) {
+  std::vector<uint16_t> words;
+  if (IsJump(insn.op)) {
+    if (insn.jump_offset_words < -512 || insn.jump_offset_words > 511) {
+      return OutOfRangeError(
+          StrFormat("jump offset %d outside [-512, 511] words", insn.jump_offset_words));
+    }
+    uint16_t cond = static_cast<uint16_t>(insn.op) - static_cast<uint16_t>(Opcode::kJnz);
+    uint16_t word = static_cast<uint16_t>(0x2000 | (cond << 10) |
+                                          (static_cast<uint16_t>(insn.jump_offset_words) & 0x3FF));
+    words.push_back(word);
+    return words;
+  }
+  if (IsFormatTwo(insn.op)) {
+    if (insn.op == Opcode::kReti) {
+      words.push_back(0x1300);
+      return words;
+    }
+    ASSIGN_OR_RETURN(FieldEncoding field, EncodeSrc(insn.dst));
+    uint16_t op3 = static_cast<uint16_t>(insn.op) - static_cast<uint16_t>(Opcode::kRrc);
+    uint16_t word = static_cast<uint16_t>(0x1000 | (op3 << 7) | (insn.byte ? 0x40 : 0) |
+                                          (field.as << 4) | field.reg);
+    words.push_back(word);
+    if (field.has_ext) {
+      words.push_back(field.ext);
+    }
+    return words;
+  }
+  // Format I.
+  ASSIGN_OR_RETURN(FieldEncoding src, EncodeSrc(insn.src));
+  ASSIGN_OR_RETURN(FieldEncoding dst, EncodeDst(insn.dst));
+  uint16_t word = static_cast<uint16_t>((static_cast<uint16_t>(insn.op) << 12) | (src.reg << 8) |
+                                        ((dst.as != 0 ? 1 : 0) << 7) | (insn.byte ? 0x40 : 0) |
+                                        (src.as << 4) | dst.reg);
+  words.push_back(word);
+  if (src.has_ext) {
+    words.push_back(src.ext);
+  }
+  if (dst.has_ext) {
+    words.push_back(dst.ext);
+  }
+  return words;
+}
+
+Result<Instruction> Decode(std::span<const uint16_t> words) {
+  if (words.empty()) {
+    return InvalidArgumentError("empty instruction stream");
+  }
+  const uint16_t word = words[0];
+  size_t next_ext = 1;
+  auto take_ext = [&]() -> Result<uint16_t> {
+    if (next_ext >= words.size()) {
+      return OutOfRangeError("instruction extension word missing");
+    }
+    return words[next_ext++];
+  };
+
+  Instruction insn;
+  const uint16_t top = word >> 12;
+  if (top >= 0x4) {
+    // Format I.
+    insn.op = static_cast<Opcode>(top);
+    insn.byte = (word & 0x40) != 0;
+    ASSIGN_OR_RETURN(insn.src, DecodeSrc((word >> 8) & 0xF, (word >> 4) & 0x3));
+    if (ModeHasExtWord(insn.src.mode)) {
+      ASSIGN_OR_RETURN(insn.src.ext, take_ext());
+    }
+    ASSIGN_OR_RETURN(insn.dst, DecodeDst(word & 0xF, (word >> 7) & 0x1));
+    if (ModeHasExtWord(insn.dst.mode)) {
+      ASSIGN_OR_RETURN(insn.dst.ext, take_ext());
+    }
+    return insn;
+  }
+  if (top == 0x2 || top == 0x3) {
+    // Jump.
+    uint16_t cond = (word >> 10) & 0x7;
+    insn.op = static_cast<Opcode>(static_cast<uint16_t>(Opcode::kJnz) + cond);
+    int16_t offset = static_cast<int16_t>(word & 0x3FF);
+    if ((offset & 0x200) != 0) {
+      offset = static_cast<int16_t>(offset | ~0x3FF);  // sign-extend 10 bits
+    }
+    insn.jump_offset_words = offset;
+    return insn;
+  }
+  if (top == 0x1 && (word & 0x0C00) == 0) {
+    // Format II.
+    uint16_t op3 = (word >> 7) & 0x7;
+    if (op3 > 6) {
+      return InvalidArgumentError(StrFormat("reserved format-II opcode in word %s",
+                                            HexWord(word).c_str()));
+    }
+    insn.op = static_cast<Opcode>(static_cast<uint16_t>(Opcode::kRrc) + op3);
+    if (insn.op == Opcode::kReti) {
+      return insn;
+    }
+    insn.byte = (word & 0x40) != 0;
+    ASSIGN_OR_RETURN(insn.dst, DecodeSrc(word & 0xF, (word >> 4) & 0x3));
+    if (ModeHasExtWord(insn.dst.mode)) {
+      ASSIGN_OR_RETURN(insn.dst.ext, take_ext());
+    }
+    if (insn.byte && (insn.op == Opcode::kSwpb || insn.op == Opcode::kSxt ||
+                      insn.op == Opcode::kCall)) {
+      return InvalidArgumentError("SWPB/SXT/CALL have no byte form");
+    }
+    return insn;
+  }
+  return InvalidArgumentError(StrFormat("undefined instruction word %s", HexWord(word).c_str()));
+}
+
+}  // namespace amulet

@@ -1,0 +1,27 @@
+// Binary encoder/decoder for MSP430 instructions.
+//
+// Encode() produces 1-3 little-endian words; Decode() reverses it, including
+// constant-generator recognition (R2/R3 special addressing combinations).
+#ifndef SRC_ISA_ENCODING_H_
+#define SRC_ISA_ENCODING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/isa/instruction.h"
+
+namespace amulet {
+
+// Encodes `insn` into machine words. Fails on combinations the hardware cannot
+// express (e.g. an immediate destination, indexed mode on R3).
+Result<std::vector<uint16_t>> Encode(const Instruction& insn);
+
+// Decodes the instruction starting at words[0]; consumes up to three words.
+// Fails on reserved/undefined encodings.
+Result<Instruction> Decode(std::span<const uint16_t> words);
+
+}  // namespace amulet
+
+#endif  // SRC_ISA_ENCODING_H_

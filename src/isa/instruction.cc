@@ -1,0 +1,147 @@
+#include "src/isa/instruction.h"
+
+namespace amulet {
+
+std::string_view RegName(Reg reg) {
+  switch (reg) {
+    case Reg::kPc:
+      return "pc";
+    case Reg::kSp:
+      return "sp";
+    case Reg::kSr:
+      return "sr";
+    case Reg::kCg:
+      return "r3";
+    case Reg::kR4:
+      return "r4";
+    case Reg::kR5:
+      return "r5";
+    case Reg::kR6:
+      return "r6";
+    case Reg::kR7:
+      return "r7";
+    case Reg::kR8:
+      return "r8";
+    case Reg::kR9:
+      return "r9";
+    case Reg::kR10:
+      return "r10";
+    case Reg::kR11:
+      return "r11";
+    case Reg::kR12:
+      return "r12";
+    case Reg::kR13:
+      return "r13";
+    case Reg::kR14:
+      return "r14";
+    case Reg::kR15:
+      return "r15";
+  }
+  return "r?";
+}
+
+Operand RegOp(Reg reg) { return Operand{AddrMode::kRegister, reg, 0}; }
+
+Operand IndexedOp(Reg reg, uint16_t index) { return Operand{AddrMode::kIndexed, reg, index}; }
+
+Operand SymbolicOp(uint16_t pc_relative_offset) {
+  return Operand{AddrMode::kSymbolic, Reg::kPc, pc_relative_offset};
+}
+
+Operand AbsoluteOp(uint16_t address) { return Operand{AddrMode::kAbsolute, Reg::kSr, address}; }
+
+Operand IndirectOp(Reg reg) { return Operand{AddrMode::kIndirect, reg, 0}; }
+
+Operand IndirectAutoIncOp(Reg reg) { return Operand{AddrMode::kIndirectAutoInc, reg, 0}; }
+
+Operand ImmediateOp(uint16_t value) {
+  switch (value) {
+    case 0:
+    case 1:
+    case 2:
+    case 4:
+    case 8:
+    case 0xFFFF:
+      return Operand{AddrMode::kConst, Reg::kCg, value};
+    default:
+      return Operand{AddrMode::kImmediate, Reg::kPc, value};
+  }
+}
+
+Operand RawImmediateOp(uint16_t value) { return Operand{AddrMode::kImmediate, Reg::kPc, value}; }
+
+int Instruction::WordCount() const {
+  if (IsJump(op)) {
+    return 1;
+  }
+  int words = 1;
+  if (IsFormatOne(op) && ModeHasExtWord(src.mode)) {
+    ++words;
+  }
+  if (op != Opcode::kReti && ModeHasExtWord(dst.mode)) {
+    ++words;
+  }
+  return words;
+}
+
+std::string_view OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kMov:
+      return "mov";
+    case Opcode::kAdd:
+      return "add";
+    case Opcode::kAddc:
+      return "addc";
+    case Opcode::kSubc:
+      return "subc";
+    case Opcode::kSub:
+      return "sub";
+    case Opcode::kCmp:
+      return "cmp";
+    case Opcode::kDadd:
+      return "dadd";
+    case Opcode::kBit:
+      return "bit";
+    case Opcode::kBic:
+      return "bic";
+    case Opcode::kBis:
+      return "bis";
+    case Opcode::kXor:
+      return "xor";
+    case Opcode::kAnd:
+      return "and";
+    case Opcode::kRrc:
+      return "rrc";
+    case Opcode::kSwpb:
+      return "swpb";
+    case Opcode::kRra:
+      return "rra";
+    case Opcode::kSxt:
+      return "sxt";
+    case Opcode::kPush:
+      return "push";
+    case Opcode::kCall:
+      return "call";
+    case Opcode::kReti:
+      return "reti";
+    case Opcode::kJnz:
+      return "jnz";
+    case Opcode::kJz:
+      return "jz";
+    case Opcode::kJnc:
+      return "jnc";
+    case Opcode::kJc:
+      return "jc";
+    case Opcode::kJn:
+      return "jn";
+    case Opcode::kJge:
+      return "jge";
+    case Opcode::kJl:
+      return "jl";
+    case Opcode::kJmp:
+      return "jmp";
+  }
+  return "???";
+}
+
+}  // namespace amulet

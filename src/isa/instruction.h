@@ -1,0 +1,114 @@
+// In-memory model of one decoded MSP430 instruction.
+//
+// The MSP430 ISA has three encoding formats:
+//   Format I  (double-operand): MOV, ADD, ADDC, SUBC, SUB, CMP, DADD, BIT,
+//                               BIC, BIS, XOR, AND
+//   Format II (single-operand): RRC, SWPB, RRA, SXT, PUSH, CALL, RETI
+//   Jumps:                      JNZ, JZ, JNC, JC, JN, JGE, JL, JMP
+// plus seven addressing modes realized through the As/Ad bits and the two
+// constant-generator registers (R2/R3).
+#ifndef SRC_ISA_INSTRUCTION_H_
+#define SRC_ISA_INSTRUCTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/registers.h"
+
+namespace amulet {
+
+enum class Opcode : uint8_t {
+  // Format I (value == encoding nibble).
+  kMov = 0x4,
+  kAdd = 0x5,
+  kAddc = 0x6,
+  kSubc = 0x7,
+  kSub = 0x8,
+  kCmp = 0x9,
+  kDadd = 0xA,
+  kBit = 0xB,
+  kBic = 0xC,
+  kBis = 0xD,
+  kXor = 0xE,
+  kAnd = 0xF,
+  // Format II (values chosen above the Format-I range).
+  kRrc = 0x10,
+  kSwpb = 0x11,
+  kRra = 0x12,
+  kSxt = 0x13,
+  kPush = 0x14,
+  kCall = 0x15,
+  kReti = 0x16,
+  // Jumps (value - kJnz == condition code).
+  kJnz = 0x20,
+  kJz = 0x21,
+  kJnc = 0x22,
+  kJc = 0x23,
+  kJn = 0x24,
+  kJge = 0x25,
+  kJl = 0x26,
+  kJmp = 0x27,
+};
+
+constexpr bool IsFormatOne(Opcode op) { return op >= Opcode::kMov && op <= Opcode::kAnd; }
+constexpr bool IsFormatTwo(Opcode op) { return op >= Opcode::kRrc && op <= Opcode::kReti; }
+constexpr bool IsJump(Opcode op) { return op >= Opcode::kJnz && op <= Opcode::kJmp; }
+
+enum class AddrMode : uint8_t {
+  kRegister,         // Rn
+  kIndexed,          // x(Rn)
+  kSymbolic,         // ADDR  == x(PC); ext holds the PC-relative offset
+  kAbsolute,         // &ADDR == x(SR)
+  kIndirect,         // @Rn
+  kIndirectAutoInc,  // @Rn+
+  kImmediate,        // #N    == @PC+; ext holds the literal
+  kConst,            // constant generator (#0 #1 #2 #4 #8 #-1); ext holds the value
+};
+
+// True when the mode consumes an extension word in the instruction stream.
+constexpr bool ModeHasExtWord(AddrMode mode) {
+  return mode == AddrMode::kIndexed || mode == AddrMode::kSymbolic ||
+         mode == AddrMode::kAbsolute || mode == AddrMode::kImmediate;
+}
+
+struct Operand {
+  AddrMode mode = AddrMode::kRegister;
+  Reg reg = Reg::kPc;
+  // kIndexed: signed index; kSymbolic: PC-relative offset; kAbsolute: address;
+  // kImmediate / kConst: literal value. Unused otherwise.
+  uint16_t ext = 0;
+
+  bool operator==(const Operand&) const = default;
+};
+
+// Builders for readable call sites (used heavily by tests and codegen).
+Operand RegOp(Reg reg);
+Operand IndexedOp(Reg reg, uint16_t index);
+Operand SymbolicOp(uint16_t pc_relative_offset);
+Operand AbsoluteOp(uint16_t address);
+Operand IndirectOp(Reg reg);
+Operand IndirectAutoIncOp(Reg reg);
+// Picks the constant generator when `value` is one of {0,1,2,4,8,0xFFFF},
+// otherwise a real immediate with an extension word.
+Operand ImmediateOp(uint16_t value);
+// Forces a full immediate even for CG-expressible values (rarely needed).
+Operand RawImmediateOp(uint16_t value);
+
+struct Instruction {
+  Opcode op = Opcode::kMov;
+  bool byte = false;  // B/W bit: true = byte operation
+  Operand src;        // Format I only
+  Operand dst;        // Format I destination / Format II single operand
+  int16_t jump_offset_words = 0;  // Jumps: signed word offset; target = pc + 2 + 2*offset
+
+  // Number of 16-bit words this instruction occupies (1..3).
+  int WordCount() const;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+std::string_view OpcodeName(Opcode op);
+
+}  // namespace amulet
+
+#endif  // SRC_ISA_INSTRUCTION_H_

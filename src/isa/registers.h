@@ -1,0 +1,55 @@
+// MSP430 register file definitions and status-register bit layout.
+//
+// The MSP430 has sixteen 16-bit registers. R0..R3 are special:
+//   R0 = PC (program counter), R1 = SP (stack pointer), R2 = SR / constant
+//   generator 1, R3 = constant generator 2.
+#ifndef SRC_ISA_REGISTERS_H_
+#define SRC_ISA_REGISTERS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace amulet {
+
+inline constexpr int kNumRegisters = 16;
+
+enum class Reg : uint8_t {
+  kPc = 0,
+  kSp = 1,
+  kSr = 2,
+  kCg = 3,
+  kR4 = 4,
+  kR5 = 5,
+  kR6 = 6,
+  kR7 = 7,
+  kR8 = 8,
+  kR9 = 9,
+  kR10 = 10,
+  kR11 = 11,
+  kR12 = 12,
+  kR13 = 13,
+  kR14 = 14,
+  kR15 = 15,
+};
+
+constexpr uint8_t RegIndex(Reg reg) { return static_cast<uint8_t>(reg); }
+
+constexpr Reg RegFromIndex(uint8_t index) { return static_cast<Reg>(index & 0x0F); }
+
+// Status register (R2) bits.
+inline constexpr uint16_t kSrCarry = 1u << 0;     // C
+inline constexpr uint16_t kSrZero = 1u << 1;      // Z
+inline constexpr uint16_t kSrNegative = 1u << 2;  // N
+inline constexpr uint16_t kSrGie = 1u << 3;       // global interrupt enable
+inline constexpr uint16_t kSrCpuOff = 1u << 4;    // low-power: CPU halted
+inline constexpr uint16_t kSrOscOff = 1u << 5;
+inline constexpr uint16_t kSrScg0 = 1u << 6;
+inline constexpr uint16_t kSrScg1 = 1u << 7;
+inline constexpr uint16_t kSrOverflow = 1u << 8;  // V
+
+// "r12" / "pc" / "sp" / "sr" / "r3".
+std::string_view RegName(Reg reg);
+
+}  // namespace amulet
+
+#endif  // SRC_ISA_REGISTERS_H_

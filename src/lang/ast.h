@@ -1,0 +1,222 @@
+// AmuletC abstract syntax tree. Nodes are built by the parser and annotated
+// in place by semantic analysis (types, resolved symbols).
+#ifndef SRC_LANG_AST_H_
+#define SRC_LANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lang/type.h"
+
+namespace amulet {
+
+struct Expr;
+struct Stmt;
+struct FunctionDecl;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+};
+
+// A named variable: global, local, or parameter. Owned by the Program (for
+// globals) or the enclosing FunctionDecl (locals/params).
+struct VarSymbol {
+  std::string name;
+  const Type* type = nullptr;
+  bool is_global = false;
+  bool is_param = false;
+  bool is_const = false;
+  int param_index = -1;  // for parameters
+  // Filled by codegen: frame offset (locals/params) — negative, FP-relative.
+  int frame_offset = 0;
+  // Filled by AFT layout for globals: assembly symbol name.
+  std::string asm_name;
+};
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor, kShl, kShr,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+  kLogAnd, kLogOr,
+};
+
+enum class UnOp : uint8_t {
+  kNeg,     // -x
+  kBitNot,  // ~x
+  kLogNot,  // !x
+};
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kStringLit,
+  kVarRef,
+  kBinary,
+  kUnary,
+  kAssign,     // lhs = rhs, possibly compound (op set)
+  kCall,       // callee(args) — direct or through a function pointer
+  kIndex,      // base[index]
+  kMember,     // base.field / base->field
+  kDeref,      // *ptr
+  kAddrOf,     // &lvalue
+  kCast,       // (type)expr
+  kSizeof,     // sizeof(type) / sizeof expr — folded to kIntLit by sema
+  kCond,       // c ? a : b
+  kIncDec,     // ++x / x++ / --x / x--
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  const Type* type = nullptr;  // set by sema
+
+  // kIntLit
+  int32_t int_value = 0;
+  // kStringLit
+  std::string str_value;
+  int string_id = -1;  // assigned by sema; names the rodata blob
+  // kVarRef
+  std::string name;
+  VarSymbol* var = nullptr;            // resolved by sema (null if function ref)
+  FunctionDecl* func_ref = nullptr;    // resolved when the name is a function
+  // kBinary / kAssign (compound) / kUnary / kIncDec
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  bool is_prefix = false;   // kIncDec
+  bool is_increment = true; // kIncDec
+  // kMember
+  std::string field;
+  bool is_arrow = false;
+  const StructField* resolved_field = nullptr;  // set by sema
+  // kCast / kSizeof
+  const Type* target_type = nullptr;
+  // Children.
+  ExprPtr a;  // lhs / operand / base / callee / condition
+  ExprPtr b;  // rhs / index / then-value
+  ExprPtr c;  // else-value
+  std::vector<ExprPtr> args;  // kCall
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+enum class StmtKind : uint8_t {
+  kExpr,
+  kDecl,      // local variable declaration (possibly with init)
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kBlock,
+  kSwitch,
+  kCase,      // only directly inside a switch block
+  kDefault,
+  kGoto,      // parsed, rejected by sema (AFT phase-1 unsupported feature)
+  kAsm,       // parsed, rejected by sema
+  kEmpty,
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  ExprPtr expr;        // kExpr / kReturn value / condition for if-while-switch
+  ExprPtr init_expr;   // kDecl initializer; kFor init-expression
+  ExprPtr step_expr;   // kFor step
+  StmtPtr init_stmt;   // kFor init when it is a declaration
+  StmtPtr then_branch; // kIf / loop body / kCase body handled via block
+  StmtPtr else_branch; // kIf
+  std::vector<StmtPtr> body;  // kBlock / kSwitch body
+  // kDecl
+  std::string decl_name;
+  const Type* decl_type = nullptr;
+  VarSymbol* decl_var = nullptr;  // resolved by sema
+  std::vector<ExprPtr> init_list;  // brace initializer for local arrays/structs
+  bool has_init_list = false;
+  // kCase
+  ExprPtr case_value;   // constant expression
+  int32_t case_const = 0;  // folded by sema
+  // kGoto
+  std::string label;
+
+  explicit Stmt(StmtKind k) : kind(k) {}
+};
+
+struct ParamDecl {
+  std::string name;
+  const Type* type = nullptr;
+};
+
+struct FunctionDecl {
+  std::string name;
+  const Type* signature = nullptr;  // kFunction type
+  std::vector<ParamDecl> params;
+  StmtPtr body;  // null for prototypes (OS API declarations)
+  SourceLoc loc;
+  bool is_api = false;  // OS API prototype (injected prelude): calls become syscalls
+  int api_number = -1;
+
+  // Sema-owned storage for every VarSymbol in this function.
+  std::vector<std::unique_ptr<VarSymbol>> symbols;
+
+  // Assembly-level name (set by AFT: "app<i>_<name>").
+  std::string asm_name;
+};
+
+struct GlobalVar {
+  std::string name;
+  const Type* type = nullptr;
+  bool is_const = false;
+  SourceLoc loc;
+  // Raw initializer expressions from the parser ({a, b, c} or a single
+  // value); sema folds them into init_bytes.
+  std::vector<ExprPtr> init_exprs;
+  bool has_init_list = false;
+  // Flattened constant initializer bytes (built by sema; zero-filled when no
+  // initializer). Word values stored little-endian.
+  std::vector<uint8_t> init_bytes;
+  // Relocated words: (byte offset into init_bytes, referenced global/function).
+  struct InitReloc {
+    int offset;
+    std::string symbol;  // AST-level name; AFT maps to asm_name
+  };
+  std::vector<InitReloc> init_relocs;
+  VarSymbol symbol;  // canonical symbol for references
+};
+
+// One translation unit == one application (the AFT compiles apps separately).
+struct Program {
+  std::string name;  // app name
+  TypeTable types;
+  std::vector<std::unique_ptr<FunctionDecl>> functions;
+  std::vector<std::unique_ptr<GlobalVar>> globals;
+  // String literal pool: id -> bytes (NUL included).
+  std::vector<std::string> string_pool;
+
+  FunctionDecl* FindFunction(const std::string& fn_name) {
+    for (auto& f : functions) {
+      if (f->name == fn_name) {
+        return f.get();
+      }
+    }
+    return nullptr;
+  }
+  GlobalVar* FindGlobal(const std::string& var_name) {
+    for (auto& g : globals) {
+      if (g->name == var_name) {
+        return g.get();
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace amulet
+
+#endif  // SRC_LANG_AST_H_

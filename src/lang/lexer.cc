@@ -1,0 +1,356 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+std::string_view TokName(Tok kind) {
+  switch (kind) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kCharLit: return "character literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kKwVoid: return "'void'";
+    case Tok::kKwChar: return "'char'";
+    case Tok::kKwInt: return "'int'";
+    case Tok::kKwLong: return "'long'";
+    case Tok::kKwUnsigned: return "'unsigned'";
+    case Tok::kKwSigned: return "'signed'";
+    case Tok::kKwStruct: return "'struct'";
+    case Tok::kKwIf: return "'if'";
+    case Tok::kKwElse: return "'else'";
+    case Tok::kKwWhile: return "'while'";
+    case Tok::kKwFor: return "'for'";
+    case Tok::kKwDo: return "'do'";
+    case Tok::kKwReturn: return "'return'";
+    case Tok::kKwBreak: return "'break'";
+    case Tok::kKwContinue: return "'continue'";
+    case Tok::kKwSizeof: return "'sizeof'";
+    case Tok::kKwGoto: return "'goto'";
+    case Tok::kKwAsm: return "'asm'";
+    case Tok::kKwConst: return "'const'";
+    case Tok::kKwSwitch: return "'switch'";
+    case Tok::kKwCase: return "'case'";
+    case Tok::kKwDefault: return "'default'";
+    case Tok::kKwTypedef: return "'typedef'";
+    case Tok::kKwEnum: return "'enum'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kColon: return "':'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kBang: return "'!'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kLt: return "'<'";
+    case Tok::kGt: return "'>'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGe: return "'>='";
+    case Tok::kEqEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusEq: return "'+='";
+    case Tok::kMinusEq: return "'-='";
+    case Tok::kStarEq: return "'*='";
+    case Tok::kSlashEq: return "'/='";
+    case Tok::kPercentEq: return "'%='";
+    case Tok::kAmpEq: return "'&='";
+    case Tok::kPipeEq: return "'|='";
+    case Tok::kCaretEq: return "'^='";
+    case Tok::kShlEq: return "'<<='";
+    case Tok::kShrEq: return "'>>='";
+    case Tok::kPlusPlus: return "'++'";
+    case Tok::kMinusMinus: return "'--'";
+    case Tok::kArrow: return "'->'";
+    case Tok::kDot: return "'.'";
+    case Tok::kQuestion: return "'?'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok>& Keywords() {
+  static const std::map<std::string, Tok> kMap = {
+      {"void", Tok::kKwVoid},       {"char", Tok::kKwChar},
+      {"int", Tok::kKwInt},         {"long", Tok::kKwLong},
+      {"unsigned", Tok::kKwUnsigned},
+      {"signed", Tok::kKwSigned},   {"struct", Tok::kKwStruct},
+      {"if", Tok::kKwIf},           {"else", Tok::kKwElse},
+      {"while", Tok::kKwWhile},     {"for", Tok::kKwFor},
+      {"do", Tok::kKwDo},           {"return", Tok::kKwReturn},
+      {"break", Tok::kKwBreak},     {"continue", Tok::kKwContinue},
+      {"sizeof", Tok::kKwSizeof},   {"goto", Tok::kKwGoto},
+      {"asm", Tok::kKwAsm},         {"__asm__", Tok::kKwAsm},
+      {"const", Tok::kKwConst},     {"switch", Tok::kKwSwitch},
+      {"case", Tok::kKwCase},       {"default", Tok::kKwDefault},
+      {"typedef", Tok::kKwTypedef}, {"enum", Tok::kKwEnum},
+  };
+  return kMap;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, std::string_view unit) : src_(source), unit_(unit) {}
+
+  Result<std::vector<Token>> Run();
+
+ private:
+  Status Error(const std::string& message) const {
+    return ParseError(
+        StrFormat("%s:%d:%d: %s", std::string(unit_).c_str(), line_, col_, message.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(int ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool Match(char expected) {
+    if (!AtEnd() && Peek() == expected) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<char> UnescapeChar();
+
+  std::string_view src_;
+  std::string_view unit_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+Result<char> Lexer::UnescapeChar() {
+  char c = Advance();
+  if (c != '\\') {
+    return c;
+  }
+  char e = Advance();
+  switch (e) {
+    case 'n':
+      return '\n';
+    case 't':
+      return '\t';
+    case 'r':
+      return '\r';
+    case '0':
+      return '\0';
+    case '\\':
+      return '\\';
+    case '\'':
+      return '\'';
+    case '"':
+      return '"';
+    default:
+      return Error(StrFormat("unknown escape '\\%c'", e));
+  }
+}
+
+Result<std::vector<Token>> Lexer::Run() {
+  std::vector<Token> tokens;
+  auto push = [&](Tok kind, int line, int col) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.col = col;
+    tokens.push_back(std::move(t));
+    return &tokens.back();
+  };
+
+  while (!AtEnd()) {
+    const int line = line_;
+    const int col = col_;
+    char c = Advance();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      continue;
+    }
+    // Comments.
+    if (c == '/' && Peek() == '/') {
+      while (!AtEnd() && Peek() != '\n') {
+        Advance();
+      }
+      continue;
+    }
+    if (c == '/' && Peek() == '*') {
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) {
+        Advance();
+      }
+      if (AtEnd()) {
+        return Error("unterminated block comment");
+      }
+      Advance();
+      Advance();
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text(1, c);
+      while (!AtEnd() &&
+             (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+        text.push_back(Advance());
+      }
+      auto it = Keywords().find(text);
+      Token* t = push(it != Keywords().end() ? it->second : Tok::kIdent, line, col);
+      t->text = std::move(text);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      int64_t value = 0;
+      if (c == '0' && (Peek() == 'x' || Peek() == 'X')) {
+        Advance();
+        bool any = false;
+        while (!AtEnd() && std::isxdigit(static_cast<unsigned char>(Peek()))) {
+          char d = Advance();
+          int digit = std::isdigit(static_cast<unsigned char>(d))
+                          ? d - '0'
+                          : std::tolower(static_cast<unsigned char>(d)) - 'a' + 10;
+          value = value * 16 + digit;
+          any = true;
+          if (value > 0xFFFFFFFFll) {
+            return Error("integer literal exceeds 32 bits");
+          }
+        }
+        if (!any) {
+          return Error("'0x' with no digits");
+        }
+      } else {
+        value = c - '0';
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          value = value * 10 + (Advance() - '0');
+          if (value > 0xFFFFFFFFll) {
+            return Error("integer literal exceeds 32 bits");
+          }
+        }
+      }
+      if (!AtEnd() && (std::isalpha(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+        return Error("bad suffix on integer literal (no long/float types in AmuletC)");
+      }
+      if (!AtEnd() && Peek() == '.') {
+        return Error("floating-point literals are not supported in AmuletC");
+      }
+      Token* t = push(Tok::kIntLit, line, col);
+      t->int_value = static_cast<int32_t>(value);
+      continue;
+    }
+    // Character literal.
+    if (c == '\'') {
+      ASSIGN_OR_RETURN(char v, UnescapeChar());
+      if (AtEnd() || Advance() != '\'') {
+        return Error("unterminated character literal");
+      }
+      Token* t = push(Tok::kCharLit, line, col);
+      t->int_value = static_cast<uint8_t>(v);
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      std::string value;
+      while (!AtEnd() && Peek() != '"') {
+        ASSIGN_OR_RETURN(char v, UnescapeChar());
+        value.push_back(v);
+      }
+      if (AtEnd()) {
+        return Error("unterminated string literal");
+      }
+      Advance();  // closing quote
+      Token* t = push(Tok::kStringLit, line, col);
+      t->str_value = std::move(value);
+      continue;
+    }
+    // Operators / punctuation.
+    switch (c) {
+      case '(': push(Tok::kLParen, line, col); break;
+      case ')': push(Tok::kRParen, line, col); break;
+      case '{': push(Tok::kLBrace, line, col); break;
+      case '}': push(Tok::kRBrace, line, col); break;
+      case '[': push(Tok::kLBracket, line, col); break;
+      case ']': push(Tok::kRBracket, line, col); break;
+      case ';': push(Tok::kSemi, line, col); break;
+      case ',': push(Tok::kComma, line, col); break;
+      case ':': push(Tok::kColon, line, col); break;
+      case '?': push(Tok::kQuestion, line, col); break;
+      case '~': push(Tok::kTilde, line, col); break;
+      case '+':
+        push(Match('+') ? Tok::kPlusPlus : (Match('=') ? Tok::kPlusEq : Tok::kPlus), line, col);
+        break;
+      case '-':
+        push(Match('-') ? Tok::kMinusMinus
+                        : (Match('=') ? Tok::kMinusEq : (Match('>') ? Tok::kArrow : Tok::kMinus)),
+             line, col);
+        break;
+      case '*': push(Match('=') ? Tok::kStarEq : Tok::kStar, line, col); break;
+      case '/': push(Match('=') ? Tok::kSlashEq : Tok::kSlash, line, col); break;
+      case '%': push(Match('=') ? Tok::kPercentEq : Tok::kPercent, line, col); break;
+      case '^': push(Match('=') ? Tok::kCaretEq : Tok::kCaret, line, col); break;
+      case '!': push(Match('=') ? Tok::kNe : Tok::kBang, line, col); break;
+      case '=': push(Match('=') ? Tok::kEqEq : Tok::kAssign, line, col); break;
+      case '&':
+        push(Match('&') ? Tok::kAndAnd : (Match('=') ? Tok::kAmpEq : Tok::kAmp), line, col);
+        break;
+      case '|':
+        push(Match('|') ? Tok::kOrOr : (Match('=') ? Tok::kPipeEq : Tok::kPipe), line, col);
+        break;
+      case '<':
+        if (Match('<')) {
+          push(Match('=') ? Tok::kShlEq : Tok::kShl, line, col);
+        } else {
+          push(Match('=') ? Tok::kLe : Tok::kLt, line, col);
+        }
+        break;
+      case '>':
+        if (Match('>')) {
+          push(Match('=') ? Tok::kShrEq : Tok::kShr, line, col);
+        } else {
+          push(Match('=') ? Tok::kGe : Tok::kGt, line, col);
+        }
+        break;
+      case '.': push(Tok::kDot, line, col); break;
+      default:
+        return Error(StrFormat("unexpected character '%c'", c));
+    }
+  }
+  push(Tok::kEof, line_, col_);
+  return tokens;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source, std::string_view unit_name) {
+  Lexer lexer(source, unit_name);
+  return lexer.Run();
+}
+
+}  // namespace amulet

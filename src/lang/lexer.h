@@ -1,0 +1,48 @@
+// AmuletC lexer.
+#ifndef SRC_LANG_LEXER_H_
+#define SRC_LANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace amulet {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kCharLit,
+  kStringLit,
+  // Keywords.
+  kKwVoid, kKwChar, kKwInt, kKwLong, kKwUnsigned, kKwSigned, kKwStruct, kKwIf, kKwElse, kKwWhile,
+  kKwFor, kKwDo, kKwReturn, kKwBreak, kKwContinue, kKwSizeof, kKwGoto, kKwAsm, kKwConst,
+  kKwSwitch, kKwCase, kKwDefault, kKwTypedef, kKwEnum,
+  // Punctuation / operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket, kSemi, kComma, kColon,
+  kPlus, kMinus, kStar, kSlash, kPercent, kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr, kLt, kGt, kLe, kGe, kEqEq, kNe, kAndAnd, kOrOr,
+  kAssign, kPlusEq, kMinusEq, kStarEq, kSlashEq, kPercentEq, kAmpEq, kPipeEq, kCaretEq,
+  kShlEq, kShrEq, kPlusPlus, kMinusMinus, kArrow, kDot, kQuestion,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;      // identifier / literal spelling
+  int32_t int_value = 0; // kIntLit / kCharLit
+  std::string str_value; // kStringLit (unescaped)
+  int line = 0;
+  int col = 0;
+};
+
+std::string_view TokName(Tok kind);
+
+// Tokenizes the whole translation unit ("//" and "/* */" comments stripped).
+Result<std::vector<Token>> Lex(std::string_view source, std::string_view unit_name = "<amc>");
+
+}  // namespace amulet
+
+#endif  // SRC_LANG_LEXER_H_

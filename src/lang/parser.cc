@@ -1,0 +1,1016 @@
+#include "src/lang/parser.h"
+
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/lang/lexer.h"
+
+namespace amulet {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string_view unit)
+      : tokens_(std::move(tokens)), unit_(unit) {
+    program_ = std::make_unique<Program>();
+    program_->name = std::string(unit);
+  }
+
+  Result<std::unique_ptr<Program>> Run();
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(Tok kind) const { return Peek().kind == kind; }
+  bool Match(Tok kind) {
+    if (Check(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return ParseError(StrFormat("%s:%d:%d: %s", std::string(unit_).c_str(), t.line, t.col,
+                                message.c_str()));
+  }
+  Status Expect(Tok kind) {
+    if (Match(kind)) {
+      return OkStatus();
+    }
+    return Error(StrFormat("expected %s, found %s", std::string(TokName(kind)).c_str(),
+                           std::string(TokName(Peek().kind)).c_str()));
+  }
+  SourceLoc Loc() const { return {Peek().line, Peek().col}; }
+
+  // --- types --------------------------------------------------------------
+  bool AtTypeStart() const {
+    switch (Peek().kind) {
+      case Tok::kKwVoid:
+      case Tok::kKwChar:
+      case Tok::kKwInt:
+      case Tok::kKwLong:
+      case Tok::kKwUnsigned:
+      case Tok::kKwSigned:
+      case Tok::kKwStruct:
+      case Tok::kKwConst:
+        return true;
+      default:
+        return false;
+    }
+  }
+  Result<const Type*> ParseBaseType(bool* is_const);
+  // Parses declarator suffixes/prefixes around `name`: pointers, arrays, and
+  // the function-pointer form `(*name)(params)`.
+  struct Declarator {
+    const Type* type = nullptr;
+    std::string name;
+  };
+  Result<Declarator> ParseDeclarator(const Type* base, bool allow_abstract);
+  Result<const Type*> ParseParamList(const Type* return_type,
+                                     std::vector<ParamDecl>* params_out);
+
+  // --- expressions (precedence climbing) -----------------------------------
+  Result<ExprPtr> ParseExpr() { return ParseAssignment(); }
+  Result<ExprPtr> ParseAssignment();
+  Result<ExprPtr> ParseConditional();
+  Result<ExprPtr> ParseBinary(int min_prec);
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePostfix();
+  Result<ExprPtr> ParsePrimary();
+  Result<int32_t> FoldConst(const Expr& e) const;
+  Result<ExprPtr> ParseConstExpr(int32_t* value);
+
+  // --- statements -----------------------------------------------------------
+  Result<StmtPtr> ParseStmt();
+  Result<StmtPtr> ParseBlock();
+  Status ParseLocalDecl(std::vector<StmtPtr>* out);
+
+  // --- top level --------------------------------------------------------------
+  Status ParseStructDecl();
+  Status ParseEnumDecl();
+  Status ParseTopLevel();
+  Status ParseGlobalTail(const Type* base, bool is_const);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::string_view unit_;
+  std::unique_ptr<Program> program_;
+  std::map<std::string, int32_t> enum_consts_;
+};
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+Result<const Type*> Parser::ParseBaseType(bool* is_const) {
+  *is_const = false;
+  while (Match(Tok::kKwConst)) {
+    *is_const = true;
+  }
+  TypeTable& types = program_->types;
+  const Type* base = nullptr;
+  if (Match(Tok::kKwVoid)) {
+    base = types.Void();
+  } else if (Match(Tok::kKwChar)) {
+    base = types.Int8();
+  } else if (Match(Tok::kKwInt)) {
+    base = types.Int16();
+  } else if (Match(Tok::kKwLong)) {
+    Match(Tok::kKwInt);  // 'long int'
+    base = types.Int32();
+  } else if (Match(Tok::kKwSigned)) {
+    if (Match(Tok::kKwChar)) {
+      base = types.Int8();
+    } else if (Match(Tok::kKwLong)) {
+      Match(Tok::kKwInt);
+      base = types.Int32();
+    } else {
+      Match(Tok::kKwInt);
+      base = types.Int16();
+    }
+  } else if (Match(Tok::kKwUnsigned)) {
+    if (Match(Tok::kKwChar)) {
+      base = types.UInt8();
+    } else if (Match(Tok::kKwLong)) {
+      Match(Tok::kKwInt);
+      base = types.UInt32();
+    } else {
+      Match(Tok::kKwInt);
+      base = types.UInt16();
+    }
+  } else if (Match(Tok::kKwStruct)) {
+    if (!Check(Tok::kIdent)) {
+      return Error("expected struct name");
+    }
+    std::string name = Advance().text;
+    StructDef* def = types.FindStruct(name);
+    if (def == nullptr) {
+      return Error(StrFormat("unknown struct '%s'", name.c_str()));
+    }
+    base = types.StructOf(def);
+  } else {
+    return Error(StrFormat("expected a type, found %s",
+                           std::string(TokName(Peek().kind)).c_str()));
+  }
+  while (Match(Tok::kKwConst)) {
+    *is_const = true;
+  }
+  return base;
+}
+
+Result<const Type*> Parser::ParseParamList(const Type* return_type,
+                                           std::vector<ParamDecl>* params_out) {
+  RETURN_IF_ERROR(Expect(Tok::kLParen));
+  std::vector<const Type*> param_types;
+  if (Match(Tok::kKwVoid) && Check(Tok::kRParen)) {
+    // (void)
+  } else if (!Check(Tok::kRParen)) {
+    // We may have consumed 'void' as the base of "void* p" — back up.
+    if (tokens_[pos_ - 1].kind == Tok::kKwVoid && !Check(Tok::kRParen)) {
+      --pos_;
+    }
+    while (true) {
+      bool is_const = false;
+      ASSIGN_OR_RETURN(const Type* base, ParseBaseType(&is_const));
+      ASSIGN_OR_RETURN(Declarator d, ParseDeclarator(base, /*allow_abstract=*/true));
+      if (d.type->IsArray()) {
+        // Arrays decay to pointers in parameter position.
+        d.type = program_->types.PointerTo(d.type->element);
+      }
+      if (d.type->IsVoid()) {
+        return Error("parameter cannot have type void");
+      }
+      param_types.push_back(d.type);
+      if (params_out != nullptr) {
+        params_out->push_back({d.name, d.type});
+      }
+      if (!Match(Tok::kComma)) {
+        break;
+      }
+    }
+  }
+  RETURN_IF_ERROR(Expect(Tok::kRParen));
+  return program_->types.FunctionOf(return_type, std::move(param_types));
+}
+
+Result<Parser::Declarator> Parser::ParseDeclarator(const Type* base, bool allow_abstract) {
+  const Type* type = base;
+  while (Match(Tok::kStar)) {
+    type = program_->types.PointerTo(type);
+    while (Match(Tok::kKwConst)) {
+    }
+  }
+  Declarator out;
+  // Function-pointer declarator: (*name)(params) or (*name[N])(params).
+  if (Check(Tok::kLParen) && Peek(1).kind == Tok::kStar) {
+    Advance();  // (
+    Advance();  // *
+    if (Check(Tok::kIdent)) {
+      out.name = Advance().text;
+    } else if (!allow_abstract) {
+      return Error("expected name in function-pointer declarator");
+    }
+    std::vector<int32_t> fp_dims;
+    while (Match(Tok::kLBracket)) {
+      int32_t len = 0;
+      ASSIGN_OR_RETURN(ExprPtr e, ParseConstExpr(&len));
+      (void)e;
+      if (len <= 0 || len > 0x8000) {
+        return Error("array length must be in 1..32768");
+      }
+      fp_dims.push_back(len);
+      RETURN_IF_ERROR(Expect(Tok::kRBracket));
+    }
+    RETURN_IF_ERROR(Expect(Tok::kRParen));
+    ASSIGN_OR_RETURN(const Type* fn, ParseParamList(type, nullptr));
+    out.type = program_->types.PointerTo(fn);
+    for (auto it = fp_dims.rbegin(); it != fp_dims.rend(); ++it) {
+      out.type = program_->types.ArrayOf(out.type, *it);
+    }
+    return out;
+  }
+  if (Check(Tok::kIdent)) {
+    out.name = Advance().text;
+  } else if (!allow_abstract) {
+    return Error(StrFormat("expected name in declaration, found %s",
+                           std::string(TokName(Peek().kind)).c_str()));
+  }
+  // Array suffixes (innermost dimension last).
+  std::vector<int32_t> dims;
+  while (Match(Tok::kLBracket)) {
+    int32_t len = 0;
+    ASSIGN_OR_RETURN(ExprPtr e, ParseConstExpr(&len));
+    (void)e;
+    if (len <= 0 || len > 0x8000) {
+      return Error("array length must be in 1..32768");
+    }
+    dims.push_back(len);
+    RETURN_IF_ERROR(Expect(Tok::kRBracket));
+  }
+  for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+    type = program_->types.ArrayOf(type, *it);
+  }
+  out.type = type;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+namespace {
+int BinPrec(Tok t) {
+  switch (t) {
+    case Tok::kStar:
+    case Tok::kSlash:
+    case Tok::kPercent:
+      return 10;
+    case Tok::kPlus:
+    case Tok::kMinus:
+      return 9;
+    case Tok::kShl:
+    case Tok::kShr:
+      return 8;
+    case Tok::kLt:
+    case Tok::kGt:
+    case Tok::kLe:
+    case Tok::kGe:
+      return 7;
+    case Tok::kEqEq:
+    case Tok::kNe:
+      return 6;
+    case Tok::kAmp:
+      return 5;
+    case Tok::kCaret:
+      return 4;
+    case Tok::kPipe:
+      return 3;
+    case Tok::kAndAnd:
+      return 2;
+    case Tok::kOrOr:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+BinOp BinOpOf(Tok t) {
+  switch (t) {
+    case Tok::kStar: return BinOp::kMul;
+    case Tok::kSlash: return BinOp::kDiv;
+    case Tok::kPercent: return BinOp::kMod;
+    case Tok::kPlus: return BinOp::kAdd;
+    case Tok::kMinus: return BinOp::kSub;
+    case Tok::kShl: return BinOp::kShl;
+    case Tok::kShr: return BinOp::kShr;
+    case Tok::kLt: return BinOp::kLt;
+    case Tok::kGt: return BinOp::kGt;
+    case Tok::kLe: return BinOp::kLe;
+    case Tok::kGe: return BinOp::kGe;
+    case Tok::kEqEq: return BinOp::kEq;
+    case Tok::kNe: return BinOp::kNe;
+    case Tok::kAmp: return BinOp::kAnd;
+    case Tok::kCaret: return BinOp::kXor;
+    case Tok::kPipe: return BinOp::kOr;
+    case Tok::kAndAnd: return BinOp::kLogAnd;
+    case Tok::kOrOr: return BinOp::kLogOr;
+    default: return BinOp::kAdd;
+  }
+}
+}  // namespace
+
+Result<ExprPtr> Parser::ParseAssignment() {
+  ASSIGN_OR_RETURN(ExprPtr lhs, ParseConditional());
+  BinOp op = BinOp::kAdd;
+  bool compound = false;
+  switch (Peek().kind) {
+    case Tok::kAssign:
+      break;
+    case Tok::kPlusEq: op = BinOp::kAdd; compound = true; break;
+    case Tok::kMinusEq: op = BinOp::kSub; compound = true; break;
+    case Tok::kStarEq: op = BinOp::kMul; compound = true; break;
+    case Tok::kSlashEq: op = BinOp::kDiv; compound = true; break;
+    case Tok::kPercentEq: op = BinOp::kMod; compound = true; break;
+    case Tok::kAmpEq: op = BinOp::kAnd; compound = true; break;
+    case Tok::kPipeEq: op = BinOp::kOr; compound = true; break;
+    case Tok::kCaretEq: op = BinOp::kXor; compound = true; break;
+    case Tok::kShlEq: op = BinOp::kShl; compound = true; break;
+    case Tok::kShrEq: op = BinOp::kShr; compound = true; break;
+    default:
+      return lhs;
+  }
+  SourceLoc loc = Loc();
+  Advance();
+  ASSIGN_OR_RETURN(ExprPtr rhs, ParseAssignment());
+  auto node = std::make_unique<Expr>(ExprKind::kAssign);
+  node->loc = loc;
+  node->a = std::move(lhs);
+  node->b = std::move(rhs);
+  node->bin_op = op;
+  node->is_prefix = compound;  // reuse: true => compound assignment
+  return node;
+}
+
+Result<ExprPtr> Parser::ParseConditional() {
+  ASSIGN_OR_RETURN(ExprPtr cond, ParseBinary(1));
+  if (!Match(Tok::kQuestion)) {
+    return cond;
+  }
+  auto node = std::make_unique<Expr>(ExprKind::kCond);
+  node->loc = cond->loc;
+  node->a = std::move(cond);
+  ASSIGN_OR_RETURN(node->b, ParseExpr());
+  RETURN_IF_ERROR(Expect(Tok::kColon));
+  ASSIGN_OR_RETURN(node->c, ParseConditional());
+  return node;
+}
+
+Result<ExprPtr> Parser::ParseBinary(int min_prec) {
+  ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (true) {
+    int prec = BinPrec(Peek().kind);
+    if (prec < min_prec || prec == 0) {
+      return lhs;
+    }
+    Tok op_tok = Peek().kind;
+    SourceLoc loc = Loc();
+    Advance();
+    ASSIGN_OR_RETURN(ExprPtr rhs, ParseBinary(prec + 1));
+    auto node = std::make_unique<Expr>(ExprKind::kBinary);
+    node->loc = loc;
+    node->bin_op = BinOpOf(op_tok);
+    node->a = std::move(lhs);
+    node->b = std::move(rhs);
+    lhs = std::move(node);
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  SourceLoc loc = Loc();
+  if (Match(Tok::kMinus)) {
+    auto node = std::make_unique<Expr>(ExprKind::kUnary);
+    node->loc = loc;
+    node->un_op = UnOp::kNeg;
+    ASSIGN_OR_RETURN(node->a, ParseUnary());
+    return node;
+  }
+  if (Match(Tok::kTilde)) {
+    auto node = std::make_unique<Expr>(ExprKind::kUnary);
+    node->loc = loc;
+    node->un_op = UnOp::kBitNot;
+    ASSIGN_OR_RETURN(node->a, ParseUnary());
+    return node;
+  }
+  if (Match(Tok::kBang)) {
+    auto node = std::make_unique<Expr>(ExprKind::kUnary);
+    node->loc = loc;
+    node->un_op = UnOp::kLogNot;
+    ASSIGN_OR_RETURN(node->a, ParseUnary());
+    return node;
+  }
+  if (Match(Tok::kStar)) {
+    auto node = std::make_unique<Expr>(ExprKind::kDeref);
+    node->loc = loc;
+    ASSIGN_OR_RETURN(node->a, ParseUnary());
+    return node;
+  }
+  if (Match(Tok::kAmp)) {
+    auto node = std::make_unique<Expr>(ExprKind::kAddrOf);
+    node->loc = loc;
+    ASSIGN_OR_RETURN(node->a, ParseUnary());
+    return node;
+  }
+  if (Check(Tok::kPlusPlus) || Check(Tok::kMinusMinus)) {
+    bool inc = Advance().kind == Tok::kPlusPlus;
+    auto node = std::make_unique<Expr>(ExprKind::kIncDec);
+    node->loc = loc;
+    node->is_prefix = true;
+    node->is_increment = inc;
+    ASSIGN_OR_RETURN(node->a, ParseUnary());
+    return node;
+  }
+  if (Match(Tok::kKwSizeof)) {
+    auto node = std::make_unique<Expr>(ExprKind::kSizeof);
+    node->loc = loc;
+    if (Check(Tok::kLParen) &&
+        (Peek(1).kind == Tok::kKwVoid || Peek(1).kind == Tok::kKwChar ||
+         Peek(1).kind == Tok::kKwInt || Peek(1).kind == Tok::kKwLong ||
+         Peek(1).kind == Tok::kKwUnsigned ||
+         Peek(1).kind == Tok::kKwSigned || Peek(1).kind == Tok::kKwStruct ||
+         Peek(1).kind == Tok::kKwConst)) {
+      Advance();
+      bool is_const = false;
+      ASSIGN_OR_RETURN(const Type* base, ParseBaseType(&is_const));
+      ASSIGN_OR_RETURN(Declarator d, ParseDeclarator(base, /*allow_abstract=*/true));
+      node->target_type = d.type;
+      RETURN_IF_ERROR(Expect(Tok::kRParen));
+    } else {
+      ASSIGN_OR_RETURN(node->a, ParseUnary());
+    }
+    return node;
+  }
+  // Cast: '(' type ... ')'
+  if (Check(Tok::kLParen) &&
+      (Peek(1).kind == Tok::kKwVoid || Peek(1).kind == Tok::kKwChar ||
+       Peek(1).kind == Tok::kKwInt || Peek(1).kind == Tok::kKwLong ||
+       Peek(1).kind == Tok::kKwUnsigned ||
+       Peek(1).kind == Tok::kKwSigned || Peek(1).kind == Tok::kKwStruct ||
+       Peek(1).kind == Tok::kKwConst)) {
+    Advance();
+    bool is_const = false;
+    ASSIGN_OR_RETURN(const Type* base, ParseBaseType(&is_const));
+    ASSIGN_OR_RETURN(Declarator d, ParseDeclarator(base, /*allow_abstract=*/true));
+    RETURN_IF_ERROR(Expect(Tok::kRParen));
+    auto node = std::make_unique<Expr>(ExprKind::kCast);
+    node->loc = loc;
+    node->target_type = d.type;
+    ASSIGN_OR_RETURN(node->a, ParseUnary());
+    return node;
+  }
+  return ParsePostfix();
+}
+
+Result<ExprPtr> Parser::ParsePostfix() {
+  ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
+  while (true) {
+    SourceLoc loc = Loc();
+    if (Match(Tok::kLBracket)) {
+      auto node = std::make_unique<Expr>(ExprKind::kIndex);
+      node->loc = loc;
+      node->a = std::move(expr);
+      ASSIGN_OR_RETURN(node->b, ParseExpr());
+      RETURN_IF_ERROR(Expect(Tok::kRBracket));
+      expr = std::move(node);
+    } else if (Match(Tok::kLParen)) {
+      auto node = std::make_unique<Expr>(ExprKind::kCall);
+      node->loc = loc;
+      node->a = std::move(expr);
+      if (!Check(Tok::kRParen)) {
+        while (true) {
+          ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          node->args.push_back(std::move(arg));
+          if (!Match(Tok::kComma)) {
+            break;
+          }
+        }
+      }
+      RETURN_IF_ERROR(Expect(Tok::kRParen));
+      expr = std::move(node);
+    } else if (Match(Tok::kDot) || (Check(Tok::kArrow) && (Advance(), true))) {
+      bool arrow = tokens_[pos_ - 1].kind == Tok::kArrow;
+      if (!Check(Tok::kIdent)) {
+        return Error("expected field name");
+      }
+      auto node = std::make_unique<Expr>(ExprKind::kMember);
+      node->loc = loc;
+      node->is_arrow = arrow;
+      node->field = Advance().text;
+      node->a = std::move(expr);
+      expr = std::move(node);
+    } else if (Check(Tok::kPlusPlus) || Check(Tok::kMinusMinus)) {
+      bool inc = Advance().kind == Tok::kPlusPlus;
+      auto node = std::make_unique<Expr>(ExprKind::kIncDec);
+      node->loc = loc;
+      node->is_prefix = false;
+      node->is_increment = inc;
+      node->a = std::move(expr);
+      expr = std::move(node);
+    } else {
+      return expr;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  SourceLoc loc = Loc();
+  if (Check(Tok::kIntLit) || Check(Tok::kCharLit)) {
+    auto node = std::make_unique<Expr>(ExprKind::kIntLit);
+    node->loc = loc;
+    node->int_value = Advance().int_value;
+    return node;
+  }
+  if (Check(Tok::kStringLit)) {
+    auto node = std::make_unique<Expr>(ExprKind::kStringLit);
+    node->loc = loc;
+    node->str_value = Advance().str_value;
+    return node;
+  }
+  if (Check(Tok::kIdent)) {
+    std::string name = Advance().text;
+    auto it = enum_consts_.find(name);
+    if (it != enum_consts_.end()) {
+      auto node = std::make_unique<Expr>(ExprKind::kIntLit);
+      node->loc = loc;
+      node->int_value = it->second;
+      return node;
+    }
+    auto node = std::make_unique<Expr>(ExprKind::kVarRef);
+    node->loc = loc;
+    node->name = std::move(name);
+    return node;
+  }
+  if (Match(Tok::kLParen)) {
+    ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    RETURN_IF_ERROR(Expect(Tok::kRParen));
+    return inner;
+  }
+  return Error(StrFormat("expected expression, found %s",
+                         std::string(TokName(Peek().kind)).c_str()));
+}
+
+Result<int32_t> Parser::FoldConst(const Expr& e) const {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return e.int_value;
+    case ExprKind::kUnary: {
+      ASSIGN_OR_RETURN(int32_t v, FoldConst(*e.a));
+      switch (e.un_op) {
+        case UnOp::kNeg:
+          return -v;
+        case UnOp::kBitNot:
+          return ~v & 0xFFFF;
+        case UnOp::kLogNot:
+          return v == 0 ? 1 : 0;
+      }
+      return v;
+    }
+    case ExprKind::kBinary: {
+      ASSIGN_OR_RETURN(int32_t a, FoldConst(*e.a));
+      ASSIGN_OR_RETURN(int32_t b, FoldConst(*e.b));
+      switch (e.bin_op) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+        case BinOp::kDiv:
+          if (b == 0) return Error("division by zero in constant expression");
+          return a / b;
+        case BinOp::kMod:
+          if (b == 0) return Error("modulo by zero in constant expression");
+          return a % b;
+        case BinOp::kAnd: return a & b;
+        case BinOp::kOr: return a | b;
+        case BinOp::kXor: return a ^ b;
+        case BinOp::kShl: return a << (b & 15);
+        case BinOp::kShr: return a >> (b & 15);
+        case BinOp::kLt: return a < b;
+        case BinOp::kGt: return a > b;
+        case BinOp::kLe: return a <= b;
+        case BinOp::kGe: return a >= b;
+        case BinOp::kEq: return a == b;
+        case BinOp::kNe: return a != b;
+        case BinOp::kLogAnd: return (a != 0 && b != 0) ? 1 : 0;
+        case BinOp::kLogOr: return (a != 0 || b != 0) ? 1 : 0;
+      }
+      return 0;
+    }
+    case ExprKind::kSizeof:
+      if (e.target_type != nullptr) {
+        return e.target_type->SizeBytes();
+      }
+      return Error("sizeof(expr) is not a constant here");
+    case ExprKind::kCond: {
+      ASSIGN_OR_RETURN(int32_t c, FoldConst(*e.a));
+      return c != 0 ? FoldConst(*e.b) : FoldConst(*e.c);
+    }
+    default:
+      return Error("expression is not compile-time constant");
+  }
+}
+
+Result<ExprPtr> Parser::ParseConstExpr(int32_t* value) {
+  ASSIGN_OR_RETURN(ExprPtr e, ParseConditional());
+  ASSIGN_OR_RETURN(*value, FoldConst(*e));
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+Status Parser::ParseLocalDecl(std::vector<StmtPtr>* out) {
+  bool is_const = false;
+  ASSIGN_OR_RETURN(const Type* base, ParseBaseType(&is_const));
+  while (true) {
+    SourceLoc loc = Loc();
+    ASSIGN_OR_RETURN(Declarator d, ParseDeclarator(base, /*allow_abstract=*/false));
+    auto stmt = std::make_unique<Stmt>(StmtKind::kDecl);
+    stmt->loc = loc;
+    stmt->decl_name = d.name;
+    stmt->decl_type = d.type;
+    if (Match(Tok::kAssign)) {
+      if (Match(Tok::kLBrace)) {
+        stmt->has_init_list = true;
+        if (!Check(Tok::kRBrace)) {
+          while (true) {
+            ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            stmt->init_list.push_back(std::move(e));
+            if (!Match(Tok::kComma)) {
+              break;
+            }
+          }
+        }
+        RETURN_IF_ERROR(Expect(Tok::kRBrace));
+      } else {
+        ASSIGN_OR_RETURN(stmt->init_expr, ParseExpr());
+      }
+    }
+    out->push_back(std::move(stmt));
+    if (!Match(Tok::kComma)) {
+      break;
+    }
+  }
+  return Expect(Tok::kSemi);
+}
+
+Result<StmtPtr> Parser::ParseBlock() {
+  SourceLoc loc = Loc();
+  RETURN_IF_ERROR(Expect(Tok::kLBrace));
+  auto block = std::make_unique<Stmt>(StmtKind::kBlock);
+  block->loc = loc;
+  while (!Check(Tok::kRBrace) && !Check(Tok::kEof)) {
+    if (AtTypeStart()) {
+      RETURN_IF_ERROR(ParseLocalDecl(&block->body));
+    } else {
+      ASSIGN_OR_RETURN(StmtPtr s, ParseStmt());
+      block->body.push_back(std::move(s));
+    }
+  }
+  RETURN_IF_ERROR(Expect(Tok::kRBrace));
+  return StmtPtr(std::move(block));
+}
+
+Result<StmtPtr> Parser::ParseStmt() {
+  SourceLoc loc = Loc();
+  if (Check(Tok::kLBrace)) {
+    return ParseBlock();
+  }
+  if (Match(Tok::kSemi)) {
+    auto s = std::make_unique<Stmt>(StmtKind::kEmpty);
+    s->loc = loc;
+    return StmtPtr(std::move(s));
+  }
+  if (Match(Tok::kKwIf)) {
+    RETURN_IF_ERROR(Expect(Tok::kLParen));
+    auto s = std::make_unique<Stmt>(StmtKind::kIf);
+    s->loc = loc;
+    ASSIGN_OR_RETURN(s->expr, ParseExpr());
+    RETURN_IF_ERROR(Expect(Tok::kRParen));
+    ASSIGN_OR_RETURN(s->then_branch, ParseStmt());
+    if (Match(Tok::kKwElse)) {
+      ASSIGN_OR_RETURN(s->else_branch, ParseStmt());
+    }
+    return StmtPtr(std::move(s));
+  }
+  if (Match(Tok::kKwWhile)) {
+    RETURN_IF_ERROR(Expect(Tok::kLParen));
+    auto s = std::make_unique<Stmt>(StmtKind::kWhile);
+    s->loc = loc;
+    ASSIGN_OR_RETURN(s->expr, ParseExpr());
+    RETURN_IF_ERROR(Expect(Tok::kRParen));
+    ASSIGN_OR_RETURN(s->then_branch, ParseStmt());
+    return StmtPtr(std::move(s));
+  }
+  if (Match(Tok::kKwDo)) {
+    auto s = std::make_unique<Stmt>(StmtKind::kDoWhile);
+    s->loc = loc;
+    ASSIGN_OR_RETURN(s->then_branch, ParseStmt());
+    RETURN_IF_ERROR(Expect(Tok::kKwWhile));
+    RETURN_IF_ERROR(Expect(Tok::kLParen));
+    ASSIGN_OR_RETURN(s->expr, ParseExpr());
+    RETURN_IF_ERROR(Expect(Tok::kRParen));
+    RETURN_IF_ERROR(Expect(Tok::kSemi));
+    return StmtPtr(std::move(s));
+  }
+  if (Match(Tok::kKwFor)) {
+    RETURN_IF_ERROR(Expect(Tok::kLParen));
+    auto s = std::make_unique<Stmt>(StmtKind::kFor);
+    s->loc = loc;
+    if (!Check(Tok::kSemi)) {
+      if (AtTypeStart()) {
+        std::vector<StmtPtr> decls;
+        RETURN_IF_ERROR(ParseLocalDecl(&decls));
+        if (decls.size() != 1) {
+          return Error("for-init may declare exactly one variable");
+        }
+        s->init_stmt = std::move(decls[0]);
+      } else {
+        ASSIGN_OR_RETURN(s->init_expr, ParseExpr());
+        RETURN_IF_ERROR(Expect(Tok::kSemi));
+      }
+    } else {
+      Advance();
+    }
+    if (!Check(Tok::kSemi)) {
+      ASSIGN_OR_RETURN(s->expr, ParseExpr());
+    }
+    RETURN_IF_ERROR(Expect(Tok::kSemi));
+    if (!Check(Tok::kRParen)) {
+      ASSIGN_OR_RETURN(s->step_expr, ParseExpr());
+    }
+    RETURN_IF_ERROR(Expect(Tok::kRParen));
+    ASSIGN_OR_RETURN(s->then_branch, ParseStmt());
+    return StmtPtr(std::move(s));
+  }
+  if (Match(Tok::kKwReturn)) {
+    auto s = std::make_unique<Stmt>(StmtKind::kReturn);
+    s->loc = loc;
+    if (!Check(Tok::kSemi)) {
+      ASSIGN_OR_RETURN(s->expr, ParseExpr());
+    }
+    RETURN_IF_ERROR(Expect(Tok::kSemi));
+    return StmtPtr(std::move(s));
+  }
+  if (Match(Tok::kKwBreak)) {
+    RETURN_IF_ERROR(Expect(Tok::kSemi));
+    auto s = std::make_unique<Stmt>(StmtKind::kBreak);
+    s->loc = loc;
+    return StmtPtr(std::move(s));
+  }
+  if (Match(Tok::kKwContinue)) {
+    RETURN_IF_ERROR(Expect(Tok::kSemi));
+    auto s = std::make_unique<Stmt>(StmtKind::kContinue);
+    s->loc = loc;
+    return StmtPtr(std::move(s));
+  }
+  if (Match(Tok::kKwSwitch)) {
+    RETURN_IF_ERROR(Expect(Tok::kLParen));
+    auto s = std::make_unique<Stmt>(StmtKind::kSwitch);
+    s->loc = loc;
+    ASSIGN_OR_RETURN(s->expr, ParseExpr());
+    RETURN_IF_ERROR(Expect(Tok::kRParen));
+    RETURN_IF_ERROR(Expect(Tok::kLBrace));
+    while (!Check(Tok::kRBrace) && !Check(Tok::kEof)) {
+      if (Match(Tok::kKwCase)) {
+        auto c = std::make_unique<Stmt>(StmtKind::kCase);
+        c->loc = Loc();
+        ASSIGN_OR_RETURN(c->case_value, ParseConstExpr(&c->case_const));
+        RETURN_IF_ERROR(Expect(Tok::kColon));
+        s->body.push_back(std::move(c));
+      } else if (Match(Tok::kKwDefault)) {
+        auto c = std::make_unique<Stmt>(StmtKind::kDefault);
+        c->loc = Loc();
+        RETURN_IF_ERROR(Expect(Tok::kColon));
+        s->body.push_back(std::move(c));
+      } else if (AtTypeStart()) {
+        return Error("declarations inside switch bodies are not supported; use a block");
+      } else {
+        ASSIGN_OR_RETURN(StmtPtr inner, ParseStmt());
+        s->body.push_back(std::move(inner));
+      }
+    }
+    RETURN_IF_ERROR(Expect(Tok::kRBrace));
+    return StmtPtr(std::move(s));
+  }
+  if (Match(Tok::kKwGoto)) {
+    auto s = std::make_unique<Stmt>(StmtKind::kGoto);
+    s->loc = loc;
+    if (Check(Tok::kIdent)) {
+      s->label = Advance().text;
+    }
+    RETURN_IF_ERROR(Expect(Tok::kSemi));
+    return StmtPtr(std::move(s));
+  }
+  if (Match(Tok::kKwAsm)) {
+    auto s = std::make_unique<Stmt>(StmtKind::kAsm);
+    s->loc = loc;
+    // Swallow the parenthesized payload without interpreting it.
+    RETURN_IF_ERROR(Expect(Tok::kLParen));
+    int depth = 1;
+    while (depth > 0 && !Check(Tok::kEof)) {
+      if (Check(Tok::kLParen)) {
+        ++depth;
+      } else if (Check(Tok::kRParen)) {
+        --depth;
+      }
+      Advance();
+    }
+    RETURN_IF_ERROR(Expect(Tok::kSemi));
+    return StmtPtr(std::move(s));
+  }
+  // Expression statement.
+  auto s = std::make_unique<Stmt>(StmtKind::kExpr);
+  s->loc = loc;
+  ASSIGN_OR_RETURN(s->expr, ParseExpr());
+  RETURN_IF_ERROR(Expect(Tok::kSemi));
+  return StmtPtr(std::move(s));
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+Status Parser::ParseStructDecl() {
+  // 'struct' already consumed by caller's lookahead decision; consume here.
+  RETURN_IF_ERROR(Expect(Tok::kKwStruct));
+  if (!Check(Tok::kIdent)) {
+    return Error("expected struct name");
+  }
+  std::string name = Advance().text;
+  RETURN_IF_ERROR(Expect(Tok::kLBrace));
+  if (program_->types.FindStruct(name) != nullptr) {
+    return Error(StrFormat("struct '%s' redefined", name.c_str()));
+  }
+  StructDef* def = program_->types.CreateStruct(name);
+  int offset = 0;
+  int align = 1;
+  while (!Check(Tok::kRBrace) && !Check(Tok::kEof)) {
+    bool is_const = false;
+    ASSIGN_OR_RETURN(const Type* base, ParseBaseType(&is_const));
+    while (true) {
+      ASSIGN_OR_RETURN(Declarator d, ParseDeclarator(base, /*allow_abstract=*/false));
+      if (d.type->IsVoid() || d.type->IsFunction()) {
+        return Error(StrFormat("field '%s' has invalid type", d.name.c_str()));
+      }
+      if (def->FindField(d.name) != nullptr) {
+        return Error(StrFormat("duplicate field '%s'", d.name.c_str()));
+      }
+      int field_align = d.type->AlignBytes();
+      offset = (offset + field_align - 1) / field_align * field_align;
+      def->fields.push_back({d.name, d.type, offset});
+      offset += d.type->SizeBytes();
+      align = std::max(align, field_align);
+      if (!Match(Tok::kComma)) {
+        break;
+      }
+    }
+    RETURN_IF_ERROR(Expect(Tok::kSemi));
+  }
+  RETURN_IF_ERROR(Expect(Tok::kRBrace));
+  RETURN_IF_ERROR(Expect(Tok::kSemi));
+  def->align = align;
+  def->size = (offset + align - 1) / align * align;
+  if (def->size == 0) {
+    def->size = align;  // empty structs occupy one unit
+  }
+  return OkStatus();
+}
+
+Status Parser::ParseEnumDecl() {
+  RETURN_IF_ERROR(Expect(Tok::kKwEnum));
+  if (Check(Tok::kIdent)) {
+    Advance();  // tag name: accepted and ignored (enums are plain ints)
+  }
+  RETURN_IF_ERROR(Expect(Tok::kLBrace));
+  int32_t next = 0;
+  while (!Check(Tok::kRBrace) && !Check(Tok::kEof)) {
+    if (!Check(Tok::kIdent)) {
+      return Error("expected enumerator name");
+    }
+    std::string name = Advance().text;
+    if (Match(Tok::kAssign)) {
+      int32_t v = 0;
+      ASSIGN_OR_RETURN(ExprPtr e, ParseConstExpr(&v));
+      (void)e;
+      next = v;
+    }
+    if (enum_consts_.count(name) != 0) {
+      return Error(StrFormat("enumerator '%s' redefined", name.c_str()));
+    }
+    enum_consts_[name] = next++;
+    if (!Match(Tok::kComma)) {
+      break;
+    }
+  }
+  RETURN_IF_ERROR(Expect(Tok::kRBrace));
+  return Expect(Tok::kSemi);
+}
+
+Status Parser::ParseGlobalTail(const Type* base, bool is_const) {
+  while (true) {
+    SourceLoc loc = Loc();
+    ASSIGN_OR_RETURN(Declarator d, ParseDeclarator(base, /*allow_abstract=*/false));
+    // Function definition or prototype?
+    if (Check(Tok::kLParen) && !d.type->IsPointer()) {
+      auto fn = std::make_unique<FunctionDecl>();
+      fn->name = d.name;
+      fn->loc = loc;
+      ASSIGN_OR_RETURN(fn->signature, ParseParamList(d.type, &fn->params));
+      if (Match(Tok::kSemi)) {
+        // Prototype.
+      } else {
+        ASSIGN_OR_RETURN(fn->body, ParseBlock());
+      }
+      if (FunctionDecl* prev = program_->FindFunction(fn->name)) {
+        if (prev->body != nullptr && fn->body != nullptr) {
+          return Error(StrFormat("function '%s' redefined", fn->name.c_str()));
+        }
+        if (fn->body != nullptr) {
+          prev->body = std::move(fn->body);
+          prev->params = std::move(fn->params);
+          prev->signature = fn->signature;
+        }
+        return OkStatus();
+      }
+      program_->functions.push_back(std::move(fn));
+      return OkStatus();
+    }
+    // Global variable.
+    auto g = std::make_unique<GlobalVar>();
+    g->name = d.name;
+    g->type = d.type;
+    g->is_const = is_const;
+    g->loc = loc;
+    if (Match(Tok::kAssign)) {
+      // Initializer expressions are stored raw; sema evaluates them.
+      if (Match(Tok::kLBrace)) {
+        if (!Check(Tok::kRBrace)) {
+          while (true) {
+            ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            g->init_exprs.push_back(std::move(e));
+            if (!Match(Tok::kComma)) {
+              break;
+            }
+          }
+        }
+        RETURN_IF_ERROR(Expect(Tok::kRBrace));
+        g->has_init_list = true;
+      } else {
+        ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        g->init_exprs.push_back(std::move(e));
+      }
+    }
+    program_->globals.push_back(std::move(g));
+    if (!Match(Tok::kComma)) {
+      break;
+    }
+  }
+  return Expect(Tok::kSemi);
+}
+
+Status Parser::ParseTopLevel() {
+  if (Check(Tok::kKwStruct) && Peek(1).kind == Tok::kIdent && Peek(2).kind == Tok::kLBrace) {
+    return ParseStructDecl();
+  }
+  if (Check(Tok::kKwEnum)) {
+    return ParseEnumDecl();
+  }
+  if (Check(Tok::kKwTypedef)) {
+    return Error("typedef is not supported in AmuletC");
+  }
+  bool is_const = false;
+  ASSIGN_OR_RETURN(const Type* base, ParseBaseType(&is_const));
+  return ParseGlobalTail(base, is_const);
+}
+
+Result<std::unique_ptr<Program>> Parser::Run() {
+  while (!Check(Tok::kEof)) {
+    RETURN_IF_ERROR(ParseTopLevel());
+  }
+  return std::move(program_);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Program>> Parse(std::string_view source, std::string_view unit_name) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source, unit_name));
+  Parser parser(std::move(tokens), unit_name);
+  return parser.Run();
+}
+
+}  // namespace amulet

@@ -1,0 +1,20 @@
+// AmuletC recursive-descent parser. Produces an unannotated AST; semantic
+// analysis (sema.h) resolves names, types, and legality.
+#ifndef SRC_LANG_PARSER_H_
+#define SRC_LANG_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/lang/ast.h"
+
+namespace amulet {
+
+// Parses a full translation unit. `unit_name` is used in diagnostics and
+// becomes Program::name.
+Result<std::unique_ptr<Program>> Parse(std::string_view source, std::string_view unit_name);
+
+}  // namespace amulet
+
+#endif  // SRC_LANG_PARSER_H_

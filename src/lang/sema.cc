@@ -1,0 +1,951 @@
+#include "src/lang/sema.h"
+
+#include <functional>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+namespace {
+
+class Scope {
+ public:
+  explicit Scope(Scope* parent) : parent_(parent) {}
+
+  VarSymbol* Find(const std::string& name) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) {
+      return it->second;
+    }
+    return parent_ != nullptr ? parent_->Find(name) : nullptr;
+  }
+  bool DefinedHere(const std::string& name) const { return vars_.count(name) != 0; }
+  void Define(const std::string& name, VarSymbol* var) { vars_[name] = var; }
+
+ private:
+  Scope* parent_;
+  std::map<std::string, VarSymbol*> vars_;
+};
+
+class Sema {
+ public:
+  Sema(Program* program, const SemaOptions& options, FeatureAudit* audit)
+      : program_(program), options_(options), audit_(audit), types_(program->types) {}
+
+  Status Run();
+
+ private:
+  Status Error(SourceLoc loc, const std::string& message) const {
+    return TypeError(StrFormat("%s:%d:%d: %s", program_->name.c_str(), loc.line, loc.col,
+                               message.c_str()));
+  }
+
+  // Expression analysis. After AnalyzeExpr, e->type is set.
+  Status AnalyzeExpr(Expr* e);
+  Status AnalyzeLValue(Expr* e);  // AnalyzeExpr + lvalue check
+  Status AnalyzeStmt(Stmt* s);
+  Status AnalyzeFunction(FunctionDecl* fn);
+  Status AnalyzeGlobal(GlobalVar* g);
+
+  // Integer conversions: both operands promote to 16 bits; result is
+  // unsigned if either side is unsigned.
+  const Type* Promote(const Type* t) const {
+    if (t->kind == TypeKind::kInt8) {
+      return types_.Int16();
+    }
+    if (t->kind == TypeKind::kUInt8) {
+      return types_.UInt16();
+    }
+    return t;
+  }
+  const Type* Unify(const Type* a, const Type* b) const {
+    a = Promote(a);
+    b = Promote(b);
+    if (a->kind == TypeKind::kUInt32 || b->kind == TypeKind::kUInt32) {
+      return types_.UInt32();
+    }
+    if (a->IsWide() || b->IsWide()) {
+      // long absorbs any 16-bit operand (it can represent all uint16 values).
+      return types_.Int32();
+    }
+    if (a->kind == TypeKind::kUInt16 || b->kind == TypeKind::kUInt16) {
+      return types_.UInt16();
+    }
+    return types_.Int16();
+  }
+
+  // Array-to-pointer and function-to-pointer decay for value contexts.
+  const Type* Decay(const Type* t) const {
+    if (t->IsArray()) {
+      return types_.PointerTo(t->element);
+    }
+    if (t->IsFunction()) {
+      return types_.PointerTo(t);
+    }
+    return t;
+  }
+
+  // Is `from` assignable to `to` (with AmuletC's loose integer rules)?
+  bool Assignable(const Type* to, const Type* from, const Expr* from_expr) const;
+
+  bool IsLValue(const Expr& e) const;
+  void NotePointerUse() { audit_->uses_pointers = true; }
+  bool TypeUsesPointer(const Type* t) const {
+    if (t->IsPointer()) {
+      return true;
+    }
+    if (t->IsArray()) {
+      return TypeUsesPointer(t->element);
+    }
+    if (t->IsStruct()) {
+      for (const StructField& f : t->struct_def->fields) {
+        if (TypeUsesPointer(f.type)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Global initializer folding.
+  Status FoldInit(const Expr& e, const Type* target, int offset, GlobalVar* g);
+  Status EmitScalarInit(int32_t value, const Type* target, int offset, GlobalVar* g);
+
+  VarSymbol* NewLocal(FunctionDecl* fn, const std::string& name, const Type* type,
+                      bool is_param, int param_index, bool is_const) {
+    fn->symbols.push_back(std::make_unique<VarSymbol>());
+    VarSymbol* sym = fn->symbols.back().get();
+    sym->name = name;
+    sym->type = type;
+    sym->is_param = is_param;
+    sym->param_index = param_index;
+    sym->is_const = is_const;
+    return sym;
+  }
+
+  int InternString(const std::string& value) {
+    for (size_t i = 0; i < program_->string_pool.size(); ++i) {
+      if (program_->string_pool[i] == value) {
+        return static_cast<int>(i);
+      }
+    }
+    program_->string_pool.push_back(value);
+    return static_cast<int>(program_->string_pool.size() - 1);
+  }
+
+  Program* program_;
+  const SemaOptions& options_;
+  FeatureAudit* audit_;
+  TypeTable& types_;
+
+  FunctionDecl* current_fn_ = nullptr;
+  Scope* current_scope_ = nullptr;
+  int loop_depth_ = 0;
+  int switch_depth_ = 0;
+};
+
+bool Sema::IsLValue(const Expr& e) const {
+  switch (e.kind) {
+    case ExprKind::kVarRef:
+      return e.var != nullptr;  // function references are not lvalues
+    case ExprKind::kDeref:
+    case ExprKind::kIndex:
+      return true;
+    case ExprKind::kMember:
+      return e.is_arrow || IsLValue(*e.a);
+    default:
+      return false;
+  }
+}
+
+bool Sema::Assignable(const Type* to, const Type* from, const Expr* from_expr) const {
+  if (to->IsInteger() && from->IsInteger()) {
+    return true;  // free integer conversions (with truncation)
+  }
+  if (to->IsPointer()) {
+    if (from->IsPointer()) {
+      // Exact match, or either side void*.
+      return to == from || to->pointee->IsVoid() || from->pointee->IsVoid();
+    }
+    // Null-pointer constant.
+    if (from->IsInteger() && from_expr != nullptr && from_expr->kind == ExprKind::kIntLit &&
+        from_expr->int_value == 0) {
+      return true;
+    }
+    return false;
+  }
+  if (to->IsInteger() && from->IsPointer()) {
+    return false;  // require an explicit cast
+  }
+  return to == from;
+}
+
+Status Sema::AnalyzeLValue(Expr* e) {
+  RETURN_IF_ERROR(AnalyzeExpr(e));
+  if (!IsLValue(*e)) {
+    return Error(e->loc, "expression is not assignable");
+  }
+  if (e->kind == ExprKind::kVarRef && e->var != nullptr && e->var->is_const) {
+    return Error(e->loc, StrFormat("cannot assign to const '%s'", e->var->name.c_str()));
+  }
+  if (e->type->IsArray()) {
+    return Error(e->loc, "cannot assign to an array");
+  }
+  return OkStatus();
+}
+
+Status Sema::AnalyzeExpr(Expr* e) {
+  switch (e->kind) {
+    case ExprKind::kIntLit: {
+      const uint32_t magnitude = static_cast<uint32_t>(e->int_value);
+      if (magnitude <= 0x7FFF) {
+        e->type = types_.Int16();
+      } else if (magnitude <= 0xFFFF) {
+        e->type = types_.UInt16();
+      } else if (magnitude <= 0x7FFFFFFF) {
+        e->type = types_.Int32();
+      } else {
+        e->type = types_.UInt32();
+      }
+      return OkStatus();
+    }
+
+    case ExprKind::kStringLit:
+      e->string_id = InternString(e->str_value);
+      e->type = types_.PointerTo(types_.Int8());
+      NotePointerUse();
+      return OkStatus();
+
+    case ExprKind::kVarRef: {
+      if (current_scope_ != nullptr) {
+        if (VarSymbol* var = current_scope_->Find(e->name)) {
+          e->var = var;
+          e->type = var->type;
+          return OkStatus();
+        }
+      }
+      if (GlobalVar* g = program_->FindGlobal(e->name)) {
+        e->var = &g->symbol;
+        e->type = g->type;
+        return OkStatus();
+      }
+      if (FunctionDecl* fn = program_->FindFunction(e->name)) {
+        e->func_ref = fn;
+        e->type = fn->signature;
+        return OkStatus();
+      }
+      return Error(e->loc, StrFormat("undeclared identifier '%s'", e->name.c_str()));
+    }
+
+    case ExprKind::kBinary: {
+      RETURN_IF_ERROR(AnalyzeExpr(e->a.get()));
+      RETURN_IF_ERROR(AnalyzeExpr(e->b.get()));
+      const Type* ta = Decay(e->a->type);
+      const Type* tb = Decay(e->b->type);
+      switch (e->bin_op) {
+        case BinOp::kAdd:
+          if (ta->IsPointer() && tb->IsInteger()) {
+            if (tb->IsWide()) {
+              return Error(e->loc, "pointer offsets must be 16-bit (cast the long)");
+            }
+            e->type = ta;
+            return OkStatus();
+          }
+          if (ta->IsInteger() && tb->IsPointer()) {
+            if (ta->IsWide()) {
+              return Error(e->loc, "pointer offsets must be 16-bit (cast the long)");
+            }
+            e->type = tb;
+            return OkStatus();
+          }
+          [[fallthrough]];
+        case BinOp::kMul:
+        case BinOp::kDiv:
+        case BinOp::kMod:
+        case BinOp::kAnd:
+        case BinOp::kOr:
+        case BinOp::kXor:
+        case BinOp::kShl:
+        case BinOp::kShr:
+          if (e->bin_op == BinOp::kSub) {
+            break;  // handled below
+          }
+          if (!ta->IsInteger() || !tb->IsInteger()) {
+            return Error(e->loc, "arithmetic requires integer operands");
+          }
+          e->type = Unify(ta, tb);
+          return OkStatus();
+        case BinOp::kSub:
+          break;
+        case BinOp::kLt:
+        case BinOp::kGt:
+        case BinOp::kLe:
+        case BinOp::kGe:
+        case BinOp::kEq:
+        case BinOp::kNe:
+          if (ta->IsPointer() != tb->IsPointer()) {
+            // Allow ptr <op> 0.
+            const Expr* lit = ta->IsPointer() ? e->b.get() : e->a.get();
+            if (!(lit->kind == ExprKind::kIntLit && lit->int_value == 0)) {
+              return Error(e->loc, "cannot compare pointer with integer");
+            }
+          } else if (!ta->IsScalar() || !tb->IsScalar()) {
+            return Error(e->loc, "comparison requires scalar operands");
+          }
+          e->type = types_.Int16();
+          return OkStatus();
+        case BinOp::kLogAnd:
+        case BinOp::kLogOr:
+          if (!ta->IsScalar() || !tb->IsScalar()) {
+            return Error(e->loc, "logical operators require scalar operands");
+          }
+          e->type = types_.Int16();
+          return OkStatus();
+      }
+      // kSub: int-int, ptr-int, ptr-ptr.
+      if (ta->IsInteger() && tb->IsInteger()) {
+        e->type = Unify(ta, tb);
+        return OkStatus();
+      }
+      if (ta->IsPointer() && tb->IsInteger()) {
+        if (tb->IsWide()) {
+          return Error(e->loc, "pointer offsets must be 16-bit (cast the long)");
+        }
+        e->type = ta;
+        return OkStatus();
+      }
+      if (ta->IsPointer() && tb->IsPointer()) {
+        if (ta != tb) {
+          return Error(e->loc, "pointer difference requires matching types");
+        }
+        e->type = types_.Int16();
+        return OkStatus();
+      }
+      return Error(e->loc, "invalid operands to '-'");
+    }
+
+    case ExprKind::kUnary: {
+      RETURN_IF_ERROR(AnalyzeExpr(e->a.get()));
+      const Type* t = Decay(e->a->type);
+      if (e->un_op == UnOp::kLogNot) {
+        if (!t->IsScalar()) {
+          return Error(e->loc, "'!' requires a scalar operand");
+        }
+        e->type = types_.Int16();
+        return OkStatus();
+      }
+      if (!t->IsInteger()) {
+        return Error(e->loc, "unary operator requires an integer operand");
+      }
+      e->type = Promote(t);
+      return OkStatus();
+    }
+
+    case ExprKind::kAssign: {
+      RETURN_IF_ERROR(AnalyzeLValue(e->a.get()));
+      RETURN_IF_ERROR(AnalyzeExpr(e->b.get()));
+      const Type* to = e->a->type;
+      const Type* from = Decay(e->b->type);
+      const bool compound = e->is_prefix;
+      if (compound) {
+        if (to->IsPointer() &&
+            (e->bin_op == BinOp::kAdd || e->bin_op == BinOp::kSub)) {
+          if (!from->IsInteger()) {
+            return Error(e->loc, "pointer compound assignment requires an integer");
+          }
+        } else if (!to->IsInteger() || !from->IsInteger()) {
+          return Error(e->loc, "compound assignment requires integer operands");
+        }
+      } else if (!Assignable(to, from, e->b.get())) {
+        return Error(e->loc, StrFormat("cannot assign '%s' to '%s'",
+                                       from->ToString().c_str(), to->ToString().c_str()));
+      }
+      e->type = to;
+      return OkStatus();
+    }
+
+    case ExprKind::kCall: {
+      // Callee: direct function, or expression of function-pointer type.
+      Expr* callee = e->a.get();
+      RETURN_IF_ERROR(AnalyzeExpr(callee));
+      const Type* fn_type = callee->type;
+      if (fn_type->IsPointer() && fn_type->pointee->IsFunction()) {
+        fn_type = fn_type->pointee;
+      }
+      if (!fn_type->IsFunction()) {
+        return Error(e->loc, "called object is not a function");
+      }
+      const bool direct = callee->kind == ExprKind::kVarRef && callee->func_ref != nullptr;
+      if (!direct) {
+        audit_->has_indirect_calls = true;
+        NotePointerUse();
+      }
+      if (e->args.size() != fn_type->params.size()) {
+        return Error(e->loc, StrFormat("call expects %zu argument(s), got %zu",
+                                       fn_type->params.size(), e->args.size()));
+      }
+      for (size_t i = 0; i < e->args.size(); ++i) {
+        RETURN_IF_ERROR(AnalyzeExpr(e->args[i].get()));
+        const Type* from = Decay(e->args[i]->type);
+        if (!Assignable(fn_type->params[i], from, e->args[i].get())) {
+          return Error(e->args[i]->loc,
+                       StrFormat("argument %zu: cannot pass '%s' as '%s'", i + 1,
+                                 from->ToString().c_str(),
+                                 fn_type->params[i]->ToString().c_str()));
+        }
+      }
+      if (direct && current_fn_ != nullptr) {
+        FunctionDecl* target = callee->func_ref;
+        if (target->is_api) {
+          audit_->called_apis.insert(target->name);
+          audit_->api_calls[current_fn_->name] += 1;
+        } else {
+          audit_->call_graph[current_fn_->name].insert(target->name);
+        }
+      }
+      e->type = fn_type->return_type;
+      return OkStatus();
+    }
+
+    case ExprKind::kIndex: {
+      RETURN_IF_ERROR(AnalyzeExpr(e->a.get()));
+      RETURN_IF_ERROR(AnalyzeExpr(e->b.get()));
+      const Type* base = e->a->type;
+      if (!base->IsArray() && !(Decay(base)->IsPointer())) {
+        return Error(e->loc, "subscripted value is not an array or pointer");
+      }
+      const Type* index_type = Decay(e->b->type);
+      if (!index_type->IsInteger()) {
+        return Error(e->loc, "array index must be an integer");
+      }
+      if (index_type->IsWide()) {
+        return Error(e->loc, "array indexes must be 16-bit (cast the long)");
+      }
+      if (base->IsArray()) {
+        e->type = base->element;
+      } else {
+        const Type* ptr = Decay(base);
+        if (ptr->pointee->IsVoid() || ptr->pointee->IsFunction()) {
+          return Error(e->loc, "cannot index a void*/function pointer");
+        }
+        e->type = ptr->pointee;
+        NotePointerUse();
+      }
+      if (current_fn_ != nullptr) {
+        audit_->checked_accesses[current_fn_->name] += 1;
+      }
+      return OkStatus();
+    }
+
+    case ExprKind::kMember: {
+      RETURN_IF_ERROR(AnalyzeExpr(e->a.get()));
+      const Type* base = e->a->type;
+      const StructDef* def = nullptr;
+      if (e->is_arrow) {
+        const Type* ptr = Decay(base);
+        if (!ptr->IsPointer() || !ptr->pointee->IsStruct()) {
+          return Error(e->loc, "'->' requires a pointer to a struct");
+        }
+        def = ptr->pointee->struct_def;
+        NotePointerUse();
+        if (current_fn_ != nullptr) {
+          audit_->checked_accesses[current_fn_->name] += 1;
+        }
+      } else {
+        if (!base->IsStruct()) {
+          return Error(e->loc, "'.' requires a struct value");
+        }
+        def = base->struct_def;
+      }
+      const StructField* field = def->FindField(e->field);
+      if (field == nullptr) {
+        return Error(e->loc, StrFormat("struct '%s' has no field '%s'", def->name.c_str(),
+                                       e->field.c_str()));
+      }
+      e->resolved_field = field;
+      e->type = field->type;
+      return OkStatus();
+    }
+
+    case ExprKind::kDeref: {
+      RETURN_IF_ERROR(AnalyzeExpr(e->a.get()));
+      const Type* t = Decay(e->a->type);
+      if (!t->IsPointer() || t->pointee->IsVoid() || t->pointee->IsFunction()) {
+        return Error(e->loc, "cannot dereference this type");
+      }
+      e->type = t->pointee;
+      NotePointerUse();
+      if (current_fn_ != nullptr) {
+        audit_->checked_accesses[current_fn_->name] += 1;
+      }
+      return OkStatus();
+    }
+
+    case ExprKind::kAddrOf: {
+      RETURN_IF_ERROR(AnalyzeExpr(e->a.get()));
+      NotePointerUse();
+      if (e->a->kind == ExprKind::kVarRef && e->a->func_ref != nullptr) {
+        e->type = types_.PointerTo(e->a->func_ref->signature);
+        return OkStatus();
+      }
+      if (!IsLValue(*e->a)) {
+        return Error(e->loc, "cannot take the address of this expression");
+      }
+      e->type = types_.PointerTo(e->a->type);
+      return OkStatus();
+    }
+
+    case ExprKind::kCast: {
+      RETURN_IF_ERROR(AnalyzeExpr(e->a.get()));
+      const Type* from = Decay(e->a->type);
+      const Type* to = e->target_type;
+      if (to->IsVoid()) {
+        e->type = to;
+        return OkStatus();
+      }
+      if (!(to->IsScalar() && from->IsScalar())) {
+        return Error(e->loc, "casts are limited to scalar types");
+      }
+      if (to->IsPointer() || from->IsPointer()) {
+        NotePointerUse();
+      }
+      e->type = to;
+      return OkStatus();
+    }
+
+    case ExprKind::kSizeof: {
+      int size = 0;
+      if (e->target_type != nullptr) {
+        size = e->target_type->SizeBytes();
+      } else {
+        RETURN_IF_ERROR(AnalyzeExpr(e->a.get()));
+        size = e->a->type->SizeBytes();
+      }
+      // Fold into a literal.
+      e->kind = ExprKind::kIntLit;
+      e->int_value = size;
+      e->a.reset();
+      e->type = types_.UInt16();
+      return OkStatus();
+    }
+
+    case ExprKind::kCond: {
+      RETURN_IF_ERROR(AnalyzeExpr(e->a.get()));
+      RETURN_IF_ERROR(AnalyzeExpr(e->b.get()));
+      RETURN_IF_ERROR(AnalyzeExpr(e->c.get()));
+      if (!Decay(e->a->type)->IsScalar()) {
+        return Error(e->loc, "condition must be scalar");
+      }
+      const Type* tb = Decay(e->b->type);
+      const Type* tc = Decay(e->c->type);
+      if (tb->IsInteger() && tc->IsInteger()) {
+        e->type = Unify(tb, tc);
+      } else if (tb == tc) {
+        e->type = tb;
+      } else {
+        return Error(e->loc, "'?:' branches have incompatible types");
+      }
+      return OkStatus();
+    }
+
+    case ExprKind::kIncDec: {
+      RETURN_IF_ERROR(AnalyzeLValue(e->a.get()));
+      const Type* t = e->a->type;
+      if (!t->IsInteger() && !t->IsPointer()) {
+        return Error(e->loc, "++/-- requires an integer or pointer");
+      }
+      e->type = t;
+      return OkStatus();
+    }
+  }
+  return Error(e->loc, "internal: unhandled expression kind");
+}
+
+Status Sema::AnalyzeStmt(Stmt* s) {
+  switch (s->kind) {
+    case StmtKind::kEmpty:
+      return OkStatus();
+    case StmtKind::kExpr:
+      return AnalyzeExpr(s->expr.get());
+    case StmtKind::kDecl: {
+      if (s->decl_type->IsVoid() || s->decl_type->IsFunction()) {
+        return Error(s->loc, StrFormat("variable '%s' has invalid type", s->decl_name.c_str()));
+      }
+      if (current_scope_->DefinedHere(s->decl_name)) {
+        return Error(s->loc, StrFormat("redeclaration of '%s'", s->decl_name.c_str()));
+      }
+      if (TypeUsesPointer(s->decl_type)) {
+        NotePointerUse();
+      }
+      VarSymbol* var = NewLocal(current_fn_, s->decl_name, s->decl_type, false, -1, false);
+      if (s->has_init_list) {
+        if (!s->decl_type->IsArray() && !s->decl_type->IsStruct()) {
+          return Error(s->loc, "brace initializer requires an array or struct");
+        }
+        size_t max_elems = s->decl_type->IsArray()
+                               ? static_cast<size_t>(s->decl_type->array_length)
+                               : s->decl_type->struct_def->fields.size();
+        if (s->init_list.size() > max_elems) {
+          return Error(s->loc, "too many initializers");
+        }
+        for (auto& e : s->init_list) {
+          RETURN_IF_ERROR(AnalyzeExpr(e.get()));
+          if (!Decay(e->type)->IsScalar()) {
+            return Error(e->loc, "initializer element must be scalar");
+          }
+        }
+      } else if (s->init_expr != nullptr) {
+        RETURN_IF_ERROR(AnalyzeExpr(s->init_expr.get()));
+        const Type* from = Decay(s->init_expr->type);
+        if (!Assignable(s->decl_type, from, s->init_expr.get())) {
+          return Error(s->loc, StrFormat("cannot initialize '%s' with '%s'",
+                                         s->decl_type->ToString().c_str(),
+                                         from->ToString().c_str()));
+        }
+      }
+      // Define after analyzing the initializer ('int x = x;' is an error).
+      current_scope_->Define(s->decl_name, var);
+      s->decl_var = var;
+      return OkStatus();
+    }
+    case StmtKind::kIf: {
+      RETURN_IF_ERROR(AnalyzeExpr(s->expr.get()));
+      RETURN_IF_ERROR(AnalyzeStmt(s->then_branch.get()));
+      if (s->else_branch != nullptr) {
+        RETURN_IF_ERROR(AnalyzeStmt(s->else_branch.get()));
+      }
+      return OkStatus();
+    }
+    case StmtKind::kWhile:
+    case StmtKind::kDoWhile: {
+      RETURN_IF_ERROR(AnalyzeExpr(s->expr.get()));
+      ++loop_depth_;
+      Status body = AnalyzeStmt(s->then_branch.get());
+      --loop_depth_;
+      return body;
+    }
+    case StmtKind::kFor: {
+      Scope scope(current_scope_);
+      Scope* saved = current_scope_;
+      current_scope_ = &scope;
+      Status status = OkStatus();
+      if (s->init_stmt != nullptr) {
+        status = AnalyzeStmt(s->init_stmt.get());
+      } else if (s->init_expr != nullptr) {
+        status = AnalyzeExpr(s->init_expr.get());
+      }
+      if (status.ok() && s->expr != nullptr) {
+        status = AnalyzeExpr(s->expr.get());
+      }
+      if (status.ok() && s->step_expr != nullptr) {
+        status = AnalyzeExpr(s->step_expr.get());
+      }
+      if (status.ok()) {
+        ++loop_depth_;
+        status = AnalyzeStmt(s->then_branch.get());
+        --loop_depth_;
+      }
+      current_scope_ = saved;
+      return status;
+    }
+    case StmtKind::kReturn: {
+      const Type* expected = current_fn_->signature->return_type;
+      if (s->expr == nullptr) {
+        if (!expected->IsVoid()) {
+          return Error(s->loc, "non-void function must return a value");
+        }
+        return OkStatus();
+      }
+      if (expected->IsVoid()) {
+        return Error(s->loc, "void function cannot return a value");
+      }
+      RETURN_IF_ERROR(AnalyzeExpr(s->expr.get()));
+      if (!Assignable(expected, Decay(s->expr->type), s->expr.get())) {
+        return Error(s->loc, "return value type mismatch");
+      }
+      return OkStatus();
+    }
+    case StmtKind::kBreak:
+      if (loop_depth_ == 0 && switch_depth_ == 0) {
+        return Error(s->loc, "'break' outside of a loop or switch");
+      }
+      return OkStatus();
+    case StmtKind::kContinue:
+      if (loop_depth_ == 0) {
+        return Error(s->loc, "'continue' outside of a loop");
+      }
+      return OkStatus();
+    case StmtKind::kBlock: {
+      Scope scope(current_scope_);
+      Scope* saved = current_scope_;
+      current_scope_ = &scope;
+      Status status = OkStatus();
+      for (auto& inner : s->body) {
+        status = AnalyzeStmt(inner.get());
+        if (!status.ok()) {
+          break;
+        }
+      }
+      current_scope_ = saved;
+      return status;
+    }
+    case StmtKind::kSwitch: {
+      RETURN_IF_ERROR(AnalyzeExpr(s->expr.get()));
+      if (!Decay(s->expr->type)->IsInteger()) {
+        return Error(s->loc, "switch condition must be an integer");
+      }
+      if (Decay(s->expr->type)->IsWide()) {
+        return Error(s->loc, "switch on long is not supported (cast to int)");
+      }
+      std::set<int32_t> seen;
+      bool has_default = false;
+      ++switch_depth_;
+      Status status = OkStatus();
+      for (auto& inner : s->body) {
+        if (inner->kind == StmtKind::kCase) {
+          if (!seen.insert(inner->case_const).second) {
+            status = Error(inner->loc, StrFormat("duplicate case %d", inner->case_const));
+            break;
+          }
+          continue;
+        }
+        if (inner->kind == StmtKind::kDefault) {
+          if (has_default) {
+            status = Error(inner->loc, "duplicate default label");
+            break;
+          }
+          has_default = true;
+          continue;
+        }
+        status = AnalyzeStmt(inner.get());
+        if (!status.ok()) {
+          break;
+        }
+      }
+      --switch_depth_;
+      return status;
+    }
+    case StmtKind::kCase:
+    case StmtKind::kDefault:
+      return Error(s->loc, "case label outside of a switch");
+    case StmtKind::kGoto:
+      return Error(s->loc, "goto is not supported (AFT phase 1: unsupported language feature)");
+    case StmtKind::kAsm:
+      return Error(s->loc,
+                   "inline assembly is not supported (AFT phase 1: unsupported language feature)");
+  }
+  return Error(s->loc, "internal: unhandled statement kind");
+}
+
+Status Sema::AnalyzeFunction(FunctionDecl* fn) {
+  if (fn->body == nullptr) {
+    return OkStatus();
+  }
+  current_fn_ = fn;
+  Scope scope(nullptr);
+  current_scope_ = &scope;
+  int index = 0;
+  for (const ParamDecl& p : fn->params) {
+    if (p.name.empty()) {
+      return Error(fn->loc, StrFormat("function '%s': parameter %d needs a name",
+                                      fn->name.c_str(), index + 1));
+    }
+    if (scope.DefinedHere(p.name)) {
+      return Error(fn->loc, StrFormat("duplicate parameter '%s'", p.name.c_str()));
+    }
+    if (TypeUsesPointer(p.type)) {
+      NotePointerUse();
+    }
+    VarSymbol* sym = NewLocal(fn, p.name, p.type, true, index, false);
+    scope.Define(p.name, sym);
+    ++index;
+  }
+  Status status = AnalyzeStmt(fn->body.get());
+  current_scope_ = nullptr;
+  current_fn_ = nullptr;
+  return status;
+}
+
+Status Sema::EmitScalarInit(int32_t value, const Type* target, int offset, GlobalVar* g) {
+  const int size = target->SizeBytes();
+  for (int i = 0; i < size; ++i) {
+    g->init_bytes[offset + i] = static_cast<uint8_t>((static_cast<uint32_t>(value) >> (8 * i)) & 0xFF);
+  }
+  return OkStatus();
+}
+
+// Folds one initializer expression targeting `target` at byte `offset`.
+Status Sema::FoldInit(const Expr& e, const Type* target, int offset, GlobalVar* g) {
+  // Address-of a global / function name / string literal => relocation.
+  if (target->IsPointer()) {
+    if (e.kind == ExprKind::kAddrOf && e.a->kind == ExprKind::kVarRef) {
+      g->init_relocs.push_back({offset, e.a->name});
+      return OkStatus();
+    }
+    if (e.kind == ExprKind::kVarRef) {
+      // Function name or array name.
+      g->init_relocs.push_back({offset, e.name});
+      return OkStatus();
+    }
+    if (e.kind == ExprKind::kIntLit && e.int_value == 0) {
+      return EmitScalarInit(0, target, offset, g);
+    }
+    return Error(e.loc, "pointer initializer must be 0, &global, or a function/array name");
+  }
+  if (!target->IsInteger()) {
+    return Error(e.loc, "unsupported initializer target");
+  }
+  // Constant integer expression (reuse of parser folding rules, local copy).
+  // Only literals and simple arithmetic survive to here in practice.
+  std::function<Result<int32_t>(const Expr&)> fold = [&](const Expr& x) -> Result<int32_t> {
+    switch (x.kind) {
+      case ExprKind::kIntLit:
+        return x.int_value;
+      case ExprKind::kUnary: {
+        ASSIGN_OR_RETURN(int32_t v, fold(*x.a));
+        if (x.un_op == UnOp::kNeg) {
+          return -v;
+        }
+        if (x.un_op == UnOp::kBitNot) {
+          return ~v;
+        }
+        return v == 0 ? 1 : 0;
+      }
+      case ExprKind::kBinary: {
+        ASSIGN_OR_RETURN(int32_t a, fold(*x.a));
+        ASSIGN_OR_RETURN(int32_t b, fold(*x.b));
+        switch (x.bin_op) {
+          case BinOp::kAdd: return a + b;
+          case BinOp::kSub: return a - b;
+          case BinOp::kMul: return a * b;
+          case BinOp::kDiv: return b != 0 ? a / b : 0;
+          case BinOp::kMod: return b != 0 ? a % b : 0;
+          case BinOp::kAnd: return a & b;
+          case BinOp::kOr: return a | b;
+          case BinOp::kXor: return a ^ b;
+          case BinOp::kShl: return a << (b & 15);
+          case BinOp::kShr: return a >> (b & 15);
+          default:
+            return Error(x.loc, "initializer is not a compile-time constant");
+        }
+      }
+      default:
+        return Error(x.loc, "initializer is not a compile-time constant");
+    }
+  };
+  ASSIGN_OR_RETURN(int32_t value, fold(e));
+  return EmitScalarInit(value, target, offset, g);
+}
+
+Status Sema::AnalyzeGlobal(GlobalVar* g) {
+  if (g->type->IsVoid() || g->type->IsFunction()) {
+    return Error(g->loc, StrFormat("global '%s' has invalid type", g->name.c_str()));
+  }
+  if (TypeUsesPointer(g->type)) {
+    NotePointerUse();
+  }
+  g->symbol.name = g->name;
+  g->symbol.type = g->type;
+  g->symbol.is_global = true;
+  g->symbol.is_const = g->is_const;
+  g->init_bytes.assign(static_cast<size_t>(g->type->SizeBytes()), 0);
+
+  if (g->init_exprs.empty()) {
+    return OkStatus();
+  }
+  if (g->has_init_list) {
+    if (g->type->IsArray()) {
+      const Type* elem = g->type->element;
+      if (static_cast<int>(g->init_exprs.size()) > g->type->array_length) {
+        return Error(g->loc, "too many initializers");
+      }
+      for (size_t i = 0; i < g->init_exprs.size(); ++i) {
+        RETURN_IF_ERROR(
+            FoldInit(*g->init_exprs[i], elem, static_cast<int>(i) * elem->SizeBytes(), g));
+      }
+      return OkStatus();
+    }
+    if (g->type->IsStruct()) {
+      const StructDef* def = g->type->struct_def;
+      if (g->init_exprs.size() > def->fields.size()) {
+        return Error(g->loc, "too many initializers");
+      }
+      for (size_t i = 0; i < g->init_exprs.size(); ++i) {
+        RETURN_IF_ERROR(FoldInit(*g->init_exprs[i], def->fields[i].type,
+                                 def->fields[i].offset, g));
+      }
+      return OkStatus();
+    }
+    return Error(g->loc, "brace initializer requires an array or struct");
+  }
+  return FoldInit(*g->init_exprs[0], g->type, 0, g);
+}
+
+Status Sema::Run() {
+  // Mark API prototypes.
+  for (auto& fn : program_->functions) {
+    auto it = options_.api_numbers.find(fn->name);
+    if (it != options_.api_numbers.end()) {
+      if (fn->body != nullptr) {
+        return Error(fn->loc, StrFormat("'%s' is an OS API and cannot be defined by the app",
+                                        fn->name.c_str()));
+      }
+      fn->is_api = true;
+      fn->api_number = it->second;
+    } else if (fn->body == nullptr) {
+      return Error(fn->loc, StrFormat("function '%s' declared but never defined",
+                                      fn->name.c_str()));
+    }
+  }
+  // Globals may reference functions (function-pointer tables), so globals
+  // come after function registration but before body analysis.
+  for (auto& g : program_->globals) {
+    if (program_->FindFunction(g->name) != nullptr) {
+      return Error(g->loc, StrFormat("'%s' is both a global and a function", g->name.c_str()));
+    }
+    RETURN_IF_ERROR(AnalyzeGlobal(g.get()));
+  }
+  for (auto& fn : program_->functions) {
+    RETURN_IF_ERROR(AnalyzeFunction(fn.get()));
+  }
+
+  // Recursion detection: DFS over the direct call graph.
+  std::set<std::string> visiting;
+  std::set<std::string> done;
+  std::function<bool(const std::string&)> dfs = [&](const std::string& node) -> bool {
+    if (done.count(node) != 0) {
+      return false;
+    }
+    if (!visiting.insert(node).second) {
+      return true;
+    }
+    auto it = audit_->call_graph.find(node);
+    if (it != audit_->call_graph.end()) {
+      for (const std::string& callee : it->second) {
+        if (dfs(callee)) {
+          return true;
+        }
+      }
+    }
+    visiting.erase(node);
+    done.insert(node);
+    return false;
+  };
+  for (auto& fn : program_->functions) {
+    if (dfs(fn->name)) {
+      audit_->uses_recursion = true;
+      break;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status Analyze(Program* program, const SemaOptions& options, FeatureAudit* audit) {
+  Sema sema(program, options, audit);
+  return sema.Run();
+}
+
+}  // namespace amulet

@@ -1,0 +1,41 @@
+// AmuletC semantic analysis: name resolution, type checking, lvalue rules,
+// global-initializer folding, and the feature audit consumed by AFT phase 1
+// (pointer usage, recursion, goto/asm rejection, OS API call enumeration).
+#ifndef SRC_LANG_SEMA_H_
+#define SRC_LANG_SEMA_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/lang/ast.h"
+
+namespace amulet {
+
+struct SemaOptions {
+  // OS API prototypes (name -> syscall number). Prototypes with these names
+  // are marked is_api; calling them is a context switch into AmuletOS.
+  std::map<std::string, int> api_numbers;
+};
+
+// What AFT phase 1 needs to know about an application.
+struct FeatureAudit {
+  bool uses_pointers = false;       // pointer declarations, derefs, address-of
+  bool uses_recursion = false;      // cycle in the direct-call graph
+  bool has_indirect_calls = false;  // calls through function pointers
+  std::set<std::string> called_apis;
+  // Direct call graph (caller -> callees), for stack-depth analysis.
+  std::map<std::string, std::set<std::string>> call_graph;
+  // Static counts, per function (memory accesses that will need isolation
+  // checks, and API calls == context switches). Used by ARP.
+  std::map<std::string, int> checked_accesses;
+  std::map<std::string, int> api_calls;
+};
+
+// Analyzes and annotates `program` in place. On success fills `audit`.
+Status Analyze(Program* program, const SemaOptions& options, FeatureAudit* audit);
+
+}  // namespace amulet
+
+#endif  // SRC_LANG_SEMA_H_

@@ -1,0 +1,165 @@
+#include "src/lang/type.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace amulet {
+
+int Type::SizeBytes() const {
+  switch (kind) {
+    case TypeKind::kVoid:
+      return 0;
+    case TypeKind::kInt8:
+    case TypeKind::kUInt8:
+      return 1;
+    case TypeKind::kInt16:
+    case TypeKind::kUInt16:
+    case TypeKind::kPointer:
+      return 2;
+    case TypeKind::kInt32:
+    case TypeKind::kUInt32:
+      return 4;
+    case TypeKind::kArray:
+      return element->SizeBytes() * array_length;
+    case TypeKind::kStruct:
+      return struct_def->size;
+    case TypeKind::kFunction:
+      return 0;  // functions have no size; pointers to them do
+  }
+  return 0;
+}
+
+int Type::AlignBytes() const {
+  switch (kind) {
+    case TypeKind::kVoid:
+    case TypeKind::kFunction:
+      return 1;
+    case TypeKind::kInt8:
+    case TypeKind::kUInt8:
+      return 1;
+    case TypeKind::kInt16:
+    case TypeKind::kUInt16:
+    case TypeKind::kPointer:
+      return 2;
+    case TypeKind::kInt32:
+    case TypeKind::kUInt32:
+      return 2;  // the MSP430 has no 4-byte alignment requirement
+    case TypeKind::kArray:
+      return element->AlignBytes();
+    case TypeKind::kStruct:
+      return struct_def->align;
+  }
+  return 1;
+}
+
+std::string Type::ToString() const {
+  switch (kind) {
+    case TypeKind::kVoid:
+      return "void";
+    case TypeKind::kInt8:
+      return "char";
+    case TypeKind::kUInt8:
+      return "unsigned char";
+    case TypeKind::kInt16:
+      return "int";
+    case TypeKind::kUInt16:
+      return "unsigned int";
+    case TypeKind::kInt32:
+      return "long";
+    case TypeKind::kUInt32:
+      return "unsigned long";
+    case TypeKind::kPointer:
+      return pointee->ToString() + "*";
+    case TypeKind::kArray:
+      return StrFormat("%s[%d]", element->ToString().c_str(), array_length);
+    case TypeKind::kStruct:
+      return "struct " + struct_def->name;
+    case TypeKind::kFunction: {
+      std::string out = return_type->ToString() + "(";
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += params[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+TypeTable::TypeTable() {
+  auto make = [&](TypeKind kind) {
+    types_.push_back(std::make_unique<Type>());
+    types_.back()->kind = kind;
+    return types_.back().get();
+  };
+  void_ = make(TypeKind::kVoid);
+  int8_ = make(TypeKind::kInt8);
+  uint8_ = make(TypeKind::kUInt8);
+  int16_ = make(TypeKind::kInt16);
+  uint16_ = make(TypeKind::kUInt16);
+  int32_ = make(TypeKind::kInt32);
+  uint32_ = make(TypeKind::kUInt32);
+}
+
+const Type* TypeTable::Intern(Type t) {
+  for (const auto& existing : types_) {
+    if (existing->kind == t.kind && existing->pointee == t.pointee &&
+        existing->element == t.element && existing->array_length == t.array_length &&
+        existing->struct_def == t.struct_def && existing->return_type == t.return_type &&
+        existing->params == t.params) {
+      return existing.get();
+    }
+  }
+  types_.push_back(std::make_unique<Type>(std::move(t)));
+  return types_.back().get();
+}
+
+const Type* TypeTable::PointerTo(const Type* pointee) {
+  Type t;
+  t.kind = TypeKind::kPointer;
+  t.pointee = pointee;
+  return Intern(std::move(t));
+}
+
+const Type* TypeTable::ArrayOf(const Type* element, int length) {
+  Type t;
+  t.kind = TypeKind::kArray;
+  t.element = element;
+  t.array_length = length;
+  return Intern(std::move(t));
+}
+
+const Type* TypeTable::StructOf(const StructDef* def) {
+  Type t;
+  t.kind = TypeKind::kStruct;
+  t.struct_def = def;
+  return Intern(std::move(t));
+}
+
+const Type* TypeTable::FunctionOf(const Type* return_type, std::vector<const Type*> params) {
+  Type t;
+  t.kind = TypeKind::kFunction;
+  t.return_type = return_type;
+  t.params = std::move(params);
+  return Intern(std::move(t));
+}
+
+StructDef* TypeTable::CreateStruct(const std::string& name) {
+  structs_.push_back(std::make_unique<StructDef>());
+  structs_.back()->name = name;
+  return structs_.back().get();
+}
+
+StructDef* TypeTable::FindStruct(const std::string& name) {
+  for (const auto& def : structs_) {
+    if (def->name == name) {
+      return def.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace amulet

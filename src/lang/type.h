@@ -1,0 +1,126 @@
+// AmuletC type system.
+//
+// AmuletC is the integer C subset the Amulet Firmware Toolchain compiles:
+// 8/16-bit integers, pointers (including function pointers), arrays, and
+// structs. 16-bit `int` matches the MSP430's native word. No floats, no
+// 32-bit types, no by-value struct passing (pointers to structs are fine).
+#ifndef SRC_LANG_TYPE_H_
+#define SRC_LANG_TYPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace amulet {
+
+enum class TypeKind : uint8_t {
+  kVoid,
+  kInt8,    // char
+  kUInt8,   // unsigned char
+  kInt16,   // int
+  kUInt16,  // unsigned int
+  kInt32,   // long
+  kUInt32,  // unsigned long
+  kPointer,
+  kArray,
+  kStruct,
+  kFunction,
+};
+
+struct StructDef;
+
+class Type {
+ public:
+  TypeKind kind = TypeKind::kVoid;
+  const Type* pointee = nullptr;          // kPointer
+  const Type* element = nullptr;          // kArray
+  int array_length = 0;                   // kArray
+  const StructDef* struct_def = nullptr;  // kStruct
+  const Type* return_type = nullptr;      // kFunction
+  std::vector<const Type*> params;        // kFunction
+
+  bool IsVoid() const { return kind == TypeKind::kVoid; }
+  bool IsInteger() const {
+    return kind == TypeKind::kInt8 || kind == TypeKind::kUInt8 || kind == TypeKind::kInt16 ||
+           kind == TypeKind::kUInt16 || kind == TypeKind::kInt32 || kind == TypeKind::kUInt32;
+  }
+  bool IsSigned() const {
+    return kind == TypeKind::kInt8 || kind == TypeKind::kInt16 || kind == TypeKind::kInt32;
+  }
+  bool IsWide() const { return kind == TypeKind::kInt32 || kind == TypeKind::kUInt32; }
+  bool IsPointer() const { return kind == TypeKind::kPointer; }
+  bool IsArray() const { return kind == TypeKind::kArray; }
+  bool IsStruct() const { return kind == TypeKind::kStruct; }
+  bool IsFunction() const { return kind == TypeKind::kFunction; }
+  bool IsByte() const { return kind == TypeKind::kInt8 || kind == TypeKind::kUInt8; }
+  // Usable in arithmetic/conditions (pointers decay for comparisons).
+  bool IsScalar() const { return IsInteger() || IsPointer(); }
+
+  int SizeBytes() const;
+  int AlignBytes() const;
+
+  std::string ToString() const;
+};
+
+struct StructField {
+  std::string name;
+  const Type* type = nullptr;
+  int offset = 0;  // byte offset, laid out by Sema
+};
+
+struct StructDef {
+  std::string name;
+  std::vector<StructField> fields;
+  int size = 0;   // total bytes (padded to alignment)
+  int align = 1;
+
+  const StructField* FindField(const std::string& field_name) const {
+    for (const StructField& f : fields) {
+      if (f.name == field_name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Owns and interns types; Type pointers stay valid for the table's lifetime.
+class TypeTable {
+ public:
+  TypeTable();
+
+  const Type* Void() const { return void_; }
+  const Type* Int8() const { return int8_; }
+  const Type* UInt8() const { return uint8_; }
+  const Type* Int16() const { return int16_; }
+  const Type* UInt16() const { return uint16_; }
+  const Type* Int32() const { return int32_; }
+  const Type* UInt32() const { return uint32_; }
+
+  const Type* PointerTo(const Type* pointee);
+  const Type* ArrayOf(const Type* element, int length);
+  const Type* StructOf(const StructDef* def);
+  const Type* FunctionOf(const Type* return_type, std::vector<const Type*> params);
+
+  // Struct definitions are owned here too (created during parsing).
+  StructDef* CreateStruct(const std::string& name);
+  StructDef* FindStruct(const std::string& name);
+
+ private:
+  const Type* Intern(Type t);
+
+  std::vector<std::unique_ptr<Type>> types_;
+  std::vector<std::unique_ptr<StructDef>> structs_;
+  const Type* void_;
+  const Type* int8_;
+  const Type* uint8_;
+  const Type* int16_;
+  const Type* uint16_;
+  const Type* int32_;
+  const Type* uint32_;
+};
+
+}  // namespace amulet
+
+#endif  // SRC_LANG_TYPE_H_

@@ -1,0 +1,204 @@
+#include "src/mcu/bus.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace amulet {
+
+namespace {
+// Value returned for refused/unmapped reads; an out-of-thin-air pattern that
+// is easy to spot in traces (and decodes to a CMP, never silently useful).
+constexpr uint16_t kRefusedReadValue = 0x3FFF;
+}  // namespace
+
+Bus::Bus() = default;
+
+void Bus::AttachDevice(BusDevice* device) {
+  AMULET_CHECK(device != nullptr);
+  devices_.push_back(device);
+}
+
+uint64_t Bus::TakePenaltyCycles() {
+  uint64_t taken = penalty_cycles_;
+  penalty_cycles_ = 0;
+  return taken;
+}
+
+BusDevice* Bus::DeviceFor(uint16_t addr) {
+  for (BusDevice* device : devices_) {
+    if (addr >= device->base() &&
+        addr < static_cast<uint32_t>(device->base()) + device->size_bytes()) {
+      return device;
+    }
+  }
+  return nullptr;
+}
+
+uint8_t* Bus::BackingFor(uint16_t addr, AccessKind kind, bool* writable) {
+  const uint32_t a = addr;
+  *writable = true;
+  if (InRange(a, kBslStart, kBslEnd)) {
+    *writable = false;
+    return &mem_[addr];
+  }
+  if (IsInfoMem(a) || IsSram(a) || a >= kFramStart) {
+    return &mem_[addr];
+  }
+  if (InRange(a, kPeriphStart, kPeriphEnd)) {
+    // Peripheral space without a device behind it: handled by caller.
+    if (kind == AccessKind::kFetch) {
+      fault_ = BusFault::kFetchFromPeriph;
+    }
+    return nullptr;
+  }
+  return nullptr;  // hole (0x1A00-0x1BFF, 0x2400-0x43FF)
+}
+
+void Bus::Observe(uint16_t addr, AccessKind kind, bool byte, uint16_t value) {
+  if (observer_) {
+    observer_({addr, kind, byte, value});
+  }
+}
+
+void Bus::AddFramPenalty(uint16_t addr) {
+  if (fram_wait_states_ > 0 && IsAnyFram(addr)) {
+    penalty_cycles_ += static_cast<uint64_t>(fram_wait_states_);
+  }
+}
+
+uint16_t Bus::ReadWord(uint16_t addr, AccessKind kind) {
+  addr &= ~uint16_t{1};
+  AddFramPenalty(addr);
+  if (mpu_ != nullptr && !mpu_->CheckAccess(addr, kind)) {
+    Observe(addr, kind, false, kRefusedReadValue);
+    return kRefusedReadValue;
+  }
+  if (BusDevice* device = DeviceFor(addr)) {
+    if (kind == AccessKind::kFetch) {
+      fault_ = BusFault::kFetchFromPeriph;
+      return kRefusedReadValue;
+    }
+    uint16_t value = device->ReadWord(static_cast<uint16_t>(addr - device->base()));
+    Observe(addr, kind, false, value);
+    return value;
+  }
+  bool writable = false;
+  uint8_t* backing = BackingFor(addr, kind, &writable);
+  if (backing == nullptr) {
+    fault_ = BusFault::kUnmapped;
+    return kRefusedReadValue;
+  }
+  uint16_t value = static_cast<uint16_t>(backing[0] | (backing[1] << 8));
+  Observe(addr, kind, false, value);
+  return value;
+}
+
+void Bus::WriteWord(uint16_t addr, uint16_t value, AccessKind kind) {
+  addr &= ~uint16_t{1};
+  AddFramPenalty(addr);
+  if (mpu_ != nullptr && !mpu_->CheckAccess(addr, AccessKind::kWrite)) {
+    Observe(addr, AccessKind::kWrite, false, value);
+    return;  // blocked; violation latched in the MPU
+  }
+  if (BusDevice* device = DeviceFor(addr)) {
+    Observe(addr, AccessKind::kWrite, false, value);
+    device->WriteWord(static_cast<uint16_t>(addr - device->base()), value);
+    return;
+  }
+  bool writable = false;
+  uint8_t* backing = BackingFor(addr, kind, &writable);
+  if (backing == nullptr) {
+    fault_ = BusFault::kUnmapped;
+    return;
+  }
+  if (!writable) {
+    fault_ = BusFault::kWriteToRom;
+    return;
+  }
+  Observe(addr, AccessKind::kWrite, false, value);
+  backing[0] = static_cast<uint8_t>(value & 0xFF);
+  backing[1] = static_cast<uint8_t>(value >> 8);
+}
+
+uint8_t Bus::ReadByte(uint16_t addr, AccessKind kind) {
+  AddFramPenalty(addr);
+  if (mpu_ != nullptr && !mpu_->CheckAccess(addr, kind)) {
+    Observe(addr, kind, true, kRefusedReadValue & 0xFF);
+    return kRefusedReadValue & 0xFF;
+  }
+  if (BusDevice* device = DeviceFor(addr)) {
+    uint16_t word = device->ReadWord(static_cast<uint16_t>((addr & ~1) - device->base()));
+    uint8_t value = (addr & 1) != 0 ? static_cast<uint8_t>(word >> 8)
+                                    : static_cast<uint8_t>(word & 0xFF);
+    Observe(addr, kind, true, value);
+    return value;
+  }
+  bool writable = false;
+  uint8_t* backing = BackingFor(addr, kind, &writable);
+  if (backing == nullptr) {
+    fault_ = BusFault::kUnmapped;
+    return kRefusedReadValue & 0xFF;
+  }
+  Observe(addr, kind, true, *backing);
+  return *backing;
+}
+
+void Bus::WriteByte(uint16_t addr, uint8_t value, AccessKind kind) {
+  AddFramPenalty(addr);
+  if (mpu_ != nullptr && !mpu_->CheckAccess(addr, AccessKind::kWrite)) {
+    Observe(addr, AccessKind::kWrite, true, value);
+    return;
+  }
+  if (BusDevice* device = DeviceFor(addr)) {
+    uint16_t offset = static_cast<uint16_t>((addr & ~1) - device->base());
+    uint16_t word = device->ReadWord(offset);
+    if ((addr & 1) != 0) {
+      word = static_cast<uint16_t>((word & 0x00FF) | (value << 8));
+    } else {
+      word = static_cast<uint16_t>((word & 0xFF00) | value);
+    }
+    Observe(addr, AccessKind::kWrite, true, value);
+    device->WriteWord(offset, word);
+    return;
+  }
+  bool writable = false;
+  uint8_t* backing = BackingFor(addr, kind, &writable);
+  if (backing == nullptr) {
+    fault_ = BusFault::kUnmapped;
+    return;
+  }
+  if (!writable) {
+    fault_ = BusFault::kWriteToRom;
+    return;
+  }
+  Observe(addr, AccessKind::kWrite, true, value);
+  *backing = value;
+}
+
+uint8_t Bus::PeekByte(uint16_t addr) const { return mem_[addr]; }
+
+void Bus::PokeByte(uint16_t addr, uint8_t value) { mem_[addr] = value; }
+
+uint16_t Bus::PeekWord(uint16_t addr) const {
+  addr &= ~uint16_t{1};
+  return static_cast<uint16_t>(mem_[addr] | (mem_[addr + 1] << 8));
+}
+
+void Bus::PokeWord(uint16_t addr, uint16_t value) {
+  addr &= ~uint16_t{1};
+  mem_[addr] = static_cast<uint8_t>(value & 0xFF);
+  mem_[addr + 1] = static_cast<uint8_t>(value >> 8);
+}
+
+Status Bus::LoadImage(uint16_t base, const std::vector<uint8_t>& bytes) {
+  if (static_cast<uint32_t>(base) + bytes.size() > 0x10000) {
+    return OutOfRangeError(StrFormat("image of %zu bytes at %s overflows the address space",
+                                     bytes.size(), HexWord(base).c_str()));
+  }
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    mem_[base + i] = bytes[i];
+  }
+  return OkStatus();
+}
+
+}  // namespace amulet

@@ -1,0 +1,119 @@
+// The memory bus: routes CPU accesses to RAM/FRAM arrays and peripheral
+// devices, consults the MPU on every protected access, accumulates FRAM
+// wait-state penalty cycles, and exposes an observer hook used by the Amulet
+// Resource Profiler and by tests.
+#ifndef SRC_MCU_BUS_H_
+#define SRC_MCU_BUS_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mcu/memory_map.h"
+
+namespace amulet {
+
+enum class AccessKind : uint8_t {
+  kFetch,  // instruction-stream read (needs execute permission)
+  kRead,   // data read
+  kWrite,  // data write
+};
+
+// Why an access was refused at the hardware level. Distinct from MPU
+// violations, which are latched in the MPU and surfaced as an NMI.
+enum class BusFault : uint8_t {
+  kNone = 0,
+  kUnmapped,        // hole in the address map
+  kWriteToRom,      // write into the BSL stub
+  kFetchFromPeriph, // executing out of a register block
+};
+
+// A peripheral occupying part of the register space. Word-granular: the bus
+// converts byte accesses into read-modify-write on the device.
+class BusDevice {
+ public:
+  virtual ~BusDevice() = default;
+  virtual uint16_t base() const = 0;
+  virtual uint16_t size_bytes() const = 0;
+  virtual uint16_t ReadWord(uint16_t offset) = 0;
+  virtual void WriteWord(uint16_t offset, uint16_t value) = 0;
+};
+
+// Consulted before every access that lands in MPU-covered memory.
+class MemoryProtection {
+ public:
+  virtual ~MemoryProtection() = default;
+  // Returns true if the access is permitted. A refusal must latch the
+  // violation inside the implementation (flag + NMI request).
+  virtual bool CheckAccess(uint16_t addr, AccessKind kind) = 0;
+};
+
+struct BusObserverEvent {
+  uint16_t addr = 0;
+  AccessKind kind = AccessKind::kRead;
+  bool byte = false;
+  uint16_t value = 0;
+};
+
+class Bus {
+ public:
+  Bus();
+
+  // Devices are consulted in registration order; ranges must not overlap.
+  void AttachDevice(BusDevice* device);
+  void SetMpu(MemoryProtection* mpu) { mpu_ = mpu; }
+  void SetObserver(std::function<void(const BusObserverEvent&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  // Wait states added per FRAM access (fetch or data). The FR5969 runs FRAM
+  // at 8 MHz behind a cache; `1` approximates the average penalty at 16 MHz.
+  void set_fram_wait_states(int n) { fram_wait_states_ = n; }
+  int fram_wait_states() const { return fram_wait_states_; }
+
+  // Penalty cycles accumulated since the last TakePenaltyCycles() call.
+  uint64_t TakePenaltyCycles();
+
+  // CPU-facing accessors. Word addresses have bit 0 ignored (as on the real
+  // part). An MPU refusal yields value 0x3FFF on reads and drops writes; the
+  // violation is latched in the MPU, not reported here.
+  uint16_t ReadWord(uint16_t addr, AccessKind kind);
+  void WriteWord(uint16_t addr, uint16_t value, AccessKind kind);
+  uint8_t ReadByte(uint16_t addr, AccessKind kind);
+  void WriteByte(uint16_t addr, uint8_t value, AccessKind kind);
+
+  // Sticky hardware fault from the most recent access sequence.
+  BusFault fault() const { return fault_; }
+  void ClearFault() { fault_ = BusFault::kNone; }
+
+  // Host-side (non-architectural) access: no MPU, no observer, no penalties.
+  // Used by loaders, tests, and the OS to implement services.
+  uint8_t PeekByte(uint16_t addr) const;
+  void PokeByte(uint16_t addr, uint8_t value);
+  uint16_t PeekWord(uint16_t addr) const;
+  void PokeWord(uint16_t addr, uint16_t value);
+  Status LoadImage(uint16_t base, const std::vector<uint8_t>& bytes);
+
+ private:
+  // Returns backing storage for a plain-memory address, or nullptr if the
+  // address belongs to a device/hole.
+  uint8_t* BackingFor(uint16_t addr, AccessKind kind, bool* writable);
+  BusDevice* DeviceFor(uint16_t addr);
+  void Observe(uint16_t addr, AccessKind kind, bool byte, uint16_t value);
+  void AddFramPenalty(uint16_t addr);
+
+  std::array<uint8_t, 0x10000> mem_{};  // flat backing store for all memory regions
+  std::vector<BusDevice*> devices_;
+  MemoryProtection* mpu_ = nullptr;
+  std::function<void(const BusObserverEvent&)> observer_;
+  BusFault fault_ = BusFault::kNone;
+  int fram_wait_states_ = 0;
+  uint64_t penalty_cycles_ = 0;
+};
+
+}  // namespace amulet
+
+#endif  // SRC_MCU_BUS_H_

@@ -1,0 +1,500 @@
+#include "src/mcu/cpu.h"
+
+#include "src/isa/cycles.h"
+#include "src/isa/encoding.h"
+#include "src/mcu/memory_map.h"
+
+namespace amulet {
+
+namespace {
+constexpr uint16_t Mask(bool byte) { return byte ? 0x00FF : 0xFFFF; }
+constexpr uint16_t SignBit(bool byte) { return byte ? 0x0080 : 0x8000; }
+}  // namespace
+
+Cpu::Cpu(Bus* bus, Timer* timer, McuSignals* signals)
+    : bus_(bus), timer_(timer), signals_(signals) {}
+
+void Cpu::Reset() {
+  regs_.fill(0);
+  halt_reason_ = HaltReason::kNone;
+  signals_->nmi_pending = false;
+  signals_->puc_requested = false;
+  signals_->irq_pending = 0;
+  signals_->stop_requested = false;
+  set_reg(Reg::kPc, bus_->PeekWord(kResetVector));
+}
+
+void Cpu::SetFlag(uint16_t flag, bool set) {
+  uint16_t& sr = regs_[RegIndex(Reg::kSr)];
+  if (set) {
+    sr |= flag;
+  } else {
+    sr &= static_cast<uint16_t>(~flag);
+  }
+}
+
+void Cpu::SetFlagsLogical(uint16_t result, bool byte) {
+  SetFlag(kSrZero, (result & Mask(byte)) == 0);
+  SetFlag(kSrNegative, (result & SignBit(byte)) != 0);
+  SetFlag(kSrCarry, (result & Mask(byte)) != 0);
+  SetFlag(kSrOverflow, false);
+}
+
+void Cpu::PushWord(uint16_t value) {
+  uint16_t sp = static_cast<uint16_t>(reg(Reg::kSp) - 2);
+  set_reg(Reg::kSp, sp);
+  bus_->WriteWord(sp, value, AccessKind::kWrite);
+}
+
+uint16_t Cpu::PopWord() {
+  uint16_t sp = reg(Reg::kSp);
+  uint16_t value = bus_->ReadWord(sp, AccessKind::kRead);
+  set_reg(Reg::kSp, static_cast<uint16_t>(sp + 2));
+  return value;
+}
+
+uint16_t Cpu::ReadOperand(const Operand& op, bool byte, uint16_t ext_word_addr, Loc* loc) {
+  loc->is_reg = false;
+  loc->writable = true;
+  switch (op.mode) {
+    case AddrMode::kRegister: {
+      loc->is_reg = true;
+      loc->reg = op.reg;
+      uint16_t value = reg(op.reg);
+      return static_cast<uint16_t>(value & Mask(byte));
+    }
+    case AddrMode::kConst:
+    case AddrMode::kImmediate:
+      loc->writable = false;
+      return static_cast<uint16_t>(op.ext & Mask(byte));
+    case AddrMode::kIndexed:
+      loc->addr = static_cast<uint16_t>(reg(op.reg) + op.ext);
+      break;
+    case AddrMode::kSymbolic:
+      loc->addr = static_cast<uint16_t>(ext_word_addr + op.ext);
+      break;
+    case AddrMode::kAbsolute:
+      loc->addr = op.ext;
+      break;
+    case AddrMode::kIndirect:
+      loc->addr = reg(op.reg);
+      break;
+    case AddrMode::kIndirectAutoInc: {
+      loc->addr = reg(op.reg);
+      uint16_t delta = (!byte || op.reg == Reg::kPc || op.reg == Reg::kSp) ? 2 : 1;
+      set_reg(op.reg, static_cast<uint16_t>(reg(op.reg) + delta));
+      break;
+    }
+  }
+  if (byte) {
+    return bus_->ReadByte(loc->addr, AccessKind::kRead);
+  }
+  return bus_->ReadWord(loc->addr, AccessKind::kRead);
+}
+
+void Cpu::WriteToLoc(const Loc& loc, bool byte, uint16_t value) {
+  if (!loc.writable) {
+    return;  // write to an immediate: architecturally meaningless, dropped
+  }
+  if (loc.is_reg) {
+    // Byte operations clear the destination register's high byte.
+    uint16_t full = byte ? static_cast<uint16_t>(value & 0xFF) : value;
+    set_reg(loc.reg, full);
+    return;
+  }
+  if (byte) {
+    bus_->WriteByte(loc.addr, static_cast<uint8_t>(value & 0xFF), AccessKind::kWrite);
+  } else {
+    bus_->WriteWord(loc.addr, value, AccessKind::kWrite);
+  }
+}
+
+void Cpu::ExecuteFormatOne(const Instruction& insn, uint16_t src_ext_addr,
+                           uint16_t dst_ext_addr) {
+  const bool byte = insn.byte;
+  const uint16_t mask = Mask(byte);
+  const uint16_t sign = SignBit(byte);
+
+  Loc src_loc;
+  uint16_t s = ReadOperand(insn.src, byte, src_ext_addr, &src_loc);
+
+  Loc dst_loc;
+  uint16_t d = 0;
+  const bool needs_dst_read = insn.op != Opcode::kMov;
+  if (needs_dst_read) {
+    d = ReadOperand(insn.dst, byte, dst_ext_addr, &dst_loc);
+  } else {
+    // MOV still needs the destination location resolved (without a read).
+    // Resolve manually to avoid a spurious bus read.
+    switch (insn.dst.mode) {
+      case AddrMode::kRegister:
+        dst_loc.is_reg = true;
+        dst_loc.reg = insn.dst.reg;
+        dst_loc.writable = true;
+        break;
+      case AddrMode::kIndexed:
+        dst_loc.addr = static_cast<uint16_t>(reg(insn.dst.reg) + insn.dst.ext);
+        dst_loc.writable = true;
+        break;
+      case AddrMode::kSymbolic:
+        dst_loc.addr = static_cast<uint16_t>(dst_ext_addr + insn.dst.ext);
+        dst_loc.writable = true;
+        break;
+      case AddrMode::kAbsolute:
+        dst_loc.addr = insn.dst.ext;
+        dst_loc.writable = true;
+        break;
+      default:
+        dst_loc.writable = false;
+        break;
+    }
+  }
+
+  auto add_like = [&](uint16_t a, uint16_t b, uint16_t carry_in) {
+    uint32_t full = static_cast<uint32_t>(a) + b + carry_in;
+    uint16_t r = static_cast<uint16_t>(full & mask);
+    SetFlag(kSrCarry, full > mask);
+    SetFlag(kSrZero, r == 0);
+    SetFlag(kSrNegative, (r & sign) != 0);
+    SetFlag(kSrOverflow, ((a ^ r) & (b ^ r) & sign) != 0);
+    return r;
+  };
+
+  switch (insn.op) {
+    case Opcode::kMov:
+      WriteToLoc(dst_loc, byte, s);
+      break;
+    case Opcode::kAdd:
+      WriteToLoc(dst_loc, byte, add_like(d, s, 0));
+      break;
+    case Opcode::kAddc:
+      WriteToLoc(dst_loc, byte, add_like(d, s, GetFlag(kSrCarry) ? 1 : 0));
+      break;
+    case Opcode::kSub:
+      WriteToLoc(dst_loc, byte, add_like(d, static_cast<uint16_t>(~s & mask), 1));
+      break;
+    case Opcode::kSubc:
+      WriteToLoc(dst_loc, byte,
+                 add_like(d, static_cast<uint16_t>(~s & mask), GetFlag(kSrCarry) ? 1 : 0));
+      break;
+    case Opcode::kCmp:
+      add_like(d, static_cast<uint16_t>(~s & mask), 1);
+      break;
+    case Opcode::kDadd: {
+      // Decimal (BCD) addition, digit by digit with carry.
+      uint16_t carry = GetFlag(kSrCarry) ? 1 : 0;
+      uint16_t result = 0;
+      int digits = byte ? 2 : 4;
+      for (int i = 0; i < digits; ++i) {
+        uint16_t dn = static_cast<uint16_t>((d >> (4 * i)) & 0xF);
+        uint16_t sn = static_cast<uint16_t>((s >> (4 * i)) & 0xF);
+        uint16_t t = static_cast<uint16_t>(dn + sn + carry);
+        if (t > 9) {
+          t = static_cast<uint16_t>(t + 6);
+          carry = 1;
+        } else {
+          carry = 0;
+        }
+        result |= static_cast<uint16_t>((t & 0xF) << (4 * i));
+      }
+      SetFlag(kSrCarry, carry != 0);
+      SetFlag(kSrZero, (result & mask) == 0);
+      SetFlag(kSrNegative, (result & sign) != 0);
+      WriteToLoc(dst_loc, byte, result);
+      break;
+    }
+    case Opcode::kBit: {
+      uint16_t r = static_cast<uint16_t>(s & d & mask);
+      SetFlagsLogical(r, byte);
+      break;
+    }
+    case Opcode::kBic:
+      WriteToLoc(dst_loc, byte, static_cast<uint16_t>(d & ~s & mask));
+      break;
+    case Opcode::kBis:
+      WriteToLoc(dst_loc, byte, static_cast<uint16_t>((d | s) & mask));
+      break;
+    case Opcode::kXor: {
+      uint16_t r = static_cast<uint16_t>((d ^ s) & mask);
+      SetFlag(kSrZero, r == 0);
+      SetFlag(kSrNegative, (r & sign) != 0);
+      SetFlag(kSrCarry, r != 0);
+      SetFlag(kSrOverflow, ((s & sign) != 0) && ((d & sign) != 0));
+      WriteToLoc(dst_loc, byte, r);
+      break;
+    }
+    case Opcode::kAnd: {
+      uint16_t r = static_cast<uint16_t>((s & d) & mask);
+      SetFlagsLogical(r, byte);
+      WriteToLoc(dst_loc, byte, r);
+      break;
+    }
+    default:
+      halt_reason_ = HaltReason::kInvalidOpcode;
+      break;
+  }
+}
+
+void Cpu::ExecuteFormatTwo(const Instruction& insn, uint16_t ext_addr) {
+  const bool byte = insn.byte;
+  const uint16_t mask = Mask(byte);
+  const uint16_t sign = SignBit(byte);
+
+  if (insn.op == Opcode::kReti) {
+    uint16_t sr = PopWord();
+    uint16_t pc = PopWord();
+    set_reg(Reg::kSr, sr);
+    set_reg(Reg::kPc, pc);
+    return;
+  }
+
+  Loc loc;
+  uint16_t v = ReadOperand(insn.dst, byte, ext_addr, &loc);
+
+  switch (insn.op) {
+    case Opcode::kRrc: {
+      bool old_c = GetFlag(kSrCarry);
+      SetFlag(kSrCarry, (v & 1) != 0);
+      uint16_t r = static_cast<uint16_t>((v >> 1) | (old_c ? sign : 0));
+      SetFlag(kSrZero, (r & mask) == 0);
+      SetFlag(kSrNegative, (r & sign) != 0);
+      SetFlag(kSrOverflow, false);
+      WriteToLoc(loc, byte, r);
+      break;
+    }
+    case Opcode::kRra: {
+      SetFlag(kSrCarry, (v & 1) != 0);
+      uint16_t r = static_cast<uint16_t>((v >> 1) | (v & sign));
+      SetFlag(kSrZero, (r & mask) == 0);
+      SetFlag(kSrNegative, (r & sign) != 0);
+      SetFlag(kSrOverflow, false);
+      WriteToLoc(loc, byte, r);
+      break;
+    }
+    case Opcode::kSwpb: {
+      uint16_t r = static_cast<uint16_t>((v << 8) | (v >> 8));
+      WriteToLoc(loc, /*byte=*/false, r);
+      break;
+    }
+    case Opcode::kSxt: {
+      uint16_t r = static_cast<uint16_t>((v & 0x80) != 0 ? (v | 0xFF00) : (v & 0x00FF));
+      SetFlag(kSrZero, r == 0);
+      SetFlag(kSrNegative, (r & 0x8000) != 0);
+      SetFlag(kSrCarry, r != 0);
+      SetFlag(kSrOverflow, false);
+      WriteToLoc(loc, /*byte=*/false, r);
+      break;
+    }
+    case Opcode::kPush: {
+      // PUSH.B still decrements SP by 2 (stack stays word-aligned).
+      uint16_t sp = static_cast<uint16_t>(reg(Reg::kSp) - 2);
+      set_reg(Reg::kSp, sp);
+      if (byte) {
+        bus_->WriteByte(sp, static_cast<uint8_t>(v & 0xFF), AccessKind::kWrite);
+      } else {
+        bus_->WriteWord(sp, v, AccessKind::kWrite);
+      }
+      break;
+    }
+    case Opcode::kCall: {
+      PushWord(reg(Reg::kPc));  // PC already advanced past the instruction
+      set_reg(Reg::kPc, v);
+      break;
+    }
+    default:
+      halt_reason_ = HaltReason::kInvalidOpcode;
+      break;
+  }
+}
+
+void Cpu::ExecuteJump(const Instruction& insn, uint16_t insn_addr) {
+  bool take = false;
+  switch (insn.op) {
+    case Opcode::kJnz:
+      take = !GetFlag(kSrZero);
+      break;
+    case Opcode::kJz:
+      take = GetFlag(kSrZero);
+      break;
+    case Opcode::kJnc:
+      take = !GetFlag(kSrCarry);
+      break;
+    case Opcode::kJc:
+      take = GetFlag(kSrCarry);
+      break;
+    case Opcode::kJn:
+      take = GetFlag(kSrNegative);
+      break;
+    case Opcode::kJge:
+      take = GetFlag(kSrNegative) == GetFlag(kSrOverflow);
+      break;
+    case Opcode::kJl:
+      take = GetFlag(kSrNegative) != GetFlag(kSrOverflow);
+      break;
+    case Opcode::kJmp:
+      take = true;
+      break;
+    default:
+      break;
+  }
+  if (take) {
+    set_reg(Reg::kPc,
+            static_cast<uint16_t>(insn_addr + 2 + 2 * insn.jump_offset_words));
+  }
+}
+
+void Cpu::AcceptInterrupt(uint16_t vector_slot) {
+  uint16_t handler = bus_->ReadWord(vector_slot, AccessKind::kRead);
+  if (handler == 0) {
+    halt_reason_ = HaltReason::kNoVector;
+    halt_pc_ = reg(Reg::kPc);
+    return;
+  }
+  PushWord(reg(Reg::kPc));
+  PushWord(reg(Reg::kSr));
+  set_reg(Reg::kSr, 0);  // GIE cleared; CPUOFF cleared so the handler runs
+  set_reg(Reg::kPc, handler);
+  cycles_ += kInterruptAcceptCycles;
+  timer_->Advance(kInterruptAcceptCycles);
+  if (watchdog_ != nullptr) {
+    watchdog_->Advance(kInterruptAcceptCycles);
+  }
+}
+
+StepResult Cpu::Step() {
+  if (halt_reason_ != HaltReason::kNone) {
+    return StepResult::kHalted;
+  }
+  if (signals_->puc_requested) {
+    return StepResult::kPuc;
+  }
+  if (signals_->stop_requested) {
+    return StepResult::kStopped;
+  }
+  if (signals_->nmi_pending) {
+    signals_->nmi_pending = false;
+    AcceptInterrupt(kNmiVector);
+    if (halt_reason_ != HaltReason::kNone) {
+      return StepResult::kHalted;
+    }
+  } else if (GetFlag(kSrGie) && signals_->irq_pending != 0) {
+    // Highest line number first (HOSTIO above timer, below NMI).
+    for (int line = 15; line >= 0; --line) {
+      if (signals_->IrqRaised(line)) {
+        signals_->ClearIrq(line);
+        AcceptInterrupt(line == kIrqTimer ? kTimerVector : kHostIoVector);
+        break;
+      }
+    }
+    if (halt_reason_ != HaltReason::kNone) {
+      return StepResult::kHalted;
+    }
+  }
+
+  if (GetFlag(kSrCpuOff)) {
+    cycles_ += 1;
+    timer_->Advance(1);
+    if (watchdog_ != nullptr) {
+      watchdog_->Advance(1);
+    }
+    return StepResult::kOk;
+  }
+
+  const uint16_t insn_addr = reg(Reg::kPc);
+  if (trace_ != nullptr) {
+    trace_->Record(insn_addr);
+  }
+  if ((insn_addr & 1) != 0) {
+    halt_reason_ = HaltReason::kOddPc;
+    halt_pc_ = insn_addr;
+    return StepResult::kHalted;
+  }
+
+  bus_->ClearFault();
+  const uint16_t w0 = bus_->ReadWord(insn_addr, AccessKind::kFetch);
+  if (bus_->fault() != BusFault::kNone) {
+    halt_reason_ = HaltReason::kBusFault;
+    halt_pc_ = insn_addr;
+    return StepResult::kHalted;
+  }
+
+  const uint16_t probe[3] = {w0, 0, 0};
+  Result<Instruction> decoded = Decode(probe);
+  if (!decoded.ok()) {
+    halt_reason_ = HaltReason::kInvalidOpcode;
+    halt_pc_ = insn_addr;
+    return StepResult::kHalted;
+  }
+  Instruction insn = std::move(decoded).value();
+
+  // Fetch extension words in stream order, tracking their addresses (needed
+  // to resolve symbolic/PC-relative operands).
+  uint16_t next = static_cast<uint16_t>(insn_addr + 2);
+  uint16_t src_ext_addr = 0;
+  uint16_t dst_ext_addr = 0;
+  if (IsFormatOne(insn.op) && ModeHasExtWord(insn.src.mode)) {
+    src_ext_addr = next;
+    insn.src.ext = bus_->ReadWord(next, AccessKind::kFetch);
+    next = static_cast<uint16_t>(next + 2);
+  }
+  if (!IsJump(insn.op) && insn.op != Opcode::kReti && ModeHasExtWord(insn.dst.mode)) {
+    dst_ext_addr = next;
+    insn.dst.ext = bus_->ReadWord(next, AccessKind::kFetch);
+    next = static_cast<uint16_t>(next + 2);
+  }
+  set_reg(Reg::kPc, next);
+
+  if (IsJump(insn.op)) {
+    ExecuteJump(insn, insn_addr);
+  } else if (IsFormatTwo(insn.op)) {
+    ExecuteFormatTwo(insn, dst_ext_addr);
+  } else {
+    ExecuteFormatOne(insn, src_ext_addr, dst_ext_addr);
+  }
+
+  if (bus_->fault() != BusFault::kNone) {
+    halt_reason_ = HaltReason::kBusFault;
+    halt_pc_ = insn_addr;
+    return StepResult::kHalted;
+  }
+  if (halt_reason_ != HaltReason::kNone) {
+    halt_pc_ = insn_addr;
+    return StepResult::kHalted;
+  }
+
+  const uint64_t spent =
+      static_cast<uint64_t>(InstructionCycles(insn)) + bus_->TakePenaltyCycles();
+  cycles_ += spent;
+  timer_->Advance(spent);
+  if (watchdog_ != nullptr) {
+    watchdog_->Advance(spent);
+  }
+  ++instructions_;
+
+  if (signals_->puc_requested) {
+    return StepResult::kPuc;
+  }
+  if (signals_->stop_requested) {
+    return StepResult::kStopped;
+  }
+  return StepResult::kOk;
+}
+
+Cpu::RunOutcome Cpu::Run(uint64_t max_cycles) {
+  RunOutcome outcome;
+  const uint64_t start = cycles_;
+  while (cycles_ - start < max_cycles) {
+    StepResult r = Step();
+    if (r != StepResult::kOk) {
+      outcome.result = r;
+      outcome.cycles = cycles_ - start;
+      outcome.stop_code = signals_->stop_code;
+      return outcome;
+    }
+  }
+  outcome.result = StepResult::kOk;
+  outcome.cycles = cycles_ - start;
+  return outcome;
+}
+
+}  // namespace amulet

@@ -1,0 +1,105 @@
+// The MSP430 CPU core: fetch/decode/execute interpreter with architectural
+// flag semantics, interrupt/NMI handling, and cycle accounting (ISA base
+// cycles + FRAM wait-state penalties accumulated on the bus).
+#ifndef SRC_MCU_CPU_H_
+#define SRC_MCU_CPU_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/isa/instruction.h"
+#include "src/mcu/bus.h"
+#include "src/mcu/signals.h"
+#include "src/mcu/timer.h"
+#include "src/mcu/trace.h"
+#include "src/mcu/watchdog.h"
+
+namespace amulet {
+
+enum class HaltReason : uint8_t {
+  kNone = 0,
+  kBusFault,       // unmapped access / write to ROM / fetch from registers
+  kOddPc,          // instruction fetch from an odd address (wild jump)
+  kInvalidOpcode,  // reserved encoding reached
+  kNoVector,       // interrupt taken through a zero vector slot
+};
+
+enum class StepResult : uint8_t {
+  kOk,       // one instruction (or idle tick) retired
+  kStopped,  // firmware wrote HOSTIO STOP: control returns to the host
+  kHalted,   // unrecoverable simulator-detected error; see halt_reason()
+  kPuc,      // power-up clear requested (MPU password abuse or VS=PUC)
+};
+
+class Cpu {
+ public:
+  Cpu(Bus* bus, Timer* timer, McuSignals* signals);
+
+  // Loads PC from the reset vector and clears SR. Memory contents persist
+  // (FRAM is non-volatile; this mirrors a PUC, not a power cycle).
+  void Reset();
+
+  StepResult Step();
+
+  struct RunOutcome {
+    StepResult result = StepResult::kOk;  // kOk means the cycle budget ran out
+    uint64_t cycles = 0;                  // cycles consumed by this Run call
+    uint16_t stop_code = 0;               // valid when result == kStopped
+  };
+  // Executes until STOP / halt / PUC or until `max_cycles` elapse.
+  RunOutcome Run(uint64_t max_cycles);
+
+  uint16_t reg(Reg r) const { return regs_[RegIndex(r)]; }
+  void set_reg(Reg r, uint16_t value) {
+    regs_[RegIndex(r)] = (r == Reg::kPc) ? static_cast<uint16_t>(value & ~1) : value;
+  }
+  uint16_t pc() const { return reg(Reg::kPc); }
+  uint16_t sp() const { return reg(Reg::kSp); }
+  uint16_t sr() const { return reg(Reg::kSr); }
+
+  // Optional execution trace (not owned); records each retired instruction.
+  void set_trace(ExecutionTrace* trace) { trace_ = trace; }
+  // Optional watchdog (not owned); advanced with every retired cycle.
+  void set_watchdog(Watchdog* watchdog) { watchdog_ = watchdog; }
+
+  uint64_t cycle_count() const { return cycles_; }
+  uint64_t instruction_count() const { return instructions_; }
+  HaltReason halt_reason() const { return halt_reason_; }
+  uint16_t halt_pc() const { return halt_pc_; }
+
+ private:
+  struct Loc {
+    bool is_reg = false;
+    Reg reg = Reg::kPc;
+    uint16_t addr = 0;
+    bool writable = false;  // immediates/constants are not writable
+  };
+
+  uint16_t ReadOperand(const Operand& op, bool byte, uint16_t ext_word_addr, Loc* loc);
+  void WriteToLoc(const Loc& loc, bool byte, uint16_t value);
+  void ExecuteFormatOne(const Instruction& insn, uint16_t src_ext_addr, uint16_t dst_ext_addr);
+  void ExecuteFormatTwo(const Instruction& insn, uint16_t ext_addr);
+  void ExecuteJump(const Instruction& insn, uint16_t insn_addr);
+  void AcceptInterrupt(uint16_t vector_slot);
+  void SetFlagsLogical(uint16_t result, bool byte);  // N,Z from result; C=!Z; V=0
+  void SetFlag(uint16_t flag, bool set);
+  bool GetFlag(uint16_t flag) const { return (regs_[RegIndex(Reg::kSr)] & flag) != 0; }
+
+  void PushWord(uint16_t value);
+  uint16_t PopWord();
+
+  Bus* bus_;
+  Timer* timer_;
+  McuSignals* signals_;
+  ExecutionTrace* trace_ = nullptr;
+  Watchdog* watchdog_ = nullptr;
+  std::array<uint16_t, kNumRegisters> regs_{};
+  uint64_t cycles_ = 0;
+  uint64_t instructions_ = 0;
+  HaltReason halt_reason_ = HaltReason::kNone;
+  uint16_t halt_pc_ = 0;
+};
+
+}  // namespace amulet
+
+#endif  // SRC_MCU_CPU_H_

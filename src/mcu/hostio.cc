@@ -1,0 +1,68 @@
+#include "src/mcu/hostio.h"
+
+namespace amulet {
+
+uint16_t HostIo::ReadWord(uint16_t offset) {
+  switch (offset) {
+    case kHostIoSyscall:
+      return request_.number;
+    case kHostIoArg0:
+    case kHostIoArg1:
+    case kHostIoArg2:
+    case kHostIoArg3:
+      return request_.args[(offset - kHostIoArg0) / 2];
+    case kHostIoResult:
+      return result_;
+    case kHostIoFaultCode:
+      return fault_code_;
+    case kHostIoFaultAddr:
+      return fault_addr_;
+    default:
+      return 0;
+  }
+}
+
+void HostIo::WriteWord(uint16_t offset, uint16_t value) {
+  switch (offset) {
+    case kHostIoSyscall:
+      request_.number = value;
+      break;
+    case kHostIoArg0:
+    case kHostIoArg1:
+    case kHostIoArg2:
+    case kHostIoArg3:
+      request_.args[(offset - kHostIoArg0) / 2] = value;
+      break;
+    case kHostIoTrigger:
+      ++syscall_count_;
+      if (syscall_handler_) {
+        result_ = syscall_handler_(request_);
+      } else {
+        result_ = 0;
+      }
+      break;
+    case kHostIoConsole:
+      console_.push_back(static_cast<char>(value & 0xFF));
+      break;
+    case kHostIoStop:
+      signals_->stop_requested = true;
+      signals_->stop_code = value;
+      break;
+    case kHostIoFaultCode:
+      fault_code_ = value;
+      break;
+    case kHostIoFaultAddr:
+      fault_addr_ = value;
+      break;
+    default:
+      break;
+  }
+}
+
+std::string HostIo::TakeConsoleOutput() {
+  std::string out;
+  out.swap(console_);
+  return out;
+}
+
+}  // namespace amulet

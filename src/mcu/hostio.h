@@ -1,0 +1,84 @@
+// HOSTIO: the bridge between simulated firmware and host-implemented system
+// services. AmuletOS syscall *gates* run as real MSP430 code (stack switch,
+// MPU reconfiguration, bound checks — all costing simulated cycles); the gate
+// then writes the call number and arguments here and strobes TRIGGER, at
+// which point the host-side service (sensor read, display, log append, ...)
+// executes with zero simulated cost, standing in for the peripheral hardware
+// the real Amulet talks to.
+//
+// The STOP register lets firmware hand control back to the host event loop
+// (end of an event-handler dispatch, fault reporting, end of main).
+#ifndef SRC_MCU_HOSTIO_H_
+#define SRC_MCU_HOSTIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/mcu/bus.h"
+#include "src/mcu/memory_map.h"
+#include "src/mcu/signals.h"
+
+namespace amulet {
+
+// Register offsets from kHostIoRegBase.
+inline constexpr uint16_t kHostIoSyscall = 0x00;  // service number
+inline constexpr uint16_t kHostIoArg0 = 0x02;
+inline constexpr uint16_t kHostIoArg1 = 0x04;
+inline constexpr uint16_t kHostIoArg2 = 0x06;
+inline constexpr uint16_t kHostIoArg3 = 0x08;
+inline constexpr uint16_t kHostIoTrigger = 0x0A;  // write -> invoke service
+inline constexpr uint16_t kHostIoResult = 0x0C;
+inline constexpr uint16_t kHostIoConsole = 0x0E;  // write low byte -> console
+inline constexpr uint16_t kHostIoStop = 0x10;     // write -> stop CPU, code = value
+inline constexpr uint16_t kHostIoFaultCode = 0x12;
+inline constexpr uint16_t kHostIoFaultAddr = 0x14;
+
+// Well-known STOP codes used by generated firmware.
+inline constexpr uint16_t kStopHandlerDone = 1;   // event handler returned
+inline constexpr uint16_t kStopSoftwareFault = 2; // compiler-inserted check fired
+inline constexpr uint16_t kStopMpuFault = 3;      // NMI fault stub reporting
+inline constexpr uint16_t kStopMainDone = 4;      // standalone program finished
+
+struct SyscallRequest {
+  uint16_t number = 0;
+  uint16_t args[4] = {0, 0, 0, 0};
+};
+
+class HostIo : public BusDevice {
+ public:
+  explicit HostIo(McuSignals* signals) : signals_(signals) {}
+
+  uint16_t base() const override { return kHostIoRegBase; }
+  uint16_t size_bytes() const override { return 0x16; }
+  uint16_t ReadWord(uint16_t offset) override;
+  void WriteWord(uint16_t offset, uint16_t value) override;
+
+  // The OS installs the service handler; its return value lands in RESULT.
+  void SetSyscallHandler(std::function<uint16_t(const SyscallRequest&)> handler) {
+    syscall_handler_ = std::move(handler);
+  }
+
+  // Console text emitted by the simulated program since the last Take.
+  std::string TakeConsoleOutput();
+  const std::string& console_output() const { return console_; }
+
+  uint16_t fault_code() const { return fault_code_; }
+  uint16_t fault_addr() const { return fault_addr_; }
+  // Count of TRIGGER strobes (ARP uses it to count context switches).
+  uint64_t syscall_count() const { return syscall_count_; }
+
+ private:
+  McuSignals* signals_;
+  std::function<uint16_t(const SyscallRequest&)> syscall_handler_;
+  SyscallRequest request_;
+  uint16_t result_ = 0;
+  std::string console_;
+  uint16_t fault_code_ = 0;
+  uint16_t fault_addr_ = 0;
+  uint64_t syscall_count_ = 0;
+};
+
+}  // namespace amulet
+
+#endif  // SRC_MCU_HOSTIO_H_

@@ -1,0 +1,41 @@
+#include "src/mcu/machine.h"
+
+namespace amulet {
+
+Machine::Machine()
+    : mpu_(&signals_),
+      timer_(&signals_),
+      hostio_(&signals_),
+      watchdog_(&signals_),
+      cpu_(&bus_, &timer_, &signals_) {
+  bus_.AttachDevice(&mpu_);
+  bus_.AttachDevice(&timer_);
+  bus_.AttachDevice(&hostio_);
+  bus_.AttachDevice(&multiplier_);
+  bus_.AttachDevice(&watchdog_);
+  bus_.SetMpu(&mpu_);
+  cpu_.set_watchdog(&watchdog_);
+}
+
+void Machine::Reset() {
+  mpu_.Reset();
+  cpu_.Reset();
+}
+
+Cpu::RunOutcome Machine::Run(uint64_t max_cycles) {
+  uint64_t spent = 0;
+  while (spent < max_cycles) {
+    Cpu::RunOutcome outcome = cpu_.Run(max_cycles - spent);
+    spent += outcome.cycles;
+    if (outcome.result == StepResult::kPuc) {
+      ++puc_count_;
+      Reset();
+      continue;
+    }
+    outcome.cycles = spent;
+    return outcome;
+  }
+  return {StepResult::kOk, spent, 0};
+}
+
+}  // namespace amulet

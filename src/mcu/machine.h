@@ -1,0 +1,68 @@
+// Machine: one simulated MSP430FR5969 — CPU, bus, MPU, timer, and HOSTIO
+// wired together. This is the object the OS, benchmarks, and examples hold.
+#ifndef SRC_MCU_MACHINE_H_
+#define SRC_MCU_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/mcu/bus.h"
+#include "src/mcu/cpu.h"
+#include "src/mcu/hostio.h"
+#include "src/mcu/mpu.h"
+#include "src/mcu/multiplier.h"
+#include "src/mcu/signals.h"
+#include "src/mcu/timer.h"
+#include "src/mcu/watchdog.h"
+
+namespace amulet {
+
+class Machine {
+ public:
+  Machine();
+
+  // Non-copyable, non-movable: devices hold pointers into the machine.
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Bus& bus() { return bus_; }
+  Cpu& cpu() { return cpu_; }
+  Mpu& mpu() { return mpu_; }
+  Timer& timer() { return timer_; }
+  HostIo& hostio() { return hostio_; }
+  Multiplier& multiplier() { return multiplier_; }
+  Watchdog& watchdog() { return watchdog_; }
+  McuSignals& signals() { return signals_; }
+
+  // PUC: resets CPU + MPU, keeps memory (FRAM is non-volatile).
+  void Reset();
+
+  // Number of PUCs that occurred since construction (MPU password abuse or
+  // violation with VS=PUC). Run() handles them transparently.
+  uint64_t puc_count() const { return puc_count_; }
+
+  // Runs the CPU, transparently servicing PUC resets, until the firmware
+  // stops, halts, or the cycle budget is exhausted.
+  Cpu::RunOutcome Run(uint64_t max_cycles);
+
+  // Acknowledges a STOP so execution can continue past it.
+  void ClearStop() {
+    signals_.stop_requested = false;
+    signals_.stop_code = 0;
+  }
+
+ private:
+  McuSignals signals_;
+  Bus bus_;
+  Mpu mpu_;
+  Timer timer_;
+  HostIo hostio_;
+  Multiplier multiplier_;
+  Watchdog watchdog_;
+  Cpu cpu_;
+  uint64_t puc_count_ = 0;
+};
+
+}  // namespace amulet
+
+#endif  // SRC_MCU_MACHINE_H_

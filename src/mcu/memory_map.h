@@ -1,0 +1,62 @@
+// Simulated MSP430FR5969 memory map (64 KiB view; the upper FRAM bank that
+// the real part maps above 1 MiB via CPUX is not modelled — the paper's
+// firmware fits in the lower 48 KiB bank).
+//
+//   0x0000-0x0FFF  peripheral registers (MPU, Timer_A, HOSTIO, ...)
+//   0x1000-0x17FF  bootstrap loader (read-only stub)
+//   0x1800-0x19FF  information memory FRAM ("InfoMem", MPU segment 0)
+//   0x1C00-0x23FF  SRAM (2 KiB) - NOT covered by the MPU
+//   0x4400-0xFF7F  main FRAM    - covered by MPU segments 1..3
+//   0xFF80-0xFFFF  interrupt vectors - NOT covered by the MPU
+#ifndef SRC_MCU_MEMORY_MAP_H_
+#define SRC_MCU_MEMORY_MAP_H_
+
+#include <cstdint>
+
+namespace amulet {
+
+inline constexpr uint32_t kPeriphStart = 0x0000;
+inline constexpr uint32_t kPeriphEnd = 0x1000;
+
+inline constexpr uint32_t kBslStart = 0x1000;
+inline constexpr uint32_t kBslEnd = 0x1800;
+
+inline constexpr uint32_t kInfoMemStart = 0x1800;
+inline constexpr uint32_t kInfoMemEnd = 0x1A00;  // 512 B
+
+inline constexpr uint32_t kSramStart = 0x1C00;
+inline constexpr uint32_t kSramEnd = 0x2400;  // 2 KiB
+
+inline constexpr uint32_t kFramStart = 0x4400;
+inline constexpr uint32_t kFramEnd = 0xFF80;  // main FRAM, ~47.9 KiB
+
+inline constexpr uint32_t kVectorsStart = 0xFF80;
+inline constexpr uint32_t kVectorsEnd = 0x10000;
+
+// Interrupt vector slots (word addresses holding handler entry points).
+inline constexpr uint16_t kResetVector = 0xFFFE;
+inline constexpr uint16_t kNmiVector = 0xFFFC;  // MPU violations arrive here
+inline constexpr uint16_t kTimerVector = 0xFFF0;
+inline constexpr uint16_t kHostIoVector = 0xFFEE;
+
+// Peripheral register blocks.
+inline constexpr uint16_t kMpuRegBase = 0x05A0;   // MPUCTL0..MPUSAM (10 bytes)
+inline constexpr uint16_t kTimerRegBase = 0x0340; // Timer_A block
+inline constexpr uint16_t kHostIoRegBase = 0x0700;
+
+constexpr bool InRange(uint32_t addr, uint32_t start, uint32_t end) {
+  return addr >= start && addr < end;
+}
+
+constexpr bool IsMainFram(uint32_t addr) { return InRange(addr, kFramStart, kFramEnd); }
+constexpr bool IsInfoMem(uint32_t addr) { return InRange(addr, kInfoMemStart, kInfoMemEnd); }
+constexpr bool IsSram(uint32_t addr) { return InRange(addr, kSramStart, kSramEnd); }
+constexpr bool IsAnyFram(uint32_t addr) {
+  // FRAM technology regions: info + main + vectors (all ferroelectric on the
+  // real chip and thus subject to wait states).
+  return IsInfoMem(addr) || addr >= kFramStart;
+}
+
+}  // namespace amulet
+
+#endif  // SRC_MCU_MEMORY_MAP_H_

@@ -1,0 +1,154 @@
+#include "src/mcu/mpu.h"
+
+namespace amulet {
+
+uint16_t Mpu::ReadWord(uint16_t offset) {
+  switch (offset) {
+    case kMpuCtl0:
+      // Password field reads back as 0x96 (as on the real part).
+      return static_cast<uint16_t>(0x9600 | (ctl0_ & 0x00FF));
+    case kMpuCtl1:
+      return ctl1_;
+    case kMpuSegB2:
+      return segb2_;
+    case kMpuSegB1:
+      return segb1_;
+    case kMpuSam:
+      return sam_;
+    default:
+      return 0;
+  }
+}
+
+void Mpu::WriteWord(uint16_t offset, uint16_t value) {
+  // Every MPU register write must carry the password in MPUCTL0's high byte;
+  // our model requires the password on the MPUCTL0 write and freezes
+  // everything once LOCK is set. A wrong password resets the device (PUC).
+  if (offset == kMpuCtl0) {
+    if ((value & 0xFF00) != kMpuPassword) {
+      signals_->puc_requested = true;
+      return;
+    }
+    if (locked()) {
+      return;  // frozen until reset
+    }
+    ctl0_ = value & 0x00FF;
+    return;
+  }
+  if (locked()) {
+    return;
+  }
+  switch (offset) {
+    case kMpuCtl1:
+      // Write-1-to-clear violation flags.
+      ctl1_ &= static_cast<uint16_t>(~value);
+      break;
+    case kMpuSegB2:
+      segb2_ = value;
+      break;
+    case kMpuSegB1:
+      segb1_ = value;
+      break;
+    case kMpuSam:
+      sam_ = value;
+      break;
+    default:
+      break;
+  }
+}
+
+int Mpu::SegmentOf(uint16_t addr) const {
+  if (IsInfoMem(addr)) {
+    return 0;
+  }
+  if (!IsMainFram(addr)) {
+    return -1;
+  }
+  if (addr < boundary1()) {
+    return 1;
+  }
+  if (addr < boundary2()) {
+    return 2;
+  }
+  return 3;
+}
+
+void Mpu::LatchViolation(int segment, uint16_t addr, AccessKind kind) {
+  uint16_t flag = 0;
+  int shift = 0;
+  switch (segment) {
+    case 0:
+      flag = kMpuSegInfoIfg;
+      shift = kMpuSamInfoShift;
+      break;
+    case 1:
+      flag = kMpuSeg1Ifg;
+      shift = kMpuSamSeg1Shift;
+      break;
+    case 2:
+      flag = kMpuSeg2Ifg;
+      shift = kMpuSamSeg2Shift;
+      break;
+    case 3:
+      flag = kMpuSeg3Ifg;
+      shift = kMpuSamSeg3Shift;
+      break;
+    default:
+      return;
+  }
+  ctl1_ |= flag;
+  last_violation_addr_ = addr;
+  last_violation_kind_ = kind;
+  const bool puc_selected = (sam_ >> shift & kMpuSamVs) != 0;
+  if (puc_selected) {
+    signals_->puc_requested = true;
+  } else {
+    signals_->nmi_pending = true;
+  }
+}
+
+bool Mpu::CheckAccess(uint16_t addr, AccessKind kind) {
+  if (!enabled()) {
+    return true;
+  }
+  const int segment = SegmentOf(addr);
+  if (segment < 0) {
+    return true;  // SRAM / peripherals / vectors: never covered
+  }
+  int shift = kMpuSamInfoShift;
+  if (segment == 1) {
+    shift = kMpuSamSeg1Shift;
+  } else if (segment == 2) {
+    shift = kMpuSamSeg2Shift;
+  } else if (segment == 3) {
+    shift = kMpuSamSeg3Shift;
+  }
+  const uint16_t rights = static_cast<uint16_t>(sam_ >> shift);
+  bool allowed = false;
+  switch (kind) {
+    case AccessKind::kFetch:
+      allowed = (rights & kMpuSamExec) != 0;
+      break;
+    case AccessKind::kRead:
+      allowed = (rights & kMpuSamRead) != 0;
+      break;
+    case AccessKind::kWrite:
+      allowed = (rights & kMpuSamWrite) != 0;
+      break;
+  }
+  if (!allowed) {
+    LatchViolation(segment, addr, kind);
+  }
+  return allowed;
+}
+
+void Mpu::Reset() {
+  ctl0_ = 0;
+  ctl1_ = 0;
+  segb1_ = 0;
+  segb2_ = 0;
+  sam_ = 0x7777;  // all segments R+W+X, NMI on violation
+  last_violation_addr_ = 0;
+}
+
+}  // namespace amulet

@@ -1,0 +1,44 @@
+#include "src/mcu/multiplier.h"
+
+namespace amulet {
+
+uint16_t Multiplier::ReadWord(uint16_t offset) {
+  switch (offset) {
+    case kMpyOp1Unsigned:
+    case kMpyOp1Signed:
+      return op1_;
+    case kMpyResLo:
+      return static_cast<uint16_t>(result_ & 0xFFFF);
+    case kMpyResHi:
+      return static_cast<uint16_t>(result_ >> 16);
+    default:
+      return 0;
+  }
+}
+
+void Multiplier::WriteWord(uint16_t offset, uint16_t value) {
+  switch (offset) {
+    case kMpyOp1Unsigned:
+      op1_ = value;
+      signed_mode_ = false;
+      break;
+    case kMpyOp1Signed:
+      op1_ = value;
+      signed_mode_ = true;
+      break;
+    case kMpyOp2: {
+      if (signed_mode_) {
+        int32_t product = static_cast<int32_t>(static_cast<int16_t>(op1_)) *
+                          static_cast<int32_t>(static_cast<int16_t>(value));
+        result_ = static_cast<uint32_t>(product);
+      } else {
+        result_ = static_cast<uint32_t>(op1_) * static_cast<uint32_t>(value);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace amulet

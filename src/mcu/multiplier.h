@@ -1,0 +1,39 @@
+// MPY32-style hardware multiplier peripheral (the MSP430FR5969 has one).
+// Simplified to the 16x16 path: write the first operand to MPY (unsigned) or
+// MPYS (signed), write the second to OP2 — which triggers the multiply —
+// then read RESLO/RESHI. The compiler's optional hardware-multiply mode
+// (CodegenOptions::use_hw_multiplier) emits exactly that sequence instead of
+// calling the shift-add __rt_mul routine.
+#ifndef SRC_MCU_MULTIPLIER_H_
+#define SRC_MCU_MULTIPLIER_H_
+
+#include <cstdint>
+
+#include "src/mcu/bus.h"
+
+namespace amulet {
+
+inline constexpr uint16_t kMpyRegBase = 0x04C0;
+// Register offsets from kMpyRegBase.
+inline constexpr uint16_t kMpyOp1Unsigned = 0x0;  // MPY
+inline constexpr uint16_t kMpyOp1Signed = 0x2;    // MPYS
+inline constexpr uint16_t kMpyOp2 = 0x8;          // OP2 (write triggers)
+inline constexpr uint16_t kMpyResLo = 0xA;        // RESLO
+inline constexpr uint16_t kMpyResHi = 0xC;        // RESHI
+
+class Multiplier : public BusDevice {
+ public:
+  uint16_t base() const override { return kMpyRegBase; }
+  uint16_t size_bytes() const override { return 0xE; }
+  uint16_t ReadWord(uint16_t offset) override;
+  void WriteWord(uint16_t offset, uint16_t value) override;
+
+ private:
+  uint16_t op1_ = 0;
+  bool signed_mode_ = false;
+  uint32_t result_ = 0;
+};
+
+}  // namespace amulet
+
+#endif  // SRC_MCU_MULTIPLIER_H_

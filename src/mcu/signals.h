@@ -1,0 +1,28 @@
+// Shared wiring between peripherals and the CPU core: interrupt request
+// lines, NMI, stop requests (host handoff), and PUC (power-up-clear) resets.
+#ifndef SRC_MCU_SIGNALS_H_
+#define SRC_MCU_SIGNALS_H_
+
+#include <cstdint>
+
+namespace amulet {
+
+// IRQ line indices (priority = higher index first, below NMI).
+inline constexpr int kIrqTimer = 0;
+inline constexpr int kIrqHostIo = 1;
+
+struct McuSignals {
+  bool nmi_pending = false;       // MPU violation (when VS selects NMI)
+  bool puc_requested = false;     // power-up clear (reset)
+  uint16_t irq_pending = 0;       // bitmask over kIrq* lines
+  bool stop_requested = false;    // simulated program handed control to host
+  uint16_t stop_code = 0;         // reason written to the HOSTIO STOP register
+
+  void RaiseIrq(int line) { irq_pending |= static_cast<uint16_t>(1u << line); }
+  void ClearIrq(int line) { irq_pending &= static_cast<uint16_t>(~(1u << line)); }
+  bool IrqRaised(int line) const { return (irq_pending & (1u << line)) != 0; }
+};
+
+}  // namespace amulet
+
+#endif  // SRC_MCU_SIGNALS_H_

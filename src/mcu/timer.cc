@@ -1,0 +1,56 @@
+#include "src/mcu/timer.h"
+
+namespace amulet {
+
+uint16_t Timer::ReadWord(uint16_t offset) {
+  switch (offset) {
+    case kTimerCtl:
+      return ctl_;
+    case kTimerCounterLo:
+      latched_hi_ = static_cast<uint16_t>((cycles_ >> 16) & 0xFFFF);
+      return static_cast<uint16_t>(cycles_ & 0xFFFF);
+    case kTimerCounterHi:
+      return latched_hi_;
+    case kTimerCompare:
+      return compare_;
+    case kTimerCounter16:
+      return static_cast<uint16_t>((cycles_ >> 4) & 0xFFFF);
+    default:
+      return 0;
+  }
+}
+
+void Timer::WriteWord(uint16_t offset, uint16_t value) {
+  switch (offset) {
+    case kTimerCtl:
+      // bit1 is write-1-to-clear IFG; bit0 is a plain IE bit.
+      if ((value & 0x2) != 0) {
+        ctl_ &= static_cast<uint16_t>(~0x2);
+        signals_->ClearIrq(kIrqTimer);
+      }
+      ctl_ = static_cast<uint16_t>((ctl_ & 0x2) | (value & 0x1));
+      break;
+    case kTimerCompare:
+      compare_ = value;
+      break;
+    default:
+      break;
+  }
+}
+
+void Timer::Advance(uint64_t cycles) {
+  const uint64_t before = cycles_;
+  cycles_ += cycles;
+  if ((ctl_ & 0x1) == 0) {
+    return;
+  }
+  // Fire when the low 16 bits pass the compare value.
+  const uint64_t target = (before & ~0xFFFFull) | compare_;
+  const uint64_t next_target = target >= before ? target : target + 0x10000;
+  if (cycles_ >= next_target && next_target > before) {
+    ctl_ |= 0x2;
+    signals_->RaiseIrq(kIrqTimer);
+  }
+}
+
+}  // namespace amulet

@@ -1,0 +1,47 @@
+// Timer_A-style hardware timer. The counter advances with CPU cycles (SMCLK =
+// MCLK in our model). Section 4.2 of the paper times each benchmark run with
+// this timer at a precision of 16 cycles; the TAR16 register reproduces that
+// quantization.
+#ifndef SRC_MCU_TIMER_H_
+#define SRC_MCU_TIMER_H_
+
+#include <cstdint>
+
+#include "src/mcu/bus.h"
+#include "src/mcu/memory_map.h"
+#include "src/mcu/signals.h"
+
+namespace amulet {
+
+// Register offsets from kTimerRegBase.
+inline constexpr uint16_t kTimerCtl = 0x0;     // TACTL: bit0 = IE, bit1 = IFG (w1c)
+inline constexpr uint16_t kTimerCounterLo = 0x2;  // TARLO: cycles & 0xFFFF
+inline constexpr uint16_t kTimerCounterHi = 0x4;  // TARHI: cycles >> 16 (latched on LO read)
+inline constexpr uint16_t kTimerCompare = 0x6;    // TACCR0: raises IRQ when LO matches
+inline constexpr uint16_t kTimerCounter16 = 0x8;  // TAR16: (cycles >> 4) & 0xFFFF
+
+class Timer : public BusDevice {
+ public:
+  explicit Timer(McuSignals* signals) : signals_(signals) {}
+
+  uint16_t base() const override { return kTimerRegBase; }
+  uint16_t size_bytes() const override { return 10; }
+  uint16_t ReadWord(uint16_t offset) override;
+  void WriteWord(uint16_t offset, uint16_t value) override;
+
+  // Called by the CPU core after each instruction with the elapsed cycles.
+  void Advance(uint64_t cycles);
+
+  uint64_t now_cycles() const { return cycles_; }
+
+ private:
+  McuSignals* signals_;
+  uint64_t cycles_ = 0;
+  uint16_t ctl_ = 0;
+  uint16_t compare_ = 0;
+  uint16_t latched_hi_ = 0;
+};
+
+}  // namespace amulet
+
+#endif  // SRC_MCU_TIMER_H_

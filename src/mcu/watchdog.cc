@@ -1,0 +1,46 @@
+#include "src/mcu/watchdog.h"
+
+namespace amulet {
+
+uint64_t Watchdog::IntervalForSelect(uint16_t select) {
+  // WDT_A dividers (SMCLK source): 2^31 .. 2^6.
+  static const uint64_t kIntervals[8] = {
+      1ull << 31, 1ull << 27, 1ull << 23, 1ull << 19,
+      1ull << 15, 1ull << 13, 1ull << 9,  1ull << 6,
+  };
+  return kIntervals[select & kWdtIsMask];
+}
+
+uint16_t Watchdog::ReadWord(uint16_t offset) {
+  (void)offset;
+  return static_cast<uint16_t>(kWdtReadSignature | (ctl_ & 0x00FF));
+}
+
+void Watchdog::WriteWord(uint16_t offset, uint16_t value) {
+  (void)offset;
+  if ((value & 0xFF00) != kWdtPassword) {
+    // Any write without the 0x5A password forces a PUC (the classic MSP430
+    // "forgot to kick the dog correctly" reset).
+    signals_->puc_requested = true;
+    return;
+  }
+  ctl_ = value & 0x00FF;
+  if ((ctl_ & kWdtCntCl) != 0) {
+    counter_ = 0;
+    ctl_ &= static_cast<uint16_t>(~kWdtCntCl);  // self-clearing
+  }
+}
+
+void Watchdog::Advance(uint64_t cycles) {
+  if (held()) {
+    return;
+  }
+  counter_ += cycles;
+  if (counter_ >= IntervalForSelect(ctl_)) {
+    counter_ = 0;
+    ++expiries_;
+    signals_->puc_requested = true;
+  }
+}
+
+}  // namespace amulet

@@ -1,0 +1,53 @@
+// WDT_A-style watchdog timer. Password-protected control register; in
+// watchdog mode an expired interval forces a PUC — the hardware backstop for
+// runaway code (AmuletOS uses a host-side cycle budget for the same purpose,
+// but the peripheral is modelled for fidelity and available to firmware).
+#ifndef SRC_MCU_WATCHDOG_H_
+#define SRC_MCU_WATCHDOG_H_
+
+#include <cstdint>
+
+#include "src/mcu/bus.h"
+#include "src/mcu/signals.h"
+
+namespace amulet {
+
+inline constexpr uint16_t kWdtRegBase = 0x015C;  // WDTCTL
+
+// WDTCTL bits (low byte).
+inline constexpr uint16_t kWdtHold = 1u << 7;    // stop counting
+inline constexpr uint16_t kWdtCntCl = 1u << 3;   // clear counter ("kick")
+inline constexpr uint16_t kWdtIsMask = 0x7;      // interval select
+inline constexpr uint16_t kWdtPassword = 0x5A00;
+// Reads return 0x69 in the high byte (as on the real part).
+inline constexpr uint16_t kWdtReadSignature = 0x6900;
+
+class Watchdog : public BusDevice {
+ public:
+  explicit Watchdog(McuSignals* signals) : signals_(signals) {}
+
+  uint16_t base() const override { return kWdtRegBase; }
+  uint16_t size_bytes() const override { return 2; }
+  uint16_t ReadWord(uint16_t offset) override;
+  void WriteWord(uint16_t offset, uint16_t value) override;
+
+  // Called with retired cycles (wired through the CPU like the timer).
+  void Advance(uint64_t cycles);
+
+  // Interval in cycles for a WDTIS selection (subset of the WDT_A table).
+  static uint64_t IntervalForSelect(uint16_t select);
+
+  bool held() const { return (ctl_ & kWdtHold) != 0; }
+  uint64_t counter() const { return counter_; }
+  uint64_t expiries() const { return expiries_; }
+
+ private:
+  McuSignals* signals_;
+  uint16_t ctl_ = kWdtHold;  // reset: held (matches AmuletOS boot behaviour)
+  uint64_t counter_ = 0;
+  uint64_t expiries_ = 0;
+};
+
+}  // namespace amulet
+
+#endif  // SRC_MCU_WATCHDOG_H_

@@ -1,0 +1,69 @@
+#include "src/os/api.h"
+
+namespace amulet {
+
+const std::vector<ApiEntry>& ApiTable() {
+  static const std::vector<ApiEntry> kTable = {
+      {ApiId::kNoop, "amulet_noop", "int amulet_noop(void);"},
+      {ApiId::kLogValue, "amulet_log_value", "void amulet_log_value(int tag, int value);"},
+      {ApiId::kLogAppend, "amulet_log_append", "void amulet_log_append(int series, int value);"},
+      {ApiId::kDisplayDigits, "amulet_display_digits",
+       "void amulet_display_digits(int pos, int value);"},
+      {ApiId::kDisplayClear, "amulet_display_clear", "void amulet_display_clear(void);"},
+      {ApiId::kTimerStart, "amulet_timer_start",
+       "void amulet_timer_start(int timer_id, int period_ms);"},
+      {ApiId::kTimerStop, "amulet_timer_stop", "void amulet_timer_stop(int timer_id);"},
+      {ApiId::kAccelSubscribe, "amulet_accel_subscribe",
+       "void amulet_accel_subscribe(int rate_hz);"},
+      {ApiId::kAccelUnsubscribe, "amulet_accel_unsubscribe",
+       "void amulet_accel_unsubscribe(void);"},
+      {ApiId::kHrSubscribe, "amulet_hr_subscribe", "void amulet_hr_subscribe(void);"},
+      {ApiId::kHrUnsubscribe, "amulet_hr_unsubscribe", "void amulet_hr_unsubscribe(void);"},
+      {ApiId::kTempRead, "amulet_temp_read", "int amulet_temp_read(void);"},
+      {ApiId::kBatteryRead, "amulet_battery_read", "int amulet_battery_read(void);"},
+      {ApiId::kLightRead, "amulet_light_read", "int amulet_light_read(void);"},
+      {ApiId::kClockHour, "amulet_clock_hour", "int amulet_clock_hour(void);"},
+      {ApiId::kClockMinute, "amulet_clock_minute", "int amulet_clock_minute(void);"},
+      {ApiId::kClockSecond, "amulet_clock_second", "int amulet_clock_second(void);"},
+      {ApiId::kHapticBuzz, "amulet_haptic_buzz", "void amulet_haptic_buzz(int ms);"},
+      {ApiId::kRand, "amulet_rand", "int amulet_rand(void);"},
+      {ApiId::kButtonSubscribe, "amulet_button_subscribe",
+       "void amulet_button_subscribe(void);"},
+  };
+  return kTable;
+}
+
+std::string ApiPrelude() {
+  std::string out = "/* AmuletOS API prelude (injected by the AFT) */\n";
+  for (const ApiEntry& entry : ApiTable()) {
+    out += entry.prototype;
+    out += "\n";
+  }
+  return out;
+}
+
+const char* EventHandlerName(EventType type) {
+  switch (type) {
+    case EventType::kInit:
+      return "on_init";
+    case EventType::kTimer:
+      return "on_timer";
+    case EventType::kAccel:
+      return "on_accel";
+    case EventType::kHeartRate:
+      return "on_heartrate";
+    case EventType::kButton:
+      return "on_button";
+    case EventType::kTemp:
+      return "on_temp";
+    case EventType::kLight:
+      return "on_light";
+    case EventType::kBattery:
+      return "on_battery";
+    case EventType::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace amulet

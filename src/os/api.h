@@ -1,0 +1,68 @@
+// The AmuletOS system-call API: the fixed set of services applications may
+// invoke. The AFT injects these prototypes into every app before parsing
+// (phase 1 then verifies the app calls nothing else), compiles calls into
+// per-app gates, and the host-side AmuletOS implements the semantics.
+#ifndef SRC_OS_API_H_
+#define SRC_OS_API_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amulet {
+
+enum class ApiId : uint16_t {
+  kNoop = 0,          // int amulet_noop(void) — benchmark: pure context switch
+  kLogValue,          // void amulet_log_value(int tag, int value)
+  kLogAppend,         // void amulet_log_append(int series, int value)
+  kDisplayDigits,     // void amulet_display_digits(int pos, int value)
+  kDisplayClear,      // void amulet_display_clear(void)
+  kTimerStart,        // void amulet_timer_start(int timer_id, int period_ms)
+  kTimerStop,         // void amulet_timer_stop(int timer_id)
+  kAccelSubscribe,    // void amulet_accel_subscribe(int rate_hz)
+  kAccelUnsubscribe,  // void amulet_accel_unsubscribe(void)
+  kHrSubscribe,       // void amulet_hr_subscribe(void)
+  kHrUnsubscribe,     // void amulet_hr_unsubscribe(void)
+  kTempRead,          // int amulet_temp_read(void) — centi-degrees C
+  kBatteryRead,       // int amulet_battery_read(void) — percent
+  kLightRead,         // int amulet_light_read(void) — lux
+  kClockHour,         // int amulet_clock_hour(void)
+  kClockMinute,       // int amulet_clock_minute(void)
+  kClockSecond,       // int amulet_clock_second(void)
+  kHapticBuzz,        // void amulet_haptic_buzz(int ms)
+  kRand,              // int amulet_rand(void)
+  kButtonSubscribe,   // void amulet_button_subscribe(void)
+  kCount,
+};
+
+struct ApiEntry {
+  ApiId id;
+  const char* name;       // C identifier the app calls
+  const char* prototype;  // full C prototype for the injected prelude
+};
+
+// Table order must match ApiId.
+const std::vector<ApiEntry>& ApiTable();
+
+// C prelude injected ahead of every application source (prototypes only).
+std::string ApiPrelude();
+
+// Event-handler entry points the AFT looks for in every app. An app defines
+// any subset; missing handlers mean the event is not delivered.
+enum class EventType : uint8_t {
+  kInit = 0,      // void on_init(void)
+  kTimer,         // void on_timer(int timer_id)
+  kAccel,         // void on_accel(int x, int y, int z)
+  kHeartRate,     // void on_heartrate(int bpm)
+  kButton,        // void on_button(int button_id)
+  kTemp,          // void on_temp(int centi_c)
+  kLight,         // void on_light(int lux)
+  kBattery,       // void on_battery(int percent)
+  kCount,
+};
+
+const char* EventHandlerName(EventType type);
+
+}  // namespace amulet
+
+#endif  // SRC_OS_API_H_

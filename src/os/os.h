@@ -1,0 +1,152 @@
+// Host-side AmuletOS: event scheduler, system services, app lifecycle and
+// fault handling. App *code* runs on the simulated MSP430 (so every cycle of
+// isolation overhead is measured); service *semantics* execute here, behind
+// the HOSTIO peripheral, standing in for the wearable's sensor/display
+// hardware.
+#ifndef SRC_OS_OS_H_
+#define SRC_OS_OS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/aft/aft.h"
+#include "src/common/status.h"
+#include "src/mcu/machine.h"
+#include "src/mcu/trace.h"
+#include "src/os/api.h"
+#include "src/os/sensors.h"
+
+namespace amulet {
+
+enum class FaultPolicy : uint8_t {
+  kLogOnly,     // record and keep delivering events
+  kDisableApp,  // record, stop delivering events to the app
+  kRestartApp,  // record, reset app globals, re-run on_init
+};
+
+struct OsOptions {
+  int fram_wait_states = 1;
+  // Depth of the per-fault instruction trace (0 disables tracing).
+  int trace_depth = 16;
+  uint64_t handler_cycle_budget = 20'000'000;  // runaway-handler cut-off
+  FaultPolicy fault_policy = FaultPolicy::kRestartApp;
+  uint32_t sensor_seed = 20180711;
+};
+
+struct FaultRecord {
+  int app_index = -1;
+  bool from_mpu = false;  // true: MPU violation NMI; false: software check
+  uint16_t code = 0;      // software: 1=index 2=memory 3=return addr
+  uint16_t addr = 0;      // offending address / index
+  uint64_t at_cycles = 0;
+  std::string description;
+  // Disassembly of the last few instructions before the fault (crash dump).
+  std::string recent_trace;
+};
+
+struct AppStats {
+  uint64_t dispatches = 0;
+  uint64_t cycles = 0;
+  uint64_t syscalls = 0;
+  uint64_t faults = 0;
+  uint64_t restarts = 0;
+};
+
+struct LogEntry {
+  int app_index;
+  uint16_t tag;
+  int16_t value;
+  uint64_t at_ms;
+};
+
+class AmuletOs {
+ public:
+  AmuletOs(Machine* machine, Firmware firmware, OsOptions options);
+
+  // Loads the firmware image, installs vectors and the syscall handler, and
+  // delivers on_init to every app.
+  Status Boot();
+
+  struct DispatchResult {
+    uint64_t cycles = 0;
+    uint64_t syscalls = 0;
+    bool faulted = false;
+  };
+  // Runs one event handler to completion on the simulated CPU.
+  // No-op success (0 cycles) if the app does not define the handler.
+  Result<DispatchResult> Deliver(int app_index, EventType type, uint16_t a0 = 0,
+                                 uint16_t a1 = 0, uint16_t a2 = 0);
+
+  // Advances simulated wall-clock time, generating timer/sensor events for
+  // subscribed apps in timestamp order.
+  Status RunFor(uint64_t sim_ms);
+
+  // Injects a button press (delivered to apps subscribed via
+  // amulet_button_subscribe).
+  Status PressButton(int button_id);
+
+  // State inspection.
+  const Firmware& firmware() const { return firmware_; }
+  Machine& machine() { return *machine_; }
+  SensorSuite& sensors() { return sensors_; }
+  uint64_t now_ms() const { return now_ms_; }
+  const std::vector<FaultRecord>& faults() const { return faults_; }
+  const std::vector<LogEntry>& log() const { return log_; }
+  const AppStats& stats(int app_index) const { return stats_[app_index]; }
+  int app_count() const { return static_cast<int>(firmware_.apps.size()); }
+  bool app_enabled(int app_index) const { return enabled_[app_index]; }
+  // Display: per app, position -> value (what amulet_display_digits wrote).
+  const std::map<int, int16_t>& display(int app_index) const { return displays_[app_index]; }
+
+  // Renders a small status report (per-app stats + display contents).
+  std::string StatusReport() const;
+
+ private:
+  uint16_t HandleSyscall(const SyscallRequest& request);
+  Status HandleFault(int app_index, bool from_mpu, uint16_t code, uint16_t addr);
+  Status RestartApp(int app_index);
+  Status RestartAppInner(int app_index);
+  // Reloads an app's globals from the original image (restart semantics).
+  void ReloadAppData(int app_index);
+
+  struct TimerState {
+    bool active = false;
+    uint32_t period_ms = 0;
+    uint64_t next_due_ms = 0;
+  };
+  struct Subscriptions {
+    std::map<int, TimerState> timers;  // timer_id -> state
+    bool accel = false;
+    uint32_t accel_period_ms = 0;
+    uint64_t accel_next_ms = 0;
+    uint64_t accel_sample_index = 0;
+    bool heartrate = false;
+    uint64_t hr_next_ms = 0;
+    bool button = false;
+  };
+
+  Machine* machine_;
+  Firmware firmware_;
+  OsOptions options_;
+  SensorSuite sensors_;
+
+  int current_app_ = -1;
+  uint64_t now_ms_ = 0;
+  uint32_t rng_state_ = 0x1234;
+
+  std::vector<Subscriptions> subs_;
+  std::vector<AppStats> stats_;
+  std::vector<bool> enabled_;
+  std::vector<std::map<int, int16_t>> displays_;
+  std::vector<FaultRecord> faults_;
+  std::vector<LogEntry> log_;
+  bool booted_ = false;
+  bool in_restart_ = false;
+  ExecutionTrace trace_{16};
+};
+
+}  // namespace amulet
+
+#endif  // SRC_OS_OS_H_

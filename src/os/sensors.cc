@@ -1,0 +1,102 @@
+#include "src/os/sensors.h"
+
+#include <cmath>
+
+namespace amulet {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr uint64_t kMsPerDay = 24ull * 3600 * 1000;
+}  // namespace
+
+AccelSample SensorSuite::Accel(uint64_t t_ms) {
+  const double t = static_cast<double>(t_ms) / 1000.0;
+  AccelSample s;
+  // Gravity on z when worn flat.
+  double x = 0.0;
+  double y = 0.0;
+  double z = 1000.0;
+  switch (mode_) {
+    case ActivityMode::kRest:
+      break;
+    case ActivityMode::kWalking: {
+      const double cadence = 1.8;  // Hz
+      x += 180.0 * std::sin(2 * kPi * cadence * t);
+      y += 120.0 * std::sin(2 * kPi * cadence * t + 1.3);
+      z += 220.0 * std::cos(2 * kPi * cadence * t);
+      break;
+    }
+    case ActivityMode::kRunning: {
+      const double cadence = 2.6;
+      x += 500.0 * std::sin(2 * kPi * cadence * t);
+      y += 350.0 * std::sin(2 * kPi * cadence * t + 0.9);
+      z += 700.0 * std::cos(2 * kPi * cadence * t);
+      break;
+    }
+    case ActivityMode::kFalling: {
+      // Free-fall (~0 g) then impact spike in a 600 ms window.
+      const uint64_t phase = t_ms % 600;
+      if (phase < 300) {
+        x = y = 0.0;
+        z = 60.0;
+      } else if (phase < 360) {
+        x = 2800.0;
+        y = 2100.0;
+        z = 3000.0;
+      }
+      break;
+    }
+  }
+  s.x_mg = static_cast<int16_t>(x + noise_.Jitter(15));
+  s.y_mg = static_cast<int16_t>(y + noise_.Jitter(15));
+  s.z_mg = static_cast<int16_t>(z + noise_.Jitter(15));
+  return s;
+}
+
+int SensorSuite::HeartRateBpm(uint64_t t_ms) {
+  int base = 68;
+  switch (mode_) {
+    case ActivityMode::kRest:
+      base = 68;
+      break;
+    case ActivityMode::kWalking:
+      base = 95;
+      break;
+    case ActivityMode::kRunning:
+      base = 140;
+      break;
+    case ActivityMode::kFalling:
+      base = 110;
+      break;
+  }
+  // Slow respiratory oscillation plus beat-to-beat variability.
+  const double t = static_cast<double>(t_ms) / 1000.0;
+  const int rsa = static_cast<int>(3.0 * std::sin(2 * kPi * t / 11.0));
+  return base + rsa + noise_.Jitter(2);
+}
+
+int SensorSuite::TempCentiC(uint64_t t_ms) {
+  const double t = static_cast<double>(t_ms % kMsPerDay) / kMsPerDay;
+  // Skin temperature, mild circadian swing around 33.2 C.
+  const double centi = 3320.0 + 60.0 * std::sin(2 * kPi * (t - 0.25));
+  return static_cast<int>(centi) + noise_.Jitter(8);
+}
+
+int SensorSuite::LightLux(uint64_t t_ms) {
+  const double t = static_cast<double>(t_ms % kMsPerDay) / kMsPerDay;
+  // Zero at night, peaking around solar noon.
+  const double sun = std::sin(kPi * ((t * 24.0 - 6.0) / 12.0));
+  if (sun <= 0) {
+    return noise_.Jitter(2) + 2;
+  }
+  return static_cast<int>(sun * 8000.0) + noise_.Jitter(200);
+}
+
+int SensorSuite::BatteryPercent(uint64_t t_ms) {
+  const uint64_t week_ms = 7ull * kMsPerDay;
+  const uint64_t used = t_ms % week_ms;
+  int percent = 100 - static_cast<int>((used * 100) / week_ms);
+  return percent < 0 ? 0 : percent;
+}
+
+}  // namespace amulet

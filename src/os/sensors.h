@@ -1,0 +1,72 @@
+// Deterministic synthetic sensor streams standing in for the Amulet
+// wristband's hardware (accelerometer, PPG heart-rate, thermistor, light
+// sensor, battery gauge). Everything is a pure function of simulated time
+// plus an LCG noise source, so experiments are reproducible run-to-run.
+#ifndef SRC_OS_SENSORS_H_
+#define SRC_OS_SENSORS_H_
+
+#include <cstdint>
+
+namespace amulet {
+
+// Splittable deterministic noise (numerical recipes LCG).
+class NoiseSource {
+ public:
+  explicit NoiseSource(uint32_t seed) : state_(seed != 0 ? seed : 1) {}
+
+  uint32_t Next() {
+    state_ = state_ * 1664525u + 1013904223u;
+    return state_;
+  }
+  // Uniform in [-amplitude, +amplitude].
+  int32_t Jitter(int32_t amplitude) {
+    if (amplitude <= 0) {
+      return 0;
+    }
+    return static_cast<int32_t>(Next() % (2 * amplitude + 1)) - amplitude;
+  }
+
+ private:
+  uint32_t state_;
+};
+
+// What the simulated wearer is doing; drives all modalities.
+enum class ActivityMode : uint8_t {
+  kRest,     // sitting still
+  kWalking,  // ~1.8 Hz step cadence
+  kRunning,  // ~2.6 Hz cadence, higher amplitude
+  kFalling,  // a fall transient (high-g spike then still)
+};
+
+struct AccelSample {
+  int16_t x_mg = 0;  // milli-g
+  int16_t y_mg = 0;
+  int16_t z_mg = 0;
+};
+
+class SensorSuite {
+ public:
+  explicit SensorSuite(uint32_t seed = 20180711) : noise_(seed) {}
+
+  void set_mode(ActivityMode mode) { mode_ = mode; }
+  ActivityMode mode() const { return mode_; }
+
+  // Accelerometer sample at absolute simulated time (milliseconds).
+  AccelSample Accel(uint64_t t_ms);
+  // Heart rate in bpm (rest ~68, walking ~95, running ~140).
+  int HeartRateBpm(uint64_t t_ms);
+  // Skin temperature, centi-degrees C.
+  int TempCentiC(uint64_t t_ms);
+  // Ambient light, lux (diurnal curve).
+  int LightLux(uint64_t t_ms);
+  // Battery percentage (linear discharge, ~1 week from full).
+  int BatteryPercent(uint64_t t_ms);
+
+ private:
+  NoiseSource noise_;
+  ActivityMode mode_ = ActivityMode::kRest;
+};
+
+}  // namespace amulet
+
+#endif  // SRC_OS_SENSORS_H_

@@ -1,0 +1,462 @@
+#include <gtest/gtest.h>
+
+#include "src/asm/assembler.h"
+#include "src/asm/linker.h"
+#include "src/asm/ihex.h"
+#include "src/isa/encoding.h"
+#include "tests/sim_test_util.h"
+
+namespace amulet {
+namespace {
+
+ObjectFile MustAssemble(const std::string& source) {
+  auto object = Assemble(source, "t.s");
+  EXPECT_TRUE(object.ok()) << object.status().ToString();
+  return std::move(*object);
+}
+
+Image MustLink(ObjectFile object, std::vector<LayoutRule> layout) {
+  Linker linker;
+  linker.AddObject(std::move(object));
+  auto image = linker.Link(layout);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  return std::move(*image);
+}
+
+uint16_t WordAt(const Image& image, uint16_t addr) {
+  for (const auto& [base, bytes] : image.chunks) {
+    if (addr >= base && addr + 1u < base + bytes.size() + 1u) {
+      return static_cast<uint16_t>(bytes[addr - base] | (bytes[addr - base + 1] << 8));
+    }
+  }
+  ADD_FAILURE() << "address not in image";
+  return 0;
+}
+
+TEST(AssemblerTest, BasicInstruction) {
+  ObjectFile obj = MustAssemble("  mov r5, r6\n");
+  ASSERT_EQ(obj.sections.size(), 1u);
+  EXPECT_EQ(obj.sections[0].name, ".text");
+  ASSERT_EQ(obj.sections[0].bytes.size(), 2u);
+  // mov r5,r6 = 0x4506
+  EXPECT_EQ(obj.sections[0].bytes[0], 0x06);
+  EXPECT_EQ(obj.sections[0].bytes[1], 0x45);
+}
+
+TEST(AssemblerTest, CaseInsensitiveMnemonics) {
+  ObjectFile a = MustAssemble("  MOV R5, R6\n");
+  ObjectFile b = MustAssemble("  mov r5, r6\n");
+  EXPECT_EQ(a.sections[0].bytes, b.sections[0].bytes);
+}
+
+TEST(AssemblerTest, CommentsIgnored) {
+  ObjectFile obj = MustAssemble(
+      "; full line comment\n"
+      "  mov r5, r6  ; trailing\n"
+      "  // c++ style\n");
+  EXPECT_EQ(obj.sections[0].bytes.size(), 2u);
+}
+
+TEST(AssemblerTest, ConstantGeneratorChosenForLiterals) {
+  // #1 uses the CG (1 word); #3 needs an extension word (2 words).
+  ObjectFile cg = MustAssemble("  mov #1, r6\n");
+  ObjectFile full = MustAssemble("  mov #3, r6\n");
+  EXPECT_EQ(cg.sections[0].bytes.size(), 2u);
+  EXPECT_EQ(full.sections[0].bytes.size(), 4u);
+}
+
+TEST(AssemblerTest, LabelsAndJumpResolution) {
+  Image image = MustLink(MustAssemble("start:\n"
+                                      "  jmp start\n"),
+                         {{".text", 0x4400}});
+  // jmp -1 word: 0x3FFF
+  EXPECT_EQ(WordAt(image, 0x4400), 0x3FFF);
+}
+
+TEST(AssemblerTest, ForwardJump) {
+  Image image = MustLink(MustAssemble("  jmp target\n"
+                                      "  nop\n"
+                                      "target:\n"
+                                      "  nop\n"),
+                         {{".text", 0x4400}});
+  // skip one word: offset +1 -> 0x3C01
+  EXPECT_EQ(WordAt(image, 0x4400), 0x3C01);
+}
+
+TEST(AssemblerTest, EquConstants) {
+  ObjectFile obj = MustAssemble(".equ BASE, 0x0700\n"
+                                "  mov #5, &BASE\n");
+  auto bytes = obj.sections[0].bytes;
+  ASSERT_EQ(bytes.size(), 6u);
+  EXPECT_EQ(static_cast<uint16_t>(bytes[4] | (bytes[5] << 8)), 0x0700);
+}
+
+TEST(AssemblerTest, EquUsableBeforeDefinition) {
+  ObjectFile obj = MustAssemble("  mov #5, &BASE\n"
+                                ".equ BASE, 0x0700\n");
+  auto bytes = obj.sections[0].bytes;
+  ASSERT_EQ(bytes.size(), 6u);
+  EXPECT_EQ(static_cast<uint16_t>(bytes[4] | (bytes[5] << 8)), 0x0700);
+}
+
+TEST(AssemblerTest, DataDirectives) {
+  ObjectFile obj = MustAssemble(".data\n"
+                                "  .word 0x1234, 5\n"
+                                "  .byte 1, 2, 'a'\n"
+                                "  .align\n"
+                                "  .word 7\n"
+                                "  .space 4\n"
+                                "  .asciz \"hi\"\n");
+  const auto& bytes = obj.FindSection(".data")->bytes;
+  ASSERT_EQ(bytes.size(), 4u + 3 + 1 + 2 + 4 + 3);
+  EXPECT_EQ(bytes[0], 0x34);
+  EXPECT_EQ(bytes[1], 0x12);
+  EXPECT_EQ(bytes[6], 'a');
+  EXPECT_EQ(bytes[8], 7);
+  EXPECT_EQ(bytes[14], 'h');
+  EXPECT_EQ(bytes[16], '\0');
+}
+
+TEST(AssemblerTest, SymbolInWordDirectiveRelocated) {
+  Image image = MustLink(MustAssemble(".data\n"
+                                      "table:\n"
+                                      "  .word handler\n"
+                                      ".text\n"
+                                      "handler:\n"
+                                      "  nop\n"),
+                         {{".text", 0x4400}, {".data", 0x7000}});
+  EXPECT_EQ(WordAt(image, 0x7000), 0x4400);
+}
+
+TEST(AssemblerTest, SymbolPlusOffset) {
+  Image image = MustLink(MustAssemble(".data\n"
+                                      "  .word buf + 4\n"
+                                      "buf:\n"
+                                      "  .space 8\n"),
+                         {{".data", 0x7000}});
+  EXPECT_EQ(WordAt(image, 0x7000), 0x7002 + 4);
+}
+
+TEST(AssemblerTest, EmulatedMnemonicsExpand) {
+  // Each expands to exactly one core instruction.
+  for (const char* line : {"  nop\n", "  ret\n", "  clr r4\n", "  inc r4\n", "  dec r4\n",
+                           "  tst r4\n", "  inv r4\n", "  dint\n", "  eint\n", "  clrc\n",
+                           "  setc\n", "  pop r4\n", "  rla r4\n", "  adc r4\n"}) {
+    ObjectFile obj = MustAssemble(line);
+    EXPECT_EQ(obj.sections[0].bytes.size(), 2u) << line;
+  }
+}
+
+TEST(AssemblerTest, RetIsMovSpIndirectToPc) {
+  ObjectFile obj = MustAssemble("  ret\n");
+  uint16_t word = static_cast<uint16_t>(obj.sections[0].bytes[0] |
+                                        (obj.sections[0].bytes[1] << 8));
+  auto decoded = Decode({{word}});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, Opcode::kMov);
+  EXPECT_EQ(decoded->src.mode, AddrMode::kIndirectAutoInc);
+  EXPECT_EQ(decoded->src.reg, Reg::kSp);
+  EXPECT_EQ(decoded->dst.reg, Reg::kPc);
+}
+
+TEST(AssemblerTest, ByteSuffix) {
+  ObjectFile obj = MustAssemble("  mov.b r5, r6\n");
+  uint16_t word = static_cast<uint16_t>(obj.sections[0].bytes[0] |
+                                        (obj.sections[0].bytes[1] << 8));
+  auto decoded = Decode({{word}});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->byte);
+}
+
+TEST(AssemblerTest, JumpAliases) {
+  ObjectFile a = MustAssemble("x:\n  jne x\n");
+  ObjectFile b = MustAssemble("x:\n  jnz x\n");
+  EXPECT_EQ(a.sections[0].bytes, b.sections[0].bytes);
+}
+
+TEST(AssemblerTest, Errors) {
+  EXPECT_FALSE(Assemble("  bogus r1, r2\n").ok());
+  EXPECT_FALSE(Assemble("  mov r1\n").ok());          // wrong arity
+  EXPECT_FALSE(Assemble("  mov r1, #5\n").ok());      // immediate destination
+  EXPECT_FALSE(Assemble("  .word a + b\n").ok());     // two symbols
+  EXPECT_FALSE(Assemble("  mov r99, r4\n").ok());     // no such register
+  EXPECT_FALSE(Assemble("dup:\ndup:\n").ok());        // duplicate label
+  EXPECT_FALSE(Assemble("  .unknown 3\n").ok());      // unknown directive
+  EXPECT_FALSE(Assemble("  jmp 0x4400\n").ok());      // jump needs a label
+}
+
+TEST(AssemblerTest, ErrorsCarryLineNumbers) {
+  auto result = Assemble("  nop\n  bogus\n", "unit.s");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unit.s:2"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(LinkerTest, MergesSectionsFromMultipleObjects) {
+  Linker linker;
+  linker.AddObject(MustAssemble("a:\n  nop\n"));
+  linker.AddObject(MustAssemble("b:\n  nop\n  nop\n"));
+  auto image = linker.Link({{".text", 0x4400}});
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_EQ(image->SymbolOrZero("a"), 0x4400);
+  EXPECT_EQ(image->SymbolOrZero("b"), 0x4402);
+}
+
+TEST(LinkerTest, CrossObjectCall) {
+  Linker linker;
+  linker.AddObject(MustAssemble("start:\n  call #helper\n"));
+  linker.AddObject(MustAssemble("helper:\n  ret\n"));
+  auto image = linker.Link({{".text", 0x4400}});
+  ASSERT_TRUE(image.ok());
+  // call #X is 2 words; helper lands right after.
+  EXPECT_EQ(image->SymbolOrZero("helper"), 0x4404);
+}
+
+TEST(LinkerTest, AbsoluteSymbols) {
+  Linker linker;
+  linker.AddObject(MustAssemble("  mov #5, &__bound\n"));
+  linker.DefineAbsolute("__bound", 0x8000);
+  auto image = linker.Link({{".text", 0x4400}});
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->SymbolOrZero("__bound"), 0x8000);
+}
+
+TEST(LinkerTest, UndefinedSymbolFails) {
+  Linker linker;
+  linker.AddObject(MustAssemble("  call #nowhere\n"));
+  auto image = linker.Link({{".text", 0x4400}});
+  EXPECT_FALSE(image.ok());
+  EXPECT_NE(image.status().message().find("nowhere"), std::string::npos);
+}
+
+TEST(LinkerTest, DuplicateSymbolAcrossObjectsFails) {
+  Linker linker;
+  linker.AddObject(MustAssemble("f:\n  nop\n"));
+  linker.AddObject(MustAssemble("f:\n  nop\n"));
+  EXPECT_FALSE(linker.Link({{".text", 0x4400}}).ok());
+}
+
+TEST(LinkerTest, MissingLayoutRuleFails) {
+  Linker linker;
+  linker.AddObject(MustAssemble(".section .app\n  nop\n"));
+  EXPECT_FALSE(linker.Link({{".text", 0x4400}}).ok());
+}
+
+TEST(LinkerTest, JumpOutOfRangeFails) {
+  Linker linker;
+  std::string source = "start:\n  jmp far\n.section .far\nfar:\n  nop\n";
+  linker.AddObject(MustAssemble(source));
+  auto image = linker.Link({{".text", 0x4400}, {".far", 0x9000}});
+  EXPECT_FALSE(image.ok());
+}
+
+TEST(LinkerTest, SectionSizeQuery) {
+  Linker linker;
+  linker.AddObject(MustAssemble(".section .x\n  .space 6\n"));
+  linker.AddObject(MustAssemble(".section .x\n  .space 3\n"));
+  EXPECT_EQ(linker.SectionSize(".x"), 10u);  // 6 + 3 padded to 4
+  EXPECT_EQ(linker.SectionSize(".nope"), 0u);
+}
+
+TEST(LinkerTest, OddPlacementRejected) {
+  Linker linker;
+  linker.AddObject(MustAssemble("  nop\n"));
+  EXPECT_FALSE(linker.Link({{".text", 0x4401}}).ok());
+}
+
+TEST(LinkerTest, SymbolicAddressingLinksPcRelative) {
+  // mov var, r5 with var in another section: ext word = var - ext_addr.
+  Linker linker;
+  linker.AddObject(MustAssemble("start:\n"
+                                "  mov var, r5\n"
+                                ".data\n"
+                                "var:\n"
+                                "  .word 55\n"));
+  auto image = linker.Link({{".text", 0x4400}, {".data", 0x7000}});
+  ASSERT_TRUE(image.ok());
+  // ext word at 0x4402; expect 0x7000 - 0x4402.
+  uint16_t ext = 0;
+  for (const auto& [base, bytes] : image->chunks) {
+    if (base == 0x4400) {
+      ext = static_cast<uint16_t>(bytes[2] | (bytes[3] << 8));
+    }
+  }
+  EXPECT_EQ(ext, static_cast<uint16_t>(0x7000 - 0x4402));
+}
+
+
+// ---------------------------------------------------------------------------
+// Jump relaxation (out-of-range conditional/unconditional jumps)
+// ---------------------------------------------------------------------------
+
+std::string FarProgram(const char* jump_line, int filler_words) {
+  std::string source = "start:\n";
+  source += jump_line;
+  source += "\n";
+  // Filler: each 'nop' is one word.
+  for (int i = 0; i < filler_words; ++i) {
+    source += "  nop\n";
+  }
+  source += "target:\n  mov #1, r10\n  mov #4, &0x0710\n";
+  return source;
+}
+
+TEST(RelaxationTest, ShortJumpStaysShort) {
+  ObjectFile obj = MustAssemble(FarProgram("  jmp target", 10));
+  // jmp (1 word) + 10 nops => target at offset 22.
+  bool found = false;
+  for (const AsmSymbol& sym : obj.symbols) {
+    if (sym.name == "target") {
+      EXPECT_EQ(sym.offset, 22u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RelaxationTest, FarUnconditionalJumpBecomesBr) {
+  // 600 words of filler exceeds the +511-word range: jmp must relax to
+  // br #target (3 words total program growth: 1 -> 2 words for the jump).
+  ObjectFile obj = MustAssemble(FarProgram("  jmp target", 600));
+  uint32_t target_offset = 0;
+  for (const AsmSymbol& sym : obj.symbols) {
+    if (sym.name == "target") {
+      target_offset = sym.offset;
+    }
+  }
+  EXPECT_EQ(target_offset, 2u * 2 + 600u * 2) << "br #target occupies two words";
+}
+
+TEST(RelaxationTest, FarJumpsExecuteCorrectly) {
+  Machine m;
+  auto out = RunAsm(&m, FarProgram("  jmp target", 600), 100000);
+  EXPECT_EQ(out.result, StepResult::kStopped);
+  EXPECT_EQ(m.cpu().reg(Reg::kR10), 1);
+}
+
+TEST(RelaxationTest, FarConditionalJumpInvertsAndExecutes) {
+  // Taken conditional far jump.
+  Machine m1;
+  std::string taken = "start:\n  mov #5, r4\n  cmp #5, r4\n";
+  taken += FarProgram("  jeq target", 600).substr(7);  // strip "start:\n"
+  auto out1 = RunAsm(&m1, taken, 100000);
+  EXPECT_EQ(out1.result, StepResult::kStopped);
+  EXPECT_EQ(m1.cpu().reg(Reg::kR10), 1) << "taken far jeq must reach the target";
+
+  // Not-taken conditional far jump falls through into the filler.
+  Machine m2;
+  std::string not_taken = "start:\n  mov #5, r4\n  cmp #6, r4\n";
+  not_taken += FarProgram("  jeq target", 600).substr(7);
+  auto out2 = RunAsm(&m2, not_taken, 100000);
+  EXPECT_EQ(out2.result, StepResult::kStopped);
+  EXPECT_EQ(m2.cpu().reg(Reg::kR10), 1) << "falls through the nops to the same end";
+}
+
+TEST(RelaxationTest, BackwardFarJump) {
+  // Backward distance beyond -512 words.
+  std::string source = "start:\n  jmp skip\n";
+  source += "back_target:\n  mov #7, r10\n  mov #4, &0x0710\n";
+  source += "skip:\n";
+  for (int i = 0; i < 600; ++i) {
+    source += "  nop\n";
+  }
+  source += "  jmp back_target\n";
+  Machine m;
+  auto out = RunAsm(&m, source, 100000);
+  EXPECT_EQ(out.result, StepResult::kStopped);
+  EXPECT_EQ(m.cpu().reg(Reg::kR10), 7);
+}
+
+
+// ---------------------------------------------------------------------------
+// Intel HEX serialization
+// ---------------------------------------------------------------------------
+
+TEST(IntelHexTest, RoundTripPreservesChunks) {
+  Image image;
+  image.chunks[0x4400] = {0x01, 0x02, 0x03, 0x04, 0x05};
+  std::vector<uint8_t> big(40);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>(i * 7);
+  }
+  image.chunks[0x7000] = big;
+  std::string hex = WriteIntelHex(image);
+  auto parsed = ParseIntelHex(hex);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->chunks.size(), 2u);
+  EXPECT_EQ(parsed->chunks.at(0x4400), image.chunks.at(0x4400));
+  EXPECT_EQ(parsed->chunks.at(0x7000), image.chunks.at(0x7000));
+}
+
+TEST(IntelHexTest, WellFormedRecords) {
+  Image image;
+  image.chunks[0x1000] = {0xAB, 0xCD};
+  std::string hex = WriteIntelHex(image);
+  EXPECT_EQ(hex, ":02100000ABCD76\n:00000001FF\n");
+}
+
+TEST(IntelHexTest, AdjacentRecordsCoalesce) {
+  // Two records forming one contiguous run parse back as a single chunk.
+  const char* hex =
+      ":02100000ABCD76\n"
+      ":021002001234A6\n"
+      ":00000001FF\n";
+  auto parsed = ParseIntelHex(hex);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->chunks.size(), 1u);
+  EXPECT_EQ(parsed->chunks.at(0x1000),
+            (std::vector<uint8_t>{0xAB, 0xCD, 0x12, 0x34}));
+}
+
+TEST(IntelHexTest, RejectsCorruptInput) {
+  EXPECT_FALSE(ParseIntelHex(":02100000ABCD77\n:00000001FF\n").ok()) << "bad checksum";
+  EXPECT_FALSE(ParseIntelHex("02100000ABCD76\n:00000001FF\n").ok()) << "missing colon";
+  EXPECT_FALSE(ParseIntelHex(":02100000AB76\n:00000001FF\n").ok()) << "short record";
+  EXPECT_FALSE(ParseIntelHex(":02100000ABCD76\n").ok()) << "missing EOF";
+  EXPECT_FALSE(ParseIntelHex(":02100004ABCD72\n:00000001FF\n").ok())
+      << "unsupported record type";
+  EXPECT_FALSE(ParseIntelHex(":00000001FF\n:02100000ABCD76\n").ok()) << "data after EOF";
+}
+
+TEST(IntelHexTest, LinkedFirmwareSurvivesHexRoundTrip) {
+  Linker linker;
+  linker.AddObject(MustAssemble("start:\n  mov #0x1234, r4\n  jmp start\n"));
+  auto image = linker.Link({{".text", 0x4400}});
+  ASSERT_TRUE(image.ok());
+  auto back = ParseIntelHex(WriteIntelHex(*image));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->chunks.at(0x4400), image->chunks.at(0x4400));
+}
+
+
+TEST(IntelHexTest, HexedFirmwareStillExecutes) {
+  // Full circle: assemble+link a program, serialize to Intel HEX, parse it
+  // back, load it into a *fresh* machine, and run it.
+  Linker linker;
+  linker.AddObject(MustAssemble(
+      "start:\n"
+      "  mov #0, r4\n"
+      "  mov #10, r6\n"
+      "loop:\n"
+      "  add r6, r4\n"
+      "  dec r6\n"
+      "  jnz loop\n"
+      "  mov r4, &0x1C00\n"
+      "  mov #4, &0x0710\n"));
+  auto image = linker.Link({{".text", 0x4400}});
+  ASSERT_TRUE(image.ok());
+  const uint16_t entry = image->SymbolOrZero("start");
+
+  auto reloaded = ParseIntelHex(WriteIntelHex(*image));
+  ASSERT_TRUE(reloaded.ok());
+  Machine machine;
+  LoadImage(*reloaded, &machine.bus());
+  machine.bus().PokeWord(kResetVector, entry);
+  machine.cpu().Reset();
+  auto out = machine.Run(10'000);
+  EXPECT_EQ(out.result, StepResult::kStopped);
+  EXPECT_EQ(machine.bus().PeekWord(0x1C00), 55u) << "10+9+...+1";
+}
+
+}  // namespace
+}  // namespace amulet

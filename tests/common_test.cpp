@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace amulet {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad foo");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad foo");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(LinkError("x").code(), StatusCode::kLinkError);
+  EXPECT_EQ(RuntimeFaultError("x").code(), StatusCode::kRuntimeFault);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusIntoResultBecomesInternalError) {
+  Result<int> r = OkStatus();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Doubled(Result<int> in) {
+  ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(InternalError("boom")).status().code(), StatusCode::kInternal);
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, Hex) {
+  EXPECT_EQ(HexWord(0x4400), "0x4400");
+  EXPECT_EQ(HexWord(0x000F), "0x000f");
+  EXPECT_EQ(HexByte(0xAB), "0xab");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y\t"), "x y");
+  EXPECT_EQ(Trim("\r\n"), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_TRUE(EqualsIgnoreCase("MoV", "mov"));
+  EXPECT_FALSE(EqualsIgnoreCase("mov", "movx"));
+  EXPECT_EQ(ToLower("AbC"), "abc");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("0x12", "0x"));
+  EXPECT_FALSE(StartsWith("x", "0x"));
+  EXPECT_TRUE(EndsWith("file.amc", ".amc"));
+}
+
+TEST(StringsTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567890ull), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace amulet

@@ -1,0 +1,271 @@
+// Exhaustive architectural semantics: every ALU instruction driven through
+// edge-case operand pairs with hand-computed results and C/Z/N/V flags,
+// in both word and byte widths. These lock the CPU core against regressions;
+// the MSP430 flag rules (notably C as not-borrow on SUB/CMP, and C = !Z on
+// logical ops) are easy to get subtly wrong.
+#include <gtest/gtest.h>
+
+#include "src/asm/assembler.h"
+#include "src/common/strings.h"
+#include "src/isa/disassembler.h"
+#include "src/isa/encoding.h"
+#include "src/mcu/machine.h"
+
+namespace amulet {
+namespace {
+
+struct AluCase {
+  Opcode op;
+  bool byte;
+  uint16_t src;
+  uint16_t dst_in;
+  bool carry_in;
+  uint16_t expect;
+  // Expected flags: -1 = don't care, 0/1 = required value.
+  int c, z, n, v;
+};
+
+std::string CaseName(const AluCase& c) {
+  return StrFormat("%s%s src=%04x dst=%04x cin=%d", std::string(OpcodeName(c.op)).c_str(),
+                   c.byte ? ".b" : "", c.src, c.dst_in, c.carry_in ? 1 : 0);
+}
+
+class AluSemantics : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSemantics, MatchesArchitecture) {
+  const AluCase& c = GetParam();
+  Machine m;
+  // Build:  <op>[.b] r5, r4  at 0x4400, then a stop (never reached: single step).
+  Instruction insn;
+  insn.op = c.op;
+  insn.byte = c.byte;
+  insn.src = RegOp(Reg::kR5);
+  insn.dst = RegOp(Reg::kR4);
+  auto words = Encode(insn);
+  ASSERT_TRUE(words.ok());
+  m.bus().PokeWord(0x4400, (*words)[0]);
+  m.bus().PokeWord(kResetVector, 0x4400);
+  m.cpu().Reset();
+  m.cpu().set_reg(Reg::kR5, c.src);
+  m.cpu().set_reg(Reg::kR4, c.dst_in);
+  m.cpu().set_reg(Reg::kSr, c.carry_in ? kSrCarry : 0);
+  ASSERT_EQ(m.cpu().Step(), StepResult::kOk) << CaseName(c);
+
+  const bool writes = c.op != Opcode::kCmp && c.op != Opcode::kBit;
+  if (writes) {
+    EXPECT_EQ(m.cpu().reg(Reg::kR4), c.expect) << CaseName(c);
+  } else {
+    EXPECT_EQ(m.cpu().reg(Reg::kR4), c.dst_in) << CaseName(c) << " must not write";
+  }
+  const uint16_t sr = m.cpu().sr();
+  if (c.c >= 0) EXPECT_EQ((sr & kSrCarry) != 0, c.c == 1) << CaseName(c) << " C";
+  if (c.z >= 0) EXPECT_EQ((sr & kSrZero) != 0, c.z == 1) << CaseName(c) << " Z";
+  if (c.n >= 0) EXPECT_EQ((sr & kSrNegative) != 0, c.n == 1) << CaseName(c) << " N";
+  if (c.v >= 0) EXPECT_EQ((sr & kSrOverflow) != 0, c.v == 1) << CaseName(c) << " V";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Add, AluSemantics,
+    ::testing::Values(
+        //       op           byte  src     dst    cin  expect  c  z  n  v
+        AluCase{Opcode::kAdd, false, 0x0001, 0x0001, 0, 0x0002, 0, 0, 0, 0},
+        AluCase{Opcode::kAdd, false, 0xFFFF, 0x0001, 0, 0x0000, 1, 1, 0, 0},
+        AluCase{Opcode::kAdd, false, 0x7FFF, 0x0001, 0, 0x8000, 0, 0, 1, 1},
+        AluCase{Opcode::kAdd, false, 0x8000, 0x8000, 0, 0x0000, 1, 1, 0, 1},
+        AluCase{Opcode::kAdd, false, 0x1234, 0x0000, 1, 0x1234, 0, 0, 0, 0},  // C_in ignored
+        AluCase{Opcode::kAdd, true, 0x00FF, 0x0001, 0, 0x0000, 1, 1, 0, 0},
+        AluCase{Opcode::kAdd, true, 0x007F, 0x0001, 0, 0x0080, 0, 0, 1, 1},
+        AluCase{Opcode::kAddc, false, 0x0001, 0x0001, 1, 0x0003, 0, 0, 0, 0},
+        AluCase{Opcode::kAddc, false, 0xFFFF, 0x0000, 1, 0x0000, 1, 1, 0, 0},
+        AluCase{Opcode::kAddc, true, 0x00FE, 0x0001, 1, 0x0000, 1, 1, 0, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Sub, AluSemantics,
+    ::testing::Values(
+        AluCase{Opcode::kSub, false, 0x0003, 0x0005, 0, 0x0002, 1, 0, 0, 0},
+        AluCase{Opcode::kSub, false, 0x0005, 0x0003, 0, 0xFFFE, 0, 0, 1, 0},  // borrow: C=0
+        AluCase{Opcode::kSub, false, 0x0005, 0x0005, 0, 0x0000, 1, 1, 0, 0},
+        AluCase{Opcode::kSub, false, 0x0001, 0x8000, 0, 0x7FFF, 1, 0, 0, 1},  // ovf
+        AluCase{Opcode::kSub, true, 0x0001, 0x0000, 0, 0x00FF, 0, 0, 1, 0},
+        AluCase{Opcode::kSubc, false, 0x0003, 0x0005, 1, 0x0002, 1, 0, 0, 0},
+        AluCase{Opcode::kSubc, false, 0x0003, 0x0005, 0, 0x0001, 1, 0, 0, 0},
+        AluCase{Opcode::kCmp, false, 0x0003, 0x0005, 0, 0x0000, 1, 0, 0, 0},
+        AluCase{Opcode::kCmp, false, 0x0005, 0x0003, 0, 0x0000, 0, 0, 1, 0},
+        AluCase{Opcode::kCmp, false, 0x8000, 0x7FFF, 0, 0x0000, 0, 0, 1, 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Logic, AluSemantics,
+    ::testing::Values(
+        AluCase{Opcode::kAnd, false, 0xF0F0, 0xFF00, 0, 0xF000, 1, 0, 1, 0},
+        AluCase{Opcode::kAnd, false, 0x0F0F, 0xF0F0, 0, 0x0000, 0, 1, 0, 0},  // C = !Z
+        AluCase{Opcode::kBit, false, 0x0001, 0x0003, 0, 0x0000, 1, 0, 0, 0},
+        AluCase{Opcode::kBit, false, 0x0004, 0x0003, 0, 0x0000, 0, 1, 0, 0},
+        AluCase{Opcode::kXor, false, 0xFFFF, 0xFFFF, 0, 0x0000, 0, 1, 0, 1},  // both neg: V
+        AluCase{Opcode::kXor, false, 0xAAAA, 0x5555, 0, 0xFFFF, 1, 0, 1, 0},
+        AluCase{Opcode::kBis, false, 0x00F0, 0x000F, 1, 0x00FF, -1, -1, -1, -1},  // no flags
+        AluCase{Opcode::kBic, false, 0x00F0, 0x00FF, 0, 0x000F, -1, -1, -1, -1},
+        AluCase{Opcode::kAnd, true, 0x00FF, 0x1280, 0, 0x0080, 1, 0, 1, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Bcd, AluSemantics,
+    ::testing::Values(
+        AluCase{Opcode::kDadd, false, 0x0042, 0x0013, 0, 0x0055, 0, 0, 0, -1},
+        AluCase{Opcode::kDadd, false, 0x0008, 0x0009, 0, 0x0017, 0, 0, 0, -1},
+        AluCase{Opcode::kDadd, false, 0x9999, 0x0001, 0, 0x0000, 1, 1, 0, -1},
+        AluCase{Opcode::kDadd, false, 0x0001, 0x0009, 1, 0x0011, 0, 0, 0, -1}));
+
+// BIS/BIC/MOV must preserve flags exactly.
+TEST(FlagPreservationTest, MovBisBicDontTouchSr) {
+  for (Opcode op : {Opcode::kMov, Opcode::kBis, Opcode::kBic}) {
+    Machine m;
+    Instruction insn;
+    insn.op = op;
+    insn.src = RegOp(Reg::kR5);
+    insn.dst = RegOp(Reg::kR4);
+    auto words = Encode(insn);
+    ASSERT_TRUE(words.ok());
+    m.bus().PokeWord(0x4400, (*words)[0]);
+    m.bus().PokeWord(kResetVector, 0x4400);
+    m.cpu().Reset();
+    const uint16_t all_flags = kSrCarry | kSrZero | kSrNegative | kSrOverflow;
+    m.cpu().set_reg(Reg::kSr, all_flags);
+    m.cpu().set_reg(Reg::kR5, 0x1234);
+    m.cpu().set_reg(Reg::kR4, 0x00FF);
+    ASSERT_EQ(m.cpu().Step(), StepResult::kOk);
+    EXPECT_EQ(m.cpu().sr() & all_flags, all_flags) << OpcodeName(op);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Format II edge semantics
+// ---------------------------------------------------------------------------
+
+struct UnaryCase {
+  Opcode op;
+  bool byte;
+  uint16_t in;
+  bool carry_in;
+  uint16_t expect;
+  int c, z, n;
+};
+
+class UnarySemantics : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnarySemantics, MatchesArchitecture) {
+  const UnaryCase& c = GetParam();
+  Machine m;
+  Instruction insn;
+  insn.op = c.op;
+  insn.byte = c.byte;
+  insn.dst = RegOp(Reg::kR4);
+  auto words = Encode(insn);
+  ASSERT_TRUE(words.ok());
+  m.bus().PokeWord(0x4400, (*words)[0]);
+  m.bus().PokeWord(kResetVector, 0x4400);
+  m.cpu().Reset();
+  m.cpu().set_reg(Reg::kR4, c.in);
+  m.cpu().set_reg(Reg::kSr, c.carry_in ? kSrCarry : 0);
+  ASSERT_EQ(m.cpu().Step(), StepResult::kOk);
+  EXPECT_EQ(m.cpu().reg(Reg::kR4), c.expect)
+      << OpcodeName(c.op) << " in=" << HexWord(c.in);
+  const uint16_t sr = m.cpu().sr();
+  if (c.c >= 0) EXPECT_EQ((sr & kSrCarry) != 0, c.c == 1) << OpcodeName(c.op) << " C";
+  if (c.z >= 0) EXPECT_EQ((sr & kSrZero) != 0, c.z == 1) << OpcodeName(c.op) << " Z";
+  if (c.n >= 0) EXPECT_EQ((sr & kSrNegative) != 0, c.n == 1) << OpcodeName(c.op) << " N";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shifts, UnarySemantics,
+    ::testing::Values(
+        //        op            byte   in     cin  expect  c  z  n
+        UnaryCase{Opcode::kRra, false, 0x0005, 0, 0x0002, 1, 0, 0},
+        UnaryCase{Opcode::kRra, false, 0x8000, 0, 0xC000, 0, 0, 1},  // keeps sign
+        UnaryCase{Opcode::kRra, false, 0x0001, 0, 0x0000, 1, 1, 0},
+        UnaryCase{Opcode::kRrc, false, 0x0000, 1, 0x8000, 0, 0, 1},  // C rotates in
+        UnaryCase{Opcode::kRrc, false, 0x0001, 0, 0x0000, 1, 1, 0},
+        UnaryCase{Opcode::kRrc, true, 0x0001, 1, 0x0080, 1, 0, 1},
+        UnaryCase{Opcode::kSwpb, false, 0xABCD, 0, 0xCDAB, -1, -1, -1},
+        UnaryCase{Opcode::kSxt, false, 0x0080, 0, 0xFF80, 1, 0, 1},
+        UnaryCase{Opcode::kSxt, false, 0x007F, 0, 0x007F, 1, 0, 0},
+        UnaryCase{Opcode::kSxt, false, 0x0000, 0, 0x0000, 0, 1, 0}));
+
+// ---------------------------------------------------------------------------
+// Byte operations on memory: only the addressed byte changes.
+// ---------------------------------------------------------------------------
+
+TEST(ByteMemoryTest, ByteStoreLeavesNeighborAlone) {
+  Machine m;
+  // mov.b r5, &0x1C01  (high byte of the word at 0x1C00)
+  Instruction insn;
+  insn.op = Opcode::kMov;
+  insn.byte = true;
+  insn.src = RegOp(Reg::kR5);
+  insn.dst = AbsoluteOp(0x1C01);
+  auto words = Encode(insn);
+  ASSERT_TRUE(words.ok());
+  m.bus().PokeWord(0x4400, (*words)[0]);
+  m.bus().PokeWord(0x4402, (*words)[1]);
+  m.bus().PokeWord(0x1C00, 0x1122);
+  m.bus().PokeWord(kResetVector, 0x4400);
+  m.cpu().Reset();
+  m.cpu().set_reg(Reg::kR5, 0x00AB);
+  ASSERT_EQ(m.cpu().Step(), StepResult::kOk);
+  EXPECT_EQ(m.bus().PeekWord(0x1C00), 0xAB22);
+}
+
+TEST(ByteMemoryTest, ByteLoadFromOddAddressGetsHighByte) {
+  Machine m;
+  Instruction insn;
+  insn.op = Opcode::kMov;
+  insn.byte = true;
+  insn.src = AbsoluteOp(0x1C01);
+  insn.dst = RegOp(Reg::kR4);
+  auto words = Encode(insn);
+  ASSERT_TRUE(words.ok());
+  m.bus().PokeWord(0x4400, (*words)[0]);
+  m.bus().PokeWord(0x4402, (*words)[1]);
+  m.bus().PokeWord(0x1C00, 0x7E55);
+  m.bus().PokeWord(kResetVector, 0x4400);
+  m.cpu().Reset();
+  m.cpu().set_reg(Reg::kR4, 0xFFFF);
+  ASSERT_EQ(m.cpu().Step(), StepResult::kOk);
+  EXPECT_EQ(m.cpu().reg(Reg::kR4), 0x007E) << "byte into register clears the high byte";
+}
+
+// ---------------------------------------------------------------------------
+// Assembler <-> disassembler round trip over an instruction corpus
+// ---------------------------------------------------------------------------
+
+TEST(RoundTripTest, DisassemblyReassemblesToIdenticalBytes) {
+  // A corpus covering formats, widths, addressing modes, and CG constants.
+  const char* kCorpus[] = {
+      "mov r5, r6",        "add #2, r7",          "add #100, r7",
+      "sub @r4, r5",       "subc @r9+, r10",      "cmp #-1, r11",
+      "xor 4(r4), r12",    "and #8, r13",         "bit #4, r14",
+      "bis #1, r15",       "bic #0, r5",          "dadd r6, r7",
+      "mov.b @r4+, r5",    "add.b #1, r6",        "xor.b 2(r7), r8",
+      "rra r5",            "rrc.b r6",            "swpb r7",
+      "sxt r8",            "push #4",             "push r10",
+      "call r11",          "reti",                "mov &0x1c00, r5",
+      "mov r5, &0x1c02",   "mov 6(r4), 8(r4)",    "push 2(r4)",
+  };
+  for (const char* line : kCorpus) {
+    auto obj1 = Assemble(std::string("  ") + line + "\n", "a.s");
+    ASSERT_TRUE(obj1.ok()) << line << ": " << obj1.status().ToString();
+    const auto& bytes1 = obj1->sections[0].bytes;
+    // Decode the bytes.
+    std::vector<uint16_t> words;
+    for (size_t i = 0; i + 1 < bytes1.size(); i += 2) {
+      words.push_back(static_cast<uint16_t>(bytes1[i] | (bytes1[i + 1] << 8)));
+    }
+    auto decoded = Decode(words);
+    ASSERT_TRUE(decoded.ok()) << line;
+    std::string text = Disassemble(*decoded, 0x4400);
+    auto obj2 = Assemble("  " + text + "\n", "b.s");
+    ASSERT_TRUE(obj2.ok()) << line << " -> " << text << ": " << obj2.status().ToString();
+    EXPECT_EQ(obj2->sections[0].bytes, bytes1) << line << " -> " << text;
+  }
+}
+
+}  // namespace
+}  // namespace amulet

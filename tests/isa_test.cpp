@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/isa/cycles.h"
+#include "src/isa/disassembler.h"
+#include "src/isa/encoding.h"
+#include "src/isa/instruction.h"
+
+namespace amulet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Encoding round-trips
+// ---------------------------------------------------------------------------
+
+Instruction RoundTrip(const Instruction& insn) {
+  auto words = Encode(insn);
+  EXPECT_TRUE(words.ok()) << words.status().ToString();
+  auto decoded = Decode(*words);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return *decoded;
+}
+
+// Every Format-I opcode with a representative operand pair.
+class FormatOneRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(FormatOneRoundTrip, RegisterToRegister) {
+  Instruction insn;
+  insn.op = GetParam();
+  insn.src = RegOp(Reg::kR5);
+  insn.dst = RegOp(Reg::kR10);
+  EXPECT_EQ(RoundTrip(insn), insn);
+}
+
+TEST_P(FormatOneRoundTrip, ByteForm) {
+  Instruction insn;
+  insn.op = GetParam();
+  insn.byte = true;
+  insn.src = RegOp(Reg::kR4);
+  insn.dst = IndexedOp(Reg::kR6, 0x0010);
+  EXPECT_EQ(RoundTrip(insn), insn);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormatOne, FormatOneRoundTrip,
+                         ::testing::Values(Opcode::kMov, Opcode::kAdd, Opcode::kAddc,
+                                           Opcode::kSubc, Opcode::kSub, Opcode::kCmp,
+                                           Opcode::kDadd, Opcode::kBit, Opcode::kBic,
+                                           Opcode::kBis, Opcode::kXor, Opcode::kAnd));
+
+// Every source addressing mode round-trips.
+class SrcModeRoundTrip : public ::testing::TestWithParam<Operand> {};
+
+TEST_P(SrcModeRoundTrip, MovToRegister) {
+  Instruction insn;
+  insn.op = Opcode::kMov;
+  insn.src = GetParam();
+  insn.dst = RegOp(Reg::kR15);
+  EXPECT_EQ(RoundTrip(insn), insn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSrcModes, SrcModeRoundTrip,
+    ::testing::Values(RegOp(Reg::kR9), IndexedOp(Reg::kR4, 0x1234), SymbolicOp(0x0040),
+                      AbsoluteOp(0x0700), IndirectOp(Reg::kR8), IndirectAutoIncOp(Reg::kR7),
+                      RawImmediateOp(0x1234)));
+
+// All six constant-generator values encode without an extension word.
+class ConstGenTest : public ::testing::TestWithParam<uint16_t> {};
+
+TEST_P(ConstGenTest, NoExtWord) {
+  Instruction insn;
+  insn.op = Opcode::kMov;
+  insn.src = ImmediateOp(GetParam());
+  insn.dst = RegOp(Reg::kR12);
+  auto words = Encode(insn);
+  ASSERT_TRUE(words.ok());
+  EXPECT_EQ(words->size(), 1u) << "constant " << GetParam() << " should use the CG";
+  auto decoded = Decode(*words);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->src.mode, AddrMode::kConst);
+  EXPECT_EQ(decoded->src.ext, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(CgValues, ConstGenTest,
+                         ::testing::Values(0, 1, 2, 4, 8, 0xFFFF));
+
+TEST(EncodingTest, NonCgImmediateTakesExtWord) {
+  Instruction insn;
+  insn.op = Opcode::kMov;
+  insn.src = ImmediateOp(1234);
+  insn.dst = RegOp(Reg::kR12);
+  auto words = Encode(insn);
+  ASSERT_TRUE(words.ok());
+  ASSERT_EQ(words->size(), 2u);
+  EXPECT_EQ((*words)[1], 1234);
+}
+
+TEST(EncodingTest, FormatTwoRoundTrips) {
+  for (Opcode op : {Opcode::kRrc, Opcode::kSwpb, Opcode::kRra, Opcode::kSxt, Opcode::kPush,
+                    Opcode::kCall}) {
+    Instruction insn;
+    insn.op = op;
+    insn.dst = RegOp(Reg::kR11);
+    EXPECT_EQ(RoundTrip(insn), insn) << OpcodeName(op);
+  }
+}
+
+TEST(EncodingTest, RetiRoundTrips) {
+  Instruction insn;
+  insn.op = Opcode::kReti;
+  auto words = Encode(insn);
+  ASSERT_TRUE(words.ok());
+  EXPECT_EQ((*words)[0], 0x1300);
+  EXPECT_EQ(RoundTrip(insn).op, Opcode::kReti);
+}
+
+TEST(EncodingTest, JumpOffsetsRoundTrip) {
+  for (int16_t offset : {-512, -1, 0, 1, 255, 511}) {
+    Instruction insn;
+    insn.op = Opcode::kJnz;
+    insn.jump_offset_words = offset;
+    Instruction back = RoundTrip(insn);
+    EXPECT_EQ(back.jump_offset_words, offset);
+  }
+}
+
+TEST(EncodingTest, JumpOffsetOutOfRangeRejected) {
+  Instruction insn;
+  insn.op = Opcode::kJmp;
+  insn.jump_offset_words = 512;
+  EXPECT_FALSE(Encode(insn).ok());
+  insn.jump_offset_words = -513;
+  EXPECT_FALSE(Encode(insn).ok());
+}
+
+TEST(EncodingTest, AllJumpConditionsRoundTrip) {
+  for (Opcode op : {Opcode::kJnz, Opcode::kJz, Opcode::kJnc, Opcode::kJc, Opcode::kJn,
+                    Opcode::kJge, Opcode::kJl, Opcode::kJmp}) {
+    Instruction insn;
+    insn.op = op;
+    insn.jump_offset_words = 5;
+    EXPECT_EQ(RoundTrip(insn).op, op);
+  }
+}
+
+TEST(EncodingTest, ImmediateDestinationRejected) {
+  Instruction insn;
+  insn.op = Opcode::kMov;
+  insn.src = RegOp(Reg::kR4);
+  insn.dst = RawImmediateOp(5);
+  EXPECT_FALSE(Encode(insn).ok());
+}
+
+TEST(EncodingTest, IndexedOnConstantGeneratorRejected) {
+  Instruction insn;
+  insn.op = Opcode::kMov;
+  insn.src = IndexedOp(Reg::kCg, 4);
+  insn.dst = RegOp(Reg::kR4);
+  EXPECT_FALSE(Encode(insn).ok());
+}
+
+TEST(DecodingTest, EmptyStreamRejected) {
+  EXPECT_FALSE(Decode({}).ok());
+}
+
+TEST(DecodingTest, MissingExtWordRejected) {
+  // MOV #imm, Rn needs an extension word.
+  Instruction insn;
+  insn.op = Opcode::kMov;
+  insn.src = RawImmediateOp(1234);
+  insn.dst = RegOp(Reg::kR4);
+  auto words = Encode(insn);
+  ASSERT_TRUE(words.ok());
+  std::vector<uint16_t> truncated = {(*words)[0]};
+  EXPECT_FALSE(Decode(truncated).ok());
+}
+
+TEST(DecodingTest, UndefinedTopNibbleRejected) {
+  std::vector<uint16_t> words = {0x0000};
+  EXPECT_FALSE(Decode(words).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cycle model (spot-checked against the TI family guide tables)
+// ---------------------------------------------------------------------------
+
+struct CycleCase {
+  Instruction insn;
+  int expected;
+  const char* what;
+};
+
+Instruction MakeMov(Operand src, Operand dst) {
+  Instruction insn;
+  insn.op = Opcode::kMov;
+  insn.src = src;
+  insn.dst = dst;
+  return insn;
+}
+
+TEST(CycleTest, FormatOneTable) {
+  const CycleCase cases[] = {
+      {MakeMov(RegOp(Reg::kR5), RegOp(Reg::kR6)), 1, "Rn->Rm"},
+      {MakeMov(RegOp(Reg::kR5), RegOp(Reg::kPc)), 2, "Rn->PC"},
+      {MakeMov(RegOp(Reg::kR5), IndexedOp(Reg::kR6, 2)), 4, "Rn->x(Rm)"},
+      {MakeMov(RegOp(Reg::kR5), AbsoluteOp(0x200)), 4, "Rn->&EDE"},
+      {MakeMov(IndirectOp(Reg::kR5), RegOp(Reg::kR6)), 2, "@Rn->Rm"},
+      {MakeMov(IndirectOp(Reg::kR5), IndexedOp(Reg::kR6, 2)), 5, "@Rn->x(Rm)"},
+      {MakeMov(IndirectAutoIncOp(Reg::kR5), RegOp(Reg::kR6)), 2, "@Rn+->Rm"},
+      {MakeMov(IndirectAutoIncOp(Reg::kR5), RegOp(Reg::kPc)), 3, "@Rn+->PC"},
+      {MakeMov(RawImmediateOp(100), RegOp(Reg::kR6)), 2, "#N->Rm"},
+      {MakeMov(RawImmediateOp(100), RegOp(Reg::kPc)), 3, "BR #N"},
+      {MakeMov(RawImmediateOp(100), AbsoluteOp(0x200)), 5, "#N->&EDE"},
+      {MakeMov(IndexedOp(Reg::kR5, 2), RegOp(Reg::kR6)), 3, "x(Rn)->Rm"},
+      {MakeMov(IndexedOp(Reg::kR5, 2), IndexedOp(Reg::kR6, 4)), 6, "x(Rn)->x(Rm)"},
+      {MakeMov(AbsoluteOp(0x200), AbsoluteOp(0x202)), 6, "&EDE->&TONI"},
+      {MakeMov(ImmediateOp(1), RegOp(Reg::kR6)), 1, "CG #1->Rm"},
+  };
+  for (const CycleCase& c : cases) {
+    EXPECT_EQ(InstructionCycles(c.insn), c.expected) << c.what;
+  }
+}
+
+TEST(CycleTest, FormatTwoTable) {
+  Instruction push;
+  push.op = Opcode::kPush;
+  push.dst = RegOp(Reg::kR5);
+  EXPECT_EQ(InstructionCycles(push), 3);
+  push.dst = RawImmediateOp(10);
+  EXPECT_EQ(InstructionCycles(push), 4);
+
+  Instruction call;
+  call.op = Opcode::kCall;
+  call.dst = RawImmediateOp(0x4400);
+  EXPECT_EQ(InstructionCycles(call), 5);
+  call.dst = RegOp(Reg::kR5);
+  EXPECT_EQ(InstructionCycles(call), 4);
+
+  Instruction rra;
+  rra.op = Opcode::kRra;
+  rra.dst = RegOp(Reg::kR5);
+  EXPECT_EQ(InstructionCycles(rra), 1);
+  rra.dst = AbsoluteOp(0x200);
+  EXPECT_EQ(InstructionCycles(rra), 4);
+
+  Instruction reti;
+  reti.op = Opcode::kReti;
+  EXPECT_EQ(InstructionCycles(reti), 5);
+}
+
+TEST(CycleTest, JumpsAreTwoCycles) {
+  Instruction j;
+  j.op = Opcode::kJmp;
+  j.jump_offset_words = -3;
+  EXPECT_EQ(InstructionCycles(j), 2);
+  j.op = Opcode::kJl;
+  EXPECT_EQ(InstructionCycles(j), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------------
+
+TEST(DisassemblerTest, BasicForms) {
+  EXPECT_EQ(Disassemble(MakeMov(RegOp(Reg::kR5), RegOp(Reg::kR6)), 0x4400),
+            "mov      r5, r6");
+  Instruction byte_insn = MakeMov(IndirectAutoIncOp(Reg::kR9), AbsoluteOp(0x070E));
+  byte_insn.byte = true;
+  EXPECT_EQ(Disassemble(byte_insn, 0x4400), "mov.b    @r9+, &0x070e");
+  Instruction jump;
+  jump.op = Opcode::kJnz;
+  jump.jump_offset_words = -2;
+  EXPECT_EQ(Disassemble(jump, 0x4400), "jnz      0x43fe");
+}
+
+TEST(DisassemblerTest, SymbolicResolvesAgainstPc) {
+  Instruction insn = MakeMov(SymbolicOp(0x0010), RegOp(Reg::kR4));
+  // ext word at 0x4402; target = 0x4402 + 0x10 = 0x4412
+  EXPECT_EQ(Disassemble(insn, 0x4400), "mov      0x4412, r4");
+}
+
+TEST(InstructionTest, WordCounts) {
+  EXPECT_EQ(MakeMov(RegOp(Reg::kR4), RegOp(Reg::kR5)).WordCount(), 1);
+  EXPECT_EQ(MakeMov(RawImmediateOp(99), RegOp(Reg::kR5)).WordCount(), 2);
+  EXPECT_EQ(MakeMov(RawImmediateOp(99), AbsoluteOp(0x200)).WordCount(), 3);
+  Instruction j;
+  j.op = Opcode::kJmp;
+  EXPECT_EQ(j.WordCount(), 1);
+}
+
+}  // namespace
+}  // namespace amulet

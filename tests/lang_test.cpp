@@ -1,0 +1,417 @@
+// Front-end unit tests: lexer token streams, parser acceptance/shape,
+// semantic analysis rules, type-system arithmetic (sizes, layout,
+// promotions).
+#include <gtest/gtest.h>
+
+#include "src/lang/lexer.h"
+#include "src/lang/parser.h"
+#include "src/lang/sema.h"
+
+namespace amulet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+std::vector<Token> MustLex(const std::string& source) {
+  auto tokens = Lex(source, "t");
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? std::move(*tokens) : std::vector<Token>{};
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = MustLex("foo _bar baz42");
+  ASSERT_EQ(tokens.size(), 4u);  // + EOF
+  EXPECT_EQ(tokens[0].kind, Tok::kIdent);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].text, "_bar");
+  EXPECT_EQ(tokens[2].text, "baz42");
+  EXPECT_EQ(tokens[3].kind, Tok::kEof);
+}
+
+TEST(LexerTest, KeywordsAreNotIdentifiers) {
+  auto tokens = MustLex("int intx");
+  EXPECT_EQ(tokens[0].kind, Tok::kKwInt);
+  EXPECT_EQ(tokens[1].kind, Tok::kIdent);
+}
+
+TEST(LexerTest, DecimalAndHexLiterals) {
+  auto tokens = MustLex("0 42 0xFF 0x1234");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 0xFF);
+  EXPECT_EQ(tokens[3].int_value, 0x1234);
+}
+
+TEST(LexerTest, LiteralLimits) {
+  EXPECT_TRUE(Lex("65535").ok());
+  EXPECT_TRUE(Lex("65536").ok()) << "32-bit literals type as long";
+  EXPECT_TRUE(Lex("0xFFFFFFFF").ok());
+  EXPECT_FALSE(Lex("4294967296").ok()) << "beyond 32 bits";
+  EXPECT_FALSE(Lex("0x100000000").ok());
+  EXPECT_FALSE(Lex("12abc").ok());
+  EXPECT_FALSE(Lex("1.5").ok()) << "no floats in AmuletC";
+}
+
+TEST(LexerTest, CharLiterals) {
+  auto tokens = MustLex("'a' '\\n' '\\0' '\\\\'");
+  EXPECT_EQ(tokens[0].int_value, 'a');
+  EXPECT_EQ(tokens[1].int_value, '\n');
+  EXPECT_EQ(tokens[2].int_value, 0);
+  EXPECT_EQ(tokens[3].int_value, '\\');
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = MustLex("\"hi\\tthere\"");
+  ASSERT_EQ(tokens[0].kind, Tok::kStringLit);
+  EXPECT_EQ(tokens[0].str_value, "hi\tthere");
+}
+
+TEST(LexerTest, UnterminatedLiteralsRejected) {
+  EXPECT_FALSE(Lex("\"abc").ok());
+  EXPECT_FALSE(Lex("'a").ok());
+  EXPECT_FALSE(Lex("/* comment").ok());
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = MustLex("<< >> <= >= == != && || += -= <<= >>= ++ -- ->");
+  Tok expected[] = {Tok::kShl,     Tok::kShr,    Tok::kLe,      Tok::kGe,
+                    Tok::kEqEq,    Tok::kNe,     Tok::kAndAnd,  Tok::kOrOr,
+                    Tok::kPlusEq,  Tok::kMinusEq, Tok::kShlEq,  Tok::kShrEq,
+                    Tok::kPlusPlus, Tok::kMinusMinus, Tok::kArrow};
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, CommentsStripped) {
+  auto tokens = MustLex("a // line\nb /* block\nstill */ c");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = MustLex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].col, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].col, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Parser (structure-level checks)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Program> MustParse(const std::string& source) {
+  auto program = Parse(source, "t");
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program.ok() ? std::move(*program) : nullptr;
+}
+
+TEST(ParserTest, FunctionShape) {
+  auto program = MustParse("int add(int a, int b) { return a + b; }");
+  ASSERT_NE(program, nullptr);
+  FunctionDecl* fn = program->FindFunction("add");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->params.size(), 2u);
+  EXPECT_EQ(fn->params[0].name, "a");
+  EXPECT_EQ(fn->signature->return_type->kind, TypeKind::kInt16);
+  ASSERT_NE(fn->body, nullptr);
+}
+
+TEST(ParserTest, GlobalsWithCommaList) {
+  auto program = MustParse("int a, b = 3, c;");
+  EXPECT_NE(program->FindGlobal("a"), nullptr);
+  EXPECT_NE(program->FindGlobal("b"), nullptr);
+  EXPECT_NE(program->FindGlobal("c"), nullptr);
+}
+
+TEST(ParserTest, PointerAndArrayDeclarators) {
+  auto program = MustParse("int* p; int a[4]; char** pp; int m[2][3];");
+  EXPECT_TRUE(program->FindGlobal("p")->type->IsPointer());
+  const Type* a = program->FindGlobal("a")->type;
+  ASSERT_TRUE(a->IsArray());
+  EXPECT_EQ(a->array_length, 4);
+  const Type* pp = program->FindGlobal("pp")->type;
+  ASSERT_TRUE(pp->IsPointer());
+  EXPECT_TRUE(pp->pointee->IsPointer());
+  const Type* m = program->FindGlobal("m")->type;
+  ASSERT_TRUE(m->IsArray());
+  EXPECT_EQ(m->array_length, 2);
+  ASSERT_TRUE(m->element->IsArray());
+  EXPECT_EQ(m->element->array_length, 3);
+}
+
+TEST(ParserTest, FunctionPointerDeclarators) {
+  auto program = MustParse("int (*handler)(int, int); int (*table[3])(void);");
+  const Type* h = program->FindGlobal("handler")->type;
+  ASSERT_TRUE(h->IsPointer());
+  ASSERT_TRUE(h->pointee->IsFunction());
+  EXPECT_EQ(h->pointee->params.size(), 2u);
+  const Type* t = program->FindGlobal("table")->type;
+  ASSERT_TRUE(t->IsArray());
+  EXPECT_EQ(t->array_length, 3);
+  EXPECT_TRUE(t->element->IsPointer());
+}
+
+TEST(ParserTest, StructLayout) {
+  auto program = MustParse("struct S { char a; int b; char c; char d; };");
+  StructDef* def = program->types.FindStruct("S");
+  ASSERT_NE(def, nullptr);
+  ASSERT_EQ(def->fields.size(), 4u);
+  EXPECT_EQ(def->fields[0].offset, 0);  // char a
+  EXPECT_EQ(def->fields[1].offset, 2);  // int b (aligned)
+  EXPECT_EQ(def->fields[2].offset, 4);  // char c
+  EXPECT_EQ(def->fields[3].offset, 5);  // char d (byte-packed)
+  EXPECT_EQ(def->size, 6);              // padded to word alignment
+  EXPECT_EQ(def->align, 2);
+}
+
+TEST(ParserTest, ByteOnlyStructIsBytePacked) {
+  auto program = MustParse("struct B { char a; char b; char c; };");
+  StructDef* def = program->types.FindStruct("B");
+  EXPECT_EQ(def->size, 3);
+  EXPECT_EQ(def->align, 1);
+}
+
+TEST(ParserTest, EnumConstantsFoldIntoLiterals) {
+  auto program = MustParse("enum { A, B = 10, C }; int x[C];");
+  EXPECT_EQ(program->FindGlobal("x")->type->array_length, 11);
+}
+
+TEST(ParserTest, ConstantExpressionArraySizes) {
+  auto program = MustParse("int x[4 * 2 + 1];");
+  EXPECT_EQ(program->FindGlobal("x")->type->array_length, 9);
+}
+
+TEST(ParserTest, RejectsMalformedSyntax) {
+  EXPECT_FALSE(Parse("int f( { }", "t").ok());
+  EXPECT_FALSE(Parse("int;", "t").ok());
+  EXPECT_FALSE(Parse("int a[0];", "t").ok());
+  EXPECT_FALSE(Parse("int a[-1];", "t").ok());
+  EXPECT_FALSE(Parse("struct { int x; };", "t").ok()) << "anonymous structs unsupported";
+  EXPECT_FALSE(Parse("int f(void) { return 1 + ; }", "t").ok());
+  EXPECT_FALSE(Parse("void f(void) { if (1) }", "t").ok());
+  EXPECT_FALSE(Parse("enum { A, A };", "t").ok());
+  EXPECT_FALSE(Parse("struct S { int x; }; struct S { int y; };", "t").ok());
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto result = Parse("int a;\nint b = @;\n", "unit");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unit:2"), std::string::npos)
+      << result.status().message();
+}
+
+// ---------------------------------------------------------------------------
+// Sema (rules beyond what compiler_exec_test covers by execution)
+// ---------------------------------------------------------------------------
+
+Status Check(const std::string& source) {
+  auto program = Parse(source, "t");
+  if (!program.ok()) {
+    return program.status();
+  }
+  FeatureAudit audit;
+  SemaOptions options;
+  options.api_numbers["amulet_noop"] = 0;
+  return Analyze(program->get(), options, &audit);
+}
+
+TEST(SemaTest, AcceptsWellTypedPrograms) {
+  EXPECT_TRUE(Check("int g; void f(void) { g = 1; }").ok());
+  EXPECT_TRUE(Check("void f(int* p) { *p = 1; }").ok());
+  EXPECT_TRUE(Check("struct S { int x; }; void f(struct S* s) { s->x = 1; }").ok());
+  EXPECT_TRUE(Check("void f(void) { char c = 'x'; int i = c; c = i; }").ok())
+      << "integer conversions are free";
+  EXPECT_TRUE(Check("int a[3]; void f(void) { int* p = a; }").ok()) << "array decay";
+  EXPECT_TRUE(Check("void f(void) { void* p = 0; int* q = p; }").ok()) << "void* converts";
+  EXPECT_TRUE(Check("int h(void); int h(void) { return 1; } void f(void) { h(); }").ok())
+      << "prototype then definition";
+}
+
+TEST(SemaTest, RejectsTypeErrors) {
+  EXPECT_FALSE(Check("void f(void) { int* p; char* q; p = q; }").ok())
+      << "mismatched pointer types";
+  EXPECT_FALSE(Check("void f(void) { int x; int* p = &x; int y; y = p; }").ok())
+      << "pointer to int needs a cast";
+  EXPECT_FALSE(Check("void f(void) { int x; x(); }").ok()) << "calling a non-function";
+  EXPECT_FALSE(Check("int f(void) { return; }").ok()) << "missing return value";
+  EXPECT_FALSE(Check("void f(void) { return 1; }").ok()) << "void returning value";
+  EXPECT_FALSE(Check("void f(void) { int a[3]; a = 0; }").ok()) << "assigning to array";
+  EXPECT_FALSE(Check("struct S { int x; }; void f(void) { struct S s; s + 1; }").ok())
+      << "struct arithmetic";
+  EXPECT_FALSE(Check("void f(void) { int x = 1; *x; }").ok()) << "deref of int";
+  EXPECT_FALSE(Check("void f(void) { void* p = 0; *p; }").ok()) << "deref of void*";
+  EXPECT_FALSE(Check("void f(void) { &5; }").ok()) << "address of rvalue";
+  EXPECT_FALSE(Check("void f(void) { continue; }").ok());
+  EXPECT_FALSE(Check("void g(void) { } void f(void) { int x = g(); }").ok())
+      << "void in value context";
+}
+
+TEST(SemaTest, ScopesNestCorrectly) {
+  EXPECT_TRUE(Check("void f(void) { int x = 1; { int x = 2; } x = 3; }").ok())
+      << "shadowing in inner block";
+  EXPECT_FALSE(Check("void f(void) { { int y = 1; } y = 2; }").ok())
+      << "inner decl not visible outside";
+  EXPECT_FALSE(Check("void f(void) { for (int i = 0; i < 3; i++) { } i = 1; }").ok())
+      << "for-init scope ends with the loop";
+}
+
+TEST(SemaTest, ApiPrototypesMarked) {
+  auto program = Parse("int amulet_noop(void); void f(void) { amulet_noop(); }", "t");
+  ASSERT_TRUE(program.ok());
+  FeatureAudit audit;
+  SemaOptions options;
+  options.api_numbers["amulet_noop"] = 7;
+  ASSERT_TRUE(Analyze(program->get(), options, &audit).ok());
+  FunctionDecl* fn = (*program)->FindFunction("amulet_noop");
+  EXPECT_TRUE(fn->is_api);
+  EXPECT_EQ(fn->api_number, 7);
+  EXPECT_EQ(audit.called_apis.count("amulet_noop"), 1u);
+}
+
+TEST(SemaTest, AppCannotDefineApiFunctions) {
+  auto program = Parse("int amulet_noop(void) { return 1; }", "t");
+  ASSERT_TRUE(program.ok());
+  FeatureAudit audit;
+  SemaOptions options;
+  options.api_numbers["amulet_noop"] = 0;
+  EXPECT_FALSE(Analyze(program->get(), options, &audit).ok());
+}
+
+TEST(SemaTest, GlobalInitializers) {
+  auto program = Parse("int a = 5; int arr[3] = {1, 2}; char s[2] = {'h', 'i'}; "
+                       "struct P { int x; int y; }; struct P p = {7, 9};",
+                       "t");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  FeatureAudit audit;
+  ASSERT_TRUE(Analyze(program->get(), SemaOptions{}, &audit).ok());
+  GlobalVar* a = (*program)->FindGlobal("a");
+  ASSERT_EQ(a->init_bytes.size(), 2u);
+  EXPECT_EQ(a->init_bytes[0], 5);
+  GlobalVar* arr = (*program)->FindGlobal("arr");
+  ASSERT_EQ(arr->init_bytes.size(), 6u);
+  EXPECT_EQ(arr->init_bytes[0], 1);
+  EXPECT_EQ(arr->init_bytes[2], 2);
+  EXPECT_EQ(arr->init_bytes[4], 0) << "zero-filled tail";
+  GlobalVar* s = (*program)->FindGlobal("s");
+  EXPECT_EQ(s->init_bytes[0], 'h');
+  EXPECT_EQ(s->init_bytes[1], 'i');
+  GlobalVar* p = (*program)->FindGlobal("p");
+  EXPECT_EQ(p->init_bytes[0], 7);
+  EXPECT_EQ(p->init_bytes[2], 9);
+}
+
+TEST(SemaTest, GlobalPointerInitializersBecomeRelocations) {
+  auto program = Parse("int target; int* p = &target;", "t");
+  ASSERT_TRUE(program.ok());
+  FeatureAudit audit;
+  ASSERT_TRUE(Analyze(program->get(), SemaOptions{}, &audit).ok());
+  GlobalVar* p = (*program)->FindGlobal("p");
+  ASSERT_EQ(p->init_relocs.size(), 1u);
+  EXPECT_EQ(p->init_relocs[0].symbol, "target");
+}
+
+TEST(SemaTest, NonConstantGlobalInitializerRejected) {
+  EXPECT_FALSE(Check("int f(void) { return 1; } int g = f();").ok());
+}
+
+TEST(SemaTest, CheckedAccessCounts) {
+  auto program = Parse("int a[4]; void f(int i) { a[i] = a[i] + a[0]; }", "t");
+  ASSERT_TRUE(program.ok());
+  FeatureAudit audit;
+  ASSERT_TRUE(Analyze(program->get(), SemaOptions{}, &audit).ok());
+  // a[i] twice (dynamic), a[0] is constant-indexed but sema counts the
+  // subscript; the precise checked count is established at lowering.
+  EXPECT_GE(audit.checked_accesses["f"], 2);
+}
+
+// ---------------------------------------------------------------------------
+// TypeTable
+// ---------------------------------------------------------------------------
+
+TEST(TypeTableTest, InterningGivesPointerEquality) {
+  TypeTable types;
+  EXPECT_EQ(types.PointerTo(types.Int16()), types.PointerTo(types.Int16()));
+  EXPECT_EQ(types.ArrayOf(types.Int8(), 4), types.ArrayOf(types.Int8(), 4));
+  EXPECT_NE(types.ArrayOf(types.Int8(), 4), types.ArrayOf(types.Int8(), 5));
+  EXPECT_NE(types.PointerTo(types.Int16()), types.PointerTo(types.UInt16()));
+}
+
+TEST(TypeTableTest, SizesAndAlignment) {
+  TypeTable types;
+  EXPECT_EQ(types.Int8()->SizeBytes(), 1);
+  EXPECT_EQ(types.UInt16()->SizeBytes(), 2);
+  EXPECT_EQ(types.PointerTo(types.Void())->SizeBytes(), 2);
+  EXPECT_EQ(types.ArrayOf(types.Int16(), 10)->SizeBytes(), 20);
+  EXPECT_EQ(types.ArrayOf(types.Int8(), 3)->AlignBytes(), 1);
+}
+
+TEST(TypeTableTest, ToStringRenders) {
+  TypeTable types;
+  EXPECT_EQ(types.Int16()->ToString(), "int");
+  EXPECT_EQ(types.PointerTo(types.Int8())->ToString(), "char*");
+  EXPECT_EQ(types.ArrayOf(types.UInt16(), 7)->ToString(), "unsigned int[7]");
+}
+
+
+// ---------------------------------------------------------------------------
+// long (32-bit) front-end rules
+// ---------------------------------------------------------------------------
+
+TEST(LongFrontEndTest, ParsesAllSpellings) {
+  auto program = MustParse("long a; long int b; unsigned long c; signed long d;");
+  EXPECT_EQ(program->FindGlobal("a")->type->kind, TypeKind::kInt32);
+  EXPECT_EQ(program->FindGlobal("b")->type->kind, TypeKind::kInt32);
+  EXPECT_EQ(program->FindGlobal("c")->type->kind, TypeKind::kUInt32);
+  EXPECT_EQ(program->FindGlobal("d")->type->kind, TypeKind::kInt32);
+}
+
+TEST(LongFrontEndTest, SizesAndToString) {
+  TypeTable types;
+  EXPECT_EQ(types.Int32()->SizeBytes(), 4);
+  EXPECT_EQ(types.UInt32()->SizeBytes(), 4);
+  EXPECT_EQ(types.Int32()->AlignBytes(), 2);
+  EXPECT_EQ(types.Int32()->ToString(), "long");
+  EXPECT_EQ(types.UInt32()->ToString(), "unsigned long");
+  EXPECT_TRUE(types.Int32()->IsWide());
+  EXPECT_TRUE(types.Int32()->IsSigned());
+  EXPECT_FALSE(types.UInt32()->IsSigned());
+}
+
+TEST(LongFrontEndTest, StructLayoutWithLong) {
+  auto program = MustParse("struct S { char c; long v; int t; };");
+  StructDef* def = program->types.FindStruct("S");
+  EXPECT_EQ(def->fields[1].offset, 2) << "long aligns to 2 on the MSP430";
+  EXPECT_EQ(def->fields[2].offset, 6);
+  EXPECT_EQ(def->size, 8);
+}
+
+TEST(LongFrontEndTest, LiteralTyping) {
+  auto program = MustParse(
+      "void f(void) { long a = 100000; }");
+  ASSERT_NE(program, nullptr);
+  FeatureAudit audit;
+  SemaOptions options;
+  EXPECT_TRUE(Analyze(program.get(), options, &audit).ok());
+}
+
+TEST(LongFrontEndTest, WideRestrictionsEnforced) {
+  EXPECT_FALSE(Check("int a[4]; void f(void) { long i = 1; a[i] = 0; }").ok());
+  EXPECT_FALSE(Check("void f(int* p) { long off = 2; p = p + off; }").ok());
+  EXPECT_FALSE(Check("void f(void) { long v = 1; switch (v) { case 1: ; } }").ok());
+  EXPECT_TRUE(Check("int a[4]; void f(void) { long i = 1; a[(int)i] = 0; }").ok())
+      << "explicit cast makes it legal";
+}
+
+TEST(LongFrontEndTest, ParameterWordBudget) {
+  EXPECT_TRUE(Check("long f(long a, long b) { return a + b; } void g(void) { f(1, 2); }").ok());
+  // 5 words rejected at lowering (not sema); verified in long_test.cpp.
+}
+
+}  // namespace
+}  // namespace amulet

@@ -1,0 +1,256 @@
+// Coverage of every AmuletOS system service (each ApiId) from app code, plus
+// listing-generator tests.
+#include <gtest/gtest.h>
+
+#include "src/aft/aft.h"
+#include "src/aft/listing.h"
+#include "src/os/os.h"
+
+namespace amulet {
+namespace {
+
+struct ServiceRig {
+  Machine machine;
+  std::unique_ptr<AmuletOs> os;
+  Image image;
+
+  void Boot(const std::string& source, MemoryModel model = MemoryModel::kMpu) {
+    AftOptions options;
+    options.model = model;
+    auto fw = BuildFirmware({{"svc", source}}, options);
+    ASSERT_TRUE(fw.ok()) << fw.status().ToString();
+    image = fw->image;
+    os = std::make_unique<AmuletOs>(&machine, std::move(*fw), OsOptions{});
+    ASSERT_TRUE(os->Boot().ok());
+  }
+  uint16_t Global(const std::string& name) {
+    return machine.bus().PeekWord(image.SymbolOrZero("svc_g_" + name));
+  }
+};
+
+TEST(OsServicesTest, TimerStopEndsDelivery) {
+  ServiceRig rig;
+  rig.Boot(R"(
+int ticks;
+void on_init(void) { amulet_timer_start(3, 1000); }
+void on_timer(int timer_id) {
+  ticks++;
+  if (ticks == 3) {
+    amulet_timer_stop(3);
+  }
+}
+)");
+  ASSERT_TRUE(rig.os->RunFor(20'000).ok());
+  EXPECT_EQ(rig.Global("ticks"), 3u);
+}
+
+TEST(OsServicesTest, TwoTimersInterleave) {
+  ServiceRig rig;
+  rig.Boot(R"(
+int fast;
+int slow;
+void on_init(void) {
+  amulet_timer_start(0, 100);
+  amulet_timer_start(1, 1000);
+}
+void on_timer(int timer_id) {
+  if (timer_id == 0) { fast++; }
+  if (timer_id == 1) { slow++; }
+}
+)");
+  ASSERT_TRUE(rig.os->RunFor(3'000).ok());
+  EXPECT_EQ(rig.Global("fast"), 30u);
+  EXPECT_EQ(rig.Global("slow"), 3u);
+}
+
+TEST(OsServicesTest, AccelUnsubscribeStopsSamples) {
+  ServiceRig rig;
+  rig.Boot(R"(
+int samples;
+void on_init(void) { amulet_accel_subscribe(10); }
+void on_accel(int x, int y, int z) {
+  samples++;
+  if (samples == 5) {
+    amulet_accel_unsubscribe();
+  }
+}
+)");
+  ASSERT_TRUE(rig.os->RunFor(5'000).ok());
+  EXPECT_EQ(rig.Global("samples"), 5u);
+}
+
+TEST(OsServicesTest, HrUnsubscribeStops) {
+  ServiceRig rig;
+  rig.Boot(R"(
+int beats;
+void on_init(void) { amulet_hr_subscribe(); }
+void on_heartrate(int bpm) {
+  beats++;
+  if (beats == 2) { amulet_hr_unsubscribe(); }
+}
+)");
+  ASSERT_TRUE(rig.os->RunFor(10'000).ok());
+  EXPECT_EQ(rig.Global("beats"), 2u);
+}
+
+TEST(OsServicesTest, DisplayClearEmptiesDisplay) {
+  ServiceRig rig;
+  rig.Boot(R"(
+void on_init(void) { amulet_button_subscribe(); }
+void on_button(int id) {
+  if (id == 0) {
+    amulet_display_digits(0, 11);
+    amulet_display_digits(1, 22);
+  } else {
+    amulet_display_clear();
+  }
+}
+)");
+  ASSERT_TRUE(rig.os->Deliver(0, EventType::kButton, 0).ok());
+  EXPECT_EQ(rig.os->display(0).size(), 2u);
+  ASSERT_TRUE(rig.os->Deliver(0, EventType::kButton, 1).ok());
+  EXPECT_TRUE(rig.os->display(0).empty());
+}
+
+TEST(OsServicesTest, RandReturnsVaryingNonNegative) {
+  ServiceRig rig;
+  rig.Boot(R"(
+int a; int b; int c;
+void on_init(void) {
+  a = amulet_rand();
+  b = amulet_rand();
+  c = amulet_rand();
+}
+)");
+  int a = rig.Global("a");
+  int b = rig.Global("b");
+  int c = rig.Global("c");
+  EXPECT_TRUE(a != b || b != c) << "three identical draws is (almost surely) a bug";
+  EXPECT_LT(a, 0x8000);
+  EXPECT_LT(b, 0x8000);
+}
+
+TEST(OsServicesTest, SensorReadsArePlausible) {
+  ServiceRig rig;
+  rig.Boot(R"(
+int temp; int battery; int light;
+void on_init(void) {
+  temp = amulet_temp_read();
+  battery = amulet_battery_read();
+  light = amulet_light_read();
+}
+)");
+  EXPECT_GT(rig.Global("temp"), 3000u);
+  EXPECT_LT(rig.Global("temp"), 3700u);
+  EXPECT_EQ(rig.Global("battery"), 100u) << "fresh battery at t=0";
+  EXPECT_LT(rig.Global("light"), 200u) << "midnight";
+}
+
+TEST(OsServicesTest, ClockReadsTrackSimTime) {
+  ServiceRig rig;
+  rig.Boot(R"(
+int h; int m; int s;
+void on_init(void) { amulet_button_subscribe(); }
+void on_button(int id) {
+  h = amulet_clock_hour();
+  m = amulet_clock_minute();
+  s = amulet_clock_second();
+}
+)");
+  ASSERT_TRUE(rig.os->RunFor(2ull * 3600 * 1000 + 15 * 60 * 1000 + 42 * 1000).ok());
+  ASSERT_TRUE(rig.os->PressButton(0).ok());
+  EXPECT_EQ(rig.Global("h"), 2u);
+  EXPECT_EQ(rig.Global("m"), 15u);
+  EXPECT_EQ(rig.Global("s"), 42u);
+}
+
+TEST(OsServicesTest, LogAppendAndValueBothRecorded) {
+  ServiceRig rig;
+  rig.Boot(R"(
+void on_init(void) {
+  amulet_log_value(7, -3);
+  amulet_log_append(8, 123);
+}
+)");
+  ASSERT_EQ(rig.os->log().size(), 2u);
+  EXPECT_EQ(rig.os->log()[0].tag, 7);
+  EXPECT_EQ(rig.os->log()[0].value, -3);
+  EXPECT_EQ(rig.os->log()[1].tag, 8);
+  EXPECT_EQ(rig.os->log()[1].value, 123);
+}
+
+TEST(OsServicesTest, NoopReturnsOne) {
+  ServiceRig rig;
+  rig.Boot("int r; void on_init(void) { r = amulet_noop(); }");
+  EXPECT_EQ(rig.Global("r"), 1u);
+}
+
+TEST(OsServicesTest, HapticBuzzIsAcceptedSilently) {
+  ServiceRig rig;
+  rig.Boot("void on_init(void) { amulet_haptic_buzz(300); }");
+  EXPECT_TRUE(rig.os->faults().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Listing generator
+// ---------------------------------------------------------------------------
+
+TEST(ListingTest, RegionMapCoversEveryApp) {
+  AftOptions options;
+  options.model = MemoryModel::kMpu;
+  auto fw = BuildFirmware({{"alpha", "void on_init(void) { }"},
+                           {"beta", "void on_init(void) { }"}},
+                          options);
+  ASSERT_TRUE(fw.ok());
+  std::string map = RenderRegionMap(*fw);
+  EXPECT_NE(map.find("alpha code"), std::string::npos);
+  EXPECT_NE(map.find("alpha stack"), std::string::npos);
+  EXPECT_NE(map.find("beta globals"), std::string::npos);
+  EXPECT_NE(map.find("OS text"), std::string::npos);
+}
+
+TEST(ListingTest, DisassemblyAnnotatesSymbolsAndDecodes) {
+  AftOptions options;
+  options.model = MemoryModel::kMpu;
+  auto fw = BuildFirmware(
+      {{"app", "int x; void on_init(void) { x = 42; }"}}, options);
+  ASSERT_TRUE(fw.ok());
+  std::string text = DisassembleRange(*fw, fw->apps[0].code_lo, fw->apps[0].code_hi);
+  EXPECT_NE(text.find("app_f_on_init:"), std::string::npos);
+  EXPECT_NE(text.find("mov"), std::string::npos);
+  EXPECT_NE(text.find("#42"), std::string::npos);
+}
+
+TEST(ListingTest, FullListingIncludesSymbolTable) {
+  AftOptions options;
+  options.model = MemoryModel::kSoftwareOnly;
+  auto fw = BuildFirmware({{"app", "void on_init(void) { }"}}, options);
+  ASSERT_TRUE(fw.ok());
+  std::string listing = RenderListing(*fw);
+  EXPECT_NE(listing.find("Symbols:"), std::string::npos);
+  EXPECT_NE(listing.find("__dispatch_app"), std::string::npos);
+  EXPECT_NE(listing.find("__bnd_app_data_lo"), std::string::npos);
+  EXPECT_NE(listing.find("SoftwareOnly"), std::string::npos);
+}
+
+TEST(FaultRecordTest, CrashDumpContainsRecentInstructions) {
+  ServiceRig rig;
+  rig.Boot(R"(
+void on_init(void) { amulet_button_subscribe(); }
+void on_button(int id) {
+  int* p = (int*)0x1C00;
+  *p = 1;
+}
+)",
+           MemoryModel::kSoftwareOnly);
+  ASSERT_TRUE(rig.os->Deliver(0, EventType::kButton, 0).ok());
+  ASSERT_EQ(rig.os->faults().size(), 1u);
+  const FaultRecord& fault = rig.os->faults()[0];
+  EXPECT_FALSE(fault.recent_trace.empty());
+  EXPECT_NE(fault.recent_trace.find("cmp"), std::string::npos)
+      << "the failed check's compare should be in the crash dump:\n"
+      << fault.recent_trace;
+}
+
+}  // namespace
+}  // namespace amulet

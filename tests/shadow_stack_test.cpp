@@ -1,0 +1,209 @@
+// Tests for the shadow return-address stack (paper §5 / footnote 3
+// extension): return addresses mirrored into InfoMem at function entry and
+// verified at exit.
+#include <gtest/gtest.h>
+
+#include "src/aft/aft.h"
+#include "src/common/strings.h"
+#include "src/os/os.h"
+
+namespace amulet {
+namespace {
+
+struct ShadowRig {
+  Machine machine;
+  std::unique_ptr<AmuletOs> os;
+  Image image;
+
+  void Build(const std::string& source, MemoryModel model,
+             FaultPolicy policy = FaultPolicy::kLogOnly) {
+    AftOptions options;
+    options.model = model;
+    options.shadow_return_stack = true;
+    auto fw = BuildFirmware({{"shadowed", source}}, options);
+    ASSERT_TRUE(fw.ok()) << fw.status().ToString();
+    EXPECT_TRUE(fw->shadow_return_stack);
+    image = fw->image;
+    OsOptions os_options;
+    os_options.fault_policy = policy;
+    os = std::make_unique<AmuletOs>(&machine, std::move(*fw), os_options);
+    ASSERT_TRUE(os->Boot().ok());
+  }
+};
+
+constexpr char kNestedCalls[] = R"(
+int result;
+int level2(int v) { return v * 2; }
+int level1(int v) { return level2(v) + 1; }
+void on_init(void) { amulet_button_subscribe(); }
+void on_button(int id) { result = level1(id); }
+)";
+
+class ShadowModels : public ::testing::TestWithParam<MemoryModel> {};
+
+TEST_P(ShadowModels, WellBehavedProgramsRunNormally) {
+  ShadowRig rig;
+  rig.Build(kNestedCalls, GetParam());
+  ASSERT_TRUE(rig.os->Deliver(0, EventType::kButton, 21).ok());
+  EXPECT_TRUE(rig.os->faults().empty()) << MemoryModelName(GetParam());
+  uint16_t result = rig.machine.bus().PeekWord(rig.image.SymbolOrZero("shadowed_g_result"));
+  EXPECT_EQ(result, 43u);
+  // Shadow stack balanced again after the dispatch.
+  EXPECT_EQ(rig.machine.bus().PeekWord(kInfoMemStart), kInfoMemStart + 2);
+}
+
+TEST_P(ShadowModels, RepeatDispatchesStayBalanced) {
+  ShadowRig rig;
+  rig.Build(kNestedCalls, GetParam());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(rig.os->Deliver(0, EventType::kButton, static_cast<uint16_t>(i)).ok());
+  }
+  EXPECT_TRUE(rig.os->faults().empty());
+  EXPECT_EQ(rig.machine.bus().PeekWord(kInfoMemStart), kInfoMemStart + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ShadowModels,
+                         ::testing::Values(MemoryModel::kNoIsolation,
+                                           MemoryModel::kFeatureLimited, MemoryModel::kMpu,
+                                           MemoryModel::kSoftwareOnly));
+
+TEST(ShadowStackTest, CatchesInRegionReturnAddressOverwrite) {
+  // The killer case for bounds-style ret checks: smash the return address
+  // with a value *inside the app's own code region*. The MPU/SW ret checks
+  // accept it (it is in bounds); the shadow comparison does not.
+  // buf[4..5] overruns into the saved FP and return address of smash()'s
+  // frame; we overwrite the return slot with the address of decoy().
+  constexpr char kSmash[] = R"(
+int hits;
+int decoy_ran;
+void decoy(void) { decoy_ran = 1; }
+void smash(int target) {
+  int buf[2];
+  buf[0] = 0;
+  int i = 3;                /* buf[3] == saved return address slot */
+  buf[i] = target;
+  hits++;
+}
+void on_init(void) { amulet_button_subscribe(); }
+void on_button(int id) {
+  void (*f)(void) = decoy;
+  smash((int)f);
+}
+)";
+  // Note: frame layout is [buf(4 bytes)][...vregs...][saved r4][ret addr];
+  // compute the exact index empirically: sweep indices until the fault fires
+  // (robust against codegen layout changes).
+  for (int index = 2; index < 16; ++index) {
+    std::string source = kSmash;
+    size_t pos = source.find("int i = 3;");
+    ASSERT_NE(pos, std::string::npos);
+    source.replace(pos, 10, StrFormat("int i = %d;", index));
+
+    AftOptions options;
+    options.model = MemoryModel::kMpu;
+    options.shadow_return_stack = true;
+    auto fw = BuildFirmware({{"smash", source}}, options);
+    ASSERT_TRUE(fw.ok()) << fw.status().ToString();
+    Machine machine;
+    OsOptions os_options;
+    os_options.fault_policy = FaultPolicy::kLogOnly;
+    AmuletOs os(&machine, std::move(*fw), os_options);
+    ASSERT_TRUE(os.Boot().ok());
+    auto result = os.Deliver(0, EventType::kButton, 0);
+    ASSERT_TRUE(result.ok());
+    uint16_t decoy_ran =
+        machine.bus().PeekWord(os.firmware().image.SymbolOrZero("smash_g_decoy_ran"));
+    EXPECT_EQ(decoy_ran, 0u) << "hijacked control flow executed at index " << index;
+    if (!os.faults().empty() && os.faults().back().code == 3) {
+      SUCCEED();
+      return;  // the shadow check caught the overwrite
+    }
+  }
+  FAIL() << "no index produced a shadow-stack fault";
+}
+
+TEST(ShadowStackTest, BoundsRetCheckMissesWhatShadowCatches) {
+  // Same smash, MPU model WITHOUT the shadow stack: the corrupted return
+  // address points into the app's own code region, so the one-sided bounds
+  // check passes and the hijack succeeds — motivating the paper's §5 idea.
+  constexpr char kSmashAt[] = R"(
+int hits;
+int decoy_ran;
+void decoy(void) { decoy_ran = 1; }
+void smash(int target, int i) {
+  int buf[2];
+  buf[0] = 0;
+  buf[i] = target;
+  hits++;
+}
+void on_init(void) { amulet_button_subscribe(); }
+void on_button(int id) {
+  void (*f)(void) = decoy;
+  smash((int)f, id);
+}
+)";
+  bool hijacked_without_shadow = false;
+  for (int index = 2; index < 16 && !hijacked_without_shadow; ++index) {
+    AftOptions options;
+    options.model = MemoryModel::kMpu;
+    auto fw = BuildFirmware({{"smash", kSmashAt}}, options);
+    ASSERT_TRUE(fw.ok());
+    Machine machine;
+    OsOptions os_options;
+    os_options.fault_policy = FaultPolicy::kLogOnly;
+    AmuletOs os(&machine, std::move(*fw), os_options);
+    ASSERT_TRUE(os.Boot().ok());
+    auto result = os.Deliver(0, EventType::kButton, static_cast<uint16_t>(index));
+    if (!result.ok()) {
+      continue;  // some indices crash in other ways; that is fine
+    }
+    uint16_t decoy_ran =
+        machine.bus().PeekWord(os.firmware().image.SymbolOrZero("smash_g_decoy_ran"));
+    if (decoy_ran == 1) {
+      hijacked_without_shadow = true;
+    }
+  }
+  EXPECT_TRUE(hijacked_without_shadow)
+      << "expected the in-region hijack to slip past the bounds-style ret check";
+}
+
+TEST(ShadowStackTest, ShadowPointerInitializedByImage) {
+  AftOptions options;
+  options.model = MemoryModel::kSoftwareOnly;
+  options.shadow_return_stack = true;
+  auto fw = BuildFirmware({{"s", "void on_init(void) { }"}}, options);
+  ASSERT_TRUE(fw.ok());
+  EXPECT_EQ(fw->image.SymbolOrZero("__shadow_sp"), kInfoMemStart);
+  Machine machine;
+  AmuletOs os(&machine, std::move(*fw), OsOptions{});
+  ASSERT_TRUE(os.Boot().ok());
+  EXPECT_EQ(machine.bus().PeekWord(kInfoMemStart), kInfoMemStart + 2);
+}
+
+TEST(ShadowStackTest, MpuGrantsInfoMemAccessOnlyWhenEnabled) {
+  AftOptions plain;
+  plain.model = MemoryModel::kMpu;
+  auto fw_plain = BuildFirmware({{"s", "void on_init(void) { }"}}, plain);
+  ASSERT_TRUE(fw_plain.ok());
+  EXPECT_EQ(fw_plain->apps[0].mpu_sam & 0xF000, 0) << "InfoMem: no access by default";
+  AftOptions shadow = plain;
+  shadow.shadow_return_stack = true;
+  auto fw_shadow = BuildFirmware({{"s", "void on_init(void) { }"}}, shadow);
+  ASSERT_TRUE(fw_shadow.ok());
+  EXPECT_EQ(fw_shadow->apps[0].mpu_sam & 0xF000, 0x3000) << "InfoMem RW for the shadow";
+}
+
+TEST(ShadowStackTest, ShadowReplacesBoundsRetChecks) {
+  AftOptions options;
+  options.model = MemoryModel::kSoftwareOnly;
+  options.shadow_return_stack = true;
+  // Build succeeds and no __bnd_*_code_hi epilogue compare is emitted: the
+  // firmware's symbol table still has bounds (data checks need them), but a
+  // simple behavioural check suffices: deep call chains still work.
+  auto fw = BuildFirmware({{"s", kNestedCalls}}, options);
+  ASSERT_TRUE(fw.ok());
+  EXPECT_EQ(fw->apps[0].checks.ret_checks, 0);
+}
+
+}  // namespace
+}  // namespace amulet

@@ -1,0 +1,41 @@
+// Shared helpers for simulator-level tests: assemble a snippet, load it at
+// the start of FRAM, point the reset vector at `start`, and run.
+#ifndef TESTS_SIM_TEST_UTIL_H_
+#define TESTS_SIM_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/asm/assembler.h"
+#include "src/asm/linker.h"
+#include "src/mcu/machine.h"
+
+namespace amulet {
+
+// Assembles and links `source` with .text at kFramStart and .data at 0x7000.
+// The program must define a `start` label. Does not run it.
+inline Image AssembleAndLoad(Machine* machine, const std::string& source) {
+  auto object = Assemble(source, "test.s");
+  EXPECT_TRUE(object.ok()) << object.status().ToString();
+  Linker linker;
+  linker.AddObject(std::move(*object));
+  auto image = linker.Link({{".text", kFramStart}, {".data", 0x7000}});
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  LoadImage(*image, &machine->bus());
+  EXPECT_TRUE(image->HasSymbol("start")) << "test program must define 'start'";
+  machine->bus().PokeWord(kResetVector, image->SymbolOrZero("start"));
+  machine->cpu().Reset();
+  return *image;
+}
+
+// Convenience: assemble, load, and run until STOP/halt (budget-limited).
+inline Cpu::RunOutcome RunAsm(Machine* machine, const std::string& source,
+                              uint64_t max_cycles = 100000) {
+  AssembleAndLoad(machine, source);
+  return machine->Run(max_cycles);
+}
+
+}  // namespace amulet
+
+#endif  // TESTS_SIM_TEST_UTIL_H_

@@ -1,0 +1,194 @@
+// amuletc: command-line front end to the Amulet Firmware Toolchain.
+//
+//   amuletc [options] name=app.amc [name2=other.amc ...]
+//
+// Options:
+//   --model none|fl|sw|mpu   isolation model (default: mpu)
+//   --shadow-ret-stack       InfoMem shadow return-address stack (paper §5)
+//   --future-mpu             hypothetical >=4-region MPU (no checks/reconfig)
+//   --zero-shared-stack      rejected design: shared stack + bzero on switch
+//   --hex FILE               write the firmware as Intel HEX (flashable form)
+//   --report                 per-app build report (checks, stack, sizes)
+//   --listing                full firmware listing (map + disassembly)
+//   --run SECONDS            boot under AmuletOS and simulate
+//   --walk                   (with --run) synthesize walking accelerometer data
+//
+// Exit status: 0 on success, 1 on any toolchain or runtime error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/aft/aft.h"
+#include "src/aft/listing.h"
+#include "src/asm/ihex.h"
+#include "src/os/os.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--model none|fl|sw|mpu] [--shadow-ret-stack] [--future-mpu]\n"
+               "          [--zero-shared-stack] [--hex FILE] [--report] [--listing]\n"
+               "          [--run SECONDS] [--walk] name=app.amc [name2=other.amc ...]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  amulet::AftOptions options;
+  bool want_report = false;
+  bool want_listing = false;
+  std::string hex_path;
+  bool walk = false;
+  long run_seconds = -1;
+  std::vector<amulet::AppSource> apps;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--model") {
+      if (++i >= argc) {
+        return Usage(argv[0]);
+      }
+      std::string model = argv[i];
+      if (model == "none") {
+        options.model = amulet::MemoryModel::kNoIsolation;
+      } else if (model == "fl") {
+        options.model = amulet::MemoryModel::kFeatureLimited;
+      } else if (model == "sw") {
+        options.model = amulet::MemoryModel::kSoftwareOnly;
+      } else if (model == "mpu") {
+        options.model = amulet::MemoryModel::kMpu;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--shadow-ret-stack") {
+      options.shadow_return_stack = true;
+    } else if (arg == "--future-mpu") {
+      options.future_mpu = true;
+    } else if (arg == "--zero-shared-stack") {
+      options.zero_shared_stack = true;
+    } else if (arg == "--hex") {
+      if (++i >= argc) {
+        return Usage(argv[0]);
+      }
+      hex_path = argv[i];
+    } else if (arg == "--report") {
+      want_report = true;
+    } else if (arg == "--listing") {
+      want_listing = true;
+    } else if (arg == "--walk") {
+      walk = true;
+    } else if (arg == "--run") {
+      if (++i >= argc) {
+        return Usage(argv[0]);
+      }
+      run_seconds = std::strtol(argv[i], nullptr, 10);
+      if (run_seconds <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "app arguments take the form name=path: %s\n", arg.c_str());
+        return Usage(argv[0]);
+      }
+      std::string name = arg.substr(0, eq);
+      std::string path = arg.substr(eq + 1);
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+      }
+      std::ostringstream contents;
+      contents << file.rdbuf();
+      apps.push_back({name, contents.str()});
+    }
+  }
+  if (apps.empty()) {
+    return Usage(argv[0]);
+  }
+
+  auto firmware = amulet::BuildFirmware(apps, options);
+  if (!firmware.ok()) {
+    std::fprintf(stderr, "amuletc: %s\n", firmware.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("built %zu app(s) under %s%s\n", firmware->apps.size(),
+              std::string(amulet::MemoryModelName(options.model)).c_str(),
+              options.shadow_return_stack ? " + shadow return stack" : "");
+
+  if (!hex_path.empty()) {
+    std::ofstream hex(hex_path);
+    if (!hex) {
+      std::fprintf(stderr, "cannot write %s\n", hex_path.c_str());
+      return 1;
+    }
+    hex << amulet::WriteIntelHex(firmware->image);
+    std::printf("wrote %s\n", hex_path.c_str());
+  }
+
+  if (want_report) {
+    for (const amulet::AppImage& app : firmware->apps) {
+      std::printf("\napp '%s'\n", app.name.c_str());
+      std::printf("  code  [0x%04x, 0x%04x)  %d bytes\n", app.code_lo, app.code_hi,
+                  app.code_hi - app.code_lo);
+      std::printf("  stack [0x%04x, 0x%04x)  %d bytes%s\n", app.data_lo, app.stack_top,
+                  app.stack_bytes,
+                  app.stack_statically_bounded ? " (statically bounded)"
+                                               : " (recursion: reservation)");
+      std::printf("  data  [0x%04x, 0x%04x)\n", app.stack_top, app.data_hi);
+      std::printf("  checks: %d data, %d code, %d index; ret checks on %d function(s)\n",
+                  app.checks.data_checks, app.checks.code_checks, app.checks.index_checks,
+                  app.checks.ret_checks);
+      std::printf("  features: pointers=%s recursion=%s indirect-calls=%s\n",
+                  app.audit.uses_pointers ? "yes" : "no",
+                  app.audit.uses_recursion ? "yes" : "no",
+                  app.audit.has_indirect_calls ? "yes" : "no");
+      std::printf("  APIs:");
+      for (const std::string& api : app.audit.called_apis) {
+        std::printf(" %s", api.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (want_listing) {
+    std::printf("\n%s", amulet::RenderListing(*firmware).c_str());
+  }
+
+  if (run_seconds > 0) {
+    amulet::Machine machine;
+    amulet::AmuletOs os(&machine, std::move(*firmware), amulet::OsOptions{});
+    amulet::Status status = os.Boot();
+    if (!status.ok()) {
+      std::fprintf(stderr, "boot: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (walk) {
+      os.sensors().set_mode(amulet::ActivityMode::kWalking);
+    }
+    status = os.RunFor(static_cast<uint64_t>(run_seconds) * 1000);
+    if (!status.ok()) {
+      std::fprintf(stderr, "run: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\n%s", os.StatusReport().c_str());
+    if (!os.faults().empty()) {
+      std::printf("faults:\n");
+      for (const amulet::FaultRecord& fault : os.faults()) {
+        std::printf("  %s\n", fault.description.c_str());
+      }
+    }
+  }
+  return 0;
+}
