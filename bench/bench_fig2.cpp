@@ -3,20 +3,124 @@
 // applications under each isolation method (FeatureLimited, MPU,
 // SoftwareOnly), using the Amulet Resource Profiler methodology: measure
 // per-handler costs, extrapolate by the apps' event rates, convert to energy.
+//
+// The 9-app x 4-model profile sweep (36 independent simulator runs) executes
+// twice: once serially and once fanned out on the fleet executor. The
+// parallel sweep must reproduce the serial one bit-for-bit — each ProfileApp
+// call owns its Machine and derives every input from the app/model pair —
+// and both wall-times are printed, so this bench doubles as a determinism
+// check and a host-parallelism demo.
+#include <chrono>
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/arp/arp.h"
+#include "src/fleet/executor.h"
 
 namespace amulet {
 namespace {
+
+// Profile of every suite app under every model, indexed [app][model] with
+// the model order below (baseline first).
+const MemoryModel kSweepModels[] = {MemoryModel::kNoIsolation, MemoryModel::kFeatureLimited,
+                                    MemoryModel::kMpu, MemoryModel::kSoftwareOnly};
+constexpr int kModelCount = 4;
+
+using SweepResult = std::vector<std::vector<AppProfile>>;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+bool RunSweep(const ArpOptions& arp, Executor* executor, SweepResult* out) {
+  const std::vector<AppSpec>& suite = AmuletAppSuite();
+  out->assign(suite.size(), std::vector<AppProfile>(kModelCount));
+  std::vector<Status> failures(suite.size() * kModelCount);
+
+  auto profile_one = [&](size_t task) {
+    const size_t app_index = task / kModelCount;
+    const size_t model_index = task % kModelCount;
+    auto profile = ProfileApp(suite[app_index], kSweepModels[model_index], arp);
+    if (!profile.ok()) {
+      failures[task] = profile.status();
+      return;
+    }
+    (*out)[app_index][model_index] = std::move(*profile);
+  };
+
+  if (executor != nullptr) {
+    executor->ParallelFor(suite.size() * kModelCount, profile_one);
+  } else {
+    for (size_t task = 0; task < suite.size() * kModelCount; ++task) {
+      profile_one(task);
+    }
+  }
+  for (size_t task = 0; task < failures.size(); ++task) {
+    if (!failures[task].ok()) {
+      std::fprintf(stderr, "profile failed for %s/%s: %s\n",
+                   suite[task / kModelCount].name.c_str(),
+                   std::string(MemoryModelName(kSweepModels[task % kModelCount])).c_str(),
+                   failures[task].ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Bit-exact comparison of two sweeps (doubles compared for equality on
+// purpose: the parallel sweep must be the *same computation*, not a close
+// one).
+bool SweepsIdentical(const SweepResult& a, const SweepResult& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (int m = 0; m < kModelCount; ++m) {
+      const AppProfile& pa = a[i][m];
+      const AppProfile& pb = b[i][m];
+      if (pa.cycles_per_week != pb.cycles_per_week ||
+          pa.syscalls_per_week != pb.syscalls_per_week ||
+          pa.handlers.size() != pb.handlers.size()) {
+        return false;
+      }
+      for (const auto& [type, ha] : pa.handlers) {
+        auto it = pb.handlers.find(type);
+        if (it == pb.handlers.end() || ha.mean_cycles != it->second.mean_cycles ||
+            ha.mean_data_accesses != it->second.mean_data_accesses ||
+            ha.mean_syscalls != it->second.mean_syscalls) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
 
 int Run() {
   ArpOptions arp;
   arp.samples_per_event = 30;
   arp.fram_wait_states = 1;
+
+  const std::vector<AppSpec>& suite = AmuletAppSuite();
+
+  const auto serial_t0 = std::chrono::steady_clock::now();
+  SweepResult serial;
+  if (!RunSweep(arp, nullptr, &serial)) {
+    return 1;
+  }
+  const double serial_seconds = SecondsSince(serial_t0);
+
+  Executor executor;  // hardware concurrency
+  const auto parallel_t0 = std::chrono::steady_clock::now();
+  SweepResult parallel;
+  if (!RunSweep(arp, &executor, &parallel)) {
+    return 1;
+  }
+  const double parallel_seconds = SecondsSince(parallel_t0);
+  const bool identical = SweepsIdentical(serial, parallel);
 
   std::printf("== bench_fig2: weekly isolation overhead & battery impact (ARP) ==\n\n");
   std::printf("%-14s | %-28s | %-28s | %-28s\n", "", "FeatureLimited", "MPU", "SoftwareOnly");
@@ -24,32 +128,17 @@ int Run() {
               "battery %", "Gcycles/week", "battery %", "Gcycles/week", "battery %");
   PrintRule(110);
 
-  const MemoryModel isolation_models[] = {MemoryModel::kFeatureLimited, MemoryModel::kMpu,
-                                          MemoryModel::kSoftwareOnly};
   bool all_under_half_percent = true;
   double max_gcycles = 0;
-
-  for (const AppSpec& app : AmuletAppSuite()) {
-    auto baseline = ProfileApp(app, MemoryModel::kNoIsolation, arp);
-    if (!baseline.ok()) {
-      std::fprintf(stderr, "baseline profile failed for %s: %s\n", app.name.c_str(),
-                   baseline.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%-14s |", app.title.c_str());
-    for (MemoryModel model : isolation_models) {
-      auto profile = ProfileApp(app, model, arp);
-      if (!profile.ok()) {
-        std::fprintf(stderr, "profile failed for %s/%s: %s\n", app.name.c_str(),
-                     std::string(MemoryModelName(model)).c_str(),
-                     profile.status().ToString().c_str());
-        return 1;
-      }
-      OverheadResult overhead = ComputeOverhead(*baseline, *profile, arp.energy);
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const AppProfile& baseline = parallel[i][0];
+    std::printf("%-14s |", suite[i].title.c_str());
+    for (int m = 1; m < kModelCount; ++m) {
+      OverheadResult overhead = ComputeOverhead(baseline, parallel[i][m], arp.energy);
       std::printf(" %13.4f %13.4f%% |", overhead.overhead_cycles_per_week / 1e9,
                   overhead.battery_impact_percent);
       max_gcycles = std::max(max_gcycles, overhead.overhead_cycles_per_week / 1e9);
-      if (model != MemoryModel::kFeatureLimited &&
+      if (kSweepModels[m] != MemoryModel::kFeatureLimited &&
           overhead.battery_impact_percent >= 0.5) {
         all_under_half_percent = false;
       }
@@ -66,13 +155,9 @@ int Run() {
   std::printf("%-14s %-14s %16s %12s %14s\n", "Application", "handler", "data accesses",
               "syscalls", "cycles");
   PrintRule(76);
-  for (const AppSpec& app : AmuletAppSuite()) {
-    auto profile = ProfileApp(app, MemoryModel::kMpu, arp);
-    if (!profile.ok()) {
-      continue;
-    }
-    for (const auto& [type, handler] : profile->handlers) {
-      std::printf("%-14s %-14s %16.1f %12.2f %14.1f\n", app.title.c_str(),
+  for (size_t i = 0; i < suite.size(); ++i) {
+    for (const auto& [type, handler] : parallel[i][2].handlers) {  // [2] == kMpu
+      std::printf("%-14s %-14s %16.1f %12.2f %14.1f\n", suite[i].title.c_str(),
                   EventHandlerName(type), handler.mean_data_accesses,
                   handler.mean_syscalls, handler.mean_cycles);
     }
@@ -89,7 +174,13 @@ int Run() {
   std::printf("\nEnergy model: %.0f MHz, %.0f uA/MHz active, %.0f mAh battery "
               "(src/arp/energy_model.h)\n",
               arp.energy.cpu_mhz, arp.energy.active_ua_per_mhz, arp.energy.battery_mah);
-  return 0;
+
+  std::printf("\nsweep wall-time: serial %.3f s, parallel %.3f s on %d thread(s) "
+              "(%.2fx), results %s\n",
+              serial_seconds, parallel_seconds, executor.thread_count(),
+              parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0.0,
+              identical ? "bit-identical" : "DIVERGED");
+  return identical ? 0 : 1;
 }
 
 }  // namespace

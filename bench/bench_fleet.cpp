@@ -1,0 +1,126 @@
+// Fleet engine benchmark: runs a 64-device fleet serially and on the
+// work-stealing executor at several thread counts, verifying that the
+// aggregate statistics are bit-identical for every thread count (the fleet
+// determinism contract) and reporting the wall-clock speedup. On a
+// multi-core host the 8-thread run approaches linear scaling; the serial
+// run is the reference for both correctness and timing.
+//
+// Also quantifies what machine snapshots buy: time-to-first-event for a
+// device booted from the template snapshot vs a full firmware boot.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fleet/executor.h"
+#include "src/fleet/fleet.h"
+#include "src/mcu/snapshot.h"
+
+namespace amulet {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+FleetConfig BenchConfig(int jobs) {
+  FleetConfig config;
+  config.device_count = 64;
+  config.apps = {"pedometer", "clock", "hr", "falldetection"};
+  config.model = MemoryModel::kMpu;
+  config.fleet_seed = 20180711;
+  config.sim_ms = 2000;
+  config.jobs = jobs;
+  return config;
+}
+
+int Run() {
+  std::printf("== bench_fleet: %d-device fleet, snapshot-cloned, executor-parallel ==\n\n",
+              BenchConfig(1).device_count);
+
+  // Snapshot amortization: full boot vs snapshot restore for one device.
+  {
+    AftOptions aft;
+    aft.model = MemoryModel::kMpu;
+    std::vector<AppSource> sources;
+    for (const AppSpec& app : AmuletAppSuite()) {
+      sources.push_back({app.name, app.source});
+    }
+    auto fw = BuildFirmware(sources, aft);
+    if (!fw.ok()) {
+      std::fprintf(stderr, "BuildFirmware failed: %s\n", fw.status().ToString().c_str());
+      return 1;
+    }
+    const auto boot_t0 = std::chrono::steady_clock::now();
+    Machine template_machine;
+    AmuletOs template_os(&template_machine, *fw, OsOptions{});
+    if (!template_os.Boot().ok()) {
+      std::fprintf(stderr, "template boot failed\n");
+      return 1;
+    }
+    const double full_boot_s = SecondsSince(boot_t0);
+    const MachineSnapshot snapshot = CaptureSnapshot(template_machine);
+
+    const int kClones = 100;
+    const auto clone_t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kClones; ++i) {
+      Machine machine;
+      AmuletOs os(&machine, *fw, OsOptions{});
+      if (!os.BootFromSnapshot(snapshot, template_os).ok()) {
+        std::fprintf(stderr, "clone %d failed\n", i);
+        return 1;
+      }
+    }
+    const double clone_s = SecondsSince(clone_t0) / kClones;
+    std::printf("boot amortization (nine-app firmware, %zu-byte snapshot):\n",
+                snapshot.bytes.size());
+    std::printf("  full boot (image load + 9x on_init): %9.3f ms\n", full_boot_s * 1e3);
+    std::printf("  snapshot clone:                      %9.3f ms  (%.0fx faster)\n\n",
+                clone_s * 1e3, clone_s > 0 ? full_boot_s / clone_s : 0.0);
+  }
+
+  // Serial reference.
+  auto serial = RunFleet(BenchConfig(1));
+  if (!serial.ok()) {
+    std::fprintf(stderr, "serial fleet failed: %s\n", serial.status().ToString().c_str());
+    return 1;
+  }
+  const std::string reference_digest = FleetDigest(*serial);
+  std::printf("serial (1 thread):   run %7.3f s\n", serial->run_seconds);
+
+  // Parallel runs; every digest must match the serial reference exactly.
+  bool all_identical = true;
+  double best_speedup = 1.0;
+  for (int jobs : {2, 4, 8}) {
+    auto parallel = RunFleet(BenchConfig(jobs));
+    if (!parallel.ok()) {
+      std::fprintf(stderr, "fleet (jobs=%d) failed: %s\n", jobs,
+                   parallel.status().ToString().c_str());
+      return 1;
+    }
+    const bool identical = FleetDigest(*parallel) == reference_digest;
+    all_identical = all_identical && identical;
+    const double speedup =
+        parallel->run_seconds > 0 ? serial->run_seconds / parallel->run_seconds : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+    std::printf("parallel (%d threads): run %7.3f s  speedup %5.2fx  aggregates %s\n", jobs,
+                parallel->run_seconds, speedup,
+                identical ? "bit-identical" : "DIVERGED from serial");
+  }
+
+  std::printf("\n%s\n", RenderFleetReport(*serial).c_str());
+  std::printf("determinism across thread counts: %s\n",
+              all_identical ? "HOLDS (aggregate stats bit-identical)" : "VIOLATED");
+  std::printf("best speedup vs serial: %.2fx on %d hardware thread(s)%s\n", best_speedup,
+              Executor::DefaultThreadCount(),
+              Executor::DefaultThreadCount() < 2
+                  ? " (single-core host: no parallel speedup available)"
+                  : "");
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace amulet
+
+int main() { return amulet::Run(); }

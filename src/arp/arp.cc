@@ -1,5 +1,8 @@
 #include "src/arp/arp.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/common/strings.h"
 #include "src/os/os.h"
 
@@ -145,6 +148,40 @@ std::string RenderProfile(const AppProfile& profile) {
   out += StrFormat("  weekly: %.3f Gcycles, %.0f syscalls\n", profile.cycles_per_week / 1e9,
                    profile.syscalls_per_week);
   return out;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  // Nearest-rank: the smallest value with at least p% of the population at
+  // or below it.
+  size_t rank = static_cast<size_t>(std::ceil(clamped / 100.0 * sorted.size()));
+  if (rank > 0) {
+    --rank;
+  }
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+StatSummary Summarize(std::vector<double> values) {
+  StatSummary s;
+  if (values.empty()) {
+    return s;
+  }
+  std::sort(values.begin(), values.end());
+  s.count = static_cast<int>(values.size());
+  s.min = values.front();
+  s.max = values.back();
+  s.p50 = Percentile(values, 50);
+  s.p95 = Percentile(values, 95);
+  s.p99 = Percentile(values, 99);
+  double total = 0;
+  for (double v : values) {
+    total += v;
+  }
+  s.mean = total / static_cast<double>(values.size());
+  return s;
 }
 
 std::string RenderOverheadTable(const std::vector<OverheadResult>& rows) {

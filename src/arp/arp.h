@@ -58,6 +58,27 @@ OverheadResult ComputeOverhead(const AppProfile& baseline, const AppProfile& iso
 std::string RenderProfile(const AppProfile& profile);
 std::string RenderOverheadTable(const std::vector<OverheadResult>& rows);
 
+// Order statistics over a population of per-device measurements. The fleet
+// engine merges every device's ARP-style counters through these, so the
+// aggregation is a pure function of the value set (bit-identical regardless
+// of how many worker threads produced it).
+struct StatSummary {
+  double min = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+  double mean = 0;
+  int count = 0;
+};
+
+// Nearest-rank percentile (p in [0,100]) over an ascending-sorted vector.
+// Returns 0 for an empty input.
+double Percentile(const std::vector<double>& sorted, double p);
+
+// Sorts a copy of `values` and computes min/p50/p95/p99/max/mean.
+StatSummary Summarize(std::vector<double> values);
+
 }  // namespace amulet
 
 #endif  // SRC_ARP_ARP_H_

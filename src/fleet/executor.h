@@ -1,0 +1,83 @@
+// Work-stealing thread-pool executor for host-side parallelism (fleet device
+// runs, benchmark sweeps). Each worker owns a deque; submitted tasks are
+// distributed round-robin and idle workers steal from the back of their
+// peers' deques, so uneven task lengths (devices that fault and restart,
+// apps with heavier handlers) do not leave cores idle.
+//
+// Determinism contract: the executor makes NO ordering guarantees between
+// tasks, so callers must make each task independent (own Machine, own RNG,
+// writing to its own pre-allocated result slot). Done that way, results are
+// bit-identical regardless of thread count — the property the fleet engine
+// and its tests rely on.
+#ifndef SRC_FLEET_EXECUTOR_H_
+#define SRC_FLEET_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amulet {
+
+class Executor {
+ public:
+  // threads <= 0 selects DefaultThreadCount(). A single-thread executor is
+  // valid and runs everything serially on its one worker.
+  explicit Executor(int threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Enqueues a task. Tasks may Submit() further tasks.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  // Submits body(0) .. body(n-1) and waits for them (and any previously
+  // submitted tasks) to finish.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // std::thread::hardware_concurrency(), with a floor of 1.
+  static int DefaultThreadCount();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops from own queue front, else steals from a peer's back.
+  bool TryTake(size_t self, std::function<void()>* task);
+  void RunTask(std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_queue_{0};
+
+  // Sleep/wake: epoch_ bumps on every Submit so a worker that raced a push
+  // never sleeps through it.
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  uint64_t epoch_ = 0;  // guarded by sleep_mu_
+  bool stop_ = false;   // guarded by sleep_mu_
+
+  // Completion tracking for Wait().
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  size_t pending_ = 0;  // guarded by wait_mu_
+};
+
+}  // namespace amulet
+
+#endif  // SRC_FLEET_EXECUTOR_H_

@@ -1,0 +1,320 @@
+#include "src/fleet/fleet.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/aft/aft.h"
+#include "src/apps/app_sources.h"
+#include "src/common/strings.h"
+#include "src/fleet/executor.h"
+#include "src/os/os.h"
+
+namespace amulet {
+
+namespace {
+
+constexpr double kMsPerWeek = 7 * 24 * 3600 * 1000.0;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// 32-bit avalanche (Murmur3 finalizer); decorrelates device ids that differ
+// in one bit so activity modes spread evenly across the fleet.
+uint32_t Mix32(uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x85EBCA6Bu;
+  x ^= x >> 13;
+  x *= 0xC2B2AE35u;
+  x ^= x >> 16;
+  return x;
+}
+
+ActivityMode ModeFor(uint32_t device_seed) {
+  switch (Mix32(device_seed) % 3) {
+    case 0:
+      return ActivityMode::kRest;
+    case 1:
+      return ActivityMode::kWalking;
+    default:
+      return ActivityMode::kRunning;
+  }
+}
+
+Result<const AppSpec*> FindSuiteApp(const std::string& name) {
+  for (const AppSpec& app : AmuletAppSuite()) {
+    if (app.name == name) {
+      return &app;
+    }
+  }
+  if (name == SyntheticApp().name) {
+    return &SyntheticApp();
+  }
+  if (name == ActivityApp().name) {
+    return &ActivityApp();
+  }
+  if (name == QuicksortApp().name) {
+    return &QuicksortApp();
+  }
+  return NotFoundError(StrFormat("unknown fleet app '%s'", name.c_str()));
+}
+
+// App data regions, precomputed once; the per-device bus observer checks
+// membership on every data access.
+struct DataRegions {
+  std::vector<std::pair<uint16_t, uint16_t>> spans;  // [lo, hi)
+
+  bool Contains(uint16_t addr) const {
+    for (const auto& [lo, hi] : spans) {
+      if (addr >= lo && addr < hi) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+Status RunDevice(int device_id, const FleetConfig& config, const Firmware& firmware,
+                 const MachineSnapshot& snapshot, const AmuletOs& booted,
+                 const DataRegions& regions, DeviceStats* out) {
+  const uint32_t device_seed = config.fleet_seed ^ static_cast<uint32_t>(device_id);
+  Machine machine;
+  OsOptions options;
+  options.fram_wait_states = config.fram_wait_states;
+  options.fault_policy = FaultPolicy::kRestartApp;
+  options.sensor_seed = device_seed;
+  AmuletOs os(&machine, firmware, options);
+  RETURN_IF_ERROR(os.BootFromSnapshot(snapshot, booted));
+
+  // The clone carries the template's sensor/RNG state; apply this device's
+  // identity before any event is delivered.
+  os.sensors().Reseed(device_seed);
+  os.sensors().set_mode(ModeFor(device_seed));
+
+  uint64_t data_accesses = 0;
+  machine.bus().SetObserver([&](const BusObserverEvent& event) {
+    if (event.kind != AccessKind::kFetch && regions.Contains(event.addr)) {
+      ++data_accesses;
+    }
+  });
+
+  // Deltas relative to the clone point, so the template's boot cost does not
+  // leak into per-device numbers.
+  const uint64_t cycles_before = machine.cpu().cycle_count();
+  const uint64_t syscalls_before = machine.hostio().syscall_count();
+  const uint64_t pucs_before = machine.puc_count();
+  uint64_t dispatches_before = 0;
+  uint64_t faults_before = 0;
+  for (int i = 0; i < os.app_count(); ++i) {
+    dispatches_before += os.stats(i).dispatches;
+    faults_before += os.stats(i).faults;
+  }
+  RETURN_IF_ERROR(os.RunFor(config.sim_ms));
+
+  DeviceStats stats;
+  stats.device_id = device_id;
+  stats.cycles = machine.cpu().cycle_count() - cycles_before;
+  stats.data_accesses = data_accesses;
+  stats.syscalls = machine.hostio().syscall_count() - syscalls_before;
+  stats.pucs = machine.puc_count() - pucs_before;
+  for (int i = 0; i < os.app_count(); ++i) {
+    stats.dispatches += os.stats(i).dispatches;
+    stats.faults += os.stats(i).faults;
+  }
+  stats.dispatches -= dispatches_before;
+  stats.faults -= faults_before;
+  if (config.sim_ms > 0) {
+    const double cycles_per_week =
+        static_cast<double>(stats.cycles) * (kMsPerWeek / static_cast<double>(config.sim_ms));
+    stats.battery_impact_percent = config.energy.BatteryImpactPercent(cycles_per_week);
+  }
+  *out = stats;
+  return OkStatus();
+}
+
+void Aggregate(FleetReport* report) {
+  const size_t n = report->devices.size();
+  std::vector<double> cycles(n), data(n), syscalls(n), dispatches(n), faults(n), pucs(n),
+      battery(n);
+  FleetAggregate& agg = report->aggregate;
+  for (size_t i = 0; i < n; ++i) {
+    const DeviceStats& d = report->devices[i];
+    cycles[i] = static_cast<double>(d.cycles);
+    data[i] = static_cast<double>(d.data_accesses);
+    syscalls[i] = static_cast<double>(d.syscalls);
+    dispatches[i] = static_cast<double>(d.dispatches);
+    faults[i] = static_cast<double>(d.faults);
+    pucs[i] = static_cast<double>(d.pucs);
+    battery[i] = d.battery_impact_percent;
+    agg.total_cycles += d.cycles;
+    agg.total_syscalls += d.syscalls;
+    agg.total_dispatches += d.dispatches;
+    agg.total_faults += d.faults;
+    agg.total_pucs += d.pucs;
+  }
+  agg.cycles = Summarize(std::move(cycles));
+  agg.data_accesses = Summarize(std::move(data));
+  agg.syscalls = Summarize(std::move(syscalls));
+  agg.dispatches = Summarize(std::move(dispatches));
+  agg.faults = Summarize(std::move(faults));
+  agg.pucs = Summarize(std::move(pucs));
+  agg.battery_impact_percent = Summarize(std::move(battery));
+}
+
+}  // namespace
+
+Result<FleetReport> RunFleet(const FleetConfig& config) {
+  if (config.device_count <= 0) {
+    return InvalidArgumentError("fleet needs at least one device");
+  }
+  std::vector<std::string> app_names = config.apps;
+  if (app_names.empty()) {
+    for (const AppSpec& app : AmuletAppSuite()) {
+      app_names.push_back(app.name);
+    }
+  }
+  std::vector<AppSource> sources;
+  for (const std::string& name : app_names) {
+    ASSIGN_OR_RETURN(const AppSpec* spec, FindSuiteApp(name));
+    sources.push_back({spec->name, spec->source});
+  }
+
+  const auto boot_t0 = std::chrono::steady_clock::now();
+  AftOptions aft;
+  aft.model = config.model;
+  ASSIGN_OR_RETURN(Firmware firmware, BuildFirmware(sources, aft));
+
+  DataRegions regions;
+  for (const AppImage& app : firmware.apps) {
+    regions.spans.emplace_back(app.data_lo, app.data_hi);
+  }
+
+  // Template device: pays the image load and every on_init dispatch exactly
+  // once; every fleet device starts from its snapshot.
+  Machine template_machine;
+  OsOptions template_options;
+  template_options.fram_wait_states = config.fram_wait_states;
+  template_options.fault_policy = FaultPolicy::kRestartApp;
+  template_options.sensor_seed = config.fleet_seed;
+  AmuletOs template_os(&template_machine, firmware, template_options);
+  RETURN_IF_ERROR(template_os.Boot());
+  const MachineSnapshot snapshot = CaptureSnapshot(template_machine);
+
+  FleetReport report;
+  report.config = config;
+  report.config.apps = app_names;
+  report.snapshot_bytes = snapshot.bytes.size();
+  report.boot_seconds = SecondsSince(boot_t0);
+  report.devices.resize(static_cast<size_t>(config.device_count));
+
+  std::vector<Status> device_status(static_cast<size_t>(config.device_count));
+  const auto run_t0 = std::chrono::steady_clock::now();
+  if (config.jobs == 1) {
+    report.config.jobs = 1;
+    for (int i = 0; i < config.device_count; ++i) {
+      device_status[i] = RunDevice(i, config, firmware, snapshot, template_os, regions,
+                                   &report.devices[i]);
+    }
+  } else {
+    Executor executor(config.jobs);
+    report.config.jobs = executor.thread_count();
+    executor.ParallelFor(static_cast<size_t>(config.device_count), [&](size_t i) {
+      device_status[i] = RunDevice(static_cast<int>(i), config, firmware, snapshot,
+                                   template_os, regions, &report.devices[i]);
+    });
+  }
+  report.run_seconds = SecondsSince(run_t0);
+
+  for (int i = 0; i < config.device_count; ++i) {
+    if (!device_status[i].ok()) {
+      return Status(device_status[i].code(),
+                    StrFormat("device %d: %s", i, device_status[i].message().c_str()));
+    }
+  }
+  Aggregate(&report);
+  return report;
+}
+
+std::string FleetDigest(const FleetReport& report) {
+  std::string out;
+  for (const DeviceStats& d : report.devices) {
+    out += StrFormat("d%d:%llu,%llu,%llu,%llu,%llu,%llu,%a\n", d.device_id,
+                     static_cast<unsigned long long>(d.cycles),
+                     static_cast<unsigned long long>(d.data_accesses),
+                     static_cast<unsigned long long>(d.syscalls),
+                     static_cast<unsigned long long>(d.dispatches),
+                     static_cast<unsigned long long>(d.faults),
+                     static_cast<unsigned long long>(d.pucs), d.battery_impact_percent);
+  }
+  const FleetAggregate& a = report.aggregate;
+  for (const StatSummary* s :
+       {&a.cycles, &a.data_accesses, &a.syscalls, &a.dispatches, &a.faults, &a.pucs,
+        &a.battery_impact_percent}) {
+    out += StrFormat("agg:%a,%a,%a,%a,%a,%a,%d\n", s->min, s->p50, s->p95, s->p99, s->max,
+                     s->mean, s->count);
+  }
+  out += StrFormat("tot:%llu,%llu,%llu,%llu,%llu\n",
+                   static_cast<unsigned long long>(a.total_cycles),
+                   static_cast<unsigned long long>(a.total_syscalls),
+                   static_cast<unsigned long long>(a.total_dispatches),
+                   static_cast<unsigned long long>(a.total_faults),
+                   static_cast<unsigned long long>(a.total_pucs));
+  return out;
+}
+
+namespace {
+
+std::string SummaryRow(const char* name, const StatSummary& s) {
+  return StrFormat("  %-16s %14.0f %14.0f %14.0f %14.0f %14.1f\n", name, s.p50, s.p95, s.p99,
+                   s.max, s.mean);
+}
+
+}  // namespace
+
+std::string RenderFleetReport(const FleetReport& report) {
+  const FleetConfig& config = report.config;
+  std::string apps;
+  for (const std::string& name : config.apps) {
+    if (!apps.empty()) {
+      apps += ",";
+    }
+    apps += name;
+  }
+  std::string out = StrFormat(
+      "fleet: %d device(s), model=%s, seed=%u, %.1f s simulated each, %d worker thread(s)\n",
+      config.device_count, std::string(MemoryModelName(config.model)).c_str(),
+      config.fleet_seed, static_cast<double>(config.sim_ms) / 1000.0, config.jobs);
+  out += StrFormat("apps: %s\n", apps.c_str());
+  out += StrFormat(
+      "template boot %.3f s (snapshot %zu bytes); fleet run %.3f s (%.1f devices/s, %.1f "
+      "simulated-s/s)\n",
+      report.boot_seconds, report.snapshot_bytes, report.run_seconds,
+      report.run_seconds > 0 ? config.device_count / report.run_seconds : 0.0,
+      report.run_seconds > 0 ? config.device_count *
+                                   (static_cast<double>(config.sim_ms) / 1000.0) /
+                                   report.run_seconds
+                             : 0.0);
+  out += StrFormat("  %-16s %14s %14s %14s %14s %14s\n", "per-device", "p50", "p95", "p99",
+                   "max", "mean");
+  const FleetAggregate& a = report.aggregate;
+  out += SummaryRow("cycles", a.cycles);
+  out += SummaryRow("data accesses", a.data_accesses);
+  out += SummaryRow("syscalls", a.syscalls);
+  out += SummaryRow("dispatches", a.dispatches);
+  out += SummaryRow("faults", a.faults);
+  out += SummaryRow("PUCs", a.pucs);
+  out += StrFormat("  %-16s %14.4f %14.4f %14.4f %14.4f %14.4f   (%% battery/week)\n",
+                   "battery impact", a.battery_impact_percent.p50,
+                   a.battery_impact_percent.p95, a.battery_impact_percent.p99,
+                   a.battery_impact_percent.max, a.battery_impact_percent.mean);
+  out += StrFormat(
+      "totals: %llu cycles, %llu syscalls, %llu dispatches, %llu faults, %llu PUCs\n",
+      static_cast<unsigned long long>(a.total_cycles),
+      static_cast<unsigned long long>(a.total_syscalls),
+      static_cast<unsigned long long>(a.total_dispatches),
+      static_cast<unsigned long long>(a.total_faults),
+      static_cast<unsigned long long>(a.total_pucs));
+  return out;
+}
+
+}  // namespace amulet

@@ -1,0 +1,90 @@
+// Fleet simulation engine: boots one template device per configuration,
+// snapshots its machine after firmware boot, then clones and runs N
+// independent simulated devices in parallel on the work-stealing executor,
+// merging their ARP-style counters into fleet-wide percentiles.
+//
+// Determinism: device i's sensor stream and activity mode derive from
+// `fleet_seed ^ i`, every device owns its Machine/AmuletOs, and results land
+// in a slot indexed by device id — so a fleet run is bit-identical for a
+// fixed config regardless of worker-thread count (see docs/fleet.md).
+#ifndef SRC_FLEET_FLEET_H_
+#define SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/aft/model.h"
+#include "src/arp/arp.h"
+#include "src/arp/energy_model.h"
+#include "src/common/status.h"
+
+namespace amulet {
+
+struct FleetConfig {
+  int device_count = 16;
+  // Suite app names ("pedometer", "clock", ...; see AmuletAppSuite() plus
+  // "synthetic"/"activity"/"quicksort"). Every device runs the full mix in
+  // one firmware. Empty selects the whole nine-app suite.
+  std::vector<std::string> apps;
+  MemoryModel model = MemoryModel::kMpu;
+  uint32_t fleet_seed = 20180711;
+  uint64_t sim_ms = 10'000;  // simulated duration per device
+  int fram_wait_states = 1;
+  // Worker threads: 0 = hardware concurrency, 1 = serial reference run.
+  int jobs = 0;
+  EnergyModel energy;
+};
+
+// One device's merged counters after its simulated run.
+struct DeviceStats {
+  int device_id = 0;
+  uint64_t cycles = 0;         // CPU cycles consumed after the clone point
+  uint64_t data_accesses = 0;  // reads+writes landing in any app data region
+  uint64_t syscalls = 0;       // context switches into the OS
+  uint64_t dispatches = 0;
+  uint64_t faults = 0;
+  uint64_t pucs = 0;
+  // Weekly battery cost of this device's measured cycle rate.
+  double battery_impact_percent = 0;
+};
+
+struct FleetAggregate {
+  StatSummary cycles;
+  StatSummary data_accesses;
+  StatSummary syscalls;
+  StatSummary dispatches;
+  StatSummary faults;
+  StatSummary pucs;
+  StatSummary battery_impact_percent;
+  uint64_t total_cycles = 0;
+  uint64_t total_syscalls = 0;
+  uint64_t total_dispatches = 0;
+  uint64_t total_faults = 0;
+  uint64_t total_pucs = 0;
+};
+
+struct FleetReport {
+  FleetConfig config;  // as run (jobs resolved to the actual thread count)
+  std::vector<DeviceStats> devices;  // indexed by device id
+  FleetAggregate aggregate;
+  size_t snapshot_bytes = 0;
+  double boot_seconds = 0;  // firmware build + template boot + snapshot
+  double run_seconds = 0;   // wall time of the parallel device runs
+};
+
+// Runs the fleet. Fails if an app name is unknown, the firmware does not
+// build, or any device errors out.
+Result<FleetReport> RunFleet(const FleetConfig& config);
+
+// Deterministic digest over everything seed-dependent in the report (every
+// per-device counter and every aggregate, wall times excluded). Two runs of
+// the same config — at any thread counts — produce byte-identical digests.
+std::string FleetDigest(const FleetReport& report);
+
+// Human-readable fleet report (percentile table + totals + throughput).
+std::string RenderFleetReport(const FleetReport& report);
+
+}  // namespace amulet
+
+#endif  // SRC_FLEET_FLEET_H_

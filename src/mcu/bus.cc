@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/mcu/snapshot.h"
 
 namespace amulet {
 
@@ -188,6 +189,20 @@ void Bus::PokeWord(uint16_t addr, uint16_t value) {
   addr &= ~uint16_t{1};
   mem_[addr] = static_cast<uint8_t>(value & 0xFF);
   mem_[addr + 1] = static_cast<uint8_t>(value >> 8);
+}
+
+void Bus::SaveState(SnapshotWriter& w) const {
+  w.U8(static_cast<uint8_t>(fault_));
+  w.U32(static_cast<uint32_t>(fram_wait_states_));
+  w.U64(penalty_cycles_);
+  w.Bytes(mem_.data(), mem_.size());
+}
+
+void Bus::LoadState(SnapshotReader& r) {
+  fault_ = static_cast<BusFault>(r.U8());
+  fram_wait_states_ = static_cast<int>(r.U32());
+  penalty_cycles_ = r.U64();
+  r.Bytes(mem_.data(), mem_.size());
 }
 
 Status Bus::LoadImage(uint16_t base, const std::vector<uint8_t>& bytes) {

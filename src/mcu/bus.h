@@ -16,6 +16,9 @@
 
 namespace amulet {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 enum class AccessKind : uint8_t {
   kFetch,  // instruction-stream read (needs execute permission)
   kRead,   // data read
@@ -96,6 +99,11 @@ class Bus {
   uint16_t PeekWord(uint16_t addr) const;
   void PokeWord(uint16_t addr, uint16_t value);
   Status LoadImage(uint16_t base, const std::vector<uint8_t>& bytes);
+
+  // Snapshot support: memory image + bus bookkeeping. Wiring (devices, MPU,
+  // observer) is reconstructed by the owning Machine, not serialized.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
  private:
   // Returns backing storage for a plain-memory address, or nullptr if the

@@ -1,6 +1,7 @@
 #include "src/mcu/cpu.h"
 
 #include "src/isa/cycles.h"
+#include "src/mcu/snapshot.h"
 #include "src/isa/encoding.h"
 #include "src/mcu/memory_map.h"
 
@@ -495,6 +496,26 @@ Cpu::RunOutcome Cpu::Run(uint64_t max_cycles) {
   outcome.result = StepResult::kOk;
   outcome.cycles = cycles_ - start;
   return outcome;
+}
+
+void Cpu::SaveState(SnapshotWriter& w) const {
+  for (uint16_t reg : regs_) {
+    w.U16(reg);
+  }
+  w.U64(cycles_);
+  w.U64(instructions_);
+  w.U8(static_cast<uint8_t>(halt_reason_));
+  w.U16(halt_pc_);
+}
+
+void Cpu::LoadState(SnapshotReader& r) {
+  for (uint16_t& reg : regs_) {
+    reg = r.U16();
+  }
+  cycles_ = r.U64();
+  instructions_ = r.U64();
+  halt_reason_ = static_cast<HaltReason>(r.U8());
+  halt_pc_ = r.U16();
 }
 
 }  // namespace amulet

@@ -16,6 +16,9 @@
 
 namespace amulet {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 enum class HaltReason : uint8_t {
   kNone = 0,
   kBusFault,       // unmapped access / write to ROM / fetch from registers
@@ -66,6 +69,11 @@ class Cpu {
   uint64_t instruction_count() const { return instructions_; }
   HaltReason halt_reason() const { return halt_reason_; }
   uint16_t halt_pc() const { return halt_pc_; }
+
+  // Snapshot support: architectural registers and counters. The bus/timer/
+  // trace/watchdog wiring is not serialized.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
  private:
   struct Loc {

@@ -1,5 +1,7 @@
 #include "src/mcu/hostio.h"
 
+#include "src/mcu/snapshot.h"
+
 namespace amulet {
 
 uint16_t HostIo::ReadWord(uint16_t offset) {
@@ -63,6 +65,30 @@ std::string HostIo::TakeConsoleOutput() {
   std::string out;
   out.swap(console_);
   return out;
+}
+
+void HostIo::SaveState(SnapshotWriter& w) const {
+  w.U16(request_.number);
+  for (uint16_t arg : request_.args) {
+    w.U16(arg);
+  }
+  w.U16(result_);
+  w.U16(fault_code_);
+  w.U16(fault_addr_);
+  w.U64(syscall_count_);
+  w.Str(console_);
+}
+
+void HostIo::LoadState(SnapshotReader& r) {
+  request_.number = r.U16();
+  for (uint16_t& arg : request_.args) {
+    arg = r.U16();
+  }
+  result_ = r.U16();
+  fault_code_ = r.U16();
+  fault_addr_ = r.U16();
+  syscall_count_ = r.U64();
+  console_ = r.Str();
 }
 
 }  // namespace amulet

@@ -21,6 +21,9 @@
 
 namespace amulet {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 // Register offsets from kHostIoRegBase.
 inline constexpr uint16_t kHostIoSyscall = 0x00;  // service number
 inline constexpr uint16_t kHostIoArg0 = 0x02;
@@ -67,6 +70,12 @@ class HostIo : public BusDevice {
   uint16_t fault_addr() const { return fault_addr_; }
   // Count of TRIGGER strobes (ARP uses it to count context switches).
   uint64_t syscall_count() const { return syscall_count_; }
+
+  // Snapshot support: registers, pending console text, and counters. The
+  // host-side syscall handler is wiring and must be reinstalled after a
+  // restore.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
  private:
   McuSignals* signals_;

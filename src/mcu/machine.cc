@@ -1,5 +1,7 @@
 #include "src/mcu/machine.h"
 
+#include "src/common/strings.h"
+
 namespace amulet {
 
 Machine::Machine()
@@ -36,6 +38,118 @@ Cpu::RunOutcome Machine::Run(uint64_t max_cycles) {
     return outcome;
   }
   return {StepResult::kOk, spent, 0};
+}
+
+void Machine::SaveState(SnapshotWriter& w) const {
+  w.BeginSection(SnapshotSection::kSignals);
+  w.U8(signals_.nmi_pending ? 1 : 0);
+  w.U8(signals_.puc_requested ? 1 : 0);
+  w.U16(signals_.irq_pending);
+  w.U8(signals_.stop_requested ? 1 : 0);
+  w.U16(signals_.stop_code);
+  w.EndSection();
+
+  w.BeginSection(SnapshotSection::kBus);
+  bus_.SaveState(w);
+  w.EndSection();
+
+  w.BeginSection(SnapshotSection::kMpu);
+  mpu_.SaveState(w);
+  w.EndSection();
+
+  w.BeginSection(SnapshotSection::kTimer);
+  timer_.SaveState(w);
+  w.EndSection();
+
+  w.BeginSection(SnapshotSection::kHostIo);
+  hostio_.SaveState(w);
+  w.EndSection();
+
+  w.BeginSection(SnapshotSection::kMultiplier);
+  multiplier_.SaveState(w);
+  w.EndSection();
+
+  w.BeginSection(SnapshotSection::kWatchdog);
+  watchdog_.SaveState(w);
+  w.EndSection();
+
+  w.BeginSection(SnapshotSection::kCpu);
+  cpu_.SaveState(w);
+  w.EndSection();
+
+  w.BeginSection(SnapshotSection::kMachine);
+  w.U64(puc_count_);
+  w.EndSection();
+}
+
+Status Machine::LoadState(SnapshotReader& r) {
+  r.EnterSection(SnapshotSection::kSignals);
+  signals_.nmi_pending = r.U8() != 0;
+  signals_.puc_requested = r.U8() != 0;
+  signals_.irq_pending = r.U16();
+  signals_.stop_requested = r.U8() != 0;
+  signals_.stop_code = r.U16();
+  r.LeaveSection();
+
+  r.EnterSection(SnapshotSection::kBus);
+  bus_.LoadState(r);
+  r.LeaveSection();
+
+  r.EnterSection(SnapshotSection::kMpu);
+  mpu_.LoadState(r);
+  r.LeaveSection();
+
+  r.EnterSection(SnapshotSection::kTimer);
+  timer_.LoadState(r);
+  r.LeaveSection();
+
+  r.EnterSection(SnapshotSection::kHostIo);
+  hostio_.LoadState(r);
+  r.LeaveSection();
+
+  r.EnterSection(SnapshotSection::kMultiplier);
+  multiplier_.LoadState(r);
+  r.LeaveSection();
+
+  r.EnterSection(SnapshotSection::kWatchdog);
+  watchdog_.LoadState(r);
+  r.LeaveSection();
+
+  r.EnterSection(SnapshotSection::kCpu);
+  cpu_.LoadState(r);
+  r.LeaveSection();
+
+  r.EnterSection(SnapshotSection::kMachine);
+  puc_count_ = r.U64();
+  r.LeaveSection();
+  return r.status();
+}
+
+MachineSnapshot CaptureSnapshot(const Machine& machine) {
+  SnapshotWriter w;
+  w.U32(kSnapshotMagic);
+  w.U32(kSnapshotVersion);
+  machine.SaveState(w);
+  return MachineSnapshot{w.Take()};
+}
+
+Status RestoreSnapshot(const MachineSnapshot& snapshot, Machine* machine) {
+  SnapshotReader r(snapshot.bytes);
+  const uint32_t magic = r.U32();
+  if (r.ok() && magic != kSnapshotMagic) {
+    return InvalidArgumentError(
+        StrFormat("not a machine snapshot (magic 0x%08x)", magic));
+  }
+  const uint32_t version = r.U32();
+  if (r.ok() && version != kSnapshotVersion) {
+    return InvalidArgumentError(StrFormat("unsupported snapshot version %u (supported: %u)",
+                                          version, kSnapshotVersion));
+  }
+  RETURN_IF_ERROR(machine->LoadState(r));
+  if (!r.AtEnd()) {
+    return InvalidArgumentError("snapshot has trailing bytes");
+  }
+  return OkStatus();
 }
 
 }  // namespace amulet

@@ -12,6 +12,7 @@
 #include "src/mcu/mpu.h"
 #include "src/mcu/multiplier.h"
 #include "src/mcu/signals.h"
+#include "src/mcu/snapshot.h"
 #include "src/mcu/timer.h"
 #include "src/mcu/watchdog.h"
 
@@ -51,6 +52,13 @@ class Machine {
     signals_.stop_code = 0;
   }
 
+  // Serializes the complete machine state (memory, CPU, peripherals,
+  // signals) into `w`. Host-side wiring — the HOSTIO syscall handler, bus
+  // observer, and execution trace — is not part of machine state and must be
+  // reattached by the owner after a restore.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
+
  private:
   McuSignals signals_;
   Bus bus_;
@@ -62,6 +70,16 @@ class Machine {
   Cpu cpu_;
   uint64_t puc_count_ = 0;
 };
+
+// Captures the machine into a self-contained versioned buffer. The result is
+// position-independent: it can be restored into any number of fresh Machine
+// instances (fleet cloning) or the same machine later (checkpointing).
+MachineSnapshot CaptureSnapshot(const Machine& machine);
+
+// Restores a snapshot previously produced by CaptureSnapshot. On error (bad
+// magic, version mismatch, truncation, trailing bytes) the machine may be
+// partially overwritten and should be discarded.
+Status RestoreSnapshot(const MachineSnapshot& snapshot, Machine* machine);
 
 }  // namespace amulet
 

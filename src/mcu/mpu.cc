@@ -1,5 +1,7 @@
 #include "src/mcu/mpu.h"
 
+#include "src/mcu/snapshot.h"
+
 namespace amulet {
 
 uint16_t Mpu::ReadWord(uint16_t offset) {
@@ -149,6 +151,26 @@ void Mpu::Reset() {
   segb2_ = 0;
   sam_ = 0x7777;  // all segments R+W+X, NMI on violation
   last_violation_addr_ = 0;
+}
+
+void Mpu::SaveState(SnapshotWriter& w) const {
+  w.U16(ctl0_);
+  w.U16(ctl1_);
+  w.U16(segb1_);
+  w.U16(segb2_);
+  w.U16(sam_);
+  w.U16(last_violation_addr_);
+  w.U8(static_cast<uint8_t>(last_violation_kind_));
+}
+
+void Mpu::LoadState(SnapshotReader& r) {
+  ctl0_ = r.U16();
+  ctl1_ = r.U16();
+  segb1_ = r.U16();
+  segb2_ = r.U16();
+  sam_ = r.U16();
+  last_violation_addr_ = r.U16();
+  last_violation_kind_ = static_cast<AccessKind>(r.U8());
 }
 
 }  // namespace amulet

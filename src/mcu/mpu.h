@@ -26,6 +26,9 @@
 
 namespace amulet {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 // Register offsets from kMpuRegBase.
 inline constexpr uint16_t kMpuCtl0 = 0x0;   // password | ENA/LOCK
 inline constexpr uint16_t kMpuCtl1 = 0x2;   // violation flags (write-1-to-clear)
@@ -86,6 +89,10 @@ class Mpu : public BusDevice, public MemoryProtection {
   AccessKind last_violation_kind() const { return last_violation_kind_; }
 
   void Reset();
+
+  // Snapshot support: full register state including latched violations.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
  private:
   int SegmentOf(uint16_t addr) const;  // 1..3 main, 0 info, -1 uncovered

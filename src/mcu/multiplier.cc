@@ -1,5 +1,7 @@
 #include "src/mcu/multiplier.h"
 
+#include "src/mcu/snapshot.h"
+
 namespace amulet {
 
 uint16_t Multiplier::ReadWord(uint16_t offset) {
@@ -39,6 +41,18 @@ void Multiplier::WriteWord(uint16_t offset, uint16_t value) {
     default:
       break;
   }
+}
+
+void Multiplier::SaveState(SnapshotWriter& w) const {
+  w.U16(op1_);
+  w.U8(signed_mode_ ? 1 : 0);
+  w.U32(result_);
+}
+
+void Multiplier::LoadState(SnapshotReader& r) {
+  op1_ = r.U16();
+  signed_mode_ = r.U8() != 0;
+  result_ = r.U32();
 }
 
 }  // namespace amulet

@@ -13,6 +13,9 @@
 
 namespace amulet {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 inline constexpr uint16_t kMpyRegBase = 0x04C0;
 // Register offsets from kMpyRegBase.
 inline constexpr uint16_t kMpyOp1Unsigned = 0x0;  // MPY
@@ -27,6 +30,10 @@ class Multiplier : public BusDevice {
   uint16_t size_bytes() const override { return 0xE; }
   uint16_t ReadWord(uint16_t offset) override;
   void WriteWord(uint16_t offset, uint16_t value) override;
+
+  // Snapshot support.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
  private:
   uint16_t op1_ = 0;

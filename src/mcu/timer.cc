@@ -1,5 +1,7 @@
 #include "src/mcu/timer.h"
 
+#include "src/mcu/snapshot.h"
+
 namespace amulet {
 
 uint16_t Timer::ReadWord(uint16_t offset) {
@@ -51,6 +53,20 @@ void Timer::Advance(uint64_t cycles) {
     ctl_ |= 0x2;
     signals_->RaiseIrq(kIrqTimer);
   }
+}
+
+void Timer::SaveState(SnapshotWriter& w) const {
+  w.U64(cycles_);
+  w.U16(ctl_);
+  w.U16(compare_);
+  w.U16(latched_hi_);
+}
+
+void Timer::LoadState(SnapshotReader& r) {
+  cycles_ = r.U64();
+  ctl_ = r.U16();
+  compare_ = r.U16();
+  latched_hi_ = r.U16();
 }
 
 }  // namespace amulet

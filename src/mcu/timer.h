@@ -13,6 +13,9 @@
 
 namespace amulet {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 // Register offsets from kTimerRegBase.
 inline constexpr uint16_t kTimerCtl = 0x0;     // TACTL: bit0 = IE, bit1 = IFG (w1c)
 inline constexpr uint16_t kTimerCounterLo = 0x2;  // TARLO: cycles & 0xFFFF
@@ -33,6 +36,10 @@ class Timer : public BusDevice {
   void Advance(uint64_t cycles);
 
   uint64_t now_cycles() const { return cycles_; }
+
+  // Snapshot support.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
  private:
   McuSignals* signals_;

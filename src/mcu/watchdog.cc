@@ -1,5 +1,7 @@
 #include "src/mcu/watchdog.h"
 
+#include "src/mcu/snapshot.h"
+
 namespace amulet {
 
 uint64_t Watchdog::IntervalForSelect(uint16_t select) {
@@ -41,6 +43,18 @@ void Watchdog::Advance(uint64_t cycles) {
     ++expiries_;
     signals_->puc_requested = true;
   }
+}
+
+void Watchdog::SaveState(SnapshotWriter& w) const {
+  w.U16(ctl_);
+  w.U64(counter_);
+  w.U64(expiries_);
+}
+
+void Watchdog::LoadState(SnapshotReader& r) {
+  ctl_ = r.U16();
+  counter_ = r.U64();
+  expiries_ = r.U64();
 }
 
 }  // namespace amulet

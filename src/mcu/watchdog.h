@@ -12,6 +12,9 @@
 
 namespace amulet {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 inline constexpr uint16_t kWdtRegBase = 0x015C;  // WDTCTL
 
 // WDTCTL bits (low byte).
@@ -40,6 +43,10 @@ class Watchdog : public BusDevice {
   bool held() const { return (ctl_ & kWdtHold) != 0; }
   uint64_t counter() const { return counter_; }
   uint64_t expiries() const { return expiries_; }
+
+  // Snapshot support.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
  private:
   McuSignals* signals_;

@@ -39,6 +39,40 @@ Status AmuletOs::Boot() {
   return OkStatus();
 }
 
+Status AmuletOs::BootFromSnapshot(const MachineSnapshot& snapshot, const AmuletOs& booted) {
+  if (booted_) {
+    return FailedPreconditionError("already booted");
+  }
+  if (!booted.booted_) {
+    return FailedPreconditionError("template OS has not completed Boot()");
+  }
+  if (firmware_.apps.size() != booted.firmware_.apps.size()) {
+    return InvalidArgumentError(
+        StrFormat("firmware has %zu app(s) but template has %zu", firmware_.apps.size(),
+                  booted.firmware_.apps.size()));
+  }
+  RETURN_IF_ERROR(RestoreSnapshot(snapshot, machine_));
+  machine_->bus().set_fram_wait_states(options_.fram_wait_states);
+  if (options_.trace_depth > 0) {
+    trace_ = ExecutionTrace(static_cast<size_t>(options_.trace_depth));
+    machine_->cpu().set_trace(&trace_);
+  }
+  machine_->hostio().SetSyscallHandler(
+      [this](const SyscallRequest& request) { return HandleSyscall(request); });
+  subs_ = booted.subs_;
+  stats_ = booted.stats_;
+  enabled_ = booted.enabled_;
+  displays_ = booted.displays_;
+  faults_ = booted.faults_;
+  log_ = booted.log_;
+  now_ms_ = booted.now_ms_;
+  rng_state_ = booted.rng_state_;
+  sensors_ = booted.sensors_;
+  current_app_ = -1;
+  booted_ = true;
+  return OkStatus();
+}
+
 Result<AmuletOs::DispatchResult> AmuletOs::Deliver(int app_index, EventType type, uint16_t a0,
                                                    uint16_t a1, uint16_t a2) {
   if (!booted_) {

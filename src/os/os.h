@@ -69,6 +69,15 @@ class AmuletOs {
   // delivers on_init to every app.
   Status Boot();
 
+  // Fast boot for fleet cloning: restores `snapshot` (captured from
+  // `booted`'s machine after Boot() completed) into this OS's machine and
+  // copies `booted`'s host-side state (subscriptions, stats, displays, RNG
+  // and sensor state), skipping the image load and every on_init dispatch.
+  // Both instances must have been constructed from the same firmware. The
+  // clone is indistinguishable from a fresh Boot() on this machine; callers
+  // that want a distinct device identity reseed sensors() afterwards.
+  Status BootFromSnapshot(const MachineSnapshot& snapshot, const AmuletOs& booted);
+
   struct DispatchResult {
     uint64_t cycles = 0;
     uint64_t syscalls = 0;

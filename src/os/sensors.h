@@ -51,6 +51,10 @@ class SensorSuite {
   void set_mode(ActivityMode mode) { mode_ = mode; }
   ActivityMode mode() const { return mode_; }
 
+  // Restarts the noise source from `seed`, discarding accumulated state.
+  // The fleet engine uses this to give each cloned device its own stream.
+  void Reseed(uint32_t seed) { noise_ = NoiseSource(seed); }
+
   // Accelerometer sample at absolute simulated time (milliseconds).
   AccelSample Accel(uint64_t t_ms);
   // Heart rate in bpm (rest ~68, walking ~95, running ~140).

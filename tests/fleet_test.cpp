@@ -1,0 +1,243 @@
+// Fleet subsystem tests: machine snapshot round-trips, snapshot-based OS
+// cloning vs a fresh boot, executor correctness, and thread-count-independent
+// fleet determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/aft/aft.h"
+#include "src/apps/app_sources.h"
+#include "src/fleet/executor.h"
+#include "src/fleet/fleet.h"
+#include "src/mcu/machine.h"
+#include "src/mcu/snapshot.h"
+#include "src/os/os.h"
+
+namespace amulet {
+namespace {
+
+constexpr char kTickerApp[] = R"(
+int ticks;
+void on_init(void) {
+  ticks = 0;
+  amulet_timer_start(0, 100);
+  amulet_accel_subscribe(10);
+}
+void on_timer(int timer_id) {
+  ticks = ticks + 1;
+  amulet_display_digits(0, ticks);
+}
+void on_accel(int x, int y, int z) {
+  amulet_log_value(1, x + y + z);
+}
+)";
+
+Firmware MustBuild(MemoryModel model) {
+  AftOptions options;
+  options.model = model;
+  auto fw = BuildFirmware({{"ticker", kTickerApp}}, options);
+  EXPECT_TRUE(fw.ok()) << fw.status().ToString();
+  return std::move(*fw);
+}
+
+TEST(SnapshotTest, RoundTripPreservesMachineState) {
+  Firmware fw = MustBuild(MemoryModel::kMpu);
+  Machine machine;
+  AmuletOs os(&machine, fw, OsOptions{});
+  ASSERT_TRUE(os.Boot().ok());
+
+  MachineSnapshot snapshot = CaptureSnapshot(machine);
+  EXPECT_GT(snapshot.bytes.size(), 0x10000u);  // at least the memory image
+
+  Machine restored;
+  ASSERT_TRUE(RestoreSnapshot(snapshot, &restored).ok());
+  EXPECT_EQ(restored.cpu().cycle_count(), machine.cpu().cycle_count());
+  EXPECT_EQ(restored.cpu().instruction_count(), machine.cpu().instruction_count());
+  EXPECT_EQ(restored.cpu().pc(), machine.cpu().pc());
+  EXPECT_EQ(restored.timer().now_cycles(), machine.timer().now_cycles());
+  EXPECT_EQ(restored.hostio().syscall_count(), machine.hostio().syscall_count());
+  EXPECT_EQ(restored.puc_count(), machine.puc_count());
+  for (uint32_t addr = 0; addr < 0x10000; ++addr) {
+    if (restored.bus().PeekByte(static_cast<uint16_t>(addr)) !=
+        machine.bus().PeekByte(static_cast<uint16_t>(addr))) {
+      FAIL() << "memory differs at address " << addr;
+    }
+  }
+
+  // Capturing the restored machine reproduces the snapshot bit-for-bit.
+  MachineSnapshot again = CaptureSnapshot(restored);
+  EXPECT_EQ(again.bytes, snapshot.bytes);
+}
+
+TEST(SnapshotTest, RejectsCorruptInput) {
+  Machine machine;
+  MachineSnapshot snapshot = CaptureSnapshot(machine);
+
+  MachineSnapshot bad_magic = snapshot;
+  bad_magic.bytes[0] ^= 0xFF;
+  Machine victim;
+  EXPECT_FALSE(RestoreSnapshot(bad_magic, &victim).ok());
+
+  MachineSnapshot bad_version = snapshot;
+  bad_version.bytes[4] = 0x7F;
+  EXPECT_FALSE(RestoreSnapshot(bad_version, &victim).ok());
+
+  MachineSnapshot truncated = snapshot;
+  truncated.bytes.resize(truncated.bytes.size() / 2);
+  EXPECT_FALSE(RestoreSnapshot(truncated, &victim).ok());
+
+  MachineSnapshot trailing = snapshot;
+  trailing.bytes.push_back(0);
+  EXPECT_FALSE(RestoreSnapshot(trailing, &victim).ok());
+
+  MachineSnapshot empty;
+  EXPECT_FALSE(RestoreSnapshot(empty, &victim).ok());
+}
+
+// A device cloned from a boot snapshot must behave exactly like the device
+// the snapshot was taken from: same dispatch outcomes, same cycle counts.
+TEST(SnapshotTest, CloneMatchesFreshBoot) {
+  Firmware fw = MustBuild(MemoryModel::kMpu);
+  OsOptions options;
+  options.sensor_seed = 77;
+
+  Machine fresh_machine;
+  AmuletOs fresh(&fresh_machine, fw, options);
+  ASSERT_TRUE(fresh.Boot().ok());
+  MachineSnapshot snapshot = CaptureSnapshot(fresh_machine);
+
+  Machine cloned_machine;
+  AmuletOs cloned(&cloned_machine, fw, options);
+  ASSERT_TRUE(cloned.BootFromSnapshot(snapshot, fresh).ok());
+  EXPECT_EQ(cloned_machine.cpu().cycle_count(), fresh_machine.cpu().cycle_count());
+
+  // Drive both through the same simulated timeline.
+  ASSERT_TRUE(fresh.RunFor(3000).ok());
+  ASSERT_TRUE(cloned.RunFor(3000).ok());
+  EXPECT_EQ(cloned_machine.cpu().cycle_count(), fresh_machine.cpu().cycle_count());
+  EXPECT_EQ(cloned_machine.hostio().syscall_count(), fresh_machine.hostio().syscall_count());
+  EXPECT_EQ(cloned.stats(0).dispatches, fresh.stats(0).dispatches);
+  EXPECT_EQ(cloned.stats(0).cycles, fresh.stats(0).cycles);
+  EXPECT_EQ(cloned.stats(0).syscalls, fresh.stats(0).syscalls);
+  EXPECT_EQ(cloned.stats(0).faults, fresh.stats(0).faults);
+  EXPECT_EQ(cloned.display(0), fresh.display(0));
+  EXPECT_EQ(cloned.log().size(), fresh.log().size());
+}
+
+TEST(SnapshotTest, BootFromSnapshotRequiresBootedTemplate) {
+  Firmware fw = MustBuild(MemoryModel::kMpu);
+  Machine m1;
+  AmuletOs not_booted(&m1, fw, OsOptions{});
+  MachineSnapshot snapshot = CaptureSnapshot(m1);
+  Machine m2;
+  AmuletOs clone(&m2, fw, OsOptions{});
+  EXPECT_FALSE(clone.BootFromSnapshot(snapshot, not_booted).ok());
+}
+
+TEST(ExecutorTest, RunsEverySubmittedTask) {
+  Executor executor(4);
+  EXPECT_EQ(executor.thread_count(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    executor.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  executor.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+
+  // Reusable after Wait().
+  executor.ParallelFor(250, [&counter](size_t) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(counter.load(), 1250);
+}
+
+TEST(ExecutorTest, ParallelForCoversEveryIndexOnce) {
+  Executor executor(8);
+  std::vector<int> hits(513, 0);
+  executor.ParallelFor(hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, TasksCanSubmitTasks) {
+  Executor executor(2);
+  std::atomic<int> counter{0};
+  executor.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      executor.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  executor.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+FleetConfig SmallFleet(int jobs) {
+  FleetConfig config;
+  config.device_count = 8;
+  config.apps = {"pedometer", "clock"};
+  config.model = MemoryModel::kMpu;
+  config.fleet_seed = 0xF1EE7;
+  config.sim_ms = 500;
+  config.jobs = jobs;
+  return config;
+}
+
+TEST(FleetTest, DeterministicAcrossThreadCounts) {
+  auto serial = RunFleet(SmallFleet(1));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_EQ(serial->devices.size(), 8u);
+  EXPECT_GT(serial->aggregate.total_cycles, 0u);
+  EXPECT_GT(serial->aggregate.total_dispatches, 0u);
+
+  const std::string serial_digest = FleetDigest(*serial);
+  for (int jobs : {4, 8}) {
+    auto parallel = RunFleet(SmallFleet(jobs));
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(FleetDigest(*parallel), serial_digest) << "jobs=" << jobs;
+  }
+}
+
+TEST(FleetTest, SeedChangesResults) {
+  FleetConfig config = SmallFleet(2);
+  auto a = RunFleet(config);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  config.fleet_seed ^= 1;
+  auto b = RunFleet(config);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_NE(FleetDigest(*a), FleetDigest(*b));
+}
+
+TEST(FleetTest, DevicesDifferWithinAFleet) {
+  auto report = RunFleet(SmallFleet(2));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Per-device seeds give devices distinct sensor streams; at least two of
+  // the eight devices should disagree on measured cycles.
+  bool any_difference = false;
+  for (const DeviceStats& d : report->devices) {
+    if (d.cycles != report->devices[0].cycles) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FleetTest, UnknownAppIsRejected) {
+  FleetConfig config = SmallFleet(1);
+  config.apps = {"no_such_app"};
+  auto report = RunFleet(config);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(FleetTest, RenderedReportMentionsConfiguration) {
+  auto report = RunFleet(SmallFleet(2));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string text = RenderFleetReport(*report);
+  EXPECT_NE(text.find("8 device(s)"), std::string::npos) << text;
+  EXPECT_NE(text.find("pedometer"), std::string::npos) << text;
+  EXPECT_NE(text.find("battery impact"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace amulet

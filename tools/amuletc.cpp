@@ -1,8 +1,9 @@
 // amuletc: command-line front end to the Amulet Firmware Toolchain.
 //
 //   amuletc [options] name=app.amc [name2=other.amc ...]
+//   amuletc fleet [fleet options]
 //
-// Options:
+// Build options:
 //   --model none|fl|sw|mpu   isolation model (default: mpu)
 //   --shadow-ret-stack       InfoMem shadow return-address stack (paper §5)
 //   --future-mpu             hypothetical >=4-region MPU (no checks/reconfig)
@@ -12,6 +13,14 @@
 //   --listing                full firmware listing (map + disassembly)
 //   --run SECONDS            boot under AmuletOS and simulate
 //   --walk                   (with --run) synthesize walking accelerometer data
+//
+// Fleet options (amuletc fleet):
+//   --devices N              number of simulated devices (default: 16)
+//   --apps a,b,c             suite apps to install (default: the full suite)
+//   --model none|fl|sw|mpu   isolation model (default: mpu)
+//   --seed N                 fleet seed; device i uses seed^i (default: 20180711)
+//   --duration SECONDS       simulated time per device (default: 10)
+//   --jobs N                 worker threads (default: hardware concurrency)
 //
 // Exit status: 0 on success, 1 on any toolchain or runtime error.
 #include <cstdio>
@@ -24,7 +33,9 @@
 
 #include "src/aft/aft.h"
 #include "src/aft/listing.h"
+#include "src/apps/app_sources.h"
 #include "src/asm/ihex.h"
+#include "src/fleet/fleet.h"
 #include "src/os/os.h"
 
 namespace {
@@ -33,14 +44,108 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--model none|fl|sw|mpu] [--shadow-ret-stack] [--future-mpu]\n"
                "          [--zero-shared-stack] [--hex FILE] [--report] [--listing]\n"
-               "          [--run SECONDS] [--walk] name=app.amc [name2=other.amc ...]\n",
-               argv0);
+               "          [--run SECONDS] [--walk] name=app.amc [name2=other.amc ...]\n"
+               "       %s fleet [--devices N] [--apps a,b,c] [--model none|fl|sw|mpu]\n"
+               "          [--seed N] [--duration SECONDS] [--jobs N]\n",
+               argv0, argv0);
   return 1;
+}
+
+bool ParseModel(const std::string& model, amulet::MemoryModel* out) {
+  if (model == "none") {
+    *out = amulet::MemoryModel::kNoIsolation;
+  } else if (model == "fl") {
+    *out = amulet::MemoryModel::kFeatureLimited;
+  } else if (model == "sw") {
+    *out = amulet::MemoryModel::kSoftwareOnly;
+  } else if (model == "mpu") {
+    *out = amulet::MemoryModel::kMpu;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(list);
+  while (std::getline(in, part, ',')) {
+    if (!part.empty()) {
+      parts.push_back(part);
+    }
+  }
+  return parts;
+}
+
+// `amuletc fleet`: build the requested app mix once, then simulate a fleet of
+// devices in parallel and print the aggregate report.
+int RunFleetCommand(const char* argv0, int argc, char** argv) {
+  amulet::FleetConfig config;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
+    if (arg == "--devices") {
+      const char* value = next();
+      if (value == nullptr || std::strtol(value, nullptr, 10) <= 0) {
+        return Usage(argv0);
+      }
+      config.device_count = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (arg == "--apps") {
+      const char* value = next();
+      if (value == nullptr) {
+        return Usage(argv0);
+      }
+      config.apps = SplitCommas(value);
+    } else if (arg == "--model") {
+      const char* value = next();
+      if (value == nullptr || !ParseModel(value, &config.model)) {
+        return Usage(argv0);
+      }
+    } else if (arg == "--seed") {
+      const char* value = next();
+      if (value == nullptr) {
+        return Usage(argv0);
+      }
+      config.fleet_seed = static_cast<uint32_t>(std::strtoul(value, nullptr, 0));
+    } else if (arg == "--duration") {
+      const char* value = next();
+      if (value == nullptr || std::strtol(value, nullptr, 10) <= 0) {
+        return Usage(argv0);
+      }
+      config.sim_ms = static_cast<uint64_t>(std::strtol(value, nullptr, 10)) * 1000;
+    } else if (arg == "--jobs") {
+      const char* value = next();
+      if (value == nullptr || std::strtol(value, nullptr, 10) <= 0) {
+        return Usage(argv0);
+      }
+      config.jobs = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown fleet option: %s\n", arg.c_str());
+      return Usage(argv0);
+    }
+  }
+  if (config.apps.empty()) {
+    for (const amulet::AppSpec& app : amulet::AmuletAppSuite()) {
+      config.apps.push_back(app.name);
+    }
+  }
+  auto report = amulet::RunFleet(config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "amuletc fleet: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", amulet::RenderFleetReport(*report).c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "fleet") == 0) {
+    return RunFleetCommand(argv[0], argc - 2, argv + 2);
+  }
+
   amulet::AftOptions options;
   bool want_report = false;
   bool want_listing = false;
