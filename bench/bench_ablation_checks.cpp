@@ -62,6 +62,7 @@ double PerIterShadow(const AppSpec& app, MemoryModel model, uint16_t button) {
 
 int Run() {
   std::printf("== bench_ablation_checks: per-check costs (zero wait states) ==\n\n");
+  BenchJson json("ablation_checks");
 
   const double none_mem = PerIter(SyntheticApp(), MemoryModel::kNoIsolation, 1);
   const double fl_mem = PerIter(SyntheticApp(), MemoryModel::kFeatureLimited, 1);
@@ -107,6 +108,28 @@ int Run() {
   std::printf("\nshape: %s (MPU single check < SW dual check < FL routine call; one-sided "
               "ret check <= two-sided < shadow stack)\n",
               shape ? "OK" : "MISMATCH");
+
+  struct Entry {
+    const char* label;
+    double marginal;
+  };
+  const Entry entries[] = {
+      {"mpu_lower_bound_per_access", mpu_mem - none_mem},
+      {"sw_dual_compare_per_access", sw_mem - none_mem},
+      {"fl_index_check_call_per_access", fl_mem - none_mem},
+      {"fl_no_ret_check_per_call", fl_call - none_call},
+      {"mpu_one_sided_ret_check_per_call", mpu_call - none_call},
+      {"sw_two_sided_ret_check_per_call", sw_call - none_call},
+      {"shadow_return_stack_per_call", shadow_call - none_call},
+  };
+  for (const Entry& entry : entries) {
+    json.Row();
+    json.Field("operation", std::string(entry.label));
+    json.Field("marginal_cycles", entry.marginal);
+  }
+  json.Scalar("baseline_call_cycles", none_call);
+  json.Scalar("shape_ok", shape ? 1.0 : 0.0);
+  json.Write();
   return 0;
 }
 

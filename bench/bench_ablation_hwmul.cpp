@@ -71,6 +71,7 @@ int Run() {
   };
   AppSpec mul = MulLoopApp();
   bool shape = true;
+  BenchJson json("ablation_hwmul");
   std::printf("%-32s %14s %14s %9s\n", "Workload", "software cyc", "MPY32 cyc", "speedup");
   PrintRule(74);
   for (const Case& c : cases) {
@@ -78,6 +79,11 @@ int Run() {
     double sw = Measure(app, c.button, false, c.warmup);
     double hw = Measure(app, c.button, true, c.warmup);
     std::printf("%-32s %14.0f %14.0f %8.2fx\n", c.label, sw, hw, sw / hw);
+    json.Row();
+    json.Field("workload", std::string(c.label));
+    json.Field("software_cycles", sw);
+    json.Field("mpy32_cycles", hw);
+    json.Field("speedup", sw / hw);
     if (hw >= sw) {
       shape = false;
     }
@@ -85,6 +91,8 @@ int Run() {
   PrintRule(74);
   std::printf("\nshape: %s (hardware multiplier strictly faster)\n",
               shape ? "OK" : "MISMATCH");
+  json.Scalar("shape_ok", shape ? 1.0 : 0.0);
+  json.Write();
   return 0;
 }
 

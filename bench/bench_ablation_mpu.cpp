@@ -30,6 +30,7 @@ Cost Measure(MemoryModel model, bool future_mpu) {
 int Run() {
   std::printf("== bench_ablation_mpu: today's 3-segment MPU vs a hypothetical >=4-region "
               "MPU ==\n\n");
+  BenchJson json("ablation_mpu");
   Cost none = Measure(MemoryModel::kNoIsolation, false);
   Cost sw = Measure(MemoryModel::kSoftwareOnly, false);
   Cost mpu = Measure(MemoryModel::kMpu, false);
@@ -50,6 +51,23 @@ int Run() {
   const bool shape = future.mem < mpu.mem && future.api < mpu.api && future.api < sw.api;
   std::printf("shape: %s (future MPU strictly cheaper than both isolating schemes)\n",
               shape ? "OK" : "MISMATCH");
+
+  struct Entry {
+    const char* label;
+    const Cost* cost;
+  };
+  const Entry entries[] = {{"no_isolation", &none},
+                           {"software_only", &sw},
+                           {"mpu", &mpu},
+                           {"future_mpu", &future}};
+  for (const Entry& entry : entries) {
+    json.Row();
+    json.Field("configuration", std::string(entry.label));
+    json.Field("mem_access_cycles_per_op", entry.cost->mem);
+    json.Field("api_call_cycles_per_op", entry.cost->api);
+  }
+  json.Scalar("shape_ok", shape ? 1.0 : 0.0);
+  json.Write();
   return 0;
 }
 

@@ -31,6 +31,7 @@ double DispatchCost(MemoryModel model, bool zero_shared_stack) {
 
 int Run() {
   std::printf("== bench_ablation_stack: per-app stacks vs shared stack (+bzero) ==\n\n");
+  BenchJson json("ablation_stack");
   const double shared = DispatchCost(MemoryModel::kNoIsolation, false);
   const double shared_zeroed = DispatchCost(MemoryModel::kNoIsolation, true);
   const double per_app_sw = DispatchCost(MemoryModel::kSoftwareOnly, false);
@@ -47,6 +48,22 @@ int Run() {
   const bool shape = shared_zeroed > 5 * per_app_sw && per_app_sw > shared;
   std::printf("shape: %s (the paper's choice of per-app stacks is the clear winner)\n",
               shape ? "OK" : "MISMATCH");
+
+  struct Entry {
+    const char* label;
+    double cycles;
+  };
+  const Entry entries[] = {{"shared_stack", shared},
+                           {"shared_stack_bzero", shared_zeroed},
+                           {"per_app_stacks_sw_gates", per_app_sw},
+                           {"per_app_stacks_mpu_gates", per_app_mpu}};
+  for (const Entry& entry : entries) {
+    json.Row();
+    json.Field("configuration", std::string(entry.label));
+    json.Field("dispatch_cycles", entry.cycles);
+  }
+  json.Scalar("shape_ok", shape ? 1.0 : 0.0);
+  json.Write();
   return 0;
 }
 

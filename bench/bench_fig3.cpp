@@ -37,7 +37,7 @@ double MeasureWorkload(const Workload& workload, MemoryModel model, int wait_sta
   return MeanButtonCycles(rig.get(), workload.button, kRuns);
 }
 
-void RunTable(int wait_states, bool* mpu_beats_sw, bool* fl_worst) {
+void RunTable(int wait_states, bool* mpu_beats_sw, bool* fl_worst, BenchJson* json) {
   const Workload workloads[] = {
       {"Activity Case 1", &ActivityApp(), 1, true},
       {"Activity Case 2", &ActivityApp(), 2, true},
@@ -57,10 +57,15 @@ void RunTable(int wait_states, bool* mpu_beats_sw, bool* fl_worst) {
     const double baseline = MeasureWorkload(workload, MemoryModel::kNoIsolation, wait_states);
     std::printf("%-18s %14.0f |", workload.label, baseline);
     std::map<MemoryModel, double> slowdown;
+    json->Row();
+    json->Field("workload", std::string(workload.label));
+    json->Field("wait_states", static_cast<uint64_t>(wait_states));
+    json->Field("baseline_cycles", baseline);
     for (MemoryModel model : isolation_models) {
       const double cycles = MeasureWorkload(workload, model, wait_states);
       slowdown[model] = (cycles - baseline) / baseline * 100.0;
       std::printf(" %13.1f%%", slowdown[model]);
+      json->Field(std::string(MemoryModelName(model)) + "_slowdown_percent", slowdown[model]);
     }
     std::printf("\n");
     if (slowdown[MemoryModel::kMpu] > slowdown[MemoryModel::kSoftwareOnly]) {
@@ -77,12 +82,13 @@ int Run() {
   std::printf("== bench_fig3: percentage slowdown vs NoIsolation (%d runs each, 16-cycle "
               "timer) ==\n",
               kRuns);
+  BenchJson json("fig3");
   bool mpu_beats_sw_ws1 = false;
   bool fl_worst_ws1 = false;
-  RunTable(/*wait_states=*/1, &mpu_beats_sw_ws1, &fl_worst_ws1);
+  RunTable(/*wait_states=*/1, &mpu_beats_sw_ws1, &fl_worst_ws1, &json);
   bool mpu_beats_sw_ws0 = false;
   bool fl_worst_ws0 = false;
-  RunTable(/*wait_states=*/0, &mpu_beats_sw_ws0, &fl_worst_ws0);
+  RunTable(/*wait_states=*/0, &mpu_beats_sw_ws0, &fl_worst_ws0, &json);
 
   // Extension beyond the figure: the recursive quicksort variant. The paper
   // notes the AFT cannot bound a recursive app's stack — FeatureLimited
@@ -100,6 +106,12 @@ int Run() {
                 "(rejected)", (mpu - baseline) / baseline * 100.0,
                 (sw - baseline) / baseline * 100.0);
     PrintRule(82);
+    json.Row();
+    json.Field("workload", std::string(recursive.label));
+    json.Field("wait_states", static_cast<uint64_t>(1));
+    json.Field("baseline_cycles", baseline);
+    json.Field("mpu_slowdown_percent", (mpu - baseline) / baseline * 100.0);
+    json.Field("sw_slowdown_percent", (sw - baseline) / baseline * 100.0);
   }
 
   std::printf("\nPaper's Figure 3 shape checks:\n");
@@ -111,6 +123,11 @@ int Run() {
               "EXPERIMENTS.md)\n",
               fl_worst_ws0 ? "HOLDS" : "VIOLATED");
   std::printf("Paper's reported range: roughly 10-50%% slowdown across these workloads.\n");
+  json.Scalar("mpu_beats_sw_ws1", mpu_beats_sw_ws1 ? 1.0 : 0.0);
+  json.Scalar("mpu_beats_sw_ws0", mpu_beats_sw_ws0 ? 1.0 : 0.0);
+  json.Scalar("fl_worst_ws0", fl_worst_ws0 ? 1.0 : 0.0);
+  json.Scalar("fl_worst_ws1", fl_worst_ws1 ? 1.0 : 0.0);
+  json.Write();
   return 0;
 }
 

@@ -38,6 +38,8 @@ FleetConfig BenchConfig(int jobs) {
 int Run() {
   std::printf("== bench_fleet: %d-device fleet, snapshot-cloned, executor-parallel ==\n\n",
               BenchConfig(1).device_count);
+  BenchJson json("fleet");
+  json.Scalar("device_count", static_cast<double>(BenchConfig(1).device_count));
 
   // Snapshot amortization: full boot vs snapshot restore for one device.
   {
@@ -78,6 +80,9 @@ int Run() {
     std::printf("  full boot (image load + 9x on_init): %9.3f ms\n", full_boot_s * 1e3);
     std::printf("  snapshot clone:                      %9.3f ms  (%.0fx faster)\n\n",
                 clone_s * 1e3, clone_s > 0 ? full_boot_s / clone_s : 0.0);
+    json.Scalar("full_boot_ms", full_boot_s * 1e3);
+    json.Scalar("snapshot_clone_ms", clone_s * 1e3);
+    json.Scalar("snapshot_bytes", static_cast<double>(snapshot.bytes.size()));
   }
 
   // Serial reference.
@@ -88,6 +93,11 @@ int Run() {
   }
   const std::string reference_digest = FleetDigest(*serial);
   std::printf("serial (1 thread):   run %7.3f s\n", serial->run_seconds);
+  json.Row();
+  json.Field("jobs", static_cast<uint64_t>(1));
+  json.Field("run_seconds", serial->run_seconds);
+  json.Field("speedup", 1.0);
+  json.Field("bit_identical", static_cast<uint64_t>(1));
 
   // Parallel runs; every digest must match the serial reference exactly.
   bool all_identical = true;
@@ -107,6 +117,11 @@ int Run() {
     std::printf("parallel (%d threads): run %7.3f s  speedup %5.2fx  aggregates %s\n", jobs,
                 parallel->run_seconds, speedup,
                 identical ? "bit-identical" : "DIVERGED from serial");
+    json.Row();
+    json.Field("jobs", static_cast<uint64_t>(jobs));
+    json.Field("run_seconds", parallel->run_seconds);
+    json.Field("speedup", speedup);
+    json.Field("bit_identical", static_cast<uint64_t>(identical ? 1 : 0));
   }
 
   std::printf("\n%s\n", RenderFleetReport(*serial).c_str());
@@ -117,6 +132,9 @@ int Run() {
               Executor::DefaultThreadCount() < 2
                   ? " (single-core host: no parallel speedup available)"
                   : "");
+  json.Scalar("all_identical", all_identical ? 1.0 : 0.0);
+  json.Scalar("best_speedup", best_speedup);
+  json.Write();
   return all_identical ? 0 : 1;
 }
 

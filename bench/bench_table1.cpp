@@ -46,7 +46,7 @@ Row MeasureModel(MemoryModel model, int wait_states) {
   return row;
 }
 
-void PrintTable(int wait_states) {
+void PrintTable(int wait_states, BenchJson* json) {
   std::printf("\nTable 1 reproduction (FRAM wait states = %d, %d runs, timer precision 16 "
               "cycles)\n",
               wait_states, kRuns);
@@ -57,6 +57,11 @@ void PrintTable(int wait_states) {
   std::map<MemoryModel, Row> rows;
   for (MemoryModel model : kAllModels) {
     rows[model] = MeasureModel(model, wait_states);
+    json->Row();
+    json->Field("wait_states", static_cast<uint64_t>(wait_states));
+    json->Field("model", std::string(MemoryModelName(model)));
+    json->Field("memory_access_cycles", rows[model].mem_access);
+    json->Field("context_switch_cycles", rows[model].ctx_switch);
   }
   std::printf("%-16s %14.1f %14.1f %14.1f %14.1f\n", "Memory Access",
               rows[MemoryModel::kNoIsolation].mem_access,
@@ -87,6 +92,8 @@ void PrintTable(int wait_states) {
   std::printf("shape: memory access %s, context switch %s\n",
               mem_shape ? "OK (None < MPU < SW, FL slowest at ws=0)" : "MISMATCH",
               ctx_shape ? "OK (None = FL < SW < MPU)" : "MISMATCH");
+  json->Scalar(StrFormat("mem_shape_ok_ws%d", wait_states), mem_shape ? 1.0 : 0.0);
+  json->Scalar(StrFormat("ctx_shape_ok_ws%d", wait_states), ctx_shape ? 1.0 : 0.0);
 }
 
 }  // namespace
@@ -94,7 +101,9 @@ void PrintTable(int wait_states) {
 
 int main() {
   std::printf("== bench_table1: basic memory-isolation operation costs ==\n");
-  amulet::PrintTable(/*wait_states=*/0);
-  amulet::PrintTable(/*wait_states=*/1);
+  amulet::BenchJson json("table1");
+  amulet::PrintTable(/*wait_states=*/0, &json);
+  amulet::PrintTable(/*wait_states=*/1, &json);
+  json.Write();
   return 0;
 }

@@ -3,6 +3,7 @@
 // instructions. These are developer-experience numbers, not paper results.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/aft/aft.h"
 #include "src/apps/app_sources.h"
 #include "src/asm/assembler.h"
@@ -89,7 +90,45 @@ void BM_SimulatorThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorThroughput);
 
+// Console reporting plus a BENCH_toolchain.json mirror (same shared helper
+// as the plain benchmarks, so result scraping sees one format everywhere).
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonMirrorReporter(BenchJson* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      json_->Row();
+      json_->Field("name", run.benchmark_name());
+      json_->Field("iterations", static_cast<uint64_t>(run.iterations));
+      json_->Field("real_time_ns", run.GetAdjustedRealTime());
+      json_->Field("cpu_time_ns", run.GetAdjustedCPUTime());
+      for (const auto& [counter_name, counter] : run.counters) {
+        json_->Field(counter_name, static_cast<double>(counter));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchJson* json_;
+};
+
 }  // namespace
 }  // namespace amulet
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  amulet::BenchJson json("toolchain");
+  amulet::JsonMirrorReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  json.Write();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,9 +4,11 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/aft/aft.h"
@@ -78,6 +80,85 @@ inline void PrintRule(int width = 86) {
   }
   std::putchar('\n');
 }
+
+// Machine-readable benchmark output: collects flat scalars plus an array of
+// result rows and writes them as BENCH_<name>.json in the working directory,
+// so result tracking does not have to scrape the human tables. Number
+// rendering is locale-independent (snprintf %.17g round-trips doubles).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : name_(std::move(bench_name)), t0_(std::chrono::steady_clock::now()) {}
+
+  void Scalar(const std::string& key, double value) {
+    scalars_.emplace_back(key, Number(value));
+  }
+  void Scalar(const std::string& key, const std::string& value) {
+    scalars_.emplace_back(key, Quote(value));
+  }
+
+  // Starts a new row in "results"; Field() calls attach to the latest row.
+  void Row() { rows_.emplace_back(); }
+  void Field(const std::string& key, double value) {
+    rows_.back().emplace_back(key, Number(value));
+  }
+  void Field(const std::string& key, uint64_t value) {
+    rows_.back().emplace_back(key, StrFormat("%llu", static_cast<unsigned long long>(value)));
+  }
+  void Field(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, Quote(value));
+  }
+
+  // Writes BENCH_<name>.json (adding wall_seconds since construction).
+  // Returns false and warns on I/O failure; benchmarks keep their exit code.
+  bool Write() {
+    Scalar("wall_seconds",
+           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count());
+    std::string out = "{\n  \"bench\": " + Quote(name_);
+    for (const auto& [key, value] : scalars_) {
+      out += ",\n  " + Quote(key) + ": " + value;
+    }
+    out += ",\n  \"results\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += i == 0 ? "\n    {" : ",\n    {";
+      for (size_t f = 0; f < rows_[i].size(); ++f) {
+        out += (f == 0 ? "" : ", ") + Quote(rows_[i][f].first) + ": " + rows_[i][f].second;
+      }
+      out += "}";
+    }
+    out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Number(double value) { return StrFormat("%.17g", value); }
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<std::pair<std::string, std::string>> scalars_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 }  // namespace amulet
 

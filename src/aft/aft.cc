@@ -75,14 +75,18 @@ std::string HostIoEqus() {
 
 // MPU reconfiguration sequence (TI-style: password write, then boundaries
 // and access rights). ~20 cycles + FRAM fetch penalties — this is the cost
-// the paper attributes to its slower MPU context switches.
+// the paper attributes to its slower MPU context switches. `scope_id` names
+// the zero-size __scope label pair that lets the cycle profiler attribute
+// the sequence to "mpu-reconfig" (must be unique per emission site).
 std::string MpuReconfig(const std::string& segb1_sym, const std::string& segb2_sym,
-                        uint16_t sam) {
+                        uint16_t sam, const std::string& scope_id) {
   std::string out;
+  out += StrFormat("__scope_b_mpur_%s:\n", scope_id.c_str());
   out += "  mov #0xA501, &__MPUCTL0\n";
   out += StrFormat("  mov #%s, &__MPUSEGB1\n", segb1_sym.c_str());
   out += StrFormat("  mov #%s, &__MPUSEGB2\n", segb2_sym.c_str());
   out += StrFormat("  mov #%d, &__MPUSAM\n", sam);
+  out += StrFormat("__scope_e_mpur_%s:\n", scope_id.c_str());
   return out;
 }
 
@@ -92,6 +96,7 @@ std::string MpuReconfig(const std::string& segb1_sym, const std::string& segb2_s
 std::string GateAsm(const std::string& app, const ApiEntry& api, MemoryModel model,
                     const AftOptions& options) {
   std::string out;
+  out += StrFormat("__scope_b_gate_%s_%s:\n", app.c_str(), api.name);
   out += StrFormat("__gate_%s_%s:\n", app.c_str(), api.name);
   out += StrFormat("  mov #%d, &__HIO_SYSCALL\n", static_cast<int>(api.id));
   out += "  mov r12, &__HIO_ARG0\n";
@@ -103,7 +108,8 @@ std::string GateAsm(const std::string& app, const ApiEntry& api, MemoryModel mod
   if (model == MemoryModel::kMpu && !options.future_mpu) {
     // Must happen before touching OS data: under the app's MPU view, the OS
     // data region is execute-only.
-    out += MpuReconfig("__mpuv_os_segb1", "__mpuv_os_segb2", OsSam(options));
+    out += MpuReconfig("__mpuv_os_segb1", "__mpuv_os_segb2", OsSam(options),
+                       StrFormat("g0_%s_%s", app.c_str(), api.name));
   }
   if (per_app_stacks) {
     out += StrFormat("  mov sp, &__os_saved_sp_%s\n", app.c_str());
@@ -115,10 +121,12 @@ std::string GateAsm(const std::string& app, const ApiEntry& api, MemoryModel mod
   }
   if (model == MemoryModel::kMpu && !options.future_mpu) {
     out += MpuReconfig(StrFormat("__mpuv_%s_segb1", app.c_str()),
-                       StrFormat("__mpuv_%s_segb2", app.c_str()), AppSam(options));
+                       StrFormat("__mpuv_%s_segb2", app.c_str()), AppSam(options),
+                       StrFormat("g1_%s_%s", app.c_str(), api.name));
   }
   out += "  mov &__HIO_RESULT, r12\n";
   out += "  ret\n";
+  out += StrFormat("__scope_e_gate_%s_%s:\n", app.c_str(), api.name);
   return out;
 }
 
@@ -127,12 +135,14 @@ std::string GateAsm(const std::string& app, const ApiEntry& api, MemoryModel mod
 std::string DispatchAsm(const std::string& app, MemoryModel model,
                         const AftOptions& options) {
   std::string out;
+  out += StrFormat("__scope_b_disp_%s:\n", app.c_str());
   out += StrFormat("__dispatch_%s:\n", app.c_str());
   const bool per_app_stacks =
       model == MemoryModel::kMpu || model == MemoryModel::kSoftwareOnly;
   if (model == MemoryModel::kMpu && !options.future_mpu) {
     out += MpuReconfig(StrFormat("__mpuv_%s_segb1", app.c_str()),
-                       StrFormat("__mpuv_%s_segb2", app.c_str()), AppSam(options));
+                       StrFormat("__mpuv_%s_segb2", app.c_str()), AppSam(options),
+                       StrFormat("d0_%s", app.c_str()));
   }
   if (per_app_stacks) {
     out += StrFormat("  mov #__stacktop_%s, sp\n", app.c_str());
@@ -153,11 +163,13 @@ std::string DispatchAsm(const std::string& app, MemoryModel model,
   // return address lies inside the app's own code bounds.
   out += StrFormat("  call #__thunk_%s\n", app.c_str());
   if (model == MemoryModel::kMpu && !options.future_mpu) {
-    out += MpuReconfig("__mpuv_os_segb1", "__mpuv_os_segb2", OsSam(options));
+    out += MpuReconfig("__mpuv_os_segb1", "__mpuv_os_segb2", OsSam(options),
+                       StrFormat("d1_%s", app.c_str()));
   }
   out += StrFormat("  mov #%d, &__HIO_STOP\n", kStopHandlerDone);
   out += StrFormat("__dispatch_%s_spin:\n", app.c_str());
   out += StrFormat("  jmp __dispatch_%s_spin\n", app.c_str());
+  out += StrFormat("__scope_e_disp_%s:\n", app.c_str());
   return out;
 }
 

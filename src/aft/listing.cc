@@ -27,6 +27,11 @@ uint16_t ImageWord(const Image& image, uint16_t addr) {
 std::multimap<uint16_t, std::string> SymbolsByAddress(const Image& image) {
   std::multimap<uint16_t, std::string> by_addr;
   for (const auto& [name, addr] : image.symbols) {
+    if (StartsWith(name, "__scope_")) {
+      // Zero-size profiler region markers (src/scope): they share addresses
+      // with real symbols and would clutter every listing.
+      continue;
+    }
     by_addr.emplace(addr, name);
   }
   return by_addr;

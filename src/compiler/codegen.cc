@@ -40,6 +40,19 @@ class FunctionCodegen {
   }
   std::string UniqueLabel() { return StrFormat("%s_T%d", fn_.name.c_str(), temp_label_++); }
 
+  // Paired zero-size labels bracketing compiler-inserted check sequences.
+  // The scope profiler (src/scope/region_map.h) parses them back out of the
+  // image's symbol table to attribute cycles; they assemble to no bytes, so
+  // the generated code is bit-identical whether or not anyone is profiling.
+  std::string ScopeBegin(const char* tag) {
+    std::string id = StrFormat("%s_S%d", fn_.name.c_str(), scope_id_++);
+    Label(StrFormat("__scope_b_%s_%s", tag, id.c_str()));
+    return id;
+  }
+  void ScopeEnd(const char* tag, const std::string& id) {
+    Label(StrFormat("__scope_e_%s_%s", tag, id.c_str()));
+  }
+
   // Frame slot addressing: "-6(r4)".
   std::string Slot(int offset) const { return StrFormat("%d(r4)", offset); }
   int VregOffset(int vr) const { return vreg_offsets_[vr]; }
@@ -151,6 +164,7 @@ class FunctionCodegen {
   std::vector<int> vreg_offsets_;
   int frame_size_ = 0;
   int temp_label_ = 0;
+  int scope_id_ = 0;
   int last_check_vr_ = -1;  // address vreg currently staged in r11
   bool forward_values_ = true;
   bool use_hw_multiplier_ = false;
@@ -709,6 +723,7 @@ Status FunctionCodegen::EmitInst(size_t index, bool* consumed_next) {
     case IrOp::kCheckLow: {
       // Keep r11 loaded across consecutive checks of the same address.
       std::string ok = UniqueLabel();
+      std::string scope = ScopeBegin("cklo");
       if (last_check_vr_ != inst.a) {
         LoadVreg(inst.a, "r11");
         last_check_vr_ = inst.a;
@@ -717,11 +732,13 @@ Status FunctionCodegen::EmitInst(size_t index, bool* consumed_next) {
       Line(StrFormat("jhs %s", ok.c_str()));
       Line("call #__rt_fault_mem");
       Label(ok);
+      ScopeEnd("cklo", scope);
       return OkStatus();
     }
 
     case IrOp::kCheckHigh: {
       std::string ok = UniqueLabel();
+      std::string scope = ScopeBegin("ckhi");
       if (last_check_vr_ != inst.a) {
         LoadVreg(inst.a, "r11");
         last_check_vr_ = inst.a;
@@ -730,17 +747,21 @@ Status FunctionCodegen::EmitInst(size_t index, bool* consumed_next) {
       Line(StrFormat("jlo %s", ok.c_str()));
       Line("call #__rt_fault_mem");
       Label(ok);
+      ScopeEnd("ckhi", scope);
       return OkStatus();
     }
 
-    case IrOp::kCheckIndex:
+    case IrOp::kCheckIndex: {
       // The feature-limited model's routine-call bounds check (mirrors the
       // original AmuletC implementation, which is why Table 1 shows it as
       // the slowest per-access scheme).
+      std::string scope = ScopeBegin("ckix");
       LoadVreg(inst.a, "r14");
       Line(StrFormat("mov #%d, r15", inst.imm));
       Line("call #__rt_check_index");
+      ScopeEnd("ckix", scope);
       return OkStatus();
+    }
   }
   return InternalError("unhandled IR instruction");
 }
@@ -753,6 +774,7 @@ void FunctionCodegen::EmitEpilogue() {
     // Pop the shadow copy and verify it matches the architectural return
     // address; any corruption (overflow, targeted overwrite) faults.
     std::string ok = UniqueLabel();
+    std::string scope = ScopeBegin("ckret");
     Line("mov &__shadow_sp, r11");
     Line("decd r11");
     Line("mov r11, &__shadow_sp");
@@ -761,9 +783,11 @@ void FunctionCodegen::EmitEpilogue() {
     Line(StrFormat("jeq %s", ok.c_str()));
     Line("call #__rt_fault_ret");
     Label(ok);
+    ScopeEnd("ckret", scope);
   }
   if (fn_.ret_check != RetCheckKind::kNone) {
     std::string ok1 = UniqueLabel();
+    std::string scope = ScopeBegin("ckret");
     Line("mov @sp, r11");
     Line(StrFormat("cmp #%s, r11", fn_.ret_check_low_sym.c_str()));
     Line(StrFormat("jhs %s", ok1.c_str()));
@@ -776,6 +800,7 @@ void FunctionCodegen::EmitEpilogue() {
       Line("call #__rt_fault_ret");
       Label(ok2);
     }
+    ScopeEnd("ckret", scope);
   }
   Line("ret");
 }
@@ -804,10 +829,12 @@ Result<int> FunctionCodegen::Run() {
   Line("mov sp, r4");
   if (shadow_ret_stack_) {
     // Mirror the return address (now at FP+2) onto the InfoMem shadow stack.
+    std::string scope = ScopeBegin("ckret");
     Line("mov &__shadow_sp, r11");
     Line("mov 2(r4), 0(r11)");
     Line("incd r11");
     Line("mov r11, &__shadow_sp");
+    ScopeEnd("ckret", scope);
   }
   if (frame_size_ > 0) {
     Line(StrFormat("sub #%d, sp", frame_size_));
@@ -914,6 +941,10 @@ std::string RuntimeAssembly() {
   out += StrFormat(".equ __STOP_SW_FAULT, %d\n", kStopSoftwareFault);
   out += R"(
 ; ---- shared compiler runtime (lives in OS text) ----
+; The __scope_* labels assemble to zero bytes; they let the cycle profiler
+; attribute runtime-helper cycles to "runtime" (and the feature-limited bounds
+; routine to "check-index") instead of lumping them in with OS code.
+__scope_b_rt_rtlib:
 ; 16x16 -> 16 unsigned/two's-complement multiply: r12 * r13 -> r12.
 __rt_mul:
   mov r12, r11
@@ -1057,6 +1088,7 @@ __rt_sar_done:
 
 ; Feature-limited array bounds check: index r14, limit r15.
 ; Faults (never returns) when index >= limit (unsigned covers index < 0).
+__scope_b_ckix_rtcheckindex:
 __rt_check_index:
   cmp r15, r14
   jlo __rt_ci_ok
@@ -1067,6 +1099,7 @@ __rt_ci_spin:
   jmp __rt_ci_spin
 __rt_ci_ok:
   ret
+__scope_e_ckix_rtcheckindex:
 
 ; Software-check failures. r11 holds the offending address.
 __rt_fault_mem:
@@ -1247,6 +1280,7 @@ __rt_sar32_loop:
   jnz __rt_sar32_loop
 __rt_sar32_done:
   ret
+__scope_e_rt_rtlib:
 )";
   return out;
 }

@@ -1,6 +1,10 @@
 #include "src/fleet/fleet.h"
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
 #include <utility>
 
 #include "src/aft/aft.h"
@@ -132,6 +136,35 @@ Status RunDevice(int device_id, const FleetConfig& config, const Firmware& firmw
   return OkStatus();
 }
 
+// Battery impact as integer micro-percent so the metric state (and thus the
+// fleet digest) stays bit-identical regardless of merge order.
+uint64_t BatteryMicroPercent(double percent) {
+  if (percent <= 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(std::llround(percent * 1e6));
+}
+
+// One device's contribution to the streaming registry. The registry a device
+// produces is merged into the fleet-wide one and discarded, so aggregation
+// memory never grows with device_count.
+void RecordDeviceMetrics(const DeviceStats& stats, MetricRegistry* m) {
+  m->Add("fleet.devices", 1);
+  m->Add("fleet.cycles", stats.cycles);
+  m->Add("fleet.data_accesses", stats.data_accesses);
+  m->Add("fleet.syscalls", stats.syscalls);
+  m->Add("fleet.dispatches", stats.dispatches);
+  m->Add("fleet.faults", stats.faults);
+  m->Add("fleet.pucs", stats.pucs);
+  m->Observe("device.cycles", stats.cycles);
+  m->Observe("device.data_accesses", stats.data_accesses);
+  m->Observe("device.syscalls", stats.syscalls);
+  m->Observe("device.dispatches", stats.dispatches);
+  m->Observe("device.faults", stats.faults);
+  m->Observe("device.pucs", stats.pucs);
+  m->Observe("device.battery_upct", BatteryMicroPercent(stats.battery_impact_percent));
+}
+
 void Aggregate(FleetReport* report) {
   const size_t n = report->devices.size();
   std::vector<double> cycles(n), data(n), syscalls(n), dispatches(n), faults(n), pucs(n),
@@ -159,6 +192,37 @@ void Aggregate(FleetReport* report) {
   agg.faults = Summarize(std::move(faults));
   agg.pucs = Summarize(std::move(pucs));
   agg.battery_impact_percent = Summarize(std::move(battery));
+}
+
+// Streaming-mode aggregate: everything derives from the merged registry.
+// Totals and min/max/mean are exact; quantiles have log2-bucket resolution.
+void AggregateFromMetrics(FleetReport* report) {
+  FleetAggregate& agg = report->aggregate;
+  agg.total_cycles = report->metrics.counter("fleet.cycles");
+  agg.total_syscalls = report->metrics.counter("fleet.syscalls");
+  agg.total_dispatches = report->metrics.counter("fleet.dispatches");
+  agg.total_faults = report->metrics.counter("fleet.faults");
+  agg.total_pucs = report->metrics.counter("fleet.pucs");
+  auto fill = [&](const char* name, StatSummary* s, double scale) {
+    const LogHistogram* h = report->metrics.histogram(name);
+    if (h == nullptr || h->count == 0) {
+      return;
+    }
+    s->count = static_cast<int>(h->count);
+    s->min = static_cast<double>(h->min) * scale;
+    s->max = static_cast<double>(h->max) * scale;
+    s->mean = h->Mean() * scale;
+    s->p50 = static_cast<double>(h->Quantile(0.50)) * scale;
+    s->p95 = static_cast<double>(h->Quantile(0.95)) * scale;
+    s->p99 = static_cast<double>(h->Quantile(0.99)) * scale;
+  };
+  fill("device.cycles", &agg.cycles, 1.0);
+  fill("device.data_accesses", &agg.data_accesses, 1.0);
+  fill("device.syscalls", &agg.syscalls, 1.0);
+  fill("device.dispatches", &agg.dispatches, 1.0);
+  fill("device.faults", &agg.faults, 1.0);
+  fill("device.pucs", &agg.pucs, 1.0);
+  fill("device.battery_upct", &agg.battery_impact_percent, 1e-6);
 }
 
 }  // namespace
@@ -205,23 +269,53 @@ Result<FleetReport> RunFleet(const FleetConfig& config) {
   report.config.apps = app_names;
   report.snapshot_bytes = snapshot.bytes.size();
   report.boot_seconds = SecondsSince(boot_t0);
-  report.devices.resize(static_cast<size_t>(config.device_count));
+  const bool retain = config.retain_device_stats;
+  if (retain) {
+    report.devices.resize(static_cast<size_t>(config.device_count));
+  }
 
   std::vector<Status> device_status(static_cast<size_t>(config.device_count));
   const auto run_t0 = std::chrono::steady_clock::now();
+
+  // Metric merging and progress reporting are the only cross-device state;
+  // both are constant-size. Merge order varies with scheduling, but the
+  // registry's integer state makes the result order-independent.
+  std::mutex merge_mu;
+  std::atomic<int> completed{0};
+  auto last_progress = run_t0;
+  const int progress_step = std::max(1, config.device_count / 20);
+  auto run_one = [&](size_t i) {
+    DeviceStats local;
+    DeviceStats* slot = retain ? &report.devices[i] : &local;
+    device_status[i] =
+        RunDevice(static_cast<int>(i), config, firmware, snapshot, template_os, regions, slot);
+    MetricRegistry device_metrics;
+    if (device_status[i].ok()) {
+      RecordDeviceMetrics(*slot, &device_metrics);
+    }
+    const int done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(merge_mu);
+    report.metrics.Merge(device_metrics);
+    if (config.verbosity >= 1 &&
+        (done == config.device_count || done % progress_step == 0 ||
+         SecondsSince(last_progress) >= 2.0)) {
+      last_progress = std::chrono::steady_clock::now();
+      const double elapsed = SecondsSince(run_t0);
+      const double rate = elapsed > 0 ? done / elapsed : 0.0;
+      const double eta = rate > 0 ? (config.device_count - done) / rate : 0.0;
+      std::fprintf(stderr, "fleet: %d/%d devices (%.1f devices/s, ETA %.1f s)\n", done,
+                   config.device_count, rate, eta);
+    }
+  };
   if (config.jobs == 1) {
     report.config.jobs = 1;
     for (int i = 0; i < config.device_count; ++i) {
-      device_status[i] = RunDevice(i, config, firmware, snapshot, template_os, regions,
-                                   &report.devices[i]);
+      run_one(static_cast<size_t>(i));
     }
   } else {
     Executor executor(config.jobs);
     report.config.jobs = executor.thread_count();
-    executor.ParallelFor(static_cast<size_t>(config.device_count), [&](size_t i) {
-      device_status[i] = RunDevice(static_cast<int>(i), config, firmware, snapshot,
-                                   template_os, regions, &report.devices[i]);
-    });
+    executor.ParallelFor(static_cast<size_t>(config.device_count), run_one);
   }
   report.run_seconds = SecondsSince(run_t0);
 
@@ -231,7 +325,11 @@ Result<FleetReport> RunFleet(const FleetConfig& config) {
                     StrFormat("device %d: %s", i, device_status[i].message().c_str()));
     }
   }
-  Aggregate(&report);
+  if (retain) {
+    Aggregate(&report);
+  } else {
+    AggregateFromMetrics(&report);
+  }
   return report;
 }
 
@@ -259,6 +357,9 @@ std::string FleetDigest(const FleetReport& report) {
                    static_cast<unsigned long long>(a.total_dispatches),
                    static_cast<unsigned long long>(a.total_faults),
                    static_cast<unsigned long long>(a.total_pucs));
+  out += "metrics:";
+  out += report.metrics.ToJson();
+  out += "\n";
   return out;
 }
 

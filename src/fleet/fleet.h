@@ -18,6 +18,7 @@
 #include "src/arp/arp.h"
 #include "src/arp/energy_model.h"
 #include "src/common/status.h"
+#include "src/scope/metrics.h"
 
 namespace amulet {
 
@@ -34,6 +35,15 @@ struct FleetConfig {
   // Worker threads: 0 = hardware concurrency, 1 = serial reference run.
   int jobs = 0;
   EnergyModel energy;
+  // When false the per-device DeviceStats rows are not retained
+  // (FleetReport::devices stays empty) and the aggregate is derived from the
+  // streaming metric registry instead of exact per-device vectors — memory
+  // is O(metrics x histogram buckets), independent of device_count. Exact
+  // nearest-rank percentiles need true; the streaming quantiles are log2
+  // bucket midpoints (~2x relative resolution).
+  bool retain_device_stats = true;
+  // >= 1: progress lines on stderr while devices run (count, rate, ETA).
+  int verbosity = 0;
 };
 
 // One device's merged counters after its simulated run.
@@ -66,8 +76,14 @@ struct FleetAggregate {
 
 struct FleetReport {
   FleetConfig config;  // as run (jobs resolved to the actual thread count)
-  std::vector<DeviceStats> devices;  // indexed by device id
+  // Indexed by device id; empty when config.retain_device_stats is false.
+  std::vector<DeviceStats> devices;
   FleetAggregate aggregate;
+  // Streaming fleet-wide metrics (counters + log2 histograms), merged one
+  // device at a time. All-integer state, so it is bit-identical across
+  // --jobs values regardless of merge order; constant size regardless of
+  // device count. Export with metrics.ToJson().
+  MetricRegistry metrics;
   size_t snapshot_bytes = 0;
   double boot_seconds = 0;  // firmware build + template boot + snapshot
   double run_seconds = 0;   // wall time of the parallel device runs

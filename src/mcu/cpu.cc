@@ -4,6 +4,8 @@
 #include "src/mcu/snapshot.h"
 #include "src/isa/encoding.h"
 #include "src/mcu/memory_map.h"
+#include "src/scope/probe.h"
+#include "src/scope/profiler.h"
 
 namespace amulet {
 
@@ -360,6 +362,9 @@ void Cpu::AcceptInterrupt(uint16_t vector_slot) {
   if (watchdog_ != nullptr) {
     watchdog_->Advance(kInterruptAcceptCycles);
   }
+  // Attributed to the handler's region (the accept is work done on its
+  // behalf); the pushes' FRAM penalties land with the next retired insn.
+  AMULET_PROBE_ATTRIBUTE(profiler_, handler, kInterruptAcceptCycles);
 }
 
 StepResult Cpu::Step() {
@@ -398,6 +403,7 @@ StepResult Cpu::Step() {
     if (watchdog_ != nullptr) {
       watchdog_->Advance(1);
     }
+    AMULET_PROBE_ATTRIBUTE(profiler_, reg(Reg::kPc), 1);
     return StepResult::kOk;
   }
 
@@ -471,6 +477,7 @@ StepResult Cpu::Step() {
     watchdog_->Advance(spent);
   }
   ++instructions_;
+  AMULET_PROBE_ATTRIBUTE(profiler_, insn_addr, spent);
 
   if (signals_->puc_requested) {
     return StepResult::kPuc;

@@ -16,6 +16,7 @@
 
 namespace amulet {
 
+class CycleProfiler;
 class SnapshotReader;
 class SnapshotWriter;
 
@@ -62,6 +63,11 @@ class Cpu {
 
   // Optional execution trace (not owned); records each retired instruction.
   void set_trace(ExecutionTrace* trace) { trace_ = trace; }
+  // Optional cycle-attribution profiler (not owned); every retired
+  // instruction's full cost (ISA cycles + FRAM penalties), every idle tick,
+  // and every interrupt accept is attributed to the region map. The hook in
+  // Step() compiles out entirely under AMULET_SCOPE=OFF.
+  void set_profiler(CycleProfiler* profiler) { profiler_ = profiler; }
   // Optional watchdog (not owned); advanced with every retired cycle.
   void set_watchdog(Watchdog* watchdog) { watchdog_ = watchdog; }
 
@@ -100,6 +106,7 @@ class Cpu {
   Timer* timer_;
   McuSignals* signals_;
   ExecutionTrace* trace_ = nullptr;
+  CycleProfiler* profiler_ = nullptr;
   Watchdog* watchdog_ = nullptr;
   std::array<uint16_t, kNumRegisters> regs_{};
   uint64_t cycles_ = 0;

@@ -1,6 +1,8 @@
 #include "src/mcu/hostio.h"
 
 #include "src/mcu/snapshot.h"
+#include "src/scope/probe.h"
+#include "src/scope/tracer.h"
 
 namespace amulet {
 
@@ -37,11 +39,13 @@ void HostIo::WriteWord(uint16_t offset, uint16_t value) {
       break;
     case kHostIoTrigger:
       ++syscall_count_;
+      AMULET_PROBE_SPAN_BEGIN(tracer_, "syscall", request_.number, request_.args[0]);
       if (syscall_handler_) {
         result_ = syscall_handler_(request_);
       } else {
         result_ = 0;
       }
+      AMULET_PROBE_SPAN_END(tracer_, "syscall");
       break;
     case kHostIoConsole:
       console_.push_back(static_cast<char>(value & 0xFF));

@@ -21,6 +21,7 @@
 
 namespace amulet {
 
+class EventTracer;
 class SnapshotReader;
 class SnapshotWriter;
 
@@ -62,6 +63,11 @@ class HostIo : public BusDevice {
     syscall_handler_ = std::move(handler);
   }
 
+  // Optional event tracer (not owned; host wiring, excluded from snapshots).
+  // Each TRIGGER strobe records a "syscall" entry/exit span around the
+  // host-side service.
+  void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+
   // Console text emitted by the simulated program since the last Take.
   std::string TakeConsoleOutput();
   const std::string& console_output() const { return console_; }
@@ -79,6 +85,7 @@ class HostIo : public BusDevice {
 
  private:
   McuSignals* signals_;
+  EventTracer* tracer_ = nullptr;
   std::function<uint16_t(const SyscallRequest&)> syscall_handler_;
   SyscallRequest request_;
   uint16_t result_ = 0;

@@ -1,6 +1,7 @@
 #include "src/mcu/machine.h"
 
 #include "src/common/strings.h"
+#include "src/scope/tracer.h"
 
 namespace amulet {
 
@@ -22,6 +23,19 @@ Machine::Machine()
 void Machine::Reset() {
   mpu_.Reset();
   cpu_.Reset();
+}
+
+void Machine::AttachTracer(EventTracer* tracer) {
+  if (tracer != nullptr) {
+    tracer->set_clock([this] { return cpu_.cycle_count(); });
+  }
+  mpu_.set_tracer(tracer);
+  hostio_.set_tracer(tracer);
+  watchdog_.set_tracer(tracer);
+}
+
+void Machine::AttachProfiler(CycleProfiler* profiler) {
+  cpu_.set_profiler(profiler);
 }
 
 Cpu::RunOutcome Machine::Run(uint64_t max_cycles) {

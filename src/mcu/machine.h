@@ -18,6 +18,9 @@
 
 namespace amulet {
 
+class CycleProfiler;
+class EventTracer;
+
 class Machine {
  public:
   Machine();
@@ -51,6 +54,17 @@ class Machine {
     signals_.stop_requested = false;
     signals_.stop_code = 0;
   }
+
+  // Attaches an event tracer to every probe point in the machine (MPU
+  // reprogramming spans, syscall spans, watchdog-expiry instants) and sets
+  // its clock to this CPU's cycle counter. Host wiring: like the syscall
+  // handler, tracers are not serialized and must be reattached after a
+  // restore. Pass nullptr to detach.
+  void AttachTracer(EventTracer* tracer);
+
+  // Attaches a cycle-attribution profiler to the CPU step loop. Host wiring,
+  // same snapshot rules as AttachTracer. Pass nullptr to detach.
+  void AttachProfiler(CycleProfiler* profiler);
 
   // Serializes the complete machine state (memory, CPU, peripherals,
   // signals) into `w`. Host-side wiring — the HOSTIO syscall handler, bus

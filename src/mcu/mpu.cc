@@ -1,6 +1,8 @@
 #include "src/mcu/mpu.h"
 
 #include "src/mcu/snapshot.h"
+#include "src/scope/probe.h"
+#include "src/scope/tracer.h"
 
 namespace amulet {
 
@@ -34,6 +36,10 @@ void Mpu::WriteWord(uint16_t offset, uint16_t value) {
     if (locked()) {
       return;  // frozen until reset
     }
+    if (!reconfig_open_) {
+      reconfig_open_ = true;
+      AMULET_PROBE_SPAN_BEGIN(tracer_, "mpu.reconfig", value & 0x00FF);
+    }
     ctl0_ = value & 0x00FF;
     return;
   }
@@ -53,6 +59,11 @@ void Mpu::WriteWord(uint16_t offset, uint16_t value) {
       break;
     case kMpuSam:
       sam_ = value;
+      // The TI-style reprogramming sequence ends with the SAM write.
+      if (reconfig_open_) {
+        reconfig_open_ = false;
+        AMULET_PROBE_SPAN_END(tracer_, "mpu.reconfig");
+      }
       break;
     default:
       break;
@@ -101,6 +112,7 @@ void Mpu::LatchViolation(int segment, uint16_t addr, AccessKind kind) {
   ctl1_ |= flag;
   last_violation_addr_ = addr;
   last_violation_kind_ = kind;
+  AMULET_PROBE_INSTANT(tracer_, "mpu.violation", addr, flag);
   const bool puc_selected = (sam_ >> shift & kMpuSamVs) != 0;
   if (puc_selected) {
     signals_->puc_requested = true;
@@ -145,6 +157,12 @@ bool Mpu::CheckAccess(uint16_t addr, AccessKind kind) {
 }
 
 void Mpu::Reset() {
+  // A PUC can interrupt a reprogramming sequence mid-way; close the span so
+  // the trace stays balanced.
+  if (reconfig_open_) {
+    reconfig_open_ = false;
+    AMULET_PROBE_SPAN_END(tracer_, "mpu.reconfig");
+  }
   ctl0_ = 0;
   ctl1_ = 0;
   segb1_ = 0;

@@ -26,6 +26,7 @@
 
 namespace amulet {
 
+class EventTracer;
 class SnapshotReader;
 class SnapshotWriter;
 
@@ -90,6 +91,11 @@ class Mpu : public BusDevice, public MemoryProtection {
 
   void Reset();
 
+  // Optional event tracer (not owned; host wiring, excluded from snapshots).
+  // A reprogramming sequence — password CTL0 write through the SAM write —
+  // is recorded as one "mpu.reconfig" span; violations as instants.
+  void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+
   // Snapshot support: full register state including latched violations.
   void SaveState(SnapshotWriter& w) const;
   void LoadState(SnapshotReader& r);
@@ -99,6 +105,8 @@ class Mpu : public BusDevice, public MemoryProtection {
   void LatchViolation(int segment, uint16_t addr, AccessKind kind);
 
   McuSignals* signals_;
+  EventTracer* tracer_ = nullptr;
+  bool reconfig_open_ = false;  // trace-only: a CTL0 write opened a span
   uint16_t ctl0_ = 0;
   uint16_t ctl1_ = 0;
   uint16_t segb1_ = 0;

@@ -1,6 +1,8 @@
 #include "src/mcu/watchdog.h"
 
 #include "src/mcu/snapshot.h"
+#include "src/scope/probe.h"
+#include "src/scope/tracer.h"
 
 namespace amulet {
 
@@ -42,6 +44,8 @@ void Watchdog::Advance(uint64_t cycles) {
     counter_ = 0;
     ++expiries_;
     signals_->puc_requested = true;
+    AMULET_PROBE_INSTANT(tracer_, "watchdog.expiry",
+                         static_cast<uint32_t>(expiries_));
   }
 }
 

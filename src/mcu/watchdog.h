@@ -12,6 +12,7 @@
 
 namespace amulet {
 
+class EventTracer;
 class SnapshotReader;
 class SnapshotWriter;
 
@@ -44,12 +45,17 @@ class Watchdog : public BusDevice {
   uint64_t counter() const { return counter_; }
   uint64_t expiries() const { return expiries_; }
 
+  // Optional event tracer (not owned; host wiring, excluded from snapshots).
+  // Expiries — forced PUCs — are recorded as instants.
+  void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+
   // Snapshot support.
   void SaveState(SnapshotWriter& w) const;
   void LoadState(SnapshotReader& r);
 
  private:
   McuSignals* signals_;
+  EventTracer* tracer_ = nullptr;
   uint16_t ctl_ = kWdtHold;  // reset: held (matches AmuletOS boot behaviour)
   uint64_t counter_ = 0;
   uint64_t expiries_ = 0;

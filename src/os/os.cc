@@ -4,6 +4,8 @@
 
 #include "src/common/strings.h"
 #include "src/mcu/mpu.h"
+#include "src/scope/probe.h"
+#include "src/scope/tracer.h"
 
 namespace amulet {
 
@@ -103,7 +105,10 @@ Result<AmuletOs::DispatchResult> AmuletOs::Deliver(int app_index, EventType type
   current_app_ = app_index;
   const uint64_t cycles_before = cpu.cycle_count();
   const uint64_t syscalls_before = machine_->hostio().syscall_count();
+  AMULET_PROBE_SPAN_BEGIN(tracer_, "os.dispatch", static_cast<uint32_t>(app_index),
+                          static_cast<uint32_t>(type));
   Cpu::RunOutcome outcome = machine_->Run(options_.handler_cycle_budget);
+  AMULET_PROBE_SPAN_END(tracer_, "os.dispatch");
   current_app_ = -1;
 
   result.cycles = cpu.cycle_count() - cycles_before;
@@ -173,6 +178,8 @@ Result<AmuletOs::DispatchResult> AmuletOs::Deliver(int app_index, EventType type
 }
 
 Status AmuletOs::HandleFault(int app_index, bool from_mpu, uint16_t code, uint16_t addr) {
+  AMULET_PROBE_INSTANT(tracer_, from_mpu ? "os.fault.mpu" : "os.fault.software",
+                       static_cast<uint32_t>(code), static_cast<uint32_t>(addr));
   FaultRecord record;
   record.app_index = app_index;
   record.from_mpu = from_mpu;
@@ -374,6 +381,8 @@ Status AmuletOs::RunFor(uint64_t sim_ms) {
       subs_[best_app].accel_next_ms = now_ms_ + subs_[best_app].accel_period_ms;
       subs_[best_app].accel_sample_index += 1;
       AccelSample sample = sensors_.Accel(now_ms_);
+      AMULET_PROBE_INSTANT(tracer_, "sensor.accel", static_cast<uint32_t>(best_app),
+                           static_cast<uint32_t>(now_ms_));
       ASSIGN_OR_RETURN(DispatchResult r,
                        Deliver(best_app, EventType::kAccel,
                                static_cast<uint16_t>(sample.x_mg),
@@ -382,6 +391,8 @@ Status AmuletOs::RunFor(uint64_t sim_ms) {
       (void)r;
     } else {
       subs_[best_app].hr_next_ms = now_ms_ + 1000;
+      AMULET_PROBE_INSTANT(tracer_, "sensor.heartrate", static_cast<uint32_t>(best_app),
+                           static_cast<uint32_t>(now_ms_));
       ASSIGN_OR_RETURN(DispatchResult r,
                        Deliver(best_app, EventType::kHeartRate,
                                static_cast<uint16_t>(sensors_.HeartRateBpm(now_ms_))));
@@ -401,6 +412,11 @@ Status AmuletOs::PressButton(int button_id) {
     }
   }
   return OkStatus();
+}
+
+void AmuletOs::AttachTracer(EventTracer* tracer) {
+  tracer_ = tracer;
+  machine_->AttachTracer(tracer);
 }
 
 std::string AmuletOs::StatusReport() const {

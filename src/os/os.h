@@ -20,6 +20,8 @@
 
 namespace amulet {
 
+class EventTracer;
+
 enum class FaultPolicy : uint8_t {
   kLogOnly,     // record and keep delivering events
   kDisableApp,  // record, stop delivering events to the app
@@ -112,6 +114,13 @@ class AmuletOs {
   // Renders a small status report (per-app stats + display contents).
   std::string StatusReport() const;
 
+  // Attaches an event tracer to the machine's probe points and to the OS's
+  // own (dispatch spans, fault instants, sensor-event instants). Host wiring:
+  // excluded from snapshots; survives Boot()/BootFromSnapshot() but must be
+  // reattached by the owner after a machine restore it performs itself. Pass
+  // nullptr to detach.
+  void AttachTracer(EventTracer* tracer);
+
  private:
   uint16_t HandleSyscall(const SyscallRequest& request);
   Status HandleFault(int app_index, bool from_mpu, uint16_t code, uint16_t addr);
@@ -140,6 +149,7 @@ class AmuletOs {
   Firmware firmware_;
   OsOptions options_;
   SensorSuite sensors_;
+  EventTracer* tracer_ = nullptr;
 
   int current_app_ = -1;
   uint64_t now_ms_ = 0;

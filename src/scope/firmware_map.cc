@@ -1,0 +1,18 @@
+#include "src/scope/firmware_map.h"
+
+namespace amulet {
+
+RegionMap BuildRegionMap(const Firmware& firmware) {
+  RegionMap map;
+  for (const auto& [base, bytes] : firmware.image.chunks) {
+    map.Paint(base, base + static_cast<uint32_t>(bytes.size()), RegionTag::kOs);
+  }
+  for (const AppImage& app : firmware.apps) {
+    map.Paint(app.code_lo, app.code_hi, RegionTag::kApp);
+    map.Paint(app.data_lo, app.data_hi, RegionTag::kApp);
+  }
+  PaintScopeSpans(ParseScopeSpans(firmware.image.symbols), &map);
+  return map;
+}
+
+}  // namespace amulet

@@ -1,0 +1,22 @@
+// Firmware-aware RegionMap construction. Lives in its own translation unit
+// (and CMake target, amulet_scope_fw) because it depends on the AFT's
+// Firmware type; the scope core stays dependency-free so the MCU layer can
+// link it without a cycle.
+#ifndef SRC_SCOPE_FIRMWARE_MAP_H_
+#define SRC_SCOPE_FIRMWARE_MAP_H_
+
+#include "src/aft/aft.h"
+#include "src/scope/region_map.h"
+
+namespace amulet {
+
+// Builds the attribution map for a linked firmware:
+//   1. every linked image chunk is painted kOs (coarse default),
+//   2. each app's code and data/stack region is painted kApp,
+//   3. the toolchain's __scope_b_/__scope_e_ label pairs overlay the fine
+//      regions (gates, dispatch veneers, runtime, MPU reconfig, checks).
+RegionMap BuildRegionMap(const Firmware& firmware);
+
+}  // namespace amulet
+
+#endif  // SRC_SCOPE_FIRMWARE_MAP_H_

@@ -1,0 +1,54 @@
+// Compile-time-guarded observability probes. When the build defines
+// AMULET_SCOPE_ENABLED (the default; CMake option AMULET_SCOPE), the macros
+// forward to the attached CycleProfiler/EventTracer; when the option is OFF
+// they expand to `((void)0)` so the simulator's hot paths carry no
+// observability code at all. Null-pointer sinks are also free: every probe
+// first tests the (normally-null) sink pointer.
+//
+// Simulated cycle counts are identical in both configurations — the probes
+// observe execution from the host side and never add simulated instructions.
+#ifndef SRC_SCOPE_PROBE_H_
+#define SRC_SCOPE_PROBE_H_
+
+#if defined(AMULET_SCOPE_ENABLED)
+
+// `tracer` is an EventTracer*; may be null (probe is then a pointer test).
+#define AMULET_PROBE_SPAN_BEGIN(tracer, ...)     \
+  do {                                           \
+    if ((tracer) != nullptr) {                   \
+      (tracer)->Begin(__VA_ARGS__);              \
+    }                                            \
+  } while (0)
+
+#define AMULET_PROBE_SPAN_END(tracer, ...)       \
+  do {                                           \
+    if ((tracer) != nullptr) {                   \
+      (tracer)->End(__VA_ARGS__);                \
+    }                                            \
+  } while (0)
+
+#define AMULET_PROBE_INSTANT(tracer, ...)        \
+  do {                                           \
+    if ((tracer) != nullptr) {                   \
+      (tracer)->Instant(__VA_ARGS__);            \
+    }                                            \
+  } while (0)
+
+// `profiler` is a CycleProfiler*; attributes `cycles` to the region at `pc`.
+#define AMULET_PROBE_ATTRIBUTE(profiler, pc, cycles) \
+  do {                                               \
+    if ((profiler) != nullptr) {                     \
+      (profiler)->Attribute((pc), (cycles));         \
+    }                                                \
+  } while (0)
+
+#else  // !AMULET_SCOPE_ENABLED
+
+#define AMULET_PROBE_SPAN_BEGIN(tracer, ...) ((void)0)
+#define AMULET_PROBE_SPAN_END(tracer, ...) ((void)0)
+#define AMULET_PROBE_INSTANT(tracer, ...) ((void)0)
+#define AMULET_PROBE_ATTRIBUTE(profiler, pc, cycles) ((void)0)
+
+#endif  // AMULET_SCOPE_ENABLED
+
+#endif  // SRC_SCOPE_PROBE_H_

@@ -1,0 +1,41 @@
+#include "src/scope/profiler.h"
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+uint64_t CycleProfiler::total_cycles() const {
+  uint64_t total = 0;
+  for (uint64_t c : cycles_) {
+    total += c;
+  }
+  return total;
+}
+
+void CycleProfiler::Reset() {
+  cycles_.fill(0);
+  retired_.fill(0);
+}
+
+std::string CycleProfiler::Render() const {
+  const uint64_t total = total_cycles();
+  std::string out;
+  out += StrFormat("  %-14s %14s %12s %8s\n", "region", "cycles", "retired", "share");
+  for (size_t i = 0; i < kRegionTagCount; ++i) {
+    if (cycles_[i] == 0 && retired_[i] == 0) {
+      continue;
+    }
+    out += StrFormat("  %-14s %14llu %12llu %7.2f%%\n",
+                     RegionTagName(static_cast<RegionTag>(i)),
+                     static_cast<unsigned long long>(cycles_[i]),
+                     static_cast<unsigned long long>(retired_[i]),
+                     total > 0 ? 100.0 * static_cast<double>(cycles_[i]) /
+                                     static_cast<double>(total)
+                               : 0.0);
+  }
+  out += StrFormat("  %-14s %14llu\n", "total",
+                   static_cast<unsigned long long>(total));
+  return out;
+}
+
+}  // namespace amulet

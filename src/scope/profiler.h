@@ -1,0 +1,56 @@
+// Exact cycle-attribution profiler. The CPU step loop reports every retired
+// instruction's address and cost (ISA cycles + FRAM wait-state penalties);
+// the profiler buckets the cost by the RegionMap tag at that address. No
+// sampling, no subtraction between runs: "cycles spent in bounds checks" is
+// measured directly, which is what the paper's Figure 2 overhead breakdown
+// actually wants to know.
+#ifndef SRC_SCOPE_PROFILER_H_
+#define SRC_SCOPE_PROFILER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/scope/region_map.h"
+
+namespace amulet {
+
+class CycleProfiler {
+ public:
+  explicit CycleProfiler(RegionMap map) : map_(std::move(map)) {}
+
+  // Called once per retired instruction (and per idle tick / interrupt
+  // accept) with its full cycle cost.
+  void Attribute(uint16_t pc, uint64_t cycles) {
+    const size_t tag = static_cast<size_t>(map_.At(pc));
+    cycles_[tag] += cycles;
+    ++retired_[tag];
+  }
+
+  uint64_t cycles(RegionTag tag) const { return cycles_[static_cast<size_t>(tag)]; }
+  uint64_t retired(RegionTag tag) const { return retired_[static_cast<size_t>(tag)]; }
+  uint64_t total_cycles() const;
+
+  // Cycles in compiler-inserted checks of any kind (the paper's
+  // "check overhead"): low + high + index + return-address.
+  uint64_t check_cycles() const {
+    return cycles(RegionTag::kCheckLow) + cycles(RegionTag::kCheckHigh) +
+           cycles(RegionTag::kCheckIndex) + cycles(RegionTag::kCheckRet);
+  }
+
+  const RegionMap& map() const { return map_; }
+
+  void Reset();
+
+  // Two-column per-region table (cycles + share of total).
+  std::string Render() const;
+
+ private:
+  RegionMap map_;
+  std::array<uint64_t, kRegionTagCount> cycles_{};
+  std::array<uint64_t, kRegionTagCount> retired_{};
+};
+
+}  // namespace amulet
+
+#endif  // SRC_SCOPE_PROFILER_H_

@@ -1,0 +1,151 @@
+#include "src/scope/region_map.h"
+
+#include <algorithm>
+
+namespace amulet {
+
+const char* RegionTagName(RegionTag tag) {
+  switch (tag) {
+    case RegionTag::kOther:
+      return "other";
+    case RegionTag::kOs:
+      return "os";
+    case RegionTag::kApp:
+      return "app";
+    case RegionTag::kGate:
+      return "gate";
+    case RegionTag::kDispatch:
+      return "dispatch";
+    case RegionTag::kRuntime:
+      return "runtime";
+    case RegionTag::kCheckLow:
+      return "check-low";
+    case RegionTag::kCheckHigh:
+      return "check-high";
+    case RegionTag::kCheckIndex:
+      return "check-index";
+    case RegionTag::kCheckRet:
+      return "check-ret";
+    case RegionTag::kMpuReconfig:
+      return "mpu-reconfig";
+    case RegionTag::kCount:
+      break;
+  }
+  return "?";
+}
+
+RegionTag RegionTagForMnemonic(const std::string& mnemonic) {
+  if (mnemonic == "gate") {
+    return RegionTag::kGate;
+  }
+  if (mnemonic == "disp") {
+    return RegionTag::kDispatch;
+  }
+  if (mnemonic == "rt") {
+    return RegionTag::kRuntime;
+  }
+  if (mnemonic == "cklo") {
+    return RegionTag::kCheckLow;
+  }
+  if (mnemonic == "ckhi") {
+    return RegionTag::kCheckHigh;
+  }
+  if (mnemonic == "ckix") {
+    return RegionTag::kCheckIndex;
+  }
+  if (mnemonic == "ckret") {
+    return RegionTag::kCheckRet;
+  }
+  if (mnemonic == "mpur") {
+    return RegionTag::kMpuReconfig;
+  }
+  return RegionTag::kOther;
+}
+
+void RegionMap::Paint(uint32_t lo, uint32_t hi, RegionTag tag) {
+  hi = std::min<uint32_t>(hi, 0x10000);
+  for (uint32_t a = lo; a < hi; ++a) {
+    tags_[a] = static_cast<uint8_t>(tag);
+  }
+}
+
+size_t RegionMap::TaggedBytes(RegionTag tag) const {
+  size_t n = 0;
+  for (uint8_t t : tags_) {
+    if (t == static_cast<uint8_t>(tag)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+constexpr char kBeginPrefix[] = "__scope_b_";
+constexpr char kEndPrefix[] = "__scope_e_";
+constexpr size_t kPrefixLen = sizeof(kBeginPrefix) - 1;
+
+// Paint priority: coarse containers first, finest overlays last.
+int PaintOrder(RegionTag tag) {
+  switch (tag) {
+    case RegionTag::kGate:
+    case RegionTag::kDispatch:
+    case RegionTag::kRuntime:
+      return 0;
+    case RegionTag::kMpuReconfig:
+      return 1;
+    default:
+      return 2;  // checks win over everything they sit inside
+  }
+}
+
+}  // namespace
+
+std::vector<ScopeSpan> ParseScopeSpans(const std::map<std::string, uint16_t>& symbols) {
+  std::vector<ScopeSpan> spans;
+  for (const auto& [name, addr] : symbols) {
+    if (name.compare(0, kPrefixLen, kBeginPrefix) != 0) {
+      continue;
+    }
+    const std::string rest = name.substr(kPrefixLen);  // "<tag>_<id>"
+    const size_t sep = rest.find('_');
+    if (sep == std::string::npos) {
+      continue;
+    }
+    ScopeSpan span;
+    span.mnemonic = rest.substr(0, sep);
+    span.id = rest.substr(sep + 1);
+    span.tag = RegionTagForMnemonic(span.mnemonic);
+    if (span.tag == RegionTag::kOther) {
+      continue;
+    }
+    auto end_it = symbols.find(kEndPrefix + rest);
+    if (end_it == symbols.end()) {
+      continue;  // unpaired begin: skip rather than guess
+    }
+    span.lo = addr;
+    span.hi = end_it->second;
+    if (span.hi <= span.lo) {
+      continue;  // empty or inverted span (e.g. checks compiled out)
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+void PaintScopeSpans(const std::vector<ScopeSpan>& spans, RegionMap* map) {
+  std::vector<const ScopeSpan*> ordered;
+  ordered.reserve(spans.size());
+  for (const ScopeSpan& span : spans) {
+    ordered.push_back(&span);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ScopeSpan* a, const ScopeSpan* b) {
+                     return PaintOrder(a->tag) < PaintOrder(b->tag);
+                   });
+  for (const ScopeSpan* span : ordered) {
+    map->Paint(span->lo, span->hi, span->tag);
+  }
+}
+
+}  // namespace amulet

@@ -1,0 +1,446 @@
+#include "src/scope/tracer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+void EventTracer::Push(const char* name, char phase, uint8_t arg_count, uint32_t a0,
+                       uint32_t a1) {
+  TraceEvent& slot = ring_[next_];
+  slot.name = name;
+  slot.phase = phase;
+  slot.cycles = clock_ ? clock_() : 0;
+  slot.args[0] = a0;
+  slot.args[1] = a1;
+  slot.arg_count = arg_count;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<TraceEvent> EventTracer::Events() const {
+  std::vector<TraceEvent> out;
+  const size_t held = total_ < ring_.size() ? static_cast<size_t>(total_) : ring_.size();
+  out.reserve(held);
+  const size_t start = total_ < ring_.size() ? 0 : next_;
+  for (size_t i = 0; i < held; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void EventTracer::Clear() {
+  next_ = 0;
+  total_ = 0;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const EventTracer& tracer, double cpu_mhz,
+                              const std::string& process_name) {
+  std::vector<TraceEvent> events = tracer.Events();
+
+  // If the ring wrapped, the oldest surviving events can be 'E's whose 'B'
+  // was overwritten. Drop any 'E' that would close a span we never saw open.
+  std::vector<const TraceEvent*> kept;
+  kept.reserve(events.size());
+  int depth = 0;
+  for (const TraceEvent& event : events) {
+    if (event.phase == 'B') {
+      ++depth;
+    } else if (event.phase == 'E') {
+      if (depth == 0) {
+        continue;  // orphaned end from before the ring's horizon
+      }
+      --depth;
+    }
+    kept.push_back(&event);
+  }
+  // Close any spans still open at the trace horizon (end of recording) so
+  // the viewer gets a balanced tree. Walk backwards collecting open begins.
+  std::vector<const TraceEvent*> open;
+  depth = 0;
+  for (const TraceEvent* event : kept) {
+    if (event->phase == 'B') {
+      open.push_back(event);
+    } else if (event->phase == 'E' && !open.empty()) {
+      open.pop_back();
+    }
+  }
+
+  const double mhz = cpu_mhz > 0 ? cpu_mhz : 1.0;
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const char* name, char phase, uint64_t cycles, const uint32_t* args,
+                  uint8_t arg_count) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(name, &out);
+    out += StrFormat(",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":1",
+                     phase, static_cast<double>(cycles) / mhz);
+    if (phase == 'i') {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"args\":{";
+    out += StrFormat("\"cycles\":%llu", static_cast<unsigned long long>(cycles));
+    for (uint8_t i = 0; i < arg_count; ++i) {
+      out += StrFormat(",\"a%d\":%u", i, args[i]);
+    }
+    out += "}}";
+  };
+
+  uint64_t last_cycles = 0;
+  for (const TraceEvent* event : kept) {
+    emit(event->name, event->phase, event->cycles, event->args, event->arg_count);
+    last_cycles = event->cycles;
+  }
+  // Balanced closes for still-open spans, innermost first, at the horizon.
+  for (auto it = open.rbegin(); it != open.rend(); ++it) {
+    emit((*it)->name, 'E', last_cycles, nullptr, 0);
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  out += "\"process\":";
+  AppendJsonString(process_name, &out);
+  out += StrFormat(",\"dropped_events\":%llu",
+                   static_cast<unsigned long long>(tracer.dropped()));
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+// Minimal recursive-descent parser for the JSON subset we emit (also accepts
+// any standard JSON a viewer would). Parsed values land in a small tree.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields; // kObject
+
+  const JsonValue* Field(const std::string& name) const {
+    for (const auto& [key, value] : fields) {
+      if (key == name) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    RETURN_IF_ERROR(ParseValue(&root));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing bytes after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError(StrFormat("JSON parse error at byte %zu: %s", pos_,
+                                          what.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      const std::string word = c == 't' ? "true" : "false";
+      if (text_.compare(pos_, word.size(), word) != 0) {
+        return Error("bad literal");
+      }
+      pos_ += word.size();
+      out->kind = JsonValue::kBool;
+      out->boolean = c == 't';
+      return OkStatus();
+    }
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) {
+        return Error("bad literal");
+      }
+      pos_ += 4;
+      out->kind = JsonValue::kNull;
+      return OkStatus();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) {
+      return OkStatus();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) {
+        return Error("expected ':' in object");
+      }
+      JsonValue value;
+      RETURN_IF_ERROR(ParseValue(&value));
+      out->fields.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return OkStatus();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) {
+      return OkStatus();
+    }
+    while (true) {
+      JsonValue item;
+      RETURN_IF_ERROR(ParseValue(&item));
+      out->items.push_back(std::move(item));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return OkStatus();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return OkStatus();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+          case 'f':
+            out->push_back(' ');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Error("truncated \\u escape");
+            }
+            pos_ += 4;  // keep validation simple: escape checked, not decoded
+            out->push_back('?');
+            break;
+          }
+          default:
+            return Error("bad escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected value");
+    }
+    out->kind = JsonValue::kNumber;
+    out->number = std::strtod(text_.c_str() + start, nullptr);
+    return OkStatus();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TraceValidation> ValidateChromeTrace(const std::string& json) {
+  JsonParser parser(json);
+  ASSIGN_OR_RETURN(JsonValue root, parser.Parse());
+  if (root.kind != JsonValue::kObject) {
+    return InvalidArgumentError("trace root is not a JSON object");
+  }
+  const JsonValue* events = root.Field("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::kArray) {
+    return InvalidArgumentError("missing traceEvents array");
+  }
+
+  TraceValidation v;
+  // Per-(pid, tid) track state: open-span name stack + last timestamp.
+  struct Track {
+    std::vector<std::string> open;
+    double last_ts = -1;
+  };
+  std::map<std::pair<double, double>, Track> tracks;
+  for (const JsonValue& event : events->items) {
+    if (event.kind != JsonValue::kObject) {
+      return InvalidArgumentError("traceEvents entry is not an object");
+    }
+    const JsonValue* ph = event.Field("ph");
+    const JsonValue* name = event.Field("name");
+    const JsonValue* ts = event.Field("ts");
+    if (ph == nullptr || ph->kind != JsonValue::kString || ph->str.size() != 1) {
+      return InvalidArgumentError("event missing one-character ph");
+    }
+    if (name == nullptr || name->kind != JsonValue::kString) {
+      return InvalidArgumentError("event missing name");
+    }
+    if (ts == nullptr || ts->kind != JsonValue::kNumber) {
+      return InvalidArgumentError("event missing numeric ts");
+    }
+    const JsonValue* pid = event.Field("pid");
+    const JsonValue* tid = event.Field("tid");
+    Track& track = tracks[{pid != nullptr ? pid->number : 0,
+                           tid != nullptr ? tid->number : 0}];
+    if (track.last_ts > ts->number) {
+      v.timestamps_monotonic = false;
+    }
+    track.last_ts = ts->number;
+    ++v.events;
+    switch (ph->str[0]) {
+      case 'B':
+        ++v.begins;
+        track.open.push_back(name->str);
+        if (static_cast<int>(track.open.size()) > v.max_depth) {
+          v.max_depth = static_cast<int>(track.open.size());
+        }
+        break;
+      case 'E':
+        ++v.ends;
+        if (track.open.empty()) {
+          return InvalidArgumentError(
+              StrFormat("'E' event '%s' with no open span", name->str.c_str()));
+        }
+        if (track.open.back() != name->str) {
+          return InvalidArgumentError(
+              StrFormat("span nesting violated: 'E' for '%s' while '%s' is innermost",
+                        name->str.c_str(), track.open.back().c_str()));
+        }
+        track.open.pop_back();
+        break;
+      case 'i':
+      case 'I':
+        ++v.instants;
+        break;
+      default:
+        return InvalidArgumentError(StrFormat("unsupported event phase '%c'", ph->str[0]));
+    }
+  }
+  for (const auto& [key, track] : tracks) {
+    if (!track.open.empty()) {
+      return InvalidArgumentError(
+          StrFormat("span '%s' never closed", track.open.back().c_str()));
+    }
+  }
+  return v;
+}
+
+}  // namespace amulet

@@ -763,6 +763,28 @@ TEST(TraceTest, PartialRingReportsOnlyRecorded) {
   EXPECT_EQ(recent[0], 0x4400);
 }
 
+TEST(TraceTest, ClearEmptiesRingButKeepsLifetimeCount) {
+  ExecutionTrace trace(4);
+  for (uint16_t pc = 0x4400; pc < 0x440C; pc += 2) {
+    trace.Record(pc);
+  }
+  EXPECT_EQ(trace.total_recorded(), 6u);
+  EXPECT_EQ(trace.recorded_since_clear(), 6u);
+
+  trace.Clear();
+  EXPECT_TRUE(trace.Recent().empty());
+  // Lifetime vs since-clear: total_recorded never resets, since_clear does.
+  EXPECT_EQ(trace.total_recorded(), 6u);
+  EXPECT_EQ(trace.recorded_since_clear(), 0u);
+
+  trace.Record(0x5000);
+  EXPECT_EQ(trace.total_recorded(), 7u);
+  EXPECT_EQ(trace.recorded_since_clear(), 1u);
+  auto recent = trace.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0], 0x5000);
+}
+
 TEST(TraceTest, CpuFeedsTraceAndRenderDisassembles) {
   Machine m;
   ExecutionTrace trace(8);

@@ -2,6 +2,7 @@
 //
 //   amuletc [options] name=app.amc [name2=other.amc ...]
 //   amuletc fleet [fleet options]
+//   amuletc trace [trace options] name=app.amc [name2=other.amc ...]
 //
 // Build options:
 //   --model none|fl|sw|mpu   isolation model (default: mpu)
@@ -21,6 +22,15 @@
 //   --seed N                 fleet seed; device i uses seed^i (default: 20180711)
 //   --duration SECONDS       simulated time per device (default: 10)
 //   --jobs N                 worker threads (default: hardware concurrency)
+//   --metrics-out FILE       write streaming fleet metrics as JSON
+//   --no-device-stats        streaming aggregation only (O(1) memory per fleet)
+//   --verbose                progress lines (devices done, rate, ETA) on stderr
+//
+// Trace options (amuletc trace):
+//   --model none|fl|sw|mpu   isolation model (default: mpu)
+//   --seconds N              simulated seconds to record (default: 2)
+//   --out FILE               trace destination (default: amulet.trace.json)
+//   --validate               parse the emitted JSON back and check span nesting
 //
 // Exit status: 0 on success, 1 on any toolchain or runtime error.
 #include <cstdio>
@@ -37,6 +47,7 @@
 #include "src/asm/ihex.h"
 #include "src/fleet/fleet.h"
 #include "src/os/os.h"
+#include "src/scope/tracer.h"
 
 namespace {
 
@@ -46,8 +57,11 @@ int Usage(const char* argv0) {
                "          [--zero-shared-stack] [--hex FILE] [--report] [--listing]\n"
                "          [--run SECONDS] [--walk] name=app.amc [name2=other.amc ...]\n"
                "       %s fleet [--devices N] [--apps a,b,c] [--model none|fl|sw|mpu]\n"
-               "          [--seed N] [--duration SECONDS] [--jobs N]\n",
-               argv0, argv0);
+               "          [--seed N] [--duration SECONDS] [--jobs N] [--metrics-out FILE]\n"
+               "          [--no-device-stats] [--verbose]\n"
+               "       %s trace [--model none|fl|sw|mpu] [--seconds N] [--out FILE]\n"
+               "          [--validate] name=app.amc [name2=other.amc ...]\n",
+               argv0, argv0, argv0);
   return 1;
 }
 
@@ -82,6 +96,7 @@ std::vector<std::string> SplitCommas(const std::string& list) {
 // devices in parallel and print the aggregate report.
 int RunFleetCommand(const char* argv0, int argc, char** argv) {
   amulet::FleetConfig config;
+  std::string metrics_path;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
@@ -120,6 +135,23 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
         return Usage(argv0);
       }
       config.jobs = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (arg == "--metrics-out" || arg.rfind("--metrics-out=", 0) == 0) {
+      if (arg == "--metrics-out") {
+        const char* value = next();
+        if (value == nullptr) {
+          return Usage(argv0);
+        }
+        metrics_path = value;
+      } else {
+        metrics_path = arg.substr(std::strlen("--metrics-out="));
+      }
+      if (metrics_path.empty()) {
+        return Usage(argv0);
+      }
+    } else if (arg == "--no-device-stats") {
+      config.retain_device_stats = false;
+    } else if (arg == "--verbose") {
+      config.verbosity = 1;
     } else {
       std::fprintf(stderr, "unknown fleet option: %s\n", arg.c_str());
       return Usage(argv0);
@@ -136,6 +168,115 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
     return 1;
   }
   std::printf("%s", amulet::RenderFleetReport(*report).c_str());
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    out << report->metrics.ToJson();
+    std::printf("wrote fleet metrics to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+// `amuletc trace`: boot the app(s) with an event tracer attached, simulate,
+// and emit the recording as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing). --validate re-parses the emitted bytes with the native
+// checker — no external tooling needed to prove the file is well-formed.
+int RunTraceCommand(const char* argv0, int argc, char** argv) {
+  amulet::AftOptions options;
+  long seconds = 2;
+  std::string out_path = "amulet.trace.json";
+  bool validate = false;
+  std::vector<amulet::AppSource> apps;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
+    if (arg == "--model") {
+      const char* value = next();
+      if (value == nullptr || !ParseModel(value, &options.model)) {
+        return Usage(argv0);
+      }
+    } else if (arg == "--seconds") {
+      const char* value = next();
+      if (value == nullptr || std::strtol(value, nullptr, 10) <= 0) {
+        return Usage(argv0);
+      }
+      seconds = std::strtol(value, nullptr, 10);
+    } else if (arg == "--out") {
+      const char* value = next();
+      if (value == nullptr) {
+        return Usage(argv0);
+      }
+      out_path = value;
+    } else if (arg == "--validate") {
+      validate = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown trace option: %s\n", arg.c_str());
+      return Usage(argv0);
+    } else {
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "app arguments take the form name=path: %s\n", arg.c_str());
+        return Usage(argv0);
+      }
+      std::ifstream file(arg.substr(eq + 1));
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", arg.substr(eq + 1).c_str());
+        return 1;
+      }
+      std::ostringstream contents;
+      contents << file.rdbuf();
+      apps.push_back({arg.substr(0, eq), contents.str()});
+    }
+  }
+  if (apps.empty()) {
+    return Usage(argv0);
+  }
+  auto firmware = amulet::BuildFirmware(apps, options);
+  if (!firmware.ok()) {
+    std::fprintf(stderr, "amuletc trace: %s\n", firmware.status().ToString().c_str());
+    return 1;
+  }
+  amulet::Machine machine;
+  amulet::EventTracer tracer;
+  amulet::AmuletOs os(&machine, std::move(*firmware), amulet::OsOptions{});
+  os.AttachTracer(&tracer);  // before Boot so on_init dispatches are recorded
+  amulet::Status status = os.Boot();
+  if (!status.ok()) {
+    std::fprintf(stderr, "boot: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  status = os.RunFor(static_cast<uint64_t>(seconds) * 1000);
+  if (!status.ok()) {
+    std::fprintf(stderr, "run: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const std::string json =
+      amulet::RenderChromeTrace(tracer, /*cpu_mhz=*/16.0, /*process_name=*/"amulet");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::printf("wrote %s (%llu event(s) recorded, %llu dropped)\n", out_path.c_str(),
+              static_cast<unsigned long long>(tracer.recorded_total()),
+              static_cast<unsigned long long>(tracer.dropped()));
+  if (validate) {
+    auto verdict = amulet::ValidateChromeTrace(json);
+    if (!verdict.ok()) {
+      std::fprintf(stderr, "trace INVALID: %s\n", verdict.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "trace valid: %zu event(s) (%zu spans, %zu instants), max depth %d, "
+        "timestamps %s\n",
+        verdict->events, verdict->begins, verdict->instants, verdict->max_depth,
+        verdict->timestamps_monotonic ? "monotonic" : "NON-MONOTONIC");
+  }
   return 0;
 }
 
@@ -144,6 +285,9 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "fleet") == 0) {
     return RunFleetCommand(argv[0], argc - 2, argv + 2);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "trace") == 0) {
+    return RunTraceCommand(argv[0], argc - 2, argv + 2);
   }
 
   amulet::AftOptions options;
