@@ -7,6 +7,10 @@
 //
 // Also quantifies what machine snapshots buy: time-to-first-event for a
 // device booted from the template snapshot vs a full firmware boot.
+//
+// The checkpoint section measures the wall-clock cost of periodic fleet
+// checkpointing, then simulates a kill after half the fleet and verifies the
+// resumed run's FleetDigest matches the uninterrupted reference exactly.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -122,6 +126,51 @@ int Run() {
     json.Field("run_seconds", parallel->run_seconds);
     json.Field("speedup", speedup);
     json.Field("bit_identical", static_cast<uint64_t>(identical ? 1 : 0));
+  }
+
+  // Checkpoint overhead + kill/resume digest identity.
+  {
+    const char* kCkptPath = "bench_fleet_checkpoint.bin";
+    std::remove(kCkptPath);
+    FleetConfig checkpointed = BenchConfig(0);
+    checkpointed.checkpoint_path = kCkptPath;
+    checkpointed.checkpoint_every_devices = 8;
+    auto with_ckpt = RunFleet(checkpointed);
+    if (!with_ckpt.ok()) {
+      std::fprintf(stderr, "checkpointed fleet failed: %s\n",
+                   with_ckpt.status().ToString().c_str());
+      return 1;
+    }
+    auto plain = RunFleet(BenchConfig(0));
+    if (!plain.ok()) {
+      std::fprintf(stderr, "plain fleet failed: %s\n", plain.status().ToString().c_str());
+      return 1;
+    }
+    const double overhead_pct =
+        plain->run_seconds > 0 ? (with_ckpt->run_seconds / plain->run_seconds - 1.0) * 100.0
+                               : 0.0;
+    std::printf(
+        "\ncheckpointing (every 8 devices): run %7.3f s vs %7.3f s plain (%+.1f%% wall)\n",
+        with_ckpt->run_seconds, plain->run_seconds, overhead_pct);
+    json.Scalar("checkpoint_overhead_pct", overhead_pct);
+
+    std::remove(kCkptPath);
+    FleetConfig interrupted = checkpointed;
+    interrupted.abort_after_devices = 32;
+    auto aborted = RunFleet(interrupted);
+    const bool aborted_as_expected =
+        !aborted.ok() && aborted.status().code() == StatusCode::kCancelled;
+    auto resumed = ResumeFleet(checkpointed);
+    const bool digest_match = resumed.ok() && FleetDigest(*resumed) == reference_digest;
+    std::printf("kill after 32/64 devices, resume: digest %s (%d restored, %d simulated)\n",
+                digest_match ? "MATCHES uninterrupted run" : "DIVERGED",
+                resumed.ok() ? resumed->resumed_devices : 0,
+                resumed.ok() ? checkpointed.device_count - resumed->resumed_devices : 0);
+    json.Scalar("resume_digest_match", digest_match ? 1.0 : 0.0);
+    json.Scalar("resumed_devices",
+                resumed.ok() ? static_cast<double>(resumed->resumed_devices) : 0.0);
+    std::remove(kCkptPath);
+    all_identical = all_identical && aborted_as_expected && digest_match;
   }
 
   std::printf("\n%s\n", RenderFleetReport(*serial).c_str());

@@ -1,5 +1,6 @@
-#include "src/mcu/snapshot.h"
+#include "src/common/binio.h"
 
+#include <bit>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -24,6 +25,8 @@ void SnapshotWriter::U64(uint64_t v) {
   }
 }
 
+void SnapshotWriter::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
 void SnapshotWriter::Bytes(const uint8_t* data, size_t n) {
   out_.insert(out_.end(), data, data + n);
 }
@@ -33,10 +36,10 @@ void SnapshotWriter::Str(const std::string& s) {
   Bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
 }
 
-void SnapshotWriter::BeginSection(SnapshotSection tag) {
+void SnapshotWriter::BeginSectionRaw(uint8_t tag) {
   AMULET_CHECK(!in_section_);
   in_section_ = true;
-  U8(static_cast<uint8_t>(tag));
+  U8(tag);
   section_length_at_ = out_.size();
   U32(0);  // placeholder, patched by EndSection
 }
@@ -104,6 +107,8 @@ uint64_t SnapshotReader::U64() {
   return v;
 }
 
+double SnapshotReader::F64() { return std::bit_cast<double>(U64()); }
+
 void SnapshotReader::Bytes(uint8_t* out, size_t n) {
   if (!Need(n)) {
     std::memset(out, 0, n);
@@ -123,7 +128,7 @@ std::string SnapshotReader::Str() {
   return s;
 }
 
-void SnapshotReader::EnterSection(SnapshotSection tag) {
+void SnapshotReader::EnterSectionRaw(uint8_t tag) {
   if (!status_.ok()) {
     return;
   }
@@ -136,7 +141,7 @@ void SnapshotReader::EnterSection(SnapshotSection tag) {
   if (!status_.ok()) {
     return;
   }
-  if (got != static_cast<uint8_t>(tag)) {
+  if (got != tag) {
     Fail(InvalidArgumentError(
         StrFormat("snapshot section mismatch: expected tag %u, found %u",
                   static_cast<unsigned>(tag), static_cast<unsigned>(got))));

@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "LINK_ERROR";
     case StatusCode::kRuntimeFault:
       return "RUNTIME_FAULT";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -75,6 +77,9 @@ Status TypeError(std::string message) { return Status(StatusCode::kTypeError, st
 Status LinkError(std::string message) { return Status(StatusCode::kLinkError, std::move(message)); }
 Status RuntimeFaultError(std::string message) {
   return Status(StatusCode::kRuntimeFault, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 }  // namespace amulet

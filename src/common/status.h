@@ -28,6 +28,7 @@ enum class StatusCode : uint8_t {
   kTypeError,         // semantic analysis rejection
   kLinkError,         // layout/fixup failure
   kRuntimeFault,      // simulated program faulted (isolation check / MPU)
+  kCancelled,         // operation deliberately stopped before completion
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -70,6 +71,7 @@ Status ParseError(std::string message);
 Status TypeError(std::string message);
 Status LinkError(std::string message);
 Status RuntimeFaultError(std::string message);
+Status CancelledError(std::string message);
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>

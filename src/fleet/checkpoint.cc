@@ -1,0 +1,245 @@
+#include "src/fleet/checkpoint.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/apps/app_sources.h"
+#include "src/common/strings.h"
+
+namespace amulet {
+
+namespace {
+
+// Decode failures must all surface as InvalidArgumentError (a checkpoint is
+// caller-supplied input, unlike the internal reader's OutOfRange bookkeeping).
+Status AsCheckpointError(const Status& status) {
+  if (status.ok() || status.code() == StatusCode::kInvalidArgument) {
+    return status;
+  }
+  return InvalidArgumentError(
+      StrFormat("fleet checkpoint corrupt: %s", status.message().c_str()));
+}
+
+}  // namespace
+
+std::string FleetConfigCanonical(const FleetConfig& config) {
+  std::string apps;
+  if (config.apps.empty()) {
+    for (const AppSpec& app : AmuletAppSuite()) {
+      if (!apps.empty()) {
+        apps += ",";
+      }
+      apps += app.name;
+    }
+  } else {
+    for (const std::string& name : config.apps) {
+      if (!apps.empty()) {
+        apps += ",";
+      }
+      apps += name;
+    }
+  }
+  return StrFormat(
+      "devices=%d;apps=%s;model=%d;seed=%u;sim_ms=%llu;fram_ws=%d;retain=%d;"
+      "energy=%a,%a,%a",
+      config.device_count, apps.c_str(), static_cast<int>(config.model),
+      config.fleet_seed, static_cast<unsigned long long>(config.sim_ms),
+      config.fram_wait_states, config.retain_device_stats ? 1 : 0, config.energy.cpu_mhz,
+      config.energy.active_ua_per_mhz, config.energy.battery_mah);
+}
+
+uint64_t FleetConfigHash(const FleetConfig& config) {
+  const std::string canonical = FleetConfigCanonical(config);
+  uint64_t hash = 0xCBF29CE484222325ull;  // FNV-1a 64
+  for (char c : canonical) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+std::vector<uint8_t> EncodeFleetCheckpoint(const FleetCheckpoint& checkpoint) {
+  SnapshotWriter w;
+  w.U32(kFleetCheckpointMagic);
+  w.U32(kFleetCheckpointVersion);
+
+  w.BeginSection(FleetCheckpointSection::kFleetConfig);
+  w.U64(checkpoint.config_hash);
+  w.Str(checkpoint.config_text);
+  w.EndSection();
+
+  w.BeginSection(FleetCheckpointSection::kFleetTemplate);
+  w.U32(static_cast<uint32_t>(checkpoint.template_snapshot.bytes.size()));
+  w.Bytes(checkpoint.template_snapshot.bytes.data(),
+          checkpoint.template_snapshot.bytes.size());
+  w.EndSection();
+
+  w.BeginSection(FleetCheckpointSection::kFleetMetrics);
+  checkpoint.metrics.SaveState(w);
+  w.EndSection();
+
+  w.BeginSection(FleetCheckpointSection::kFleetDevices);
+  w.U32(static_cast<uint32_t>(checkpoint.devices.size()));
+  for (const DeviceStats& d : checkpoint.devices) {
+    w.U32(static_cast<uint32_t>(d.device_id));
+    w.U64(d.cycles);
+    w.U64(d.data_accesses);
+    w.U64(d.syscalls);
+    w.U64(d.dispatches);
+    w.U64(d.faults);
+    w.U64(d.pucs);
+    w.F64(d.battery_impact_percent);
+  }
+  w.EndSection();
+
+  w.BeginSection(FleetCheckpointSection::kFleetBitmap);
+  w.U32(static_cast<uint32_t>(checkpoint.device_count));
+  const size_t bitmap_bytes = (static_cast<size_t>(checkpoint.device_count) + 7) / 8;
+  std::vector<uint8_t> bitmap(bitmap_bytes, 0);
+  for (int i = 0; i < checkpoint.device_count; ++i) {
+    if (i < static_cast<int>(checkpoint.completed.size()) && checkpoint.completed[i]) {
+      bitmap[static_cast<size_t>(i) / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+  }
+  w.Bytes(bitmap.data(), bitmap.size());
+  w.EndSection();
+
+  return w.Take();
+}
+
+Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes) {
+  SnapshotReader r(bytes);
+  const uint32_t magic = r.U32();
+  if (r.ok() && magic != kFleetCheckpointMagic) {
+    return InvalidArgumentError(
+        StrFormat("not a fleet checkpoint (magic 0x%08x)", magic));
+  }
+  const uint32_t version = r.U32();
+  if (r.ok() && version != kFleetCheckpointVersion) {
+    return InvalidArgumentError(
+        StrFormat("unsupported fleet checkpoint version %u (supported: %u)", version,
+                  kFleetCheckpointVersion));
+  }
+
+  FleetCheckpoint out;
+  r.EnterSection(FleetCheckpointSection::kFleetConfig);
+  out.config_hash = r.U64();
+  out.config_text = r.Str();
+  r.LeaveSection();
+
+  r.EnterSection(FleetCheckpointSection::kFleetTemplate);
+  const uint32_t snapshot_bytes = r.U32();
+  if (r.ok()) {
+    out.template_snapshot.bytes.resize(snapshot_bytes);
+    r.Bytes(out.template_snapshot.bytes.data(), snapshot_bytes);
+  }
+  r.LeaveSection();
+
+  r.EnterSection(FleetCheckpointSection::kFleetMetrics);
+  if (r.ok()) {
+    const Status metrics_status = out.metrics.LoadState(r);
+    if (!metrics_status.ok()) {
+      return AsCheckpointError(metrics_status);
+    }
+  }
+  r.LeaveSection();
+
+  r.EnterSection(FleetCheckpointSection::kFleetDevices);
+  const uint32_t device_rows = r.U32();
+  for (uint32_t i = 0; r.ok() && i < device_rows; ++i) {
+    DeviceStats d;
+    d.device_id = static_cast<int>(r.U32());
+    d.cycles = r.U64();
+    d.data_accesses = r.U64();
+    d.syscalls = r.U64();
+    d.dispatches = r.U64();
+    d.faults = r.U64();
+    d.pucs = r.U64();
+    d.battery_impact_percent = r.F64();
+    out.devices.push_back(d);
+  }
+  r.LeaveSection();
+
+  r.EnterSection(FleetCheckpointSection::kFleetBitmap);
+  out.device_count = static_cast<int>(r.U32());
+  if (r.ok()) {
+    if (out.device_count <= 0) {
+      return InvalidArgumentError("fleet checkpoint has no devices");
+    }
+    const size_t bitmap_bytes = (static_cast<size_t>(out.device_count) + 7) / 8;
+    std::vector<uint8_t> bitmap(bitmap_bytes, 0);
+    r.Bytes(bitmap.data(), bitmap.size());
+    out.completed.assign(static_cast<size_t>(out.device_count), false);
+    for (int i = 0; i < out.device_count; ++i) {
+      out.completed[i] =
+          (bitmap[static_cast<size_t>(i) / 8] >> (i % 8) & 1u) != 0;
+    }
+  }
+  r.LeaveSection();
+
+  if (!r.ok()) {
+    return AsCheckpointError(r.status());
+  }
+  if (!r.AtEnd()) {
+    return InvalidArgumentError("fleet checkpoint has trailing bytes");
+  }
+  // Cross-section consistency: every retained row names a completed device,
+  // at most once.
+  std::vector<bool> seen(static_cast<size_t>(out.device_count), false);
+  for (const DeviceStats& d : out.devices) {
+    if (d.device_id < 0 || d.device_id >= out.device_count) {
+      return InvalidArgumentError(
+          StrFormat("fleet checkpoint row for out-of-range device %d", d.device_id));
+    }
+    if (!out.completed[d.device_id] || seen[d.device_id]) {
+      return InvalidArgumentError(StrFormat(
+          "fleet checkpoint row for device %d contradicts the completed bitmap",
+          d.device_id));
+    }
+    seen[d.device_id] = true;
+  }
+  return out;
+}
+
+Status WriteFleetCheckpoint(const std::string& path, const FleetCheckpoint& checkpoint) {
+  const std::vector<uint8_t> bytes = EncodeFleetCheckpoint(checkpoint);
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return InvalidArgumentError(StrFormat("cannot write %s", tmp_path.c_str()));
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp_path.c_str());
+    return InternalError(StrFormat("short write to %s", tmp_path.c_str()));
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return InternalError(
+        StrFormat("cannot rename %s over %s", tmp_path.c_str(), path.c_str()));
+  }
+  return OkStatus();
+}
+
+Result<FleetCheckpoint> ReadFleetCheckpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError(StrFormat("no fleet checkpoint at %s", path.c_str()));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return InternalError(StrFormat("error reading %s", path.c_str()));
+  }
+  return DecodeFleetCheckpoint(bytes);
+}
+
+}  // namespace amulet

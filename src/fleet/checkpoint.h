@@ -1,0 +1,90 @@
+// Durable fleet checkpoints: a versioned on-disk container that lets a
+// long fleet simulation survive a crash or kill and resume with a
+// FleetDigest byte-identical to an uninterrupted run (docs/fleet.md,
+// "Checkpoint & resume").
+//
+// Format (little-endian, built on src/common/binio.h):
+//   u32 magic "AMFC" | u32 version | sections...
+// Sections (tags continue the machine-snapshot tag space, see
+// src/mcu/snapshot.h):
+//   kFleetConfig    config hash (FNV-1a over the canonical config string)
+//                   plus the canonical string itself for diagnostics
+//   kFleetTemplate  the template MachineSnapshot every device clones from;
+//                   resume requires a bit-identical recapture, which pins
+//                   the checkpoint to the build + config that produced it
+//   kFleetMetrics   the merged streaming MetricRegistry of completed devices
+//   kFleetDevices   retained DeviceStats rows (empty in streaming mode)
+//   kFleetBitmap    device_count + packed completed-device bitmap
+//
+// Every decode failure — bad magic, unknown version, truncation, corrupt
+// section, out-of-range ids — returns InvalidArgumentError; a checkpoint is
+// never partially applied.
+#ifndef SRC_FLEET_CHECKPOINT_H_
+#define SRC_FLEET_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fleet/fleet.h"
+#include "src/mcu/snapshot.h"
+
+namespace amulet {
+
+inline constexpr uint32_t kFleetCheckpointMagic = 0x43464D41;  // "AMFC"
+inline constexpr uint32_t kFleetCheckpointVersion = 1;
+
+// Checkpoint section tags; disjoint from SnapshotSection's machine tags.
+enum class FleetCheckpointSection : uint8_t {
+  kFleetConfig = 16,
+  kFleetTemplate = 17,
+  kFleetMetrics = 18,
+  kFleetDevices = 19,
+  kFleetBitmap = 20,
+};
+
+// In-memory image of one checkpoint.
+struct FleetCheckpoint {
+  uint64_t config_hash = 0;
+  std::string config_text;  // canonical config, for mismatch diagnostics
+  MachineSnapshot template_snapshot;
+  MetricRegistry metrics;             // merged over completed devices
+  std::vector<DeviceStats> devices;   // completed rows only; empty when streaming
+  std::vector<bool> completed;        // indexed by device id
+  int device_count = 0;
+
+  int CompletedCount() const {
+    int n = 0;
+    for (bool bit : completed) {
+      n += bit ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+// Canonical description of everything seed-relevant in a FleetConfig:
+// device count, resolved app list, model, seed, duration, wait states,
+// retention mode, and energy-model constants. Host-side knobs that cannot
+// change results (jobs, verbosity, checkpoint cadence, fault-injection
+// hooks) are deliberately excluded so a run may be resumed at a different
+// thread count or with the injected failure removed.
+std::string FleetConfigCanonical(const FleetConfig& config);
+
+// FNV-1a 64 over FleetConfigCanonical(config).
+uint64_t FleetConfigHash(const FleetConfig& config);
+
+// Serializes/parses the container. Decode validates magic, version, every
+// section, the bitmap/device-row consistency, and full consumption.
+std::vector<uint8_t> EncodeFleetCheckpoint(const FleetCheckpoint& checkpoint);
+Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes);
+
+// Atomic persistence: writes to `path + ".tmp"` then renames over `path`,
+// so a reader (or a resume after a kill mid-write) only ever sees the old
+// complete checkpoint or the new complete checkpoint.
+Status WriteFleetCheckpoint(const std::string& path, const FleetCheckpoint& checkpoint);
+Result<FleetCheckpoint> ReadFleetCheckpoint(const std::string& path);
+
+}  // namespace amulet
+
+#endif  // SRC_FLEET_CHECKPOINT_H_

@@ -73,7 +73,9 @@ bool Executor::TryTake(size_t self, std::function<void()>* task) {
 }
 
 void Executor::RunTask(std::function<void()>& task) {
-  task();
+  if (!cancelled()) {
+    task();
+  }
   bool drained = false;
   {
     std::lock_guard<std::mutex> lock(wait_mu_);
@@ -113,7 +115,7 @@ void Executor::Wait() {
 }
 
 void Executor::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = 0; i < n && !cancelled(); ++i) {
     Submit([&body, i] { body(i); });
   }
   Wait();

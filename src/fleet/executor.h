@@ -42,8 +42,19 @@ class Executor {
   void Wait();
 
   // Submits body(0) .. body(n-1) and waits for them (and any previously
-  // submitted tasks) to finish.
+  // submitted tasks) to finish. Stops submitting early if Cancel() is
+  // called while the loop is still feeding the pool.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  // Cooperative fail-fast: after Cancel(), already-queued tasks are drained
+  // without running their bodies (they still count as finished for Wait()),
+  // and ParallelFor stops submitting new ones. Tasks already executing run
+  // to completion. The fleet engine uses this so one failed device stops
+  // the remaining million from being simulated. ResetCancel() re-arms a
+  // pool for reuse.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void ResetCancel() { cancelled_.store(false, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
@@ -64,6 +75,7 @@ class Executor {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
   std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> cancelled_{false};
 
   // Sleep/wake: epoch_ bumps on every Submit so a worker that raced a push
   // never sleeps through it.

@@ -1,5 +1,6 @@
 #include "src/fleet/fleet.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -10,6 +11,7 @@
 #include "src/aft/aft.h"
 #include "src/apps/app_sources.h"
 #include "src/common/strings.h"
+#include "src/fleet/checkpoint.h"
 #include "src/fleet/executor.h"
 #include "src/os/os.h"
 
@@ -180,6 +182,7 @@ void Aggregate(FleetReport* report) {
     pucs[i] = static_cast<double>(d.pucs);
     battery[i] = d.battery_impact_percent;
     agg.total_cycles += d.cycles;
+    agg.total_data_accesses += d.data_accesses;
     agg.total_syscalls += d.syscalls;
     agg.total_dispatches += d.dispatches;
     agg.total_faults += d.faults;
@@ -199,6 +202,7 @@ void Aggregate(FleetReport* report) {
 void AggregateFromMetrics(FleetReport* report) {
   FleetAggregate& agg = report->aggregate;
   agg.total_cycles = report->metrics.counter("fleet.cycles");
+  agg.total_data_accesses = report->metrics.counter("fleet.data_accesses");
   agg.total_syscalls = report->metrics.counter("fleet.syscalls");
   agg.total_dispatches = report->metrics.counter("fleet.dispatches");
   agg.total_faults = report->metrics.counter("fleet.faults");
@@ -225,9 +229,12 @@ void AggregateFromMetrics(FleetReport* report) {
   fill("device.battery_upct", &agg.battery_impact_percent, 1e-6);
 }
 
-}  // namespace
-
-Result<FleetReport> RunFleet(const FleetConfig& config) {
+// Shared body of RunFleet/ResumeFleet. `resume` (may be null) is a validated
+// checkpoint whose completed devices are restored instead of simulated; the
+// merged registry is order-independent and retained rows are slot-indexed by
+// device id, so the resumed report — and its FleetDigest — is bit-identical
+// to an uninterrupted run at any thread count.
+Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoint* resume) {
   if (config.device_count <= 0) {
     return InvalidArgumentError("fleet needs at least one device");
   }
@@ -264,6 +271,22 @@ Result<FleetReport> RunFleet(const FleetConfig& config) {
   RETURN_IF_ERROR(template_os.Boot());
   const MachineSnapshot snapshot = CaptureSnapshot(template_machine);
 
+  const std::string canonical = FleetConfigCanonical(config);
+  const uint64_t config_hash = FleetConfigHash(config);
+  if (resume != nullptr) {
+    if (resume->config_hash != config_hash) {
+      return InvalidArgumentError(
+          StrFormat("checkpoint config mismatch: checkpoint was written by [%s], this "
+                    "run is [%s]",
+                    resume->config_text.c_str(), canonical.c_str()));
+    }
+    if (resume->template_snapshot.bytes != snapshot.bytes) {
+      return InvalidArgumentError(
+          "checkpoint template snapshot does not match the one this build and config "
+          "produce");
+    }
+  }
+
   FleetReport report;
   report.config = config;
   report.config.apps = app_names;
@@ -274,56 +297,161 @@ Result<FleetReport> RunFleet(const FleetConfig& config) {
     report.devices.resize(static_cast<size_t>(config.device_count));
   }
 
+  std::vector<bool> completed(static_cast<size_t>(config.device_count), false);
+  if (resume != nullptr) {
+    completed = resume->completed;
+    report.metrics = resume->metrics;
+    report.resumed_devices = resume->CompletedCount();
+    if (retain) {
+      for (const DeviceStats& d : resume->devices) {
+        report.devices[static_cast<size_t>(d.device_id)] = d;
+      }
+    }
+  }
+  std::vector<int> pending;
+  for (int i = 0; i < config.device_count; ++i) {
+    if (!completed[static_cast<size_t>(i)]) {
+      pending.push_back(i);
+    }
+  }
+
   std::vector<Status> device_status(static_cast<size_t>(config.device_count));
   const auto run_t0 = std::chrono::steady_clock::now();
 
-  // Metric merging and progress reporting are the only cross-device state;
-  // both are constant-size. Merge order varies with scheduling, but the
-  // registry's integer state makes the result order-independent.
+  // Cross-device state: the merged registry, the completed bitmap, the
+  // checkpoint writer, and progress reporting — all guarded by merge_mu.
+  // Merge order varies with scheduling, but the registry's integer state
+  // makes the result order-independent.
+  const bool checkpointing = !config.checkpoint_path.empty();
   std::mutex merge_mu;
-  std::atomic<int> completed{0};
+  Status checkpoint_status;              // guarded by merge_mu
+  int devices_since_checkpoint = 0;      // guarded by merge_mu
+  auto last_checkpoint = run_t0;         // guarded by merge_mu
+  int completed_this_run = 0;            // guarded by merge_mu
+  bool aborted = false;                  // guarded by merge_mu
+  std::atomic<bool> cancel_requested{false};
+  Executor* executor_ptr = nullptr;  // set before any task is submitted
+
+  // Fail-fast: stops the serial loop and tells the executor to drain its
+  // queue without running the remaining device bodies.
+  auto request_cancel = [&] {
+    cancel_requested.store(true, std::memory_order_relaxed);
+    if (executor_ptr != nullptr) {
+      executor_ptr->Cancel();
+    }
+  };
+
+  // Snapshot of the run's durable state; merge_mu must be held.
+  auto build_checkpoint = [&] {
+    FleetCheckpoint cp;
+    cp.config_hash = config_hash;
+    cp.config_text = canonical;
+    cp.template_snapshot = snapshot;
+    cp.metrics = report.metrics;
+    cp.completed = completed;
+    cp.device_count = config.device_count;
+    if (retain) {
+      for (int i = 0; i < config.device_count; ++i) {
+        if (completed[static_cast<size_t>(i)]) {
+          cp.devices.push_back(report.devices[static_cast<size_t>(i)]);
+        }
+      }
+    }
+    return cp;
+  };
+
+  std::atomic<int> processed{0};
   auto last_progress = run_t0;
-  const int progress_step = std::max(1, config.device_count / 20);
-  auto run_one = [&](size_t i) {
+  const int progress_step = std::max<int>(1, static_cast<int>(pending.size()) / 20);
+  auto run_one = [&](size_t k) {
+    const int id = pending[k];
     DeviceStats local;
-    DeviceStats* slot = retain ? &report.devices[i] : &local;
-    device_status[i] =
-        RunDevice(static_cast<int>(i), config, firmware, snapshot, template_os, regions, slot);
+    DeviceStats* slot = retain ? &report.devices[static_cast<size_t>(id)] : &local;
+    Status status;
+    if (config.fail_device_id == id) {
+      status = InternalError(StrFormat("injected failure on device %d", id));
+    } else {
+      status = RunDevice(id, config, firmware, snapshot, template_os, regions, slot);
+    }
+    device_status[static_cast<size_t>(id)] = status;
     MetricRegistry device_metrics;
-    if (device_status[i].ok()) {
+    if (status.ok()) {
       RecordDeviceMetrics(*slot, &device_metrics);
     }
-    const int done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    const int done = processed.fetch_add(1, std::memory_order_relaxed) + 1;
     std::lock_guard<std::mutex> lock(merge_mu);
+    if (!status.ok()) {
+      request_cancel();
+      return;
+    }
     report.metrics.Merge(device_metrics);
+    completed[static_cast<size_t>(id)] = true;
+    ++completed_this_run;
+    if (config.abort_after_devices > 0 && completed_this_run >= config.abort_after_devices &&
+        !aborted) {
+      aborted = true;
+      request_cancel();
+    }
+    if (checkpointing && checkpoint_status.ok() &&
+        (devices_since_checkpoint + 1 >= std::max(1, config.checkpoint_every_devices) ||
+         SecondsSince(last_checkpoint) >= config.checkpoint_every_seconds)) {
+      checkpoint_status = WriteFleetCheckpoint(config.checkpoint_path, build_checkpoint());
+      devices_since_checkpoint = 0;
+      last_checkpoint = std::chrono::steady_clock::now();
+      if (!checkpoint_status.ok()) {
+        request_cancel();
+      }
+    } else {
+      ++devices_since_checkpoint;
+    }
     if (config.verbosity >= 1 &&
-        (done == config.device_count || done % progress_step == 0 ||
+        (done == static_cast<int>(pending.size()) || done % progress_step == 0 ||
          SecondsSince(last_progress) >= 2.0)) {
       last_progress = std::chrono::steady_clock::now();
       const double elapsed = SecondsSince(run_t0);
       const double rate = elapsed > 0 ? done / elapsed : 0.0;
-      const double eta = rate > 0 ? (config.device_count - done) / rate : 0.0;
-      std::fprintf(stderr, "fleet: %d/%d devices (%.1f devices/s, ETA %.1f s)\n", done,
-                   config.device_count, rate, eta);
+      const double eta = rate > 0 ? (static_cast<int>(pending.size()) - done) / rate : 0.0;
+      std::fprintf(stderr, "fleet: %d/%zu devices (%.1f devices/s, ETA %.1f s)\n", done,
+                   pending.size(), rate, eta);
     }
   };
   if (config.jobs == 1) {
     report.config.jobs = 1;
-    for (int i = 0; i < config.device_count; ++i) {
-      run_one(static_cast<size_t>(i));
+    for (size_t k = 0; k < pending.size(); ++k) {
+      if (cancel_requested.load(std::memory_order_relaxed)) {
+        break;
+      }
+      run_one(k);
     }
   } else {
     Executor executor(config.jobs);
+    executor_ptr = &executor;
     report.config.jobs = executor.thread_count();
-    executor.ParallelFor(static_cast<size_t>(config.device_count), run_one);
+    executor.ParallelFor(pending.size(), run_one);
+    executor_ptr = nullptr;
   }
   report.run_seconds = SecondsSince(run_t0);
 
-  for (int i = 0; i < config.device_count; ++i) {
-    if (!device_status[i].ok()) {
-      return Status(device_status[i].code(),
-                    StrFormat("device %d: %s", i, device_status[i].message().c_str()));
+  // Final checkpoint on every exit path — success, device error, abort — so
+  // no completed device's work is ever lost.
+  if (checkpointing && checkpoint_status.ok()) {
+    checkpoint_status = WriteFleetCheckpoint(config.checkpoint_path, build_checkpoint());
+  }
+
+  for (int id : pending) {
+    if (!device_status[static_cast<size_t>(id)].ok()) {
+      const Status& s = device_status[static_cast<size_t>(id)];
+      return Status(s.code(), StrFormat("device %d: %s", id, s.message().c_str()));
     }
+  }
+  if (!checkpoint_status.ok()) {
+    return checkpoint_status;
+  }
+  if (aborted) {
+    return CancelledError(
+        StrFormat("fleet run cancelled after %d completed device(s) this run "
+                  "(abort_after_devices=%d)",
+                  completed_this_run, config.abort_after_devices));
   }
   if (retain) {
     Aggregate(&report);
@@ -331,6 +459,20 @@ Result<FleetReport> RunFleet(const FleetConfig& config) {
     AggregateFromMetrics(&report);
   }
   return report;
+}
+
+}  // namespace
+
+Result<FleetReport> RunFleet(const FleetConfig& config) {
+  return RunFleetImpl(config, nullptr);
+}
+
+Result<FleetReport> ResumeFleet(const FleetConfig& config) {
+  if (config.checkpoint_path.empty()) {
+    return InvalidArgumentError("ResumeFleet requires config.checkpoint_path");
+  }
+  ASSIGN_OR_RETURN(FleetCheckpoint checkpoint, ReadFleetCheckpoint(config.checkpoint_path));
+  return RunFleetImpl(config, &checkpoint);
 }
 
 std::string FleetDigest(const FleetReport& report) {
@@ -351,8 +493,9 @@ std::string FleetDigest(const FleetReport& report) {
     out += StrFormat("agg:%a,%a,%a,%a,%a,%a,%d\n", s->min, s->p50, s->p95, s->p99, s->max,
                      s->mean, s->count);
   }
-  out += StrFormat("tot:%llu,%llu,%llu,%llu,%llu\n",
+  out += StrFormat("tot:%llu,%llu,%llu,%llu,%llu,%llu\n",
                    static_cast<unsigned long long>(a.total_cycles),
+                   static_cast<unsigned long long>(a.total_data_accesses),
                    static_cast<unsigned long long>(a.total_syscalls),
                    static_cast<unsigned long long>(a.total_dispatches),
                    static_cast<unsigned long long>(a.total_faults),
@@ -386,6 +529,10 @@ std::string RenderFleetReport(const FleetReport& report) {
       config.device_count, std::string(MemoryModelName(config.model)).c_str(),
       config.fleet_seed, static_cast<double>(config.sim_ms) / 1000.0, config.jobs);
   out += StrFormat("apps: %s\n", apps.c_str());
+  if (report.resumed_devices > 0) {
+    out += StrFormat("resumed: %d device(s) restored from checkpoint, %d simulated\n",
+                     report.resumed_devices, config.device_count - report.resumed_devices);
+  }
   out += StrFormat(
       "template boot %.3f s (snapshot %zu bytes); fleet run %.3f s (%.1f devices/s, %.1f "
       "simulated-s/s)\n",
@@ -409,8 +556,10 @@ std::string RenderFleetReport(const FleetReport& report) {
                    a.battery_impact_percent.p95, a.battery_impact_percent.p99,
                    a.battery_impact_percent.max, a.battery_impact_percent.mean);
   out += StrFormat(
-      "totals: %llu cycles, %llu syscalls, %llu dispatches, %llu faults, %llu PUCs\n",
+      "totals: %llu cycles, %llu data accesses, %llu syscalls, %llu dispatches, %llu "
+      "faults, %llu PUCs\n",
       static_cast<unsigned long long>(a.total_cycles),
+      static_cast<unsigned long long>(a.total_data_accesses),
       static_cast<unsigned long long>(a.total_syscalls),
       static_cast<unsigned long long>(a.total_dispatches),
       static_cast<unsigned long long>(a.total_faults),

@@ -44,6 +44,27 @@ struct FleetConfig {
   bool retain_device_stats = true;
   // >= 1: progress lines on stderr while devices run (count, rate, ETA).
   int verbosity = 0;
+
+  // --- Checkpoint/resume (docs/fleet.md "Checkpoint & resume") ---
+  // When non-empty, RunFleet persists a fleet checkpoint at this path —
+  // atomically, via write-to-temp + rename — every checkpoint_every_devices
+  // device completions or checkpoint_every_seconds wall seconds (whichever
+  // comes first), plus a final one when the run ends, including on error or
+  // abort, so no completed device's work is ever lost. ResumeFleet() reads
+  // the file back, validates it against this config, and re-runs only the
+  // devices the checkpoint does not already cover.
+  std::string checkpoint_path;
+  int checkpoint_every_devices = 64;
+  double checkpoint_every_seconds = 30.0;
+
+  // --- Fault-injection / early-stop hooks (tests, bench, kill harnesses) ---
+  // >= 0: that device id fails with an InternalError instead of simulating;
+  // exercises the fail-fast path without needing a genuinely broken image.
+  int fail_device_id = -1;
+  // > 0: cancel the run after this many devices complete in *this* run
+  // (resumed devices do not count). RunFleet returns kCancelled; combined
+  // with checkpoint_path this simulates a mid-run kill deterministically.
+  int abort_after_devices = 0;
 };
 
 // One device's merged counters after its simulated run.
@@ -68,6 +89,7 @@ struct FleetAggregate {
   StatSummary pucs;
   StatSummary battery_impact_percent;
   uint64_t total_cycles = 0;
+  uint64_t total_data_accesses = 0;
   uint64_t total_syscalls = 0;
   uint64_t total_dispatches = 0;
   uint64_t total_faults = 0;
@@ -87,11 +109,22 @@ struct FleetReport {
   size_t snapshot_bytes = 0;
   double boot_seconds = 0;  // firmware build + template boot + snapshot
   double run_seconds = 0;   // wall time of the parallel device runs
+  // Devices restored from a checkpoint instead of simulated (ResumeFleet).
+  int resumed_devices = 0;
 };
 
 // Runs the fleet. Fails if an app name is unknown, the firmware does not
-// build, or any device errors out.
+// build, or any device errors out — a failed device cancels the run
+// (fail-fast) instead of letting the remaining devices simulate first.
 Result<FleetReport> RunFleet(const FleetConfig& config);
+
+// Resumes an interrupted run from the checkpoint at config.checkpoint_path.
+// The checkpoint's config hash and template snapshot must match `config`
+// (jobs/verbosity/checkpoint cadence may differ); only devices missing from
+// the checkpoint are simulated, and the resulting FleetDigest is
+// byte-identical to an uninterrupted run at any thread count. Resuming a
+// fully complete checkpoint is a no-op that re-yields the same report.
+Result<FleetReport> ResumeFleet(const FleetConfig& config);
 
 // Deterministic digest over everything seed-dependent in the report (every
 // per-device counter and every aggregate, wall times excluded). Two runs of

@@ -10,22 +10,26 @@
 // Readers validate magic, version, every section tag/length, and that the
 // buffer is fully consumed; any mismatch yields a non-OK Status instead of a
 // partially restored machine.
+//
+// The writer/reader pair itself (SnapshotWriter/SnapshotReader) lives in
+// src/common/binio.h so other subsystems — fleet checkpoints, metric
+// registries — serialize with the same primitives.
 #ifndef SRC_MCU_SNAPSHOT_H_
 #define SRC_MCU_SNAPSHOT_H_
 
-#include <cstddef>
 #include <cstdint>
-#include <string>
 #include <vector>
 
-#include "src/common/status.h"
+#include "src/common/binio.h"
 
 namespace amulet {
 
 inline constexpr uint32_t kSnapshotMagic = 0x4E534D41;  // "AMSN" little-endian
 inline constexpr uint32_t kSnapshotVersion = 1;
 
-// Section tags, in the order Machine::SaveState emits them.
+// Section tags, in the order Machine::SaveState emits them. Tags 16+ are
+// reserved for the fleet checkpoint container (src/fleet/checkpoint.h),
+// which shares the writer/reader and must not collide with machine tags.
 enum class SnapshotSection : uint8_t {
   kSignals = 1,
   kBus = 2,
@@ -42,61 +46,6 @@ enum class SnapshotSection : uint8_t {
 // to copy between threads (the fleet hands one to every worker).
 struct MachineSnapshot {
   std::vector<uint8_t> bytes;
-};
-
-class SnapshotWriter {
- public:
-  void U8(uint8_t v) { out_.push_back(v); }
-  void U16(uint16_t v);
-  void U32(uint32_t v);
-  void U64(uint64_t v);
-  void Bytes(const uint8_t* data, size_t n);
-  void Str(const std::string& s);  // u32 length + bytes
-
-  // Sections may not nest.
-  void BeginSection(SnapshotSection tag);
-  void EndSection();
-
-  const std::vector<uint8_t>& bytes() const { return out_; }
-  std::vector<uint8_t> Take() { return std::move(out_); }
-
- private:
-  std::vector<uint8_t> out_;
-  size_t section_length_at_ = 0;  // offset of the open section's length field
-  bool in_section_ = false;
-};
-
-// Sticky-error reader: past the first failure every read returns zero and
-// status() carries the diagnosis, so device LoadState code stays linear.
-class SnapshotReader {
- public:
-  explicit SnapshotReader(const std::vector<uint8_t>& bytes) : data_(&bytes) {}
-
-  uint8_t U8();
-  uint16_t U16();
-  uint32_t U32();
-  uint64_t U64();
-  void Bytes(uint8_t* out, size_t n);
-  std::string Str();
-
-  // Reads and validates a section header; the matching LeaveSection checks
-  // the payload was consumed exactly.
-  void EnterSection(SnapshotSection tag);
-  void LeaveSection();
-
-  bool AtEnd() const { return pos_ == data_->size(); }
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
-  void Fail(Status status);
-
- private:
-  bool Need(size_t n);
-
-  const std::vector<uint8_t>* data_;
-  size_t pos_ = 0;
-  size_t section_end_ = 0;
-  bool in_section_ = false;
-  Status status_;
 };
 
 }  // namespace amulet

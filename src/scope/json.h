@@ -1,0 +1,53 @@
+// Native JSON helpers shared by the observability exporters: an escaping
+// string writer and a minimal recursive-descent parser/validator. Every JSON
+// byte string this repo emits (Chrome traces, metric registries, fleet
+// digests, bench results) can be checked with ValidateJson in tests — no
+// external tooling required to prove the output is well-formed.
+#ifndef SRC_SCOPE_JSON_H_
+#define SRC_SCOPE_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace amulet {
+
+// Appends `s` as a quoted JSON string, escaping quotes, backslashes, and
+// control characters.
+void AppendJsonString(const std::string& s, std::string* out);
+
+// Convenience form of AppendJsonString returning the quoted string.
+std::string JsonQuoted(const std::string& s);
+
+// Parsed JSON tree. Small and eager — meant for validating our own exports,
+// not for large documents.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;  // kObject
+
+  const JsonValue* Field(const std::string& name) const {
+    for (const auto& [key, value] : fields) {
+      if (key == name) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Parses a complete JSON document (accepts any standard JSON a viewer
+// would); rejects trailing bytes.
+Result<JsonValue> ParseJson(const std::string& text);
+
+// Syntax-only check: OK iff `text` is one well-formed JSON document.
+Status ValidateJson(const std::string& text);
+
+}  // namespace amulet
+
+#endif  // SRC_SCOPE_JSON_H_

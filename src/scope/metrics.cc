@@ -2,7 +2,9 @@
 
 #include <bit>
 
+#include "src/common/binio.h"
 #include "src/common/strings.h"
+#include "src/scope/json.h"
 
 namespace amulet {
 
@@ -70,8 +72,14 @@ uint64_t LogHistogram::Quantile(double q) const {
     q = 1;
   }
   // Nearest-rank: the smallest bucket whose cumulative count reaches
-  // ceil(q * count), computed in integers for determinism.
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  // ceil(q * count), the ceiling taken by integer comparison so e.g.
+  // count=10, q=0.95 yields rank 10 (truncation alone would give 9 and
+  // systematically pick one bucket too low at the tails).
+  const double exact = q * static_cast<double>(count);
+  uint64_t rank = static_cast<uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) {
+    ++rank;
+  }
   if (rank < 1) {
     rank = 1;
   }
@@ -95,6 +103,49 @@ uint64_t LogHistogram::Quantile(double q) const {
     }
   }
   return max;
+}
+
+void LogHistogram::SaveState(SnapshotWriter& w) const {
+  w.U64(count);
+  w.U64(sum);
+  w.U64(min);
+  w.U64(max);
+  uint8_t nonzero = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] != 0) {
+      ++nonzero;
+    }
+  }
+  w.U8(nonzero);
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] != 0) {
+      w.U8(static_cast<uint8_t>(i));
+      w.U64(buckets[i]);
+    }
+  }
+}
+
+Status LogHistogram::LoadState(SnapshotReader& r) {
+  *this = LogHistogram();
+  count = r.U64();
+  sum = r.U64();
+  min = r.U64();
+  max = r.U64();
+  const uint8_t nonzero = r.U8();
+  for (uint8_t i = 0; i < nonzero; ++i) {
+    const uint8_t bucket = r.U8();
+    const uint64_t hits = r.U64();
+    if (!r.ok()) {
+      break;
+    }
+    if (bucket >= kBuckets) {
+      r.Fail(InvalidArgumentError(
+          StrFormat("histogram bucket index %u out of range", bucket)));
+      break;
+    }
+    buckets[bucket] = hits;
+  }
+  return r.status();
 }
 
 void MetricRegistry::Add(const std::string& name, uint64_t delta) {
@@ -135,6 +186,36 @@ size_t MetricRegistry::ApproxBytes() const {
   return bytes;
 }
 
+void MetricRegistry::SaveState(SnapshotWriter& w) const {
+  w.U32(static_cast<uint32_t>(counters_.size()));
+  for (const auto& [name, value] : counters_) {
+    w.Str(name);
+    w.U64(value);
+  }
+  w.U32(static_cast<uint32_t>(histograms_.size()));
+  for (const auto& [name, histogram] : histograms_) {
+    w.Str(name);
+    histogram.SaveState(w);
+  }
+}
+
+Status MetricRegistry::LoadState(SnapshotReader& r) {
+  counters_.clear();
+  histograms_.clear();
+  const uint32_t counter_count = r.U32();
+  for (uint32_t i = 0; r.ok() && i < counter_count; ++i) {
+    std::string name = r.Str();
+    const uint64_t value = r.U64();
+    counters_[std::move(name)] = value;
+  }
+  const uint32_t histogram_count = r.U32();
+  for (uint32_t i = 0; r.ok() && i < histogram_count; ++i) {
+    std::string name = r.Str();
+    RETURN_IF_ERROR(histograms_[std::move(name)].LoadState(r));
+  }
+  return r.status();
+}
+
 std::string MetricRegistry::ToJson() const {
   std::string out = "{\"counters\":{";
   bool first = true;
@@ -143,7 +224,8 @@ std::string MetricRegistry::ToJson() const {
       out += ",";
     }
     first = false;
-    out += StrFormat("\"%s\":%llu", name.c_str(), static_cast<unsigned long long>(value));
+    AppendJsonString(name, &out);
+    out += StrFormat(":%llu", static_cast<unsigned long long>(value));
   }
   out += "},\"histograms\":{";
   first = true;
@@ -152,8 +234,9 @@ std::string MetricRegistry::ToJson() const {
       out += ",";
     }
     first = false;
-    out += StrFormat("\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu",
-                     name.c_str(), static_cast<unsigned long long>(h.count),
+    AppendJsonString(name, &out);
+    out += StrFormat(":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu",
+                     static_cast<unsigned long long>(h.count),
                      static_cast<unsigned long long>(h.sum),
                      static_cast<unsigned long long>(h.count > 0 ? h.min : 0),
                      static_cast<unsigned long long>(h.max));

@@ -16,7 +16,12 @@
 #include <map>
 #include <string>
 
+#include "src/common/status.h"
+
 namespace amulet {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 // Log2 histogram: bucket i holds values v with bit_width(v) == i, i.e.
 // bucket 0 = {0}, bucket 1 = {1}, bucket 2 = {2,3}, bucket 3 = {4..7}, ...
@@ -39,6 +44,10 @@ struct LogHistogram {
 
   void Record(uint64_t value);
   void Merge(const LogHistogram& other);
+
+  // Binary round trip (sparse buckets); used by MetricRegistry::SaveState.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
 
   double Mean() const { return count > 0 ? static_cast<double>(sum) / count : 0.0; }
   // Nearest-rank quantile (q in [0,1]) over the bucket CDF; bucket-midpoint
@@ -67,9 +76,20 @@ class MetricRegistry {
   // aggregation memory does not grow with device count.
   size_t ApproxBytes() const;
 
+  // Binary serialization of the complete registry (every counter and
+  // histogram), via the shared snapshot writer/reader (src/common/binio.h).
+  // LoadState replaces the current contents; a corrupt stream yields a
+  // non-OK Status and an unspecified registry. The round trip is
+  // bit-exact — the fleet checkpoint format leans on this to resume a run
+  // with a digest identical to an uninterrupted one.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
+
   // Deterministic JSON (keys in map order, integers only): the
   // `amuletc fleet --metrics-out=FILE` format. Histograms render buckets,
-  // count/sum/min/max and derived p50/p95/p99.
+  // count/sum/min/max and derived p50/p95/p99. Names are escaped, so the
+  // output is valid JSON for any metric name (checked with ValidateJson in
+  // tests).
   std::string ToJson() const;
 
   // Human-readable table.

@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "src/aft/aft.h"
 #include "src/apps/app_sources.h"
+#include "src/fleet/checkpoint.h"
 #include "src/fleet/executor.h"
 #include "src/fleet/fleet.h"
 #include "src/mcu/machine.h"
@@ -189,6 +192,7 @@ TEST(FleetTest, DeterministicAcrossThreadCounts) {
   ASSERT_TRUE(serial.ok()) << serial.status().ToString();
   EXPECT_EQ(serial->devices.size(), 8u);
   EXPECT_GT(serial->aggregate.total_cycles, 0u);
+  EXPECT_GT(serial->aggregate.total_data_accesses, 0u);
   EXPECT_GT(serial->aggregate.total_dispatches, 0u);
 
   const std::string serial_digest = FleetDigest(*serial);
@@ -251,6 +255,9 @@ TEST(FleetTest, StreamingModeDropsDeviceRowsButKeepsTotals) {
   // Totals and count/min/max/mean come from exact integer state either way;
   // only the streaming quantiles are bucket-midpoint approximations.
   EXPECT_EQ(streaming->aggregate.total_cycles, retained->aggregate.total_cycles);
+  EXPECT_EQ(streaming->aggregate.total_data_accesses,
+            retained->aggregate.total_data_accesses);
+  EXPECT_GT(streaming->aggregate.total_data_accesses, 0u);
   EXPECT_EQ(streaming->aggregate.total_syscalls, retained->aggregate.total_syscalls);
   EXPECT_EQ(streaming->aggregate.total_dispatches, retained->aggregate.total_dispatches);
   EXPECT_EQ(streaming->aggregate.total_faults, retained->aggregate.total_faults);
@@ -319,6 +326,256 @@ TEST(FleetTest, RenderedReportMentionsConfiguration) {
   EXPECT_NE(text.find("8 device(s)"), std::string::npos) << text;
   EXPECT_NE(text.find("pedometer"), std::string::npos) << text;
   EXPECT_NE(text.find("battery impact"), std::string::npos) << text;
+  EXPECT_NE(text.find("data accesses"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet checkpoints
+
+FleetCheckpoint SampleCheckpoint() {
+  FleetCheckpoint cp;
+  cp.config_hash = FleetConfigHash(SmallFleet(1));
+  cp.config_text = FleetConfigCanonical(SmallFleet(1));
+  Machine machine;
+  cp.template_snapshot = CaptureSnapshot(machine);
+  cp.metrics.Add("fleet.devices", 2);
+  cp.metrics.Observe("device.cycles", 12345);
+  cp.device_count = 4;
+  cp.completed = {true, false, true, false};
+  DeviceStats d0;
+  d0.device_id = 0;
+  d0.cycles = 111;
+  d0.data_accesses = 7;
+  d0.battery_impact_percent = 0.5;
+  DeviceStats d2;
+  d2.device_id = 2;
+  d2.cycles = 222;
+  d2.pucs = 3;
+  cp.devices = {d0, d2};
+  return cp;
+}
+
+TEST(CheckpointTest, EncodeDecodeRoundTrip) {
+  const FleetCheckpoint cp = SampleCheckpoint();
+  const std::vector<uint8_t> bytes = EncodeFleetCheckpoint(cp);
+  auto decoded = DecodeFleetCheckpoint(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->config_hash, cp.config_hash);
+  EXPECT_EQ(decoded->config_text, cp.config_text);
+  EXPECT_EQ(decoded->template_snapshot.bytes, cp.template_snapshot.bytes);
+  EXPECT_EQ(decoded->metrics.ToJson(), cp.metrics.ToJson());
+  EXPECT_EQ(decoded->device_count, 4);
+  EXPECT_EQ(decoded->completed, cp.completed);
+  EXPECT_EQ(decoded->CompletedCount(), 2);
+  ASSERT_EQ(decoded->devices.size(), 2u);
+  EXPECT_EQ(decoded->devices[0].data_accesses, 7u);
+  EXPECT_EQ(decoded->devices[1].cycles, 222u);
+  EXPECT_DOUBLE_EQ(decoded->devices[0].battery_impact_percent, 0.5);
+}
+
+// Satellite of the resume work: feeding back damaged checkpoint bytes must
+// fail with InvalidArgumentError in every case — never crash, never
+// half-apply.
+TEST(CheckpointTest, DecodeRejectsCorruptInput) {
+  const std::vector<uint8_t> bytes = EncodeFleetCheckpoint(SampleCheckpoint());
+  auto expect_invalid = [](std::vector<uint8_t> damaged, const char* what) {
+    auto decoded = DecodeFleetCheckpoint(damaged);
+    EXPECT_FALSE(decoded.ok()) << what;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument) << what;
+  };
+
+  std::vector<uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  expect_invalid(bad_magic, "bad magic");
+
+  std::vector<uint8_t> bad_version = bytes;
+  bad_version[4] = 0x7F;
+  expect_invalid(bad_version, "unknown version");
+
+  expect_invalid({}, "empty");
+
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  expect_invalid(trailing, "trailing bytes");
+
+  for (size_t len : {bytes.size() - 1, bytes.size() / 2, size_t{9}, size_t{1}}) {
+    std::vector<uint8_t> truncated = bytes;
+    truncated.resize(len);
+    expect_invalid(truncated, "truncated");
+  }
+
+  // A stats row for a device the bitmap says never completed.
+  FleetCheckpoint contradictory = SampleCheckpoint();
+  contradictory.completed[0] = false;
+  expect_invalid(EncodeFleetCheckpoint(contradictory), "row without completed bit");
+
+  // A stats row naming a device id outside the fleet.
+  FleetCheckpoint out_of_range = SampleCheckpoint();
+  out_of_range.devices[1].device_id = 9;
+  expect_invalid(EncodeFleetCheckpoint(out_of_range), "out-of-range device id");
+}
+
+TEST(CheckpointTest, WriteAndReadBack) {
+  const std::string path = "fleet_ckpt_rw_test.bin";
+  std::remove(path.c_str());
+  const FleetCheckpoint cp = SampleCheckpoint();
+  ASSERT_TRUE(WriteFleetCheckpoint(path, cp).ok());
+  // The atomic write leaves no temp file behind.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) {
+    std::fclose(tmp);
+  }
+  auto back = ReadFleetCheckpoint(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->config_hash, cp.config_hash);
+  EXPECT_EQ(back->CompletedCount(), 2);
+
+  EXPECT_EQ(ReadFleetCheckpoint("no_such_checkpoint.bin").status().code(),
+            StatusCode::kNotFound);
+
+  // On-disk corruption surfaces as InvalidArgument, not a crash.
+  std::FILE* junk = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(junk, nullptr);
+  std::fputs("not a checkpoint", junk);
+  std::fclose(junk);
+  EXPECT_EQ(ReadFleetCheckpoint(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Fail-fast and resume
+
+// A failing device must cancel the run instead of letting the rest of the
+// fleet simulate first. The serial run is exactly reproducible: devices 0 and
+// 1 complete, device 2 fails, devices 3..7 are never simulated — which the
+// checkpoint's completed bitmap proves.
+TEST(FleetTest, FailedDeviceCancelsRemainingDevices) {
+  const std::string path = "fleet_ckpt_failfast.bin";
+  std::remove(path.c_str());
+  FleetConfig config = SmallFleet(1);
+  config.checkpoint_path = path;
+  config.checkpoint_every_devices = 1;
+  config.fail_device_id = 2;
+  auto report = RunFleet(config);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+  EXPECT_NE(report.status().message().find("device 2"), std::string::npos)
+      << report.status().ToString();
+
+  auto cp = ReadFleetCheckpoint(path);
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  EXPECT_EQ(cp->CompletedCount(), 2);
+
+  // The checkpoint written on the error path is a valid resume point once
+  // the injected failure is removed.
+  FleetConfig retry = SmallFleet(1);
+  retry.checkpoint_path = path;
+  auto resumed = ResumeFleet(retry);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->resumed_devices, 2);
+
+  auto baseline = RunFleet(SmallFleet(1));
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(FleetDigest(*resumed), FleetDigest(*baseline));
+  std::remove(path.c_str());
+}
+
+TEST(FleetTest, FailedDeviceCancelsParallelRun) {
+  FleetConfig config = SmallFleet(4);
+  config.fail_device_id = 0;
+  auto report = RunFleet(config);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+// The tentpole acceptance: kill a run after K devices, resume from the
+// checkpoint at several thread counts, and get a FleetDigest byte-identical
+// to the uninterrupted run.
+TEST(FleetTest, ResumeAfterAbortReproducesDigest) {
+  auto baseline = RunFleet(SmallFleet(1));
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string digest = FleetDigest(*baseline);
+
+  for (int resume_jobs : {1, 4}) {
+    const std::string path = "fleet_ckpt_resume_" + std::to_string(resume_jobs) + ".bin";
+    std::remove(path.c_str());
+    FleetConfig interrupted = SmallFleet(1);
+    interrupted.checkpoint_path = path;
+    interrupted.checkpoint_every_devices = 1;
+    interrupted.abort_after_devices = 3;
+    auto aborted = RunFleet(interrupted);
+    ASSERT_FALSE(aborted.ok());
+    EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled)
+        << aborted.status().ToString();
+
+    FleetConfig resume_config = SmallFleet(resume_jobs);
+    resume_config.checkpoint_path = path;
+    auto resumed = ResumeFleet(resume_config);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_EQ(resumed->resumed_devices, 3);
+    EXPECT_EQ(FleetDigest(*resumed), digest) << "jobs=" << resume_jobs;
+
+    // The final checkpoint now covers the whole fleet; resuming again is a
+    // no-op that re-yields the identical report.
+    auto again = ResumeFleet(resume_config);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(again->resumed_devices, 8);
+    EXPECT_EQ(FleetDigest(*again), digest);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FleetTest, StreamingModeResumeMatchesUninterrupted) {
+  FleetConfig streaming = SmallFleet(1);
+  streaming.retain_device_stats = false;
+  auto baseline = RunFleet(streaming);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  const std::string path = "fleet_ckpt_streaming.bin";
+  std::remove(path.c_str());
+  FleetConfig interrupted = streaming;
+  interrupted.checkpoint_path = path;
+  interrupted.checkpoint_every_devices = 1;
+  interrupted.abort_after_devices = 4;
+  EXPECT_EQ(RunFleet(interrupted).status().code(), StatusCode::kCancelled);
+
+  FleetConfig resume_config = streaming;
+  resume_config.checkpoint_path = path;
+  auto resumed = ResumeFleet(resume_config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->devices.empty());
+  EXPECT_EQ(resumed->resumed_devices, 4);
+  EXPECT_EQ(FleetDigest(*resumed), FleetDigest(*baseline));
+  std::remove(path.c_str());
+}
+
+TEST(FleetTest, ResumeValidatesConfigAndPath) {
+  const std::string path = "fleet_ckpt_mismatch.bin";
+  std::remove(path.c_str());
+  FleetConfig interrupted = SmallFleet(1);
+  interrupted.checkpoint_path = path;
+  interrupted.checkpoint_every_devices = 1;
+  interrupted.abort_after_devices = 2;
+  ASSERT_EQ(RunFleet(interrupted).status().code(), StatusCode::kCancelled);
+
+  FleetConfig wrong_seed = SmallFleet(1);
+  wrong_seed.checkpoint_path = path;
+  wrong_seed.fleet_seed ^= 1;
+  EXPECT_EQ(ResumeFleet(wrong_seed).status().code(), StatusCode::kInvalidArgument);
+
+  FleetConfig wrong_count = SmallFleet(1);
+  wrong_count.checkpoint_path = path;
+  wrong_count.device_count = 9;
+  EXPECT_EQ(ResumeFleet(wrong_count).status().code(), StatusCode::kInvalidArgument);
+
+  FleetConfig no_path = SmallFleet(1);
+  EXPECT_EQ(ResumeFleet(no_path).status().code(), StatusCode::kInvalidArgument);
+
+  FleetConfig missing = SmallFleet(1);
+  missing.checkpoint_path = "definitely_missing_checkpoint.bin";
+  EXPECT_EQ(ResumeFleet(missing).status().code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
 }
 
 }  // namespace

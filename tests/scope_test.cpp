@@ -8,8 +8,10 @@
 
 #include "src/aft/aft.h"
 #include "src/apps/app_sources.h"
+#include "src/common/binio.h"
 #include "src/os/os.h"
 #include "src/scope/firmware_map.h"
+#include "src/scope/json.h"
 #include "src/scope/metrics.h"
 #include "src/scope/profiler.h"
 #include "src/scope/region_map.h"
@@ -363,6 +365,86 @@ TEST(MetricsTest, JsonIsDeterministicWithSortedKeys) {
   // Keys render in map order regardless of insertion order.
   EXPECT_LT(json.find("a.counter"), json.find("b.counter"));
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+// Regression: nearest-rank quantiles must take ceil(q * count) with an
+// integer ceiling. Ten observations in distinct buckets (2^0 .. 2^9) make
+// every rank land in a different bucket; q=0.95 -> rank 10 -> the top value.
+// The old truncation picked rank 9 and answered one bucket low (383).
+TEST(MetricsTest, QuantileUsesCeilingRank) {
+  LogHistogram h;
+  for (int i = 0; i < 10; ++i) {
+    h.Record(uint64_t{1} << i);
+  }
+  ASSERT_EQ(h.count, 10u);
+  EXPECT_EQ(h.Quantile(0.95), 512u);
+  EXPECT_EQ(h.Quantile(1.0), 512u);
+  // q*count exactly integral takes that rank, not the next one up.
+  EXPECT_EQ(h.Quantile(0.90), 383u);  // rank 9: bucket [256, 511] midpoint
+  EXPECT_EQ(h.Quantile(0.05), 1u);    // rank ceil(0.5) = 1
+}
+
+TEST(MetricsTest, ToJsonEscapesMetricNames) {
+  MetricRegistry r;
+  r.Add("weird\"counter\\name", 3);
+  r.Observe("hist\nwith\tcontrol", 7);
+  const std::string json = r.ToJson();
+  // The native parser (the same one ValidateChromeTrace uses) must accept it.
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("weird\\\"counter\\\\name"), std::string::npos) << json;
+  // Parse back and confirm the counter survived under its unescaped name.
+  Result<JsonValue> root = ParseJson(json);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  const JsonValue* counters = root->Field("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* value = counters->Field("weird\"counter\\name");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->number, 3.0);
+}
+
+TEST(MetricsTest, SaveLoadRoundTripIsBitExact) {
+  MetricRegistry r;
+  r.Add("fleet.devices", 123);
+  r.Add("fleet.cycles", 987'654'321);
+  for (uint64_t v : {1u, 5u, 900u, 1'000'000u}) {
+    r.Observe("device.cycles", v);
+    r.Observe("device.faults", v % 7);
+  }
+
+  SnapshotWriter w;
+  r.SaveState(w);
+  const std::vector<uint8_t> bytes = w.Take();
+
+  MetricRegistry restored;
+  restored.Add("stale.counter", 1);  // LoadState must replace, not merge
+  SnapshotReader reader(bytes);
+  ASSERT_TRUE(restored.LoadState(reader).ok());
+  EXPECT_EQ(restored.ToJson(), r.ToJson());
+  EXPECT_EQ(restored.counter("stale.counter"), 0u);
+  EXPECT_EQ(restored.counter("fleet.devices"), 123u);
+
+  // An empty registry round-trips too.
+  MetricRegistry empty;
+  SnapshotWriter we;
+  empty.SaveState(we);
+  const std::vector<uint8_t> empty_bytes = we.Take();
+  SnapshotReader empty_reader(empty_bytes);
+  ASSERT_TRUE(restored.LoadState(empty_reader).ok());
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(MetricsTest, LoadRejectsTruncatedState) {
+  MetricRegistry r;
+  r.Add("fleet.devices", 9);
+  r.Observe("device.cycles", 4096);
+  SnapshotWriter w;
+  r.SaveState(w);
+  std::vector<uint8_t> bytes = w.Take();
+  ASSERT_GT(bytes.size(), 4u);
+  bytes.resize(bytes.size() - 3);
+  SnapshotReader reader(bytes);
+  MetricRegistry restored;
+  EXPECT_FALSE(restored.LoadState(reader).ok());
 }
 
 }  // namespace

@@ -24,6 +24,10 @@
 //   --jobs N                 worker threads (default: hardware concurrency)
 //   --metrics-out FILE       write streaming fleet metrics as JSON
 //   --no-device-stats        streaming aggregation only (O(1) memory per fleet)
+//   --checkpoint FILE        persist a resumable fleet checkpoint (atomic rename)
+//   --checkpoint-every N     checkpoint cadence in completed devices (default: 64)
+//   --resume                 continue from --checkpoint FILE if it exists; only
+//                            devices missing from it are simulated
 //   --verbose                progress lines (devices done, rate, ETA) on stderr
 //
 // Trace options (amuletc trace):
@@ -58,7 +62,8 @@ int Usage(const char* argv0) {
                "          [--run SECONDS] [--walk] name=app.amc [name2=other.amc ...]\n"
                "       %s fleet [--devices N] [--apps a,b,c] [--model none|fl|sw|mpu]\n"
                "          [--seed N] [--duration SECONDS] [--jobs N] [--metrics-out FILE]\n"
-               "          [--no-device-stats] [--verbose]\n"
+               "          [--no-device-stats] [--checkpoint FILE] [--checkpoint-every N]\n"
+               "          [--resume] [--verbose]\n"
                "       %s trace [--model none|fl|sw|mpu] [--seconds N] [--out FILE]\n"
                "          [--validate] name=app.amc [name2=other.amc ...]\n",
                argv0, argv0, argv0);
@@ -97,6 +102,7 @@ std::vector<std::string> SplitCommas(const std::string& list) {
 int RunFleetCommand(const char* argv0, int argc, char** argv) {
   amulet::FleetConfig config;
   std::string metrics_path;
+  bool resume = false;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
@@ -150,6 +156,20 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
       }
     } else if (arg == "--no-device-stats") {
       config.retain_device_stats = false;
+    } else if (arg == "--checkpoint") {
+      const char* value = next();
+      if (value == nullptr || value[0] == '\0') {
+        return Usage(argv0);
+      }
+      config.checkpoint_path = value;
+    } else if (arg == "--checkpoint-every") {
+      const char* value = next();
+      if (value == nullptr || std::strtol(value, nullptr, 10) <= 0) {
+        return Usage(argv0);
+      }
+      config.checkpoint_every_devices = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--verbose") {
       config.verbosity = 1;
     } else {
@@ -157,12 +177,27 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
       return Usage(argv0);
     }
   }
+  if (resume && config.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
+    return Usage(argv0);
+  }
   if (config.apps.empty()) {
     for (const amulet::AppSpec& app : amulet::AmuletAppSuite()) {
       config.apps.push_back(app.name);
     }
   }
-  auto report = amulet::RunFleet(config);
+  amulet::Result<amulet::FleetReport> report = [&]() -> amulet::Result<amulet::FleetReport> {
+    if (resume) {
+      amulet::Result<amulet::FleetReport> resumed = amulet::ResumeFleet(config);
+      if (resumed.ok() || resumed.status().code() != amulet::StatusCode::kNotFound) {
+        return resumed;
+      }
+      // First run of a kill-and-retry loop: no checkpoint yet, start fresh.
+      std::fprintf(stderr, "amuletc fleet: no checkpoint at %s, starting fresh\n",
+                   config.checkpoint_path.c_str());
+    }
+    return amulet::RunFleet(config);
+  }();
   if (!report.ok()) {
     std::fprintf(stderr, "amuletc fleet: %s\n", report.status().ToString().c_str());
     return 1;
