@@ -667,6 +667,30 @@ void on_button(int id) {
   return spec;
 }
 
+AppSpec MakeCrasher() {
+  AppSpec spec;
+  spec.name = "crasher";
+  spec.title = "Crasher (buggy update)";
+  spec.source = R"(
+int wild;
+int ticks;
+
+void on_init(void) {
+  wild = 7168;  /* 0x1C00: OS-owned SRAM, outside this app's region */
+  ticks = 0;
+  amulet_timer_start(0, 100);
+}
+
+void on_timer(int timer_id) {
+  ticks++;
+  int* p = (int*)wild;
+  *p = 0x4141;  /* faults under the isolating models; forces a restart */
+}
+)";
+  *Rate(&spec, EventType::kTimer) = 10.0;
+  return spec;
+}
+
 }  // namespace
 
 const std::vector<AppSpec>& AmuletAppSuite() {
@@ -695,6 +719,11 @@ const AppSpec& QuicksortApp() {
 
 const AppSpec& QuicksortRecursiveApp() {
   static const AppSpec kApp = MakeQuicksortRecursive();
+  return kApp;
+}
+
+const AppSpec& CrasherApp() {
+  static const AppSpec kApp = MakeCrasher();
   return kApp;
 }
 

@@ -40,6 +40,13 @@ const AppSpec& QuicksortApp();       // Figure 3: quicksort, no context switches
 // determined and the AFT cannot guarantee a large enough stack."
 const AppSpec& QuicksortRecursiveApp();
 
+// A deliberately buggy app: every timer tick writes through a wild pointer
+// into OS memory, so under the isolating models each tick faults and forces
+// an app restart. The OTA campaign tests ship it as a "bad firmware update"
+// to provoke a watchdog-reset storm and exercise bootloader rollback.
+// Requires pointer support (kSoftwareOnly/kMpu).
+const AppSpec& CrasherApp();
+
 }  // namespace amulet
 
 #endif  // SRC_APPS_APP_SOURCES_H_

@@ -1,0 +1,687 @@
+#include "src/fleet/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+#include "src/aft/aft.h"
+#include "src/common/strings.h"
+#include "src/fleet/checkpoint.h"
+#include "src/fleet/device.h"
+#include "src/fleet/executor.h"
+#include "src/os/os.h"
+#include "src/ota/bootloader.h"
+#include "src/ota/image.h"
+
+namespace amulet {
+
+namespace {
+
+using fleet_internal::ClonedDevice;
+using fleet_internal::DataRegions;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+const std::vector<CampaignStage>& DefaultStages() {
+  static const std::vector<CampaignStage> kStages = {
+      {5, 0.25}, {50, 0.25}, {100, 0.25}};
+  return kStages;
+}
+
+Status ValidateStages(const std::vector<CampaignStage>& stages) {
+  if (stages.empty()) {
+    return InvalidArgumentError("campaign needs at least one stage");
+  }
+  int prev = 0;
+  for (const CampaignStage& stage : stages) {
+    if (stage.percent <= prev || stage.percent > 100) {
+      return InvalidArgumentError(
+          StrFormat("campaign stage percents must be strictly increasing in (0, 100], "
+                    "got %d after %d",
+                    stage.percent, prev));
+    }
+    if (stage.max_failure_rate < 0 || stage.max_failure_rate > 1) {
+      return InvalidArgumentError(
+          StrFormat("campaign stage abort threshold %g is outside [0, 1]",
+                    stage.max_failure_rate));
+    }
+    prev = stage.percent;
+  }
+  if (stages.back().percent != 100) {
+    return InvalidArgumentError("the last campaign stage must roll out to 100%");
+  }
+  return OkStatus();
+}
+
+// Everything seed-relevant about a campaign, folded over the fleet canonical
+// (which itself pins the old firmware's image hash): the new app list, both
+// version numbers, the staging plan, rollout/health/storm parameters, the
+// MAC key, the new firmware's image hash, and the FNV of the exact container
+// bytes being deployed (so a tampered image cannot resume a clean campaign's
+// checkpoint or vice versa).
+std::string CampaignConfigCanonical(const CampaignConfig& config, uint64_t fw1_hash,
+                                    uint64_t fw2_hash, uint64_t image_fnv) {
+  std::string out = "campaign;";
+  out += FleetConfigCanonical(config.fleet, fw1_hash);
+  out += ";to_apps=";
+  for (size_t i = 0; i < config.to_apps.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += config.to_apps[i];
+  }
+  out += StrFormat(";from=%u;to=%u;rollout=%u;health=%llu;storm=%d;stages=",
+                   config.from_version, config.to_version, config.rollout_seed,
+                   static_cast<unsigned long long>(config.health_ms),
+                   config.storm_threshold);
+  for (size_t i = 0; i < config.stages.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += StrFormat("%d:%a", config.stages[i].percent, config.stages[i].max_failure_rate);
+  }
+  out += StrFormat(";key=%04x%04x%04x%04x;fw2=%016llx;img=%016llx", config.key.words[0],
+                   config.key.words[1], config.key.words[2], config.key.words[3],
+                   static_cast<unsigned long long>(fw2_hash),
+                   static_cast<unsigned long long>(image_fnv));
+  return out;
+}
+
+void AddStats(DeviceStats* into, const DeviceStats& delta) {
+  into->cycles += delta.cycles;
+  into->data_accesses += delta.data_accesses;
+  into->syscalls += delta.syscalls;
+  into->dispatches += delta.dispatches;
+  into->faults += delta.faults;
+  into->pucs += delta.pucs;
+  into->watchdog_resets += delta.watchdog_resets;
+}
+
+void RecordCampaignDeviceMetrics(const CampaignDeviceRow& row, MetricRegistry* m) {
+  fleet_internal::RecordDeviceMetrics(row.stats, m);
+  switch (row.outcome) {
+    case OtaOutcome::kUpdated:
+      m->Add("campaign.updated", 1);
+      break;
+    case OtaOutcome::kRejected:
+      m->Add("campaign.rejected", 1);
+      break;
+    case OtaOutcome::kRolledBack:
+      m->Add("campaign.rolled_back", 1);
+      break;
+    case OtaOutcome::kNotAttempted:
+      break;
+  }
+  m->Add(StrFormat("campaign.version.%u", row.firmware_version), 1);
+  m->Add("campaign.verify_cycles", row.verify_cycles);
+  m->Observe("device.verify_cycles", row.verify_cycles);
+}
+
+// Everything per-device work needs, shared read-only across worker threads.
+struct CampaignContext {
+  const CampaignConfig* config = nullptr;
+  const Firmware* firmware_from = nullptr;
+  const Firmware* firmware_to = nullptr;
+  const MachineSnapshot* snapshot_from = nullptr;
+  const MachineSnapshot* snapshot_to = nullptr;
+  const AmuletOs* booted_from = nullptr;
+  const AmuletOs* booted_to = nullptr;
+  DataRegions regions_from;
+  DataRegions regions_to;
+  const OtaImage* deploy = nullptr;
+};
+
+// One device's full campaign experience: normal workload on the old
+// firmware, bootloader MAC verification of the staged image on the simulated
+// CPU, and — if the image is authentic — activation of the new bank plus a
+// health window in which a watchdog-reset storm rolls the device back.
+Status RunCampaignDevice(int device_id, const CampaignContext& ctx,
+                         CampaignDeviceRow* row) {
+  const CampaignConfig& config = *ctx.config;
+  const uint32_t device_seed =
+      config.fleet.fleet_seed ^ static_cast<uint32_t>(device_id);
+  row->stats.device_id = device_id;
+  row->firmware_version = config.from_version;
+
+  // Phase 1: the device's ordinary workload on the old firmware.
+  ASSIGN_OR_RETURN(std::unique_ptr<ClonedDevice> device,
+                   ClonedDevice::Clone(device_seed, config.fleet.fram_wait_states,
+                                       *ctx.firmware_from, *ctx.snapshot_from,
+                                       *ctx.booted_from));
+  RETURN_IF_ERROR(device->Run(config.fleet.sim_ms, ctx.regions_from, &row->stats));
+
+  // Phase 2: the bootloader verifies the staged image's MAC as simulated
+  // MSP430 code; the cycle cost is this device's genuine verification bill.
+  ASSIGN_OR_RETURN(
+      MacVerifyRun verify,
+      SimulateImageVerify(*ctx.deploy, config.key, config.fleet.fram_wait_states));
+  row->verify_cycles = verify.cycles;
+  uint64_t span_ms = config.fleet.sim_ms;
+
+  if (!verify.accepted) {
+    row->outcome = OtaOutcome::kRejected;
+  } else {
+    // Phase 3: activate bank B and watch the health window. The health
+    // phase gets its own derived seed so old- and new-firmware sensor
+    // streams stay decorrelated but deterministic.
+    const uint32_t health_seed = device_seed ^ fleet_internal::Mix32(config.to_version);
+    ASSIGN_OR_RETURN(std::unique_ptr<ClonedDevice> updated,
+                     ClonedDevice::Clone(health_seed, config.fleet.fram_wait_states,
+                                         *ctx.firmware_to, *ctx.snapshot_to,
+                                         *ctx.booted_to));
+    BlData bl;
+    bl.active_bank = 1;
+    bl.attempt_count = 1;
+    bl.current_version = config.to_version;
+    bl.prior_version = config.from_version;
+    WriteBlData(&updated->machine().bus(), bl);
+
+    DeviceStats health;
+    health.device_id = device_id;
+    RETURN_IF_ERROR(updated->Run(config.health_ms, ctx.regions_to, &health));
+    AddStats(&row->stats, health);
+    span_ms += config.health_ms;
+
+    ASSIGN_OR_RETURN(BlData after, ReadBlData(updated->machine().bus()));
+    const uint64_t storm = health.pucs + health.watchdog_resets;
+    if (storm >= static_cast<uint64_t>(config.storm_threshold)) {
+      // Watchdog-reset storm: the bootloader flips back to the known-good
+      // bank and the device stays on the old version.
+      after.active_bank = 0;
+      after.attempt_count = 0;
+      after.rollback_count = static_cast<uint16_t>(after.rollback_count + 1);
+      after.current_version = config.from_version;
+      after.prior_version = config.to_version;
+      WriteBlData(&updated->machine().bus(), after);
+      row->outcome = OtaOutcome::kRolledBack;
+    } else {
+      after.attempt_count = 0;
+      WriteBlData(&updated->machine().bus(), after);
+      row->outcome = OtaOutcome::kUpdated;
+      row->firmware_version = config.to_version;
+    }
+  }
+  row->stats.battery_impact_percent = fleet_internal::BatteryPercentFor(
+      row->stats.cycles, span_ms, config.fleet.energy);
+  return OkStatus();
+}
+
+Result<CampaignReport> RunCampaignImpl(const CampaignConfig& config_in,
+                                       const FleetCheckpoint* resume) {
+  CampaignConfig config = config_in;
+  if (config.fleet.device_count <= 0) {
+    return InvalidArgumentError("campaign needs at least one device");
+  }
+  if (config.to_version == config.from_version) {
+    return InvalidArgumentError("campaign to_version must differ from from_version");
+  }
+  if (config.storm_threshold < 1) {
+    return InvalidArgumentError("campaign storm_threshold must be >= 1");
+  }
+  if (config.stages.empty()) {
+    config.stages = DefaultStages();
+  }
+  RETURN_IF_ERROR(ValidateStages(config.stages));
+  // Stage accounting always needs per-device rows.
+  config.fleet.retain_device_stats = true;
+
+  ASSIGN_OR_RETURN(std::vector<AppSource> from_sources,
+                   fleet_internal::ResolveApps(&config.fleet.apps));
+  if (config.to_apps.empty()) {
+    config.to_apps = config.fleet.apps;
+  }
+  ASSIGN_OR_RETURN(std::vector<AppSource> to_sources,
+                   fleet_internal::ResolveApps(&config.to_apps));
+
+  const auto boot_t0 = std::chrono::steady_clock::now();
+  AftOptions aft;
+  aft.model = config.fleet.model;
+  ASSIGN_OR_RETURN(Firmware firmware_from, BuildFirmware(from_sources, aft));
+  ASSIGN_OR_RETURN(Firmware firmware_to, BuildFirmware(to_sources, aft));
+
+  // The deployed container: either the freshly packed new firmware or the
+  // caller-supplied bytes (the tamper hook). Decode validates the transport
+  // checksums; authenticity is each device's simulated MAC check.
+  std::vector<uint8_t> deploy_bytes;
+  if (config.image_override.empty()) {
+    deploy_bytes = EncodeOtaImage(PackOtaImage(firmware_to.image, config.to_version,
+                                               config.fleet.model, config.key));
+  } else {
+    deploy_bytes = config.image_override;
+  }
+  ASSIGN_OR_RETURN(OtaImage deploy, DecodeOtaImage(deploy_bytes));
+
+  // Template boots for both firmware versions; every device clones from
+  // these snapshots instead of re-paying boot cost.
+  OsOptions template_options;
+  template_options.fram_wait_states = config.fleet.fram_wait_states;
+  template_options.fault_policy = FaultPolicy::kRestartApp;
+  template_options.sensor_seed = config.fleet.fleet_seed;
+  Machine template_machine_from;
+  AmuletOs template_os_from(&template_machine_from, firmware_from, template_options);
+  RETURN_IF_ERROR(template_os_from.Boot());
+  const MachineSnapshot snapshot_from = CaptureSnapshot(template_machine_from);
+  Machine template_machine_to;
+  AmuletOs template_os_to(&template_machine_to, firmware_to, template_options);
+  RETURN_IF_ERROR(template_os_to.Boot());
+  const MachineSnapshot snapshot_to = CaptureSnapshot(template_machine_to);
+
+  const uint64_t fw1_hash = FirmwareImageHash(firmware_from.image);
+  const uint64_t fw2_hash = FirmwareImageHash(firmware_to.image);
+  const uint64_t image_fnv = Fnv1a64(deploy_bytes.data(), deploy_bytes.size());
+  const std::string canonical =
+      CampaignConfigCanonical(config, fw1_hash, fw2_hash, image_fnv);
+  uint64_t config_hash =
+      Fnv1a64(reinterpret_cast<const uint8_t*>(canonical.data()), canonical.size());
+  if (resume != nullptr) {
+    if (resume->kind != FleetCheckpointKind::kCampaign) {
+      return InvalidArgumentError(
+          "checkpoint was written by a plain fleet run; resume it without --campaign");
+    }
+    if (resume->config_hash != config_hash) {
+      return InvalidArgumentError(
+          StrFormat("checkpoint config mismatch: checkpoint was written by [%s], this "
+                    "run is [%s]",
+                    resume->config_text.c_str(), canonical.c_str()));
+    }
+    if (resume->template_snapshot.bytes != snapshot_from.bytes) {
+      return InvalidArgumentError(
+          "checkpoint template snapshot does not match the one this build and config "
+          "produce");
+    }
+  }
+
+  const int device_count = config.fleet.device_count;
+  CampaignContext ctx;
+  ctx.config = &config;
+  ctx.firmware_from = &firmware_from;
+  ctx.firmware_to = &firmware_to;
+  ctx.snapshot_from = &snapshot_from;
+  ctx.snapshot_to = &snapshot_to;
+  ctx.booted_from = &template_os_from;
+  ctx.booted_to = &template_os_to;
+  ctx.regions_from = DataRegions::For(firmware_from);
+  ctx.regions_to = DataRegions::For(firmware_to);
+  ctx.deploy = &deploy;
+
+  CampaignReport report;
+  report.config = config;
+  report.snapshot_bytes = snapshot_from.bytes.size() + snapshot_to.bytes.size();
+  report.boot_seconds = SecondsSince(boot_t0);
+  report.devices.resize(static_cast<size_t>(device_count));
+  for (int i = 0; i < device_count; ++i) {
+    report.devices[static_cast<size_t>(i)].stats.device_id = i;
+    report.devices[static_cast<size_t>(i)].firmware_version = config.from_version;
+  }
+
+  std::vector<bool> completed(static_cast<size_t>(device_count), false);
+  if (resume != nullptr) {
+    completed = resume->completed;
+    report.metrics = resume->metrics;
+    report.resumed_devices = resume->CompletedCount();
+    for (const DeviceStats& d : resume->devices) {
+      report.devices[static_cast<size_t>(d.device_id)].stats = d;
+    }
+    for (const CampaignDeviceRecord& rec : resume->campaign_devices) {
+      CampaignDeviceRow& row = report.devices[static_cast<size_t>(rec.device_id)];
+      row.outcome = static_cast<OtaOutcome>(rec.outcome);
+      row.firmware_version = rec.firmware_version;
+      row.verify_cycles = rec.verify_cycles;
+    }
+  }
+
+  const std::vector<int> order = CampaignRolloutOrder(device_count, config.rollout_seed);
+
+  std::vector<Status> device_status(static_cast<size_t>(device_count));
+  const auto run_t0 = std::chrono::steady_clock::now();
+
+  const bool checkpointing = !config.fleet.checkpoint_path.empty();
+  std::mutex merge_mu;
+  Status checkpoint_status;          // guarded by merge_mu
+  int devices_since_checkpoint = 0;  // guarded by merge_mu
+  auto last_checkpoint = run_t0;     // guarded by merge_mu
+  int completed_this_run = 0;        // guarded by merge_mu
+  bool aborted = false;              // guarded by merge_mu
+  std::atomic<bool> cancel_requested{false};
+  std::optional<Executor> executor;
+  if (config.fleet.jobs == 1) {
+    report.config.fleet.jobs = 1;
+  } else {
+    executor.emplace(config.fleet.jobs);
+    report.config.fleet.jobs = executor->thread_count();
+  }
+
+  auto request_cancel = [&] {
+    cancel_requested.store(true, std::memory_order_relaxed);
+    if (executor.has_value()) {
+      executor->Cancel();
+    }
+  };
+
+  auto build_checkpoint = [&] {
+    FleetCheckpoint cp;
+    cp.kind = FleetCheckpointKind::kCampaign;
+    cp.config_hash = config_hash;
+    cp.config_text = canonical;
+    cp.template_snapshot = snapshot_from;
+    cp.metrics = report.metrics;
+    cp.completed = completed;
+    cp.device_count = device_count;
+    for (int i = 0; i < device_count; ++i) {
+      if (!completed[static_cast<size_t>(i)]) {
+        continue;
+      }
+      const CampaignDeviceRow& row = report.devices[static_cast<size_t>(i)];
+      cp.devices.push_back(row.stats);
+      CampaignDeviceRecord rec;
+      rec.device_id = i;
+      rec.outcome = static_cast<uint8_t>(row.outcome);
+      rec.firmware_version = row.firmware_version;
+      rec.verify_cycles = row.verify_cycles;
+      cp.campaign_devices.push_back(rec);
+    }
+    return cp;
+  };
+
+  auto run_one = [&](int id) {
+    CampaignDeviceRow& row = report.devices[static_cast<size_t>(id)];
+    Status status;
+    if (config.fleet.fail_device_id == id) {
+      status = InternalError(StrFormat("injected failure on device %d", id));
+    } else {
+      CampaignDeviceRow fresh;
+      status = RunCampaignDevice(id, ctx, &fresh);
+      if (status.ok()) {
+        row = fresh;
+      }
+    }
+    device_status[static_cast<size_t>(id)] = status;
+    MetricRegistry device_metrics;
+    if (status.ok()) {
+      RecordCampaignDeviceMetrics(row, &device_metrics);
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    if (!status.ok()) {
+      request_cancel();
+      return;
+    }
+    report.metrics.Merge(device_metrics);
+    completed[static_cast<size_t>(id)] = true;
+    ++completed_this_run;
+    if (config.fleet.abort_after_devices > 0 &&
+        completed_this_run >= config.fleet.abort_after_devices && !aborted) {
+      aborted = true;
+      request_cancel();
+    }
+    if (checkpointing && checkpoint_status.ok() &&
+        (devices_since_checkpoint + 1 >=
+             std::max(1, config.fleet.checkpoint_every_devices) ||
+         SecondsSince(last_checkpoint) >= config.fleet.checkpoint_every_seconds)) {
+      checkpoint_status =
+          WriteFleetCheckpoint(config.fleet.checkpoint_path, build_checkpoint());
+      devices_since_checkpoint = 0;
+      last_checkpoint = std::chrono::steady_clock::now();
+      if (!checkpoint_status.ok()) {
+        request_cancel();
+      }
+    } else {
+      ++devices_since_checkpoint;
+    }
+  };
+
+  // Stage loop: each stage runs its not-yet-completed slice of the rollout
+  // order, then its failure rate is evaluated over ALL its devices (restored
+  // rows included) — so a resumed campaign replays identical abort decisions.
+  size_t stage_begin = 0;
+  for (size_t s = 0; s < config.stages.size(); ++s) {
+    const CampaignStage& stage = config.stages[s];
+    const size_t stage_end = std::min<size_t>(
+        static_cast<size_t>(device_count),
+        (static_cast<size_t>(device_count) * static_cast<size_t>(stage.percent) + 99) /
+            100);
+    std::vector<int> todo;
+    for (size_t k = stage_begin; k < stage_end; ++k) {
+      const int id = order[k];
+      if (!completed[static_cast<size_t>(id)]) {
+        todo.push_back(id);
+      }
+    }
+    if (config.fleet.verbosity >= 1) {
+      std::fprintf(stderr, "campaign: stage %zu (%d%%): %zu device(s), %zu to run\n", s,
+                   stage.percent, stage_end - stage_begin, todo.size());
+    }
+    if (!todo.empty()) {
+      if (!executor.has_value()) {
+        for (int id : todo) {
+          if (cancel_requested.load(std::memory_order_relaxed)) {
+            break;
+          }
+          run_one(id);
+        }
+      } else {
+        executor->ParallelFor(todo.size(), [&](size_t i) { run_one(todo[i]); });
+      }
+    }
+    if (cancel_requested.load(std::memory_order_relaxed)) {
+      // Kill, device failure, or checkpoint failure mid-stage; the stage is
+      // incomplete, so no threshold decision is made here.
+      break;
+    }
+
+    CampaignStageResult result;
+    result.percent = stage.percent;
+    result.first_slot = static_cast<int>(stage_begin);
+    result.device_count = static_cast<int>(stage_end - stage_begin);
+    for (size_t k = stage_begin; k < stage_end; ++k) {
+      switch (report.devices[static_cast<size_t>(order[k])].outcome) {
+        case OtaOutcome::kUpdated:
+          ++result.updated;
+          break;
+        case OtaOutcome::kRejected:
+          ++result.rejected;
+          break;
+        case OtaOutcome::kRolledBack:
+          ++result.rolled_back;
+          break;
+        case OtaOutcome::kNotAttempted:
+          break;
+      }
+    }
+    if (result.device_count > 0) {
+      result.failure_rate =
+          static_cast<double>(result.rejected + result.rolled_back) /
+          static_cast<double>(result.device_count);
+    }
+    if (result.failure_rate > stage.max_failure_rate) {
+      result.aborted_after = true;
+      report.aborted_stage = static_cast<int>(s);
+      report.stages.push_back(result);
+      break;
+    }
+    report.stages.push_back(result);
+    stage_begin = stage_end;
+  }
+  report.run_seconds = SecondsSince(run_t0);
+
+  // Final checkpoint on every exit path, so no completed device's work is
+  // ever lost.
+  if (checkpointing && checkpoint_status.ok()) {
+    checkpoint_status =
+        WriteFleetCheckpoint(config.fleet.checkpoint_path, build_checkpoint());
+  }
+
+  for (int id = 0; id < device_count; ++id) {
+    if (!device_status[static_cast<size_t>(id)].ok()) {
+      const Status& s = device_status[static_cast<size_t>(id)];
+      return Status(s.code(), StrFormat("device %d: %s", id, s.message().c_str()));
+    }
+  }
+  if (!checkpoint_status.ok()) {
+    return checkpoint_status;
+  }
+  if (aborted) {
+    return CancelledError(
+        StrFormat("campaign cancelled after %d completed device(s) this run "
+                  "(abort_after_devices=%d)",
+                  completed_this_run, config.fleet.abort_after_devices));
+  }
+
+  // Devices a threshold abort left untouched stay on the old version; fold
+  // them into the report-level version-skew counters (NOT the checkpointed
+  // registry, which covers attempted devices only — resume re-derives this).
+  uint64_t not_attempted = 0;
+  for (const CampaignDeviceRow& row : report.devices) {
+    if (row.outcome == OtaOutcome::kNotAttempted) {
+      ++not_attempted;
+    }
+  }
+  if (not_attempted > 0) {
+    report.metrics.Add("campaign.not_attempted", not_attempted);
+    report.metrics.Add(StrFormat("campaign.version.%u", config.from_version),
+                       not_attempted);
+  }
+  return report;
+}
+
+}  // namespace
+
+const char* OtaOutcomeName(OtaOutcome outcome) {
+  switch (outcome) {
+    case OtaOutcome::kNotAttempted:
+      return "not-attempted";
+    case OtaOutcome::kUpdated:
+      return "updated";
+    case OtaOutcome::kRejected:
+      return "rejected";
+    case OtaOutcome::kRolledBack:
+      return "rolled-back";
+  }
+  return "unknown";
+}
+
+std::vector<int> CampaignRolloutOrder(int device_count, uint32_t rollout_seed) {
+  std::vector<int> order(static_cast<size_t>(std::max(0, device_count)));
+  std::iota(order.begin(), order.end(), 0);
+  uint32_t state = rollout_seed ^ 0x9E3779B9u;
+  for (size_t i = order.size(); i > 1; --i) {
+    state = fleet_internal::Mix32(state + static_cast<uint32_t>(i));
+    std::swap(order[i - 1], order[state % i]);
+  }
+  return order;
+}
+
+Result<CampaignReport> RunCampaign(const CampaignConfig& config) {
+  return RunCampaignImpl(config, nullptr);
+}
+
+Result<CampaignReport> ResumeCampaign(const CampaignConfig& config) {
+  if (config.fleet.checkpoint_path.empty()) {
+    return InvalidArgumentError("ResumeCampaign requires fleet.checkpoint_path");
+  }
+  ASSIGN_OR_RETURN(FleetCheckpoint checkpoint,
+                   ReadFleetCheckpoint(config.fleet.checkpoint_path));
+  return RunCampaignImpl(config, &checkpoint);
+}
+
+std::string CampaignDigest(const CampaignReport& report) {
+  std::string out;
+  for (const CampaignDeviceRow& row : report.devices) {
+    const DeviceStats& d = row.stats;
+    out += StrFormat("d%d:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%a,o%d,v%u,vc%llu\n",
+                     d.device_id, static_cast<unsigned long long>(d.cycles),
+                     static_cast<unsigned long long>(d.data_accesses),
+                     static_cast<unsigned long long>(d.syscalls),
+                     static_cast<unsigned long long>(d.dispatches),
+                     static_cast<unsigned long long>(d.faults),
+                     static_cast<unsigned long long>(d.pucs),
+                     static_cast<unsigned long long>(d.watchdog_resets),
+                     d.battery_impact_percent, static_cast<int>(row.outcome),
+                     row.firmware_version,
+                     static_cast<unsigned long long>(row.verify_cycles));
+  }
+  for (size_t s = 0; s < report.stages.size(); ++s) {
+    const CampaignStageResult& r = report.stages[s];
+    out += StrFormat("s%d:%d,%d,%d,%d,%d,%d,%a,%d\n", static_cast<int>(s), r.percent,
+                     r.first_slot, r.device_count, r.updated, r.rejected, r.rolled_back,
+                     r.failure_rate, r.aborted_after ? 1 : 0);
+  }
+  out += StrFormat("aborted_stage:%d\n", report.aborted_stage);
+  out += "metrics:";
+  out += report.metrics.ToJson();
+  out += "\n";
+  return out;
+}
+
+std::string RenderCampaignReport(const CampaignReport& report) {
+  const CampaignConfig& config = report.config;
+  std::string out = StrFormat(
+      "campaign: %d device(s), v%u -> v%u, model=%s, rollout_seed=%u, %d worker "
+      "thread(s)\n",
+      config.fleet.device_count, config.from_version, config.to_version,
+      std::string(MemoryModelName(config.fleet.model)).c_str(), config.rollout_seed,
+      config.fleet.jobs);
+  out += StrFormat(
+      "workload %.1f s/device on v%u, health window %.1f s, storm threshold %d "
+      "reset(s)\n",
+      static_cast<double>(config.fleet.sim_ms) / 1000.0, config.from_version,
+      static_cast<double>(config.health_ms) / 1000.0, config.storm_threshold);
+  if (report.resumed_devices > 0) {
+    out += StrFormat("resumed: %d device(s) restored from checkpoint\n",
+                     report.resumed_devices);
+  }
+  out += StrFormat("boot %.3f s (snapshots %zu bytes); campaign run %.3f s\n",
+                   report.boot_seconds, report.snapshot_bytes, report.run_seconds);
+  out += StrFormat("  %-7s %8s %8s %8s %8s %10s %s\n", "stage", "devices", "updated",
+                   "rejected", "rollback", "fail-rate", "");
+  for (size_t s = 0; s < report.stages.size(); ++s) {
+    const CampaignStageResult& r = report.stages[s];
+    out += StrFormat("  %3d%%    %8d %8d %8d %8d %9.1f%% %s\n", r.percent, r.device_count,
+                     r.updated, r.rejected, r.rolled_back, r.failure_rate * 100.0,
+                     r.aborted_after ? "<- aborted" : "");
+  }
+  uint64_t updated = 0, rejected = 0, rolled_back = 0, not_attempted = 0;
+  uint64_t verify_cycles = 0;
+  for (const CampaignDeviceRow& row : report.devices) {
+    verify_cycles += row.verify_cycles;
+    switch (row.outcome) {
+      case OtaOutcome::kUpdated:
+        ++updated;
+        break;
+      case OtaOutcome::kRejected:
+        ++rejected;
+        break;
+      case OtaOutcome::kRolledBack:
+        ++rolled_back;
+        break;
+      case OtaOutcome::kNotAttempted:
+        ++not_attempted;
+        break;
+    }
+  }
+  out += StrFormat(
+      "outcomes: %llu updated, %llu rejected, %llu rolled back, %llu not attempted\n",
+      static_cast<unsigned long long>(updated), static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(rolled_back),
+      static_cast<unsigned long long>(not_attempted));
+  out += StrFormat("version skew: %llu device(s) on v%u, %llu on v%u\n",
+                   static_cast<unsigned long long>(rejected + rolled_back + not_attempted),
+                   config.from_version, static_cast<unsigned long long>(updated),
+                   config.to_version);
+  out += StrFormat("MAC verification: %llu simulated cycles total across the fleet\n",
+                   static_cast<unsigned long long>(verify_cycles));
+  if (report.aborted_stage >= 0) {
+    out += StrFormat("campaign ABORTED after stage %d exceeded its failure threshold\n",
+                     report.aborted_stage);
+  }
+  return out;
+}
+
+}  // namespace amulet

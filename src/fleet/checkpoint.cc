@@ -1,10 +1,12 @@
 #include "src/fleet/checkpoint.h"
 
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "src/apps/app_sources.h"
 #include "src/common/strings.h"
+#include "src/ota/image.h"
 
 namespace amulet {
 
@@ -22,7 +24,7 @@ Status AsCheckpointError(const Status& status) {
 
 }  // namespace
 
-std::string FleetConfigCanonical(const FleetConfig& config) {
+std::string FleetConfigCanonical(const FleetConfig& config, uint64_t firmware_hash) {
   std::string apps;
   if (config.apps.empty()) {
     for (const AppSpec& app : AmuletAppSuite()) {
@@ -41,27 +43,24 @@ std::string FleetConfigCanonical(const FleetConfig& config) {
   }
   return StrFormat(
       "devices=%d;apps=%s;model=%d;seed=%u;sim_ms=%llu;fram_ws=%d;retain=%d;"
-      "energy=%a,%a,%a",
+      "energy=%a,%a,%a;fw=%016llx",
       config.device_count, apps.c_str(), static_cast<int>(config.model),
       config.fleet_seed, static_cast<unsigned long long>(config.sim_ms),
       config.fram_wait_states, config.retain_device_stats ? 1 : 0, config.energy.cpu_mhz,
-      config.energy.active_ua_per_mhz, config.energy.battery_mah);
+      config.energy.active_ua_per_mhz, config.energy.battery_mah,
+      static_cast<unsigned long long>(firmware_hash));
 }
 
-uint64_t FleetConfigHash(const FleetConfig& config) {
-  const std::string canonical = FleetConfigCanonical(config);
-  uint64_t hash = 0xCBF29CE484222325ull;  // FNV-1a 64
-  for (char c : canonical) {
-    hash ^= static_cast<uint8_t>(c);
-    hash *= 0x100000001B3ull;
-  }
-  return hash;
+uint64_t FleetConfigHash(const FleetConfig& config, uint64_t firmware_hash) {
+  const std::string canonical = FleetConfigCanonical(config, firmware_hash);
+  return Fnv1a64(reinterpret_cast<const uint8_t*>(canonical.data()), canonical.size());
 }
 
 std::vector<uint8_t> EncodeFleetCheckpoint(const FleetCheckpoint& checkpoint) {
   SnapshotWriter w;
   w.U32(kFleetCheckpointMagic);
   w.U32(kFleetCheckpointVersion);
+  w.U8(static_cast<uint8_t>(checkpoint.kind));
 
   w.BeginSection(FleetCheckpointSection::kFleetConfig);
   w.U64(checkpoint.config_hash);
@@ -88,6 +87,7 @@ std::vector<uint8_t> EncodeFleetCheckpoint(const FleetCheckpoint& checkpoint) {
     w.U64(d.dispatches);
     w.U64(d.faults);
     w.U64(d.pucs);
+    w.U64(d.watchdog_resets);
     w.F64(d.battery_impact_percent);
   }
   w.EndSection();
@@ -104,24 +104,74 @@ std::vector<uint8_t> EncodeFleetCheckpoint(const FleetCheckpoint& checkpoint) {
   w.Bytes(bitmap.data(), bitmap.size());
   w.EndSection();
 
-  return w.Take();
+  if (checkpoint.kind == FleetCheckpointKind::kCampaign) {
+    w.BeginSection(FleetCheckpointSection::kCampaignDevices);
+    w.U32(static_cast<uint32_t>(checkpoint.campaign_devices.size()));
+    for (const CampaignDeviceRecord& rec : checkpoint.campaign_devices) {
+      w.U32(static_cast<uint32_t>(rec.device_id));
+      w.U8(rec.outcome);
+      w.U32(rec.firmware_version);
+      w.U64(rec.verify_cycles);
+    }
+    w.EndSection();
+  }
+
+  // Whole-file integrity trailer: FNV-1a 64 over everything written so far.
+  std::vector<uint8_t> bytes = w.Take();
+  const uint64_t sum = Fnv1a64(bytes.data(), bytes.size());
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<uint8_t>(sum >> (8 * i)));
+  }
+  return bytes;
 }
 
 Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes) {
-  SnapshotReader r(bytes);
-  const uint32_t magic = r.U32();
-  if (r.ok() && magic != kFleetCheckpointMagic) {
-    return InvalidArgumentError(
-        StrFormat("not a fleet checkpoint (magic 0x%08x)", magic));
+  // Header + trailer minimum: magic, version, kind byte, checksum.
+  if (bytes.size() < 4 + 4 + 1 + 8) {
+    return InvalidArgumentError("fleet checkpoint truncated");
   }
-  const uint32_t version = r.U32();
-  if (r.ok() && version != kFleetCheckpointVersion) {
+  {
+    uint32_t magic = 0;
+    std::memcpy(&magic, bytes.data(), 4);
+    if (magic != kFleetCheckpointMagic) {
+      return InvalidArgumentError(StrFormat("not a fleet checkpoint (magic 0x%08x)", magic));
+    }
+    uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + 4, 4);
+    if (version == 1) {
+      return InvalidArgumentError(
+          "fleet checkpoint version 1 was written by an older build and cannot be "
+          "resumed (v2 added firmware hashing, watchdog counters, and an integrity "
+          "checksum); delete the checkpoint and re-run without --resume");
+    }
+    if (version != kFleetCheckpointVersion) {
+      return InvalidArgumentError(
+          StrFormat("unsupported fleet checkpoint version %u (supported: %u)", version,
+                    kFleetCheckpointVersion));
+    }
+  }
+  // Verify the whole-file checksum before trusting any section content, so
+  // truncation and bit flips are rejected up front.
+  const size_t body_size = bytes.size() - 8;
+  uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, bytes.data() + body_size, 8);
+  if (Fnv1a64(bytes.data(), body_size) != stored_sum) {
     return InvalidArgumentError(
-        StrFormat("unsupported fleet checkpoint version %u (supported: %u)", version,
-                  kFleetCheckpointVersion));
+        "fleet checkpoint checksum mismatch (file is truncated or corrupt)");
+  }
+  const std::vector<uint8_t> body(bytes.begin(), bytes.begin() + body_size);
+
+  SnapshotReader r(body);
+  (void)r.U32();  // magic, validated above
+  (void)r.U32();  // version, validated above
+  const uint8_t kind_byte = r.U8();
+  if (r.ok() && kind_byte > static_cast<uint8_t>(FleetCheckpointKind::kCampaign)) {
+    return InvalidArgumentError(
+        StrFormat("fleet checkpoint has unknown kind %u", kind_byte));
   }
 
   FleetCheckpoint out;
+  out.kind = static_cast<FleetCheckpointKind>(kind_byte);
   r.EnterSection(FleetCheckpointSection::kFleetConfig);
   out.config_hash = r.U64();
   out.config_text = r.Str();
@@ -155,6 +205,7 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
     d.dispatches = r.U64();
     d.faults = r.U64();
     d.pucs = r.U64();
+    d.watchdog_resets = r.U64();
     d.battery_impact_percent = r.F64();
     out.devices.push_back(d);
   }
@@ -177,6 +228,20 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
   }
   r.LeaveSection();
 
+  if (out.kind == FleetCheckpointKind::kCampaign && r.ok()) {
+    r.EnterSection(FleetCheckpointSection::kCampaignDevices);
+    const uint32_t campaign_rows = r.U32();
+    for (uint32_t i = 0; r.ok() && i < campaign_rows; ++i) {
+      CampaignDeviceRecord rec;
+      rec.device_id = static_cast<int>(r.U32());
+      rec.outcome = r.U8();
+      rec.firmware_version = r.U32();
+      rec.verify_cycles = r.U64();
+      out.campaign_devices.push_back(rec);
+    }
+    r.LeaveSection();
+  }
+
   if (!r.ok()) {
     return AsCheckpointError(r.status());
   }
@@ -184,7 +249,7 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
     return InvalidArgumentError("fleet checkpoint has trailing bytes");
   }
   // Cross-section consistency: every retained row names a completed device,
-  // at most once.
+  // at most once. Campaign rows follow the same rule independently.
   std::vector<bool> seen(static_cast<size_t>(out.device_count), false);
   for (const DeviceStats& d : out.devices) {
     if (d.device_id < 0 || d.device_id >= out.device_count) {
@@ -197,6 +262,19 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
           d.device_id));
     }
     seen[d.device_id] = true;
+  }
+  std::vector<bool> seen_campaign(static_cast<size_t>(out.device_count), false);
+  for (const CampaignDeviceRecord& rec : out.campaign_devices) {
+    if (rec.device_id < 0 || rec.device_id >= out.device_count) {
+      return InvalidArgumentError(StrFormat(
+          "fleet checkpoint campaign row for out-of-range device %d", rec.device_id));
+    }
+    if (!out.completed[rec.device_id] || seen_campaign[rec.device_id]) {
+      return InvalidArgumentError(StrFormat(
+          "fleet checkpoint campaign row for device %d contradicts the completed bitmap",
+          rec.device_id));
+    }
+    seen_campaign[rec.device_id] = true;
   }
   return out;
 }

@@ -1,24 +1,35 @@
 // Durable fleet checkpoints: a versioned on-disk container that lets a
-// long fleet simulation survive a crash or kill and resume with a
-// FleetDigest byte-identical to an uninterrupted run (docs/fleet.md,
-// "Checkpoint & resume").
+// long fleet simulation or OTA campaign survive a crash or kill and resume
+// with a digest byte-identical to an uninterrupted run (docs/fleet.md,
+// "Checkpoint & resume"; docs/ota.md, "Campaign checkpoints").
 //
 // Format (little-endian, built on src/common/binio.h):
-//   u32 magic "AMFC" | u32 version | sections...
+//   u32 magic "AMFC" | u32 version | u8 kind | sections... | u64 fnv1a64
+// The trailing u64 is FNV-1a 64 over every preceding byte, so any
+// truncation or bit flip is rejected before section parsing begins.
 // Sections (tags continue the machine-snapshot tag space, see
 // src/mcu/snapshot.h):
-//   kFleetConfig    config hash (FNV-1a over the canonical config string)
-//                   plus the canonical string itself for diagnostics
+//   kFleetConfig    config hash (FNV-1a over the canonical config string,
+//                   which since v2 folds in the firmware image hash) plus
+//                   the canonical string itself for diagnostics
 //   kFleetTemplate  the template MachineSnapshot every device clones from;
 //                   resume requires a bit-identical recapture, which pins
 //                   the checkpoint to the build + config that produced it
 //   kFleetMetrics   the merged streaming MetricRegistry of completed devices
 //   kFleetDevices   retained DeviceStats rows (empty in streaming mode)
 //   kFleetBitmap    device_count + packed completed-device bitmap
+//   kCampaignDevices  per-device OTA outcome rows (campaign checkpoints
+//                   only): outcome, installed firmware version, MAC-verify
+//                   cycle cost
 //
-// Every decode failure — bad magic, unknown version, truncation, corrupt
-// section, out-of-range ids — returns InvalidArgumentError; a checkpoint is
-// never partially applied.
+// Version history: v1 (PR 1-3) had no kind byte, no integrity trailer, no
+// watchdog_resets column, and no campaign section. v2 files are not
+// readable by v1 builds and vice versa; decoding a v1 file returns a clear
+// InvalidArgumentError telling the caller to re-run without --resume.
+//
+// Every decode failure — bad magic, unsupported version, truncation,
+// checksum mismatch, corrupt section, out-of-range ids — returns
+// InvalidArgumentError; a checkpoint is never partially applied.
 #ifndef SRC_FLEET_CHECKPOINT_H_
 #define SRC_FLEET_CHECKPOINT_H_
 
@@ -33,7 +44,14 @@
 namespace amulet {
 
 inline constexpr uint32_t kFleetCheckpointMagic = 0x43464D41;  // "AMFC"
-inline constexpr uint32_t kFleetCheckpointVersion = 1;
+inline constexpr uint32_t kFleetCheckpointVersion = 2;
+
+// What produced the checkpoint; a fleet resume rejects campaign checkpoints
+// and vice versa.
+enum class FleetCheckpointKind : uint8_t {
+  kFleet = 0,
+  kCampaign = 1,
+};
 
 // Checkpoint section tags; disjoint from SnapshotSection's machine tags.
 enum class FleetCheckpointSection : uint8_t {
@@ -42,15 +60,29 @@ enum class FleetCheckpointSection : uint8_t {
   kFleetMetrics = 18,
   kFleetDevices = 19,
   kFleetBitmap = 20,
+  kCampaignDevices = 21,
+};
+
+// One completed device's OTA outcome (campaign checkpoints only). `outcome`
+// stores an ota::OtaOutcome value; kept as a raw byte here so the container
+// layer does not depend on the campaign driver.
+struct CampaignDeviceRecord {
+  int device_id = 0;
+  uint8_t outcome = 0;
+  uint32_t firmware_version = 0;
+  uint64_t verify_cycles = 0;  // simulated MAC-verification cost
 };
 
 // In-memory image of one checkpoint.
 struct FleetCheckpoint {
+  FleetCheckpointKind kind = FleetCheckpointKind::kFleet;
   uint64_t config_hash = 0;
   std::string config_text;  // canonical config, for mismatch diagnostics
   MachineSnapshot template_snapshot;
   MetricRegistry metrics;             // merged over completed devices
   std::vector<DeviceStats> devices;   // completed rows only; empty when streaming
+  // Campaign checkpoints only; one row per completed device.
+  std::vector<CampaignDeviceRecord> campaign_devices;
   std::vector<bool> completed;        // indexed by device id
   int device_count = 0;
 
@@ -65,17 +97,21 @@ struct FleetCheckpoint {
 
 // Canonical description of everything seed-relevant in a FleetConfig:
 // device count, resolved app list, model, seed, duration, wait states,
-// retention mode, and energy-model constants. Host-side knobs that cannot
-// change results (jobs, verbosity, checkpoint cadence, fault-injection
-// hooks) are deliberately excluded so a run may be resumed at a different
-// thread count or with the injected failure removed.
-std::string FleetConfigCanonical(const FleetConfig& config);
+// retention mode, energy-model constants, and the FNV-1a hash of the
+// firmware image's loadable bytes (FirmwareImageHash) — so a resume against
+// a different firmware build fails InvalidArgument instead of mixing
+// incompatible results. Host-side knobs that cannot change results (jobs,
+// verbosity, checkpoint cadence, fault-injection hooks) are deliberately
+// excluded so a run may be resumed at a different thread count or with the
+// injected failure removed.
+std::string FleetConfigCanonical(const FleetConfig& config, uint64_t firmware_hash);
 
-// FNV-1a 64 over FleetConfigCanonical(config).
-uint64_t FleetConfigHash(const FleetConfig& config);
+// FNV-1a 64 over FleetConfigCanonical(config, firmware_hash).
+uint64_t FleetConfigHash(const FleetConfig& config, uint64_t firmware_hash);
 
-// Serializes/parses the container. Decode validates magic, version, every
-// section, the bitmap/device-row consistency, and full consumption.
+// Serializes/parses the container. Decode validates magic, version, the
+// whole-file checksum, every section, the bitmap/device-row consistency,
+// and full consumption.
 std::vector<uint8_t> EncodeFleetCheckpoint(const FleetCheckpoint& checkpoint);
 Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes);
 

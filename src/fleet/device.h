@@ -1,0 +1,98 @@
+// Internal helpers shared by the fleet engine (fleet.cc) and the OTA
+// campaign driver (campaign.cc): per-device seeding, app-name resolution,
+// data-region bookkeeping, and the clone-and-run body that turns a template
+// snapshot into one simulated device's counter deltas. Not part of the
+// public fleet API.
+#ifndef SRC_FLEET_DEVICE_H_
+#define SRC_FLEET_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/aft/aft.h"
+#include "src/apps/app_sources.h"
+#include "src/common/status.h"
+#include "src/fleet/fleet.h"
+#include "src/mcu/machine.h"
+#include "src/os/os.h"
+
+namespace amulet {
+namespace fleet_internal {
+
+// 32-bit avalanche (Murmur3 finalizer); decorrelates device ids that differ
+// in one bit so activity modes spread evenly across the fleet.
+uint32_t Mix32(uint32_t x);
+
+ActivityMode ModeFor(uint32_t device_seed);
+
+// Looks a name up in the app suite (plus the benchmark apps).
+Result<const AppSpec*> FindSuiteApp(const std::string& name);
+
+// Expands an empty list to the full suite and resolves every name to its
+// source. On success `names` holds the resolved list.
+Result<std::vector<AppSource>> ResolveApps(std::vector<std::string>* names);
+
+// App data regions, precomputed once per firmware; the per-device bus
+// observer checks membership on every data access.
+struct DataRegions {
+  std::vector<std::pair<uint16_t, uint16_t>> spans;  // [lo, hi)
+
+  static DataRegions For(const Firmware& firmware);
+
+  bool Contains(uint16_t addr) const {
+    for (const auto& [lo, hi] : spans) {
+      if (addr >= lo && addr < hi) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// One cloned simulated device: a fresh Machine restored from the template
+// snapshot with this device's sensor identity applied. The campaign driver
+// clones a device once per firmware phase (pre-update workload, post-update
+// health window) and can touch the machine (bl-data in InfoMem) between
+// runs.
+class ClonedDevice {
+ public:
+  static Result<std::unique_ptr<ClonedDevice>> Clone(uint32_t device_seed,
+                                                     int fram_wait_states,
+                                                     const Firmware& firmware,
+                                                     const MachineSnapshot& snapshot,
+                                                     const AmuletOs& booted);
+
+  Machine& machine() { return machine_; }
+
+  // Runs sim_ms of device time and ADDS the resulting deltas (cycles, data
+  // accesses, syscalls, dispatches, faults, PUCs, watchdog resets) into
+  // *out, so multi-phase callers accumulate one row. Does not touch
+  // out->battery_impact_percent (span-dependent; see BatteryPercentFor).
+  Status Run(uint64_t sim_ms, const DataRegions& regions, DeviceStats* out);
+
+ private:
+  ClonedDevice(const Firmware& firmware, int fram_wait_states, uint32_t device_seed);
+
+  Machine machine_;
+  AmuletOs os_;
+};
+
+// Weekly battery cost of `cycles` measured over a `sim_ms` span.
+double BatteryPercentFor(uint64_t cycles, uint64_t sim_ms, const EnergyModel& energy);
+
+// Battery impact as integer micro-percent so the metric state (and thus the
+// fleet digest) stays bit-identical regardless of merge order.
+uint64_t BatteryMicroPercent(double percent);
+
+// One device's contribution to the streaming registry. The registry a device
+// produces is merged into the fleet-wide one and discarded, so aggregation
+// memory never grows with device_count.
+void RecordDeviceMetrics(const DeviceStats& stats, MetricRegistry* m);
+
+}  // namespace fleet_internal
+}  // namespace amulet
+
+#endif  // SRC_FLEET_DEVICE_H_

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -12,165 +13,44 @@
 #include "src/apps/app_sources.h"
 #include "src/common/strings.h"
 #include "src/fleet/checkpoint.h"
+#include "src/fleet/device.h"
 #include "src/fleet/executor.h"
 #include "src/os/os.h"
+#include "src/ota/image.h"
 
 namespace amulet {
 
 namespace {
 
-constexpr double kMsPerWeek = 7 * 24 * 3600 * 1000.0;
+using fleet_internal::ClonedDevice;
+using fleet_internal::DataRegions;
 
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-// 32-bit avalanche (Murmur3 finalizer); decorrelates device ids that differ
-// in one bit so activity modes spread evenly across the fleet.
-uint32_t Mix32(uint32_t x) {
-  x ^= x >> 16;
-  x *= 0x85EBCA6Bu;
-  x ^= x >> 13;
-  x *= 0xC2B2AE35u;
-  x ^= x >> 16;
-  return x;
-}
-
-ActivityMode ModeFor(uint32_t device_seed) {
-  switch (Mix32(device_seed) % 3) {
-    case 0:
-      return ActivityMode::kRest;
-    case 1:
-      return ActivityMode::kWalking;
-    default:
-      return ActivityMode::kRunning;
-  }
-}
-
-Result<const AppSpec*> FindSuiteApp(const std::string& name) {
-  for (const AppSpec& app : AmuletAppSuite()) {
-    if (app.name == name) {
-      return &app;
-    }
-  }
-  if (name == SyntheticApp().name) {
-    return &SyntheticApp();
-  }
-  if (name == ActivityApp().name) {
-    return &ActivityApp();
-  }
-  if (name == QuicksortApp().name) {
-    return &QuicksortApp();
-  }
-  return NotFoundError(StrFormat("unknown fleet app '%s'", name.c_str()));
-}
-
-// App data regions, precomputed once; the per-device bus observer checks
-// membership on every data access.
-struct DataRegions {
-  std::vector<std::pair<uint16_t, uint16_t>> spans;  // [lo, hi)
-
-  bool Contains(uint16_t addr) const {
-    for (const auto& [lo, hi] : spans) {
-      if (addr >= lo && addr < hi) {
-        return true;
-      }
-    }
-    return false;
-  }
-};
-
 Status RunDevice(int device_id, const FleetConfig& config, const Firmware& firmware,
                  const MachineSnapshot& snapshot, const AmuletOs& booted,
                  const DataRegions& regions, DeviceStats* out) {
   const uint32_t device_seed = config.fleet_seed ^ static_cast<uint32_t>(device_id);
-  Machine machine;
-  OsOptions options;
-  options.fram_wait_states = config.fram_wait_states;
-  options.fault_policy = FaultPolicy::kRestartApp;
-  options.sensor_seed = device_seed;
-  AmuletOs os(&machine, firmware, options);
-  RETURN_IF_ERROR(os.BootFromSnapshot(snapshot, booted));
-
-  // The clone carries the template's sensor/RNG state; apply this device's
-  // identity before any event is delivered.
-  os.sensors().Reseed(device_seed);
-  os.sensors().set_mode(ModeFor(device_seed));
-
-  uint64_t data_accesses = 0;
-  machine.bus().SetObserver([&](const BusObserverEvent& event) {
-    if (event.kind != AccessKind::kFetch && regions.Contains(event.addr)) {
-      ++data_accesses;
-    }
-  });
-
-  // Deltas relative to the clone point, so the template's boot cost does not
-  // leak into per-device numbers.
-  const uint64_t cycles_before = machine.cpu().cycle_count();
-  const uint64_t syscalls_before = machine.hostio().syscall_count();
-  const uint64_t pucs_before = machine.puc_count();
-  uint64_t dispatches_before = 0;
-  uint64_t faults_before = 0;
-  for (int i = 0; i < os.app_count(); ++i) {
-    dispatches_before += os.stats(i).dispatches;
-    faults_before += os.stats(i).faults;
-  }
-  RETURN_IF_ERROR(os.RunFor(config.sim_ms));
-
+  ASSIGN_OR_RETURN(
+      std::unique_ptr<ClonedDevice> device,
+      ClonedDevice::Clone(device_seed, config.fram_wait_states, firmware, snapshot, booted));
   DeviceStats stats;
   stats.device_id = device_id;
-  stats.cycles = machine.cpu().cycle_count() - cycles_before;
-  stats.data_accesses = data_accesses;
-  stats.syscalls = machine.hostio().syscall_count() - syscalls_before;
-  stats.pucs = machine.puc_count() - pucs_before;
-  for (int i = 0; i < os.app_count(); ++i) {
-    stats.dispatches += os.stats(i).dispatches;
-    stats.faults += os.stats(i).faults;
-  }
-  stats.dispatches -= dispatches_before;
-  stats.faults -= faults_before;
-  if (config.sim_ms > 0) {
-    const double cycles_per_week =
-        static_cast<double>(stats.cycles) * (kMsPerWeek / static_cast<double>(config.sim_ms));
-    stats.battery_impact_percent = config.energy.BatteryImpactPercent(cycles_per_week);
-  }
+  RETURN_IF_ERROR(device->Run(config.sim_ms, regions, &stats));
+  stats.battery_impact_percent =
+      fleet_internal::BatteryPercentFor(stats.cycles, config.sim_ms, config.energy);
   *out = stats;
   return OkStatus();
 }
 
-// Battery impact as integer micro-percent so the metric state (and thus the
-// fleet digest) stays bit-identical regardless of merge order.
-uint64_t BatteryMicroPercent(double percent) {
-  if (percent <= 0) {
-    return 0;
-  }
-  return static_cast<uint64_t>(std::llround(percent * 1e6));
-}
-
-// One device's contribution to the streaming registry. The registry a device
-// produces is merged into the fleet-wide one and discarded, so aggregation
-// memory never grows with device_count.
-void RecordDeviceMetrics(const DeviceStats& stats, MetricRegistry* m) {
-  m->Add("fleet.devices", 1);
-  m->Add("fleet.cycles", stats.cycles);
-  m->Add("fleet.data_accesses", stats.data_accesses);
-  m->Add("fleet.syscalls", stats.syscalls);
-  m->Add("fleet.dispatches", stats.dispatches);
-  m->Add("fleet.faults", stats.faults);
-  m->Add("fleet.pucs", stats.pucs);
-  m->Observe("device.cycles", stats.cycles);
-  m->Observe("device.data_accesses", stats.data_accesses);
-  m->Observe("device.syscalls", stats.syscalls);
-  m->Observe("device.dispatches", stats.dispatches);
-  m->Observe("device.faults", stats.faults);
-  m->Observe("device.pucs", stats.pucs);
-  m->Observe("device.battery_upct", BatteryMicroPercent(stats.battery_impact_percent));
-}
+using fleet_internal::RecordDeviceMetrics;
 
 void Aggregate(FleetReport* report) {
   const size_t n = report->devices.size();
   std::vector<double> cycles(n), data(n), syscalls(n), dispatches(n), faults(n), pucs(n),
-      battery(n);
+      wdt(n), battery(n);
   FleetAggregate& agg = report->aggregate;
   for (size_t i = 0; i < n; ++i) {
     const DeviceStats& d = report->devices[i];
@@ -180,6 +60,7 @@ void Aggregate(FleetReport* report) {
     dispatches[i] = static_cast<double>(d.dispatches);
     faults[i] = static_cast<double>(d.faults);
     pucs[i] = static_cast<double>(d.pucs);
+    wdt[i] = static_cast<double>(d.watchdog_resets);
     battery[i] = d.battery_impact_percent;
     agg.total_cycles += d.cycles;
     agg.total_data_accesses += d.data_accesses;
@@ -187,6 +68,7 @@ void Aggregate(FleetReport* report) {
     agg.total_dispatches += d.dispatches;
     agg.total_faults += d.faults;
     agg.total_pucs += d.pucs;
+    agg.total_watchdog_resets += d.watchdog_resets;
   }
   agg.cycles = Summarize(std::move(cycles));
   agg.data_accesses = Summarize(std::move(data));
@@ -194,6 +76,7 @@ void Aggregate(FleetReport* report) {
   agg.dispatches = Summarize(std::move(dispatches));
   agg.faults = Summarize(std::move(faults));
   agg.pucs = Summarize(std::move(pucs));
+  agg.watchdog_resets = Summarize(std::move(wdt));
   agg.battery_impact_percent = Summarize(std::move(battery));
 }
 
@@ -207,6 +90,7 @@ void AggregateFromMetrics(FleetReport* report) {
   agg.total_dispatches = report->metrics.counter("fleet.dispatches");
   agg.total_faults = report->metrics.counter("fleet.faults");
   agg.total_pucs = report->metrics.counter("fleet.pucs");
+  agg.total_watchdog_resets = report->metrics.counter("fleet.watchdog_resets");
   auto fill = [&](const char* name, StatSummary* s, double scale) {
     const LogHistogram* h = report->metrics.histogram(name);
     if (h == nullptr || h->count == 0) {
@@ -226,6 +110,7 @@ void AggregateFromMetrics(FleetReport* report) {
   fill("device.dispatches", &agg.dispatches, 1.0);
   fill("device.faults", &agg.faults, 1.0);
   fill("device.pucs", &agg.pucs, 1.0);
+  fill("device.watchdog_resets", &agg.watchdog_resets, 1.0);
   fill("device.battery_upct", &agg.battery_impact_percent, 1e-6);
 }
 
@@ -239,26 +124,14 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
     return InvalidArgumentError("fleet needs at least one device");
   }
   std::vector<std::string> app_names = config.apps;
-  if (app_names.empty()) {
-    for (const AppSpec& app : AmuletAppSuite()) {
-      app_names.push_back(app.name);
-    }
-  }
-  std::vector<AppSource> sources;
-  for (const std::string& name : app_names) {
-    ASSIGN_OR_RETURN(const AppSpec* spec, FindSuiteApp(name));
-    sources.push_back({spec->name, spec->source});
-  }
+  ASSIGN_OR_RETURN(std::vector<AppSource> sources, fleet_internal::ResolveApps(&app_names));
 
   const auto boot_t0 = std::chrono::steady_clock::now();
   AftOptions aft;
   aft.model = config.model;
   ASSIGN_OR_RETURN(Firmware firmware, BuildFirmware(sources, aft));
 
-  DataRegions regions;
-  for (const AppImage& app : firmware.apps) {
-    regions.spans.emplace_back(app.data_lo, app.data_hi);
-  }
+  const DataRegions regions = DataRegions::For(firmware);
 
   // Template device: pays the image load and every on_init dispatch exactly
   // once; every fleet device starts from its snapshot.
@@ -271,9 +144,17 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
   RETURN_IF_ERROR(template_os.Boot());
   const MachineSnapshot snapshot = CaptureSnapshot(template_machine);
 
-  const std::string canonical = FleetConfigCanonical(config);
-  const uint64_t config_hash = FleetConfigHash(config);
+  // The firmware image hash folds the template's loadable bytes into the
+  // config identity, so resuming against a different build of the same app
+  // list fails loudly instead of mixing incompatible device results.
+  const uint64_t firmware_hash = FirmwareImageHash(firmware.image);
+  const std::string canonical = FleetConfigCanonical(config, firmware_hash);
+  const uint64_t config_hash = FleetConfigHash(config, firmware_hash);
   if (resume != nullptr) {
+    if (resume->kind != FleetCheckpointKind::kFleet) {
+      return InvalidArgumentError(
+          "checkpoint was written by a campaign run; resume it with the campaign driver");
+    }
     if (resume->config_hash != config_hash) {
       return InvalidArgumentError(
           StrFormat("checkpoint config mismatch: checkpoint was written by [%s], this "
@@ -344,6 +225,7 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
   // Snapshot of the run's durable state; merge_mu must be held.
   auto build_checkpoint = [&] {
     FleetCheckpoint cp;
+    cp.kind = FleetCheckpointKind::kFleet;
     cp.config_hash = config_hash;
     cp.config_text = canonical;
     cp.template_snapshot = snapshot;
@@ -478,28 +360,31 @@ Result<FleetReport> ResumeFleet(const FleetConfig& config) {
 std::string FleetDigest(const FleetReport& report) {
   std::string out;
   for (const DeviceStats& d : report.devices) {
-    out += StrFormat("d%d:%llu,%llu,%llu,%llu,%llu,%llu,%a\n", d.device_id,
+    out += StrFormat("d%d:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%a\n", d.device_id,
                      static_cast<unsigned long long>(d.cycles),
                      static_cast<unsigned long long>(d.data_accesses),
                      static_cast<unsigned long long>(d.syscalls),
                      static_cast<unsigned long long>(d.dispatches),
                      static_cast<unsigned long long>(d.faults),
-                     static_cast<unsigned long long>(d.pucs), d.battery_impact_percent);
+                     static_cast<unsigned long long>(d.pucs),
+                     static_cast<unsigned long long>(d.watchdog_resets),
+                     d.battery_impact_percent);
   }
   const FleetAggregate& a = report.aggregate;
   for (const StatSummary* s :
        {&a.cycles, &a.data_accesses, &a.syscalls, &a.dispatches, &a.faults, &a.pucs,
-        &a.battery_impact_percent}) {
+        &a.watchdog_resets, &a.battery_impact_percent}) {
     out += StrFormat("agg:%a,%a,%a,%a,%a,%a,%d\n", s->min, s->p50, s->p95, s->p99, s->max,
                      s->mean, s->count);
   }
-  out += StrFormat("tot:%llu,%llu,%llu,%llu,%llu,%llu\n",
+  out += StrFormat("tot:%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
                    static_cast<unsigned long long>(a.total_cycles),
                    static_cast<unsigned long long>(a.total_data_accesses),
                    static_cast<unsigned long long>(a.total_syscalls),
                    static_cast<unsigned long long>(a.total_dispatches),
                    static_cast<unsigned long long>(a.total_faults),
-                   static_cast<unsigned long long>(a.total_pucs));
+                   static_cast<unsigned long long>(a.total_pucs),
+                   static_cast<unsigned long long>(a.total_watchdog_resets));
   out += "metrics:";
   out += report.metrics.ToJson();
   out += "\n";
@@ -551,19 +436,21 @@ std::string RenderFleetReport(const FleetReport& report) {
   out += SummaryRow("dispatches", a.dispatches);
   out += SummaryRow("faults", a.faults);
   out += SummaryRow("PUCs", a.pucs);
+  out += SummaryRow("WDT resets", a.watchdog_resets);
   out += StrFormat("  %-16s %14.4f %14.4f %14.4f %14.4f %14.4f   (%% battery/week)\n",
                    "battery impact", a.battery_impact_percent.p50,
                    a.battery_impact_percent.p95, a.battery_impact_percent.p99,
                    a.battery_impact_percent.max, a.battery_impact_percent.mean);
   out += StrFormat(
       "totals: %llu cycles, %llu data accesses, %llu syscalls, %llu dispatches, %llu "
-      "faults, %llu PUCs\n",
+      "faults, %llu PUCs, %llu WDT resets\n",
       static_cast<unsigned long long>(a.total_cycles),
       static_cast<unsigned long long>(a.total_data_accesses),
       static_cast<unsigned long long>(a.total_syscalls),
       static_cast<unsigned long long>(a.total_dispatches),
       static_cast<unsigned long long>(a.total_faults),
-      static_cast<unsigned long long>(a.total_pucs));
+      static_cast<unsigned long long>(a.total_pucs),
+      static_cast<unsigned long long>(a.total_watchdog_resets));
   return out;
 }
 

@@ -76,6 +76,9 @@ struct DeviceStats {
   uint64_t dispatches = 0;
   uint64_t faults = 0;
   uint64_t pucs = 0;
+  // Watchdog-style resets: genuine WDT expiries plus fault-forced app
+  // restarts. The OTA bootloader's rollback trigger watches this rate.
+  uint64_t watchdog_resets = 0;
   // Weekly battery cost of this device's measured cycle rate.
   double battery_impact_percent = 0;
 };
@@ -87,6 +90,7 @@ struct FleetAggregate {
   StatSummary dispatches;
   StatSummary faults;
   StatSummary pucs;
+  StatSummary watchdog_resets;
   StatSummary battery_impact_percent;
   uint64_t total_cycles = 0;
   uint64_t total_data_accesses = 0;
@@ -94,6 +98,7 @@ struct FleetAggregate {
   uint64_t total_dispatches = 0;
   uint64_t total_faults = 0;
   uint64_t total_pucs = 0;
+  uint64_t total_watchdog_resets = 0;
 };
 
 struct FleetReport {

@@ -1,0 +1,236 @@
+#include "src/ota/bootloader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/asm/assembler.h"
+#include "src/asm/linker.h"
+#include "src/common/strings.h"
+#include "src/mcu/machine.h"
+#include "src/mcu/memory_map.h"
+
+namespace amulet {
+
+namespace {
+
+// Parameter block in SRAM: the host stages state/arguments here and reads
+// results back; the verifier loop itself touches only registers and the
+// staging buffer.
+constexpr uint16_t kParamState = 0x1C00;    // s0..s3 (4 words)
+constexpr uint16_t kParamCount = 0x1C08;    // words to absorb
+constexpr uint16_t kParamBufPtr = 0x1C0A;   // staging-buffer address
+constexpr uint16_t kParamResult = 0x1C0C;   // compare verdict: 1 ok, 2 bad
+constexpr uint16_t kParamExpected = 0x1C10; // expected tag (4 words)
+
+// Staging window in upper FRAM (the inactive bank region); the verifier
+// reads it with @r8+ so every word costs real bus cycles + FRAM wait states.
+constexpr uint16_t kStageBase = 0x8000;
+constexpr size_t kStageWords = 0x3C00;  // 30 KiB window
+
+constexpr uint64_t kRunBudget = 40'000'000;
+
+// The bootloader's verification core. The absorb loop must match
+// MacState::Absorb in src/ota/mac.cc instruction for instruction.
+constexpr char kVerifierSource[] = R"(
+start:
+  mov #4, &0x0710
+
+absorb:
+  mov &0x1c00, r4
+  mov &0x1c02, r5
+  mov &0x1c04, r6
+  mov &0x1c06, r7
+  mov &0x1c0a, r8
+  mov &0x1c08, r9
+  tst r9
+  jz absorb_done
+absorb_loop:
+  add @r8+, r4
+  xor r4, r5
+  swpb r5
+  add r5, r6
+  xor r6, r7
+  swpb r7
+  add r7, r4
+  dec r9
+  jnz absorb_loop
+absorb_done:
+  mov r4, &0x1c00
+  mov r5, &0x1c02
+  mov r6, &0x1c04
+  mov r7, &0x1c06
+  mov #4, &0x0710
+
+compare:
+  mov #1, &0x1c0c
+  mov &0x1c00, r4
+  xor &0x1c10, r4
+  jnz compare_bad
+  mov &0x1c02, r4
+  xor &0x1c12, r4
+  jnz compare_bad
+  mov &0x1c04, r4
+  xor &0x1c14, r4
+  jnz compare_bad
+  mov &0x1c06, r4
+  xor &0x1c16, r4
+  jnz compare_bad
+  mov #4, &0x0710
+compare_bad:
+  mov #2, &0x1c0c
+  mov #4, &0x0710
+)";
+
+// Assembled once per process; read-only afterwards, so safe to share across
+// fleet worker threads.
+const Image& VerifierImage() {
+  static const Image* image = [] {
+    auto object = Assemble(kVerifierSource, "ota_verifier.s");
+    if (!object.ok()) {
+      std::fprintf(stderr, "ota verifier assembly failed: %s\n",
+                   object.status().ToString().c_str());
+      std::abort();
+    }
+    Linker linker;
+    linker.AddObject(std::move(*object));
+    auto linked = linker.Link({{".text", kFramStart}});
+    if (!linked.ok()) {
+      std::fprintf(stderr, "ota verifier link failed: %s\n",
+                   linked.status().ToString().c_str());
+      std::abort();
+    }
+    return new Image(std::move(*linked));
+  }();
+  return *image;
+}
+
+}  // namespace
+
+void WriteBlData(Bus* bus, const BlData& bl) {
+  bus->PokeWord(kBlDataAddr, kBlDataMagic);
+  bus->PokeByte(kBlDataAddr + 2, bl.active_bank);
+  bus->PokeByte(kBlDataAddr + 3, bl.attempt_count);
+  bus->PokeWord(kBlDataAddr + 4, bl.rollback_count);
+  bus->PokeWord(kBlDataAddr + 6, static_cast<uint16_t>(bl.current_version & 0xFFFF));
+  bus->PokeWord(kBlDataAddr + 8, static_cast<uint16_t>(bl.current_version >> 16));
+  bus->PokeWord(kBlDataAddr + 10, static_cast<uint16_t>(bl.prior_version & 0xFFFF));
+  bus->PokeWord(kBlDataAddr + 12, static_cast<uint16_t>(bl.prior_version >> 16));
+}
+
+Result<BlData> ReadBlData(const Bus& bus) {
+  if (bus.PeekWord(kBlDataAddr) != kBlDataMagic) {
+    return NotFoundError("no bl-data record in InfoMem");
+  }
+  BlData bl;
+  bl.active_bank = bus.PeekByte(kBlDataAddr + 2);
+  bl.attempt_count = bus.PeekByte(kBlDataAddr + 3);
+  bl.rollback_count = bus.PeekWord(kBlDataAddr + 4);
+  bl.current_version = static_cast<uint32_t>(bus.PeekWord(kBlDataAddr + 6)) |
+                       (static_cast<uint32_t>(bus.PeekWord(kBlDataAddr + 8)) << 16);
+  bl.prior_version = static_cast<uint32_t>(bus.PeekWord(kBlDataAddr + 10)) |
+                     (static_cast<uint32_t>(bus.PeekWord(kBlDataAddr + 12)) << 16);
+  return bl;
+}
+
+Result<MacVerifyRun> SimulateMacVerify(const std::vector<uint8_t>& payload,
+                                       const MacTag& expected, const OtaKey& key,
+                                       int fram_wait_states) {
+  const Image& image = VerifierImage();
+  Machine machine;
+  machine.bus().set_fram_wait_states(fram_wait_states);
+  LoadImage(image, &machine.bus());
+  machine.bus().PokeWord(kResetVector, image.SymbolOrZero("start"));
+  machine.cpu().Reset();
+
+  const uint16_t absorb_entry = image.SymbolOrZero("absorb");
+  const uint16_t compare_entry = image.SymbolOrZero("compare");
+  if (absorb_entry == 0 || compare_entry == 0) {
+    return InternalError("ota verifier image lacks its entry symbols");
+  }
+
+  const uint64_t instructions_before = machine.cpu().instruction_count();
+  uint64_t cycles = 0;
+
+  // Re-enters the verifier at `entry` and runs until its STOP.
+  auto run_entry = [&](uint16_t entry) -> Status {
+    machine.ClearStop();
+    machine.cpu().set_reg(Reg::kPc, entry);
+    const Cpu::RunOutcome outcome = machine.Run(kRunBudget);
+    cycles += outcome.cycles;
+    if (outcome.result != StepResult::kStopped) {
+      return InternalError(
+          StrFormat("ota verifier did not stop cleanly at entry 0x%04x", entry));
+    }
+    return OkStatus();
+  };
+
+  auto poke_state = [&](const uint16_t pass_key[4]) {
+    for (int i = 0; i < 4; ++i) {
+      machine.bus().PokeWord(kParamState + 2 * i,
+                             static_cast<uint16_t>(pass_key[i] ^ kMacLaneInit[i]));
+    }
+  };
+
+  // Stages `count` words into the FRAM window and absorbs them on the
+  // simulated CPU. The host-side poke stands in for the radio/DMA transfer.
+  auto absorb_words = [&](const uint16_t* src, size_t count) -> Status {
+    for (size_t done = 0; done < count;) {
+      const size_t n = count - done < kStageWords ? count - done : kStageWords;
+      for (size_t i = 0; i < n; ++i) {
+        machine.bus().PokeWord(static_cast<uint16_t>(kStageBase + 2 * i), src[done + i]);
+      }
+      machine.bus().PokeWord(kParamCount, static_cast<uint16_t>(n));
+      machine.bus().PokeWord(kParamBufPtr, kStageBase);
+      RETURN_IF_ERROR(run_entry(absorb_entry));
+      done += n;
+    }
+    return OkStatus();
+  };
+
+  const MacKeySchedule schedule = ExpandOtaKey(key);
+  std::vector<uint16_t> words((payload.size() + 1) / 2, 0);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    words[i / 2] |= static_cast<uint16_t>(payload[i]) << (8 * (i % 2));
+  }
+  uint16_t final_words[6];
+
+  // Inner pass: payload words, then the length-bearing finalization words.
+  poke_state(schedule.inner);
+  RETURN_IF_ERROR(absorb_words(words.data(), words.size()));
+  MacFinalWords(static_cast<uint32_t>(payload.size()), final_words);
+  RETURN_IF_ERROR(absorb_words(final_words, 6));
+  uint16_t inner_tag[4];
+  for (int i = 0; i < 4; ++i) {
+    inner_tag[i] = machine.bus().PeekWord(kParamState + 2 * i);
+  }
+
+  // Outer pass over the inner tag.
+  poke_state(schedule.outer);
+  RETURN_IF_ERROR(absorb_words(inner_tag, 4));
+  MacFinalWords(8, final_words);
+  RETURN_IF_ERROR(absorb_words(final_words, 6));
+
+  // Constant-shape compare against the header tag.
+  for (int i = 0; i < 4; ++i) {
+    machine.bus().PokeWord(kParamExpected + 2 * i, expected.words[i]);
+  }
+  RETURN_IF_ERROR(run_entry(compare_entry));
+  const uint16_t verdict = machine.bus().PeekWord(kParamResult);
+  if (verdict != 1 && verdict != 2) {
+    return InternalError(StrFormat("ota verifier produced verdict %u", verdict));
+  }
+
+  MacVerifyRun run;
+  run.accepted = verdict == 1;
+  run.cycles = cycles;
+  run.instructions = machine.cpu().instruction_count() - instructions_before;
+  return run;
+}
+
+Result<MacVerifyRun> SimulateImageVerify(const OtaImage& image, const OtaKey& key,
+                                         int fram_wait_states) {
+  return SimulateMacVerify(image.payload, image.mac, key, fram_wait_states);
+}
+
+}  // namespace amulet

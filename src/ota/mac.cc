@@ -1,0 +1,84 @@
+#include "src/ota/mac.h"
+
+#include <vector>
+
+namespace amulet {
+
+namespace {
+
+inline uint16_t Swpb(uint16_t v) {
+  return static_cast<uint16_t>((v << 8) | (v >> 8));
+}
+
+struct MacState {
+  uint16_t s[4];
+
+  void Init(const uint16_t pass_key[4]) {
+    for (int i = 0; i < 4; ++i) {
+      s[i] = static_cast<uint16_t>(pass_key[i] ^ kMacLaneInit[i]);
+    }
+  }
+
+  // Must match the simulated verifier's inner loop instruction for
+  // instruction (src/ota/bootloader.cc, kVerifierSource).
+  void Absorb(uint16_t m) {
+    s[0] = static_cast<uint16_t>(s[0] + m);
+    s[1] = static_cast<uint16_t>(s[1] ^ s[0]);
+    s[1] = Swpb(s[1]);
+    s[2] = static_cast<uint16_t>(s[2] + s[1]);
+    s[3] = static_cast<uint16_t>(s[3] ^ s[2]);
+    s[3] = Swpb(s[3]);
+    s[0] = static_cast<uint16_t>(s[0] + s[3]);
+  }
+};
+
+}  // namespace
+
+MacKeySchedule ExpandOtaKey(const OtaKey& key) {
+  MacKeySchedule schedule;
+  for (int i = 0; i < 4; ++i) {
+    schedule.inner[i] = static_cast<uint16_t>(key.words[i] ^ kMacInnerPad);
+    schedule.outer[i] = static_cast<uint16_t>(key.words[i] ^ kMacOuterPad);
+  }
+  return schedule;
+}
+
+void MacFinalWords(uint32_t message_len, uint16_t out[6]) {
+  out[0] = static_cast<uint16_t>(message_len & 0xFFFF);
+  out[1] = static_cast<uint16_t>(message_len >> 16);
+  for (int i = 2; i < 6; ++i) {
+    out[i] = kMacFinalPad;
+  }
+}
+
+MacTag MacPass(const uint16_t pass_key[4], const uint16_t* words, size_t word_count,
+               uint32_t message_len) {
+  MacState state;
+  state.Init(pass_key);
+  for (size_t i = 0; i < word_count; ++i) {
+    state.Absorb(words[i]);
+  }
+  uint16_t final_words[6];
+  MacFinalWords(message_len, final_words);
+  for (uint16_t w : final_words) {
+    state.Absorb(w);
+  }
+  MacTag tag;
+  for (int i = 0; i < 4; ++i) {
+    tag.words[i] = state.s[i];
+  }
+  return tag;
+}
+
+MacTag ComputeOtaMac(const OtaKey& key, const uint8_t* data, size_t len) {
+  const MacKeySchedule schedule = ExpandOtaKey(key);
+  std::vector<uint16_t> words((len + 1) / 2, 0);
+  for (size_t i = 0; i < len; ++i) {
+    words[i / 2] |= static_cast<uint16_t>(data[i]) << (8 * (i % 2));
+  }
+  const MacTag inner =
+      MacPass(schedule.inner, words.data(), words.size(), static_cast<uint32_t>(len));
+  return MacPass(schedule.outer, inner.words, 4, 8);
+}
+
+}  // namespace amulet

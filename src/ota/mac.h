@@ -1,0 +1,88 @@
+// AmuletMac: the keyed MAC protecting OTA firmware images (docs/ota.md,
+// "Image authentication"). An HMAC-style two-pass construction over a tiny
+// 4x16-bit ARX-ish permutation chosen so the exact same algorithm runs in a
+// handful of MSP430 instructions per word — the simulated bootloader verifies
+// images on the simulated CPU (src/ota/bootloader.h), so verification cost
+// lands in the cycle/energy accounting, and this host implementation is the
+// reference the simulation must agree with bit-for-bit (tests/ota_test.cpp).
+//
+// Construction (word = little-endian uint16):
+//   pass(key4, words):  s[i] = key4[i] ^ C[i]
+//                       absorb each word m:
+//                         s0+=m; s1^=s0; s1=swpb(s1); s2+=s1; s3^=s2;
+//                         s3=swpb(s3); s0+=s3
+//                       absorb {len_lo, len_hi, P, P, P, P}   (len in bytes)
+//                       tag = s
+//   mac(key, payload) = pass(key^opad, pass(key^ipad, pad(payload)))
+// Odd-length payloads are padded with one zero byte; the length words in the
+// finalization make padded and unpadded messages distinct.
+//
+// This is NOT a cryptographically strong MAC — it is a faithful, measurable
+// stand-in for the HMAC a real bootloader (e.g. qm-bootloader's QFU images)
+// would use, with the right keying structure and cost shape.
+#ifndef SRC_OTA_MAC_H_
+#define SRC_OTA_MAC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace amulet {
+
+// Per-lane init constants ("amuleta" in ASCII words) and the HMAC-style pads.
+inline constexpr uint16_t kMacLaneInit[4] = {0x6170, 0x6D75, 0x656C, 0x7461};
+inline constexpr uint16_t kMacInnerPad = 0x3636;
+inline constexpr uint16_t kMacOuterPad = 0x5C5C;
+inline constexpr uint16_t kMacFinalPad = 0x9E37;
+
+// The per-fleet symmetric key (4 words = 64 bits).
+struct OtaKey {
+  uint16_t words[4] = {0x616D, 0x756C, 0x6574, 0x6B31};
+
+  bool operator==(const OtaKey& other) const {
+    for (int i = 0; i < 4; ++i) {
+      if (words[i] != other.words[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// A 64-bit authentication tag (4 words).
+struct MacTag {
+  uint16_t words[4] = {0, 0, 0, 0};
+
+  bool operator==(const MacTag& other) const {
+    for (int i = 0; i < 4; ++i) {
+      if (words[i] != other.words[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool operator!=(const MacTag& other) const { return !(*this == other); }
+};
+
+// Derived inner/outer pass keys (key ^ ipad, key ^ opad).
+struct MacKeySchedule {
+  uint16_t inner[4];
+  uint16_t outer[4];
+};
+MacKeySchedule ExpandOtaKey(const OtaKey& key);
+
+// One absorption pass, exposed so the bootloader driver can stage the same
+// word stream through the simulated verifier. `pass_key` is 4 words
+// (schedule.inner or schedule.outer); `words`/`word_count` the padded
+// message; `message_len` the UNpadded byte length folded into finalization.
+MacTag MacPass(const uint16_t pass_key[4], const uint16_t* words, size_t word_count,
+               uint32_t message_len);
+
+// The 6 finalization words for a message of `message_len` bytes.
+void MacFinalWords(uint32_t message_len, uint16_t out[6]);
+
+// Full two-pass MAC over a byte payload (reference implementation).
+MacTag ComputeOtaMac(const OtaKey& key, const uint8_t* data, size_t len);
+
+}  // namespace amulet
+
+#endif  // SRC_OTA_MAC_H_

@@ -286,12 +286,14 @@ TEST(FleetTest, MetricsMemoryIndependentOfDeviceCount) {
     m.Add("fleet.dispatches", 60 + id % 5);
     m.Add("fleet.faults", id % 3);
     m.Add("fleet.pucs", id % 2);
+    m.Add("fleet.watchdog_resets", id % 4);
     m.Observe("device.cycles", 100'000 + id * 31);
     m.Observe("device.data_accesses", 4'000 + id * 7);
     m.Observe("device.syscalls", 120 + id % 13);
     m.Observe("device.dispatches", 60 + id % 5);
     m.Observe("device.faults", id % 3);
     m.Observe("device.pucs", id % 2);
+    m.Observe("device.watchdog_resets", id % 4);
     m.Observe("device.battery_upct", 50'000 + id * 11);
     return m;
   };
@@ -334,8 +336,8 @@ TEST(FleetTest, RenderedReportMentionsConfiguration) {
 
 FleetCheckpoint SampleCheckpoint() {
   FleetCheckpoint cp;
-  cp.config_hash = FleetConfigHash(SmallFleet(1));
-  cp.config_text = FleetConfigCanonical(SmallFleet(1));
+  cp.config_hash = FleetConfigHash(SmallFleet(1), 0xF00DF00Dull);
+  cp.config_text = FleetConfigCanonical(SmallFleet(1), 0xF00DF00Dull);
   Machine machine;
   cp.template_snapshot = CaptureSnapshot(machine);
   cp.metrics.Add("fleet.devices", 2);

@@ -1,42 +1,16 @@
 // amuletc: command-line front end to the Amulet Firmware Toolchain.
 //
-//   amuletc [options] name=app.amc [name2=other.amc ...]
-//   amuletc fleet [fleet options]
-//   amuletc trace [trace options] name=app.amc [name2=other.amc ...]
+//   amuletc [options] name=app.amc [name2=other.amc ...]   build firmware
+//   amuletc fleet [fleet options]                          fleet / OTA campaign
+//   amuletc ota-pack [pack options]                        pack an AMFU image
+//   amuletc trace [trace options] name=app.amc [...]       record a trace
 //
-// Build options:
-//   --model none|fl|sw|mpu   isolation model (default: mpu)
-//   --shadow-ret-stack       InfoMem shadow return-address stack (paper §5)
-//   --future-mpu             hypothetical >=4-region MPU (no checks/reconfig)
-//   --zero-shared-stack      rejected design: shared stack + bzero on switch
-//   --hex FILE               write the firmware as Intel HEX (flashable form)
-//   --report                 per-app build report (checks, stack, sizes)
-//   --listing                full firmware listing (map + disassembly)
-//   --run SECONDS            boot under AmuletOS and simulate
-//   --walk                   (with --run) synthesize walking accelerometer data
-//
-// Fleet options (amuletc fleet):
-//   --devices N              number of simulated devices (default: 16)
-//   --apps a,b,c             suite apps to install (default: the full suite)
-//   --model none|fl|sw|mpu   isolation model (default: mpu)
-//   --seed N                 fleet seed; device i uses seed^i (default: 20180711)
-//   --duration SECONDS       simulated time per device (default: 10)
-//   --jobs N                 worker threads (default: hardware concurrency)
-//   --metrics-out FILE       write streaming fleet metrics as JSON
-//   --no-device-stats        streaming aggregation only (O(1) memory per fleet)
-//   --checkpoint FILE        persist a resumable fleet checkpoint (atomic rename)
-//   --checkpoint-every N     checkpoint cadence in completed devices (default: 64)
-//   --resume                 continue from --checkpoint FILE if it exists; only
-//                            devices missing from it are simulated
-//   --verbose                progress lines (devices done, rate, ETA) on stderr
-//
-// Trace options (amuletc trace):
-//   --model none|fl|sw|mpu   isolation model (default: mpu)
-//   --seconds N              simulated seconds to record (default: 2)
-//   --out FILE               trace destination (default: amulet.trace.json)
-//   --validate               parse the emitted JSON back and check span nesting
+// Run `amuletc --help` or `amuletc <subcommand> --help` for the full flag
+// list of each mode. Unknown flags are reported by name together with the
+// subcommand they were passed to.
 //
 // Exit status: 0 on success, 1 on any toolchain or runtime error.
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,24 +23,133 @@
 #include "src/aft/listing.h"
 #include "src/apps/app_sources.h"
 #include "src/asm/ihex.h"
+#include "src/fleet/campaign.h"
 #include "src/fleet/fleet.h"
 #include "src/os/os.h"
+#include "src/ota/image.h"
 #include "src/scope/tracer.h"
 
 namespace {
 
+const char kBuildHelp[] =
+    "usage: amuletc [options] name=app.amc [name2=other.amc ...]\n"
+    "\n"
+    "Compiles AmuletC applications into one isolated firmware image.\n"
+    "\n"
+    "  --model none|fl|sw|mpu  isolation model (default: mpu)\n"
+    "  --shadow-ret-stack      InfoMem shadow return-address stack (paper '5)\n"
+    "  --future-mpu            hypothetical >=4-region MPU (no checks/reconfig)\n"
+    "  --zero-shared-stack     rejected design: shared stack + bzero on switch\n"
+    "  --hex FILE              write the firmware as Intel HEX (flashable form)\n"
+    "  --report                per-app build report (checks, stack, sizes)\n"
+    "  --listing               full firmware listing (map + disassembly)\n"
+    "  --run SECONDS           boot under AmuletOS and simulate\n"
+    "  --walk                  (with --run) synthesize walking accelerometer data\n"
+    "  --help                  show this help\n";
+
+const char kFleetHelp[] =
+    "usage: amuletc fleet [options]\n"
+    "\n"
+    "Simulates a fleet of identical devices in parallel (docs/fleet.md), or a\n"
+    "staged OTA firmware-rollout campaign with --campaign (docs/ota.md).\n"
+    "\n"
+    "  --devices N             number of simulated devices (default: 16)\n"
+    "  --apps a,b,c            suite apps to install (default: the full suite)\n"
+    "  --model none|fl|sw|mpu  isolation model (default: mpu)\n"
+    "  --seed N                fleet seed; device i uses seed^i (default: 20180711)\n"
+    "  --duration SECONDS      simulated time per device (default: 10)\n"
+    "  --jobs N                worker threads (default: hardware concurrency)\n"
+    "  --metrics-out FILE      write streaming fleet metrics as JSON\n"
+    "  --no-device-stats       streaming aggregation only (O(1) memory per fleet)\n"
+    "  --checkpoint FILE       persist a resumable checkpoint (atomic rename)\n"
+    "  --checkpoint-every N    checkpoint cadence in completed devices (default: 64)\n"
+    "  --resume                continue from --checkpoint FILE if it exists; only\n"
+    "                          devices missing from it are simulated\n"
+    "  --verbose               progress lines (devices done, rate, ETA) on stderr\n"
+    "  --help                  show this help\n"
+    "\n"
+    "Campaign options (require --campaign):\n"
+    "  --campaign              staged OTA rollout instead of a plain fleet run\n"
+    "  --to-apps a,b,c         app list of the new firmware (default: same as --apps)\n"
+    "  --from-version N        firmware version the fleet starts on (default: 1)\n"
+    "  --to-version N          firmware version being rolled out (default: 2)\n"
+    "  --stages 5,50,100       cumulative rollout percents (default: 5,50,100)\n"
+    "  --stage-abort RATE      per-stage failure-rate abort threshold in [0,1]\n"
+    "                          (default: 0.25)\n"
+    "  --health-ms N           post-activation health window (default: 1000)\n"
+    "  --storm N               watchdog resets inside the window that trigger\n"
+    "                          rollback (default: 3)\n"
+    "  --rollout-seed N        seeded device ordering (default: 0xB007)\n"
+    "  --key HEX16             fleet MAC key as 16 hex digits\n"
+    "  --image FILE            deploy this packed AMFU container instead of\n"
+    "                          packing --to-apps (see amuletc ota-pack)\n";
+
+const char kOtaPackHelp[] =
+    "usage: amuletc ota-pack --out FILE [options] [name=app.amc ...]\n"
+    "\n"
+    "Builds firmware and packs it into an authenticated AMFU OTA container\n"
+    "(docs/ota.md): fixed header, keyed MAC over the payload, FNV-1a transport\n"
+    "checks. The output feeds `amuletc fleet --campaign --image FILE`.\n"
+    "\n"
+    "  --out FILE              container destination (required)\n"
+    "  --apps a,b,c            suite apps to build (combined with name=path args)\n"
+    "  --model none|fl|sw|mpu  isolation model (default: mpu)\n"
+    "  --fw-version N          firmware version stamped in the header (default: 2)\n"
+    "  --key HEX16             fleet MAC key as 16 hex digits (default: built-in)\n"
+    "  --tamper-bit N          attacker model: flip bit N of the authenticated\n"
+    "                          content (MAC bits [0,64), payload bits 64+) and\n"
+    "                          re-fix the transport checksums\n"
+    "  --help                  show this help\n";
+
+const char kTraceHelp[] =
+    "usage: amuletc trace [options] name=app.amc [name2=other.amc ...]\n"
+    "\n"
+    "Boots the app(s) with an event tracer attached, simulates, and emits the\n"
+    "recording as Chrome trace-event JSON (docs/observability.md).\n"
+    "\n"
+    "  --model none|fl|sw|mpu  isolation model (default: mpu)\n"
+    "  --seconds N             simulated seconds to record (default: 2)\n"
+    "  --out FILE              trace destination (default: amulet.trace.json)\n"
+    "  --validate              parse the emitted JSON back and check span nesting\n"
+    "  --help                  show this help\n";
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--model none|fl|sw|mpu] [--shadow-ret-stack] [--future-mpu]\n"
-               "          [--zero-shared-stack] [--hex FILE] [--report] [--listing]\n"
-               "          [--run SECONDS] [--walk] name=app.amc [name2=other.amc ...]\n"
-               "       %s fleet [--devices N] [--apps a,b,c] [--model none|fl|sw|mpu]\n"
-               "          [--seed N] [--duration SECONDS] [--jobs N] [--metrics-out FILE]\n"
-               "          [--no-device-stats] [--checkpoint FILE] [--checkpoint-every N]\n"
-               "          [--resume] [--verbose]\n"
-               "       %s trace [--model none|fl|sw|mpu] [--seconds N] [--out FILE]\n"
-               "          [--validate] name=app.amc [name2=other.amc ...]\n",
-               argv0, argv0, argv0);
+               "usage: %s [options] name=app.amc [...]    build firmware\n"
+               "       %s fleet [options]                 fleet / OTA campaign\n"
+               "       %s ota-pack [options]              pack an AMFU image\n"
+               "       %s trace [options] name=app.amc    record a trace\n"
+               "run '%s <subcommand> --help' for per-subcommand options\n",
+               argv0, argv0, argv0, argv0, argv0);
+  return 1;
+}
+
+// Uniform flag diagnostics: every parse error names the subcommand it came
+// from and points at its --help. The default build mode has no subcommand
+// word, so its errors read "amuletc: ..." / "see 'amuletc --help'".
+std::string CommandName(const char* subcommand) {
+  return std::strcmp(subcommand, "build") == 0 ? "amuletc"
+                                               : std::string("amuletc ") + subcommand;
+}
+
+int UnknownFlag(const char* subcommand, const std::string& flag) {
+  const std::string cmd = CommandName(subcommand);
+  std::fprintf(stderr, "%s: unknown flag '%s' (see '%s --help')\n", cmd.c_str(),
+               flag.c_str(), cmd.c_str());
+  return 1;
+}
+
+int MissingValue(const char* subcommand, const std::string& flag) {
+  const std::string cmd = CommandName(subcommand);
+  std::fprintf(stderr, "%s: flag '%s' requires a value (see '%s --help')\n", cmd.c_str(),
+               flag.c_str(), cmd.c_str());
+  return 1;
+}
+
+int BadValue(const char* subcommand, const std::string& flag, const char* value) {
+  const std::string cmd = CommandName(subcommand);
+  std::fprintf(stderr, "%s: bad value '%s' for flag '%s' (see '%s --help')\n", cmd.c_str(),
+               value, flag.c_str(), cmd.c_str());
   return 1;
 }
 
@@ -85,6 +168,23 @@ bool ParseModel(const std::string& model, amulet::MemoryModel* out) {
   return true;
 }
 
+// 16 hex digits -> the four 16-bit MAC key words.
+bool ParseKeyHex(const std::string& hex, amulet::OtaKey* key) {
+  if (hex.size() != 16) {
+    return false;
+  }
+  for (char c : hex) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  for (int w = 0; w < 4; ++w) {
+    key->words[w] = static_cast<uint16_t>(
+        std::strtoul(hex.substr(static_cast<size_t>(w) * 4, 4).c_str(), nullptr, 16));
+  }
+  return true;
+}
+
 std::vector<std::string> SplitCommas(const std::string& list) {
   std::vector<std::string> parts;
   std::string part;
@@ -97,95 +197,313 @@ std::vector<std::string> SplitCommas(const std::string& list) {
   return parts;
 }
 
+// Resolves suite app names (the nine deployed apps plus the benchmark and
+// test apps) to sources, mirroring what the fleet engine accepts.
+bool AppendSuiteApps(const char* subcommand, const std::vector<std::string>& names,
+                     std::vector<amulet::AppSource>* out) {
+  for (const std::string& name : names) {
+    const amulet::AppSpec* found = nullptr;
+    for (const amulet::AppSpec& app : amulet::AmuletAppSuite()) {
+      if (app.name == name) {
+        found = &app;
+      }
+    }
+    for (const amulet::AppSpec* extra :
+         {&amulet::SyntheticApp(), &amulet::ActivityApp(), &amulet::QuicksortApp(),
+          &amulet::CrasherApp()}) {
+      if (extra->name == name) {
+        found = extra;
+      }
+    }
+    if (found == nullptr) {
+      std::fprintf(stderr, "amuletc %s: unknown suite app '%s'\n", subcommand,
+                   name.c_str());
+      return false;
+    }
+    out->push_back({found->name, found->source});
+  }
+  return true;
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string& s = contents.str();
+  out->assign(s.begin(), s.end());
+  return true;
+}
+
 // `amuletc fleet`: build the requested app mix once, then simulate a fleet of
-// devices in parallel and print the aggregate report.
+// devices in parallel — or, with --campaign, run a staged OTA rollout — and
+// print the aggregate report.
 int RunFleetCommand(const char* argv0, int argc, char** argv) {
-  amulet::FleetConfig config;
+  (void)argv0;
+  amulet::CampaignConfig campaign;
+  amulet::FleetConfig& config = campaign.fleet;
   std::string metrics_path;
+  std::string image_path;
   bool resume = false;
+  bool campaign_mode = false;
+  double stage_abort = -1;  // < 0: keep the per-stage default
+  std::string first_campaign_flag;  // campaign flag seen without --campaign
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
-    if (arg == "--devices") {
+    auto campaign_flag = [&] {
+      if (first_campaign_flag.empty()) {
+        first_campaign_flag = arg;
+      }
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kFleetHelp, stdout);
+      return 0;
+    } else if (arg == "--devices") {
       const char* value = next();
-      if (value == nullptr || std::strtol(value, nullptr, 10) <= 0) {
-        return Usage(argv0);
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      if (std::strtol(value, nullptr, 10) <= 0) {
+        return BadValue("fleet", arg, value);
       }
       config.device_count = static_cast<int>(std::strtol(value, nullptr, 10));
     } else if (arg == "--apps") {
       const char* value = next();
       if (value == nullptr) {
-        return Usage(argv0);
+        return MissingValue("fleet", arg);
       }
       config.apps = SplitCommas(value);
     } else if (arg == "--model") {
       const char* value = next();
-      if (value == nullptr || !ParseModel(value, &config.model)) {
-        return Usage(argv0);
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      if (!ParseModel(value, &config.model)) {
+        return BadValue("fleet", arg, value);
       }
     } else if (arg == "--seed") {
       const char* value = next();
       if (value == nullptr) {
-        return Usage(argv0);
+        return MissingValue("fleet", arg);
       }
       config.fleet_seed = static_cast<uint32_t>(std::strtoul(value, nullptr, 0));
     } else if (arg == "--duration") {
       const char* value = next();
-      if (value == nullptr || std::strtol(value, nullptr, 10) <= 0) {
-        return Usage(argv0);
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      if (std::strtol(value, nullptr, 10) <= 0) {
+        return BadValue("fleet", arg, value);
       }
       config.sim_ms = static_cast<uint64_t>(std::strtol(value, nullptr, 10)) * 1000;
     } else if (arg == "--jobs") {
       const char* value = next();
-      if (value == nullptr || std::strtol(value, nullptr, 10) <= 0) {
-        return Usage(argv0);
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      if (std::strtol(value, nullptr, 10) <= 0) {
+        return BadValue("fleet", arg, value);
       }
       config.jobs = static_cast<int>(std::strtol(value, nullptr, 10));
     } else if (arg == "--metrics-out" || arg.rfind("--metrics-out=", 0) == 0) {
       if (arg == "--metrics-out") {
         const char* value = next();
         if (value == nullptr) {
-          return Usage(argv0);
+          return MissingValue("fleet", arg);
         }
         metrics_path = value;
       } else {
         metrics_path = arg.substr(std::strlen("--metrics-out="));
       }
       if (metrics_path.empty()) {
-        return Usage(argv0);
+        return MissingValue("fleet", "--metrics-out");
       }
     } else if (arg == "--no-device-stats") {
       config.retain_device_stats = false;
     } else if (arg == "--checkpoint") {
       const char* value = next();
       if (value == nullptr || value[0] == '\0') {
-        return Usage(argv0);
+        return MissingValue("fleet", arg);
       }
       config.checkpoint_path = value;
     } else if (arg == "--checkpoint-every") {
       const char* value = next();
-      if (value == nullptr || std::strtol(value, nullptr, 10) <= 0) {
-        return Usage(argv0);
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      if (std::strtol(value, nullptr, 10) <= 0) {
+        return BadValue("fleet", arg, value);
       }
       config.checkpoint_every_devices = static_cast<int>(std::strtol(value, nullptr, 10));
     } else if (arg == "--resume") {
       resume = true;
     } else if (arg == "--verbose") {
       config.verbosity = 1;
+    } else if (arg == "--campaign") {
+      campaign_mode = true;
+    } else if (arg == "--to-apps") {
+      campaign_flag();
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      campaign.to_apps = SplitCommas(value);
+    } else if (arg == "--from-version") {
+      campaign_flag();
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      campaign.from_version = static_cast<uint32_t>(std::strtoul(value, nullptr, 0));
+    } else if (arg == "--to-version") {
+      campaign_flag();
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      campaign.to_version = static_cast<uint32_t>(std::strtoul(value, nullptr, 0));
+    } else if (arg == "--stages") {
+      campaign_flag();
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      campaign.stages.clear();
+      for (const std::string& part : SplitCommas(value)) {
+        const long percent = std::strtol(part.c_str(), nullptr, 10);
+        if (percent <= 0 || percent > 100) {
+          return BadValue("fleet", arg, value);
+        }
+        amulet::CampaignStage stage;
+        stage.percent = static_cast<int>(percent);
+        campaign.stages.push_back(stage);
+      }
+      if (campaign.stages.empty()) {
+        return BadValue("fleet", arg, value);
+      }
+    } else if (arg == "--stage-abort") {
+      campaign_flag();
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      char* end = nullptr;
+      stage_abort = std::strtod(value, &end);
+      if (end == value || *end != '\0' || stage_abort < 0 || stage_abort > 1) {
+        return BadValue("fleet", arg, value);
+      }
+    } else if (arg == "--health-ms") {
+      campaign_flag();
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      if (std::strtol(value, nullptr, 10) <= 0) {
+        return BadValue("fleet", arg, value);
+      }
+      campaign.health_ms = static_cast<uint64_t>(std::strtol(value, nullptr, 10));
+    } else if (arg == "--storm") {
+      campaign_flag();
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      if (std::strtol(value, nullptr, 10) <= 0) {
+        return BadValue("fleet", arg, value);
+      }
+      campaign.storm_threshold = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (arg == "--rollout-seed") {
+      campaign_flag();
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      campaign.rollout_seed = static_cast<uint32_t>(std::strtoul(value, nullptr, 0));
+    } else if (arg == "--key") {
+      campaign_flag();
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      if (!ParseKeyHex(value, &campaign.key)) {
+        return BadValue("fleet", arg, value);
+      }
+    } else if (arg == "--image") {
+      campaign_flag();
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      image_path = value;
     } else {
-      std::fprintf(stderr, "unknown fleet option: %s\n", arg.c_str());
-      return Usage(argv0);
+      return UnknownFlag("fleet", arg);
     }
   }
+  if (stage_abort >= 0) {
+    // Applies to every stage, whether --stages came before, after, or not at
+    // all (then it customizes the default 5/50/100 staging).
+    if (campaign.stages.empty()) {
+      campaign.stages = {{5, stage_abort}, {50, stage_abort}, {100, stage_abort}};
+    } else {
+      for (amulet::CampaignStage& stage : campaign.stages) {
+        stage.max_failure_rate = stage_abort;
+      }
+    }
+  }
+  if (!campaign_mode && !first_campaign_flag.empty()) {
+    std::fprintf(stderr, "amuletc fleet: flag '%s' requires --campaign\n",
+                 first_campaign_flag.c_str());
+    return 1;
+  }
   if (resume && config.checkpoint_path.empty()) {
-    std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
-    return Usage(argv0);
+    std::fprintf(stderr, "amuletc fleet: --resume requires --checkpoint FILE\n");
+    return 1;
   }
   if (config.apps.empty()) {
     for (const amulet::AppSpec& app : amulet::AmuletAppSuite()) {
       config.apps.push_back(app.name);
     }
   }
+
+  if (campaign_mode) {
+    if (!image_path.empty() && !ReadFileBytes(image_path, &campaign.image_override)) {
+      std::fprintf(stderr, "amuletc fleet: cannot read --image %s\n", image_path.c_str());
+      return 1;
+    }
+    amulet::Result<amulet::CampaignReport> report =
+        [&]() -> amulet::Result<amulet::CampaignReport> {
+      if (resume) {
+        amulet::Result<amulet::CampaignReport> resumed = amulet::ResumeCampaign(campaign);
+        if (resumed.ok() || resumed.status().code() != amulet::StatusCode::kNotFound) {
+          return resumed;
+        }
+        std::fprintf(stderr, "amuletc fleet: no checkpoint at %s, starting fresh\n",
+                     config.checkpoint_path.c_str());
+      }
+      return amulet::RunCampaign(campaign);
+    }();
+    if (!report.ok()) {
+      std::fprintf(stderr, "amuletc fleet: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", amulet::RenderCampaignReport(*report).c_str());
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      out << report->metrics.ToJson();
+      std::printf("wrote campaign metrics to %s\n", metrics_path.c_str());
+    }
+    // An aborted campaign still printed its report; reflect the abort in the
+    // exit status so rollout scripts can halt their own pipelines.
+    return report->aborted_stage >= 0 ? 2 : 0;
+  }
+
   amulet::Result<amulet::FleetReport> report = [&]() -> amulet::Result<amulet::FleetReport> {
     if (resume) {
       amulet::Result<amulet::FleetReport> resumed = amulet::ResumeFleet(config);
@@ -215,6 +533,132 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
   return 0;
 }
 
+// `amuletc ota-pack`: build firmware from suite apps and/or name=path
+// sources, authenticate it with the fleet key, and write the AMFU container.
+int RunOtaPackCommand(const char* argv0, int argc, char** argv) {
+  (void)argv0;
+  amulet::AftOptions options;
+  std::string out_path;
+  uint32_t fw_version = 2;
+  amulet::OtaKey key;
+  long tamper_bit = -1;
+  std::vector<std::string> suite_names;
+  std::vector<amulet::AppSource> apps;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kOtaPackHelp, stdout);
+      return 0;
+    } else if (arg == "--out") {
+      const char* value = next();
+      if (value == nullptr || value[0] == '\0') {
+        return MissingValue("ota-pack", arg);
+      }
+      out_path = value;
+    } else if (arg == "--apps") {
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("ota-pack", arg);
+      }
+      suite_names = SplitCommas(value);
+    } else if (arg == "--model") {
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("ota-pack", arg);
+      }
+      if (!ParseModel(value, &options.model)) {
+        return BadValue("ota-pack", arg, value);
+      }
+    } else if (arg == "--fw-version") {
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("ota-pack", arg);
+      }
+      fw_version = static_cast<uint32_t>(std::strtoul(value, nullptr, 0));
+    } else if (arg == "--key") {
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("ota-pack", arg);
+      }
+      if (!ParseKeyHex(value, &key)) {
+        return BadValue("ota-pack", arg, value);
+      }
+    } else if (arg == "--tamper-bit") {
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("ota-pack", arg);
+      }
+      tamper_bit = std::strtol(value, nullptr, 10);
+      if (tamper_bit < 0) {
+        return BadValue("ota-pack", arg, value);
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return UnknownFlag("ota-pack", arg);
+    } else {
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "amuletc ota-pack: app arguments take the form name=path: %s\n",
+                     arg.c_str());
+        return 1;
+      }
+      std::ifstream file(arg.substr(eq + 1));
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", arg.substr(eq + 1).c_str());
+        return 1;
+      }
+      std::ostringstream contents;
+      contents << file.rdbuf();
+      apps.push_back({arg.substr(0, eq), contents.str()});
+    }
+  }
+  if (out_path.empty()) {
+    std::fprintf(stderr, "amuletc ota-pack: --out FILE is required (see 'amuletc ota-pack --help')\n");
+    return 1;
+  }
+  if (!AppendSuiteApps("ota-pack", suite_names, &apps)) {
+    return 1;
+  }
+  if (apps.empty()) {
+    std::fprintf(stderr,
+                 "amuletc ota-pack: nothing to pack; pass --apps and/or name=path "
+                 "arguments (see 'amuletc ota-pack --help')\n");
+    return 1;
+  }
+
+  auto firmware = amulet::BuildFirmware(apps, options);
+  if (!firmware.ok()) {
+    std::fprintf(stderr, "amuletc ota-pack: %s\n", firmware.status().ToString().c_str());
+    return 1;
+  }
+  const amulet::OtaImage image =
+      amulet::PackOtaImage(firmware->image, fw_version, options.model, key);
+  std::vector<uint8_t> bytes = amulet::EncodeOtaImage(image);
+  if (tamper_bit >= 0) {
+    auto tampered = amulet::TamperOtaImage(bytes, static_cast<size_t>(tamper_bit));
+    if (!tampered.ok()) {
+      std::fprintf(stderr, "amuletc ota-pack: %s\n", tampered.status().ToString().c_str());
+      return 1;
+    }
+    bytes = *tampered;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  std::printf("packed %zu app(s) under %s into %s: fw v%u, %zu payload byte(s), "
+              "%zu container byte(s), mac %04x%04x%04x%04x%s\n",
+              apps.size(), std::string(amulet::MemoryModelName(options.model)).c_str(),
+              out_path.c_str(), fw_version, image.payload.size(), bytes.size(),
+              image.mac.words[0], image.mac.words[1], image.mac.words[2],
+              image.mac.words[3], tamper_bit >= 0 ? " (TAMPERED)" : "");
+  return 0;
+}
+
 // `amuletc trace`: boot the app(s) with an event tracer attached, simulate,
 // and emit the recording as Chrome trace-event JSON (loadable in Perfetto or
 // chrome://tracing). --validate re-parses the emitted bytes with the native
@@ -228,28 +672,36 @@ int RunTraceCommand(const char* argv0, int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
-    if (arg == "--model") {
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kTraceHelp, stdout);
+      return 0;
+    } else if (arg == "--model") {
       const char* value = next();
-      if (value == nullptr || !ParseModel(value, &options.model)) {
-        return Usage(argv0);
+      if (value == nullptr) {
+        return MissingValue("trace", arg);
+      }
+      if (!ParseModel(value, &options.model)) {
+        return BadValue("trace", arg, value);
       }
     } else if (arg == "--seconds") {
       const char* value = next();
-      if (value == nullptr || std::strtol(value, nullptr, 10) <= 0) {
-        return Usage(argv0);
+      if (value == nullptr) {
+        return MissingValue("trace", arg);
+      }
+      if (std::strtol(value, nullptr, 10) <= 0) {
+        return BadValue("trace", arg, value);
       }
       seconds = std::strtol(value, nullptr, 10);
     } else if (arg == "--out") {
       const char* value = next();
       if (value == nullptr) {
-        return Usage(argv0);
+        return MissingValue("trace", arg);
       }
       out_path = value;
     } else if (arg == "--validate") {
       validate = true;
     } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown trace option: %s\n", arg.c_str());
-      return Usage(argv0);
+      return UnknownFlag("trace", arg);
     } else {
       size_t eq = arg.find('=');
       if (eq == std::string::npos) {
@@ -321,8 +773,16 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "fleet") == 0) {
     return RunFleetCommand(argv[0], argc - 2, argv + 2);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "ota-pack") == 0) {
+    return RunOtaPackCommand(argv[0], argc - 2, argv + 2);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "trace") == 0) {
     return RunTraceCommand(argv[0], argc - 2, argv + 2);
+  }
+  if (argc >= 2 &&
+      (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0)) {
+    std::fputs(kBuildHelp, stdout);
+    return 0;
   }
 
   amulet::AftOptions options;
@@ -337,19 +797,10 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--model") {
       if (++i >= argc) {
-        return Usage(argv[0]);
+        return MissingValue("build", arg);
       }
-      std::string model = argv[i];
-      if (model == "none") {
-        options.model = amulet::MemoryModel::kNoIsolation;
-      } else if (model == "fl") {
-        options.model = amulet::MemoryModel::kFeatureLimited;
-      } else if (model == "sw") {
-        options.model = amulet::MemoryModel::kSoftwareOnly;
-      } else if (model == "mpu") {
-        options.model = amulet::MemoryModel::kMpu;
-      } else {
-        return Usage(argv[0]);
+      if (!ParseModel(argv[i], &options.model)) {
+        return BadValue("build", arg, argv[i]);
       }
     } else if (arg == "--shadow-ret-stack") {
       options.shadow_return_stack = true;
@@ -359,7 +810,7 @@ int main(int argc, char** argv) {
       options.zero_shared_stack = true;
     } else if (arg == "--hex") {
       if (++i >= argc) {
-        return Usage(argv[0]);
+        return MissingValue("build", arg);
       }
       hex_path = argv[i];
     } else if (arg == "--report") {
@@ -370,15 +821,14 @@ int main(int argc, char** argv) {
       walk = true;
     } else if (arg == "--run") {
       if (++i >= argc) {
-        return Usage(argv[0]);
+        return MissingValue("build", arg);
       }
       run_seconds = std::strtol(argv[i], nullptr, 10);
       if (run_seconds <= 0) {
-        return Usage(argv[0]);
+        return BadValue("build", arg, argv[i]);
       }
     } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return Usage(argv[0]);
+      return UnknownFlag("build", arg);
     } else {
       size_t eq = arg.find('=');
       if (eq == std::string::npos) {
