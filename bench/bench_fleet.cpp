@@ -89,6 +89,19 @@ int Run() {
     json.Scalar("snapshot_bytes", static_cast<double>(snapshot.bytes.size()));
   }
 
+  // Setup (firmware build + amortization probe) ends here; wall_seconds in
+  // the JSON covers only the fleet runs below.
+  json.ResetTimer();
+
+  // Host-side simulation throughput for one fleet run: simulated MIPS
+  // (instructions retired / wall second) and raw instruction count.
+  auto sim_mips = [](const FleetReport& report) {
+    return report.run_seconds > 0
+               ? static_cast<double>(report.aggregate.total_instructions) /
+                     report.run_seconds / 1e6
+               : 0.0;
+  };
+
   // Serial reference.
   auto serial = RunFleet(BenchConfig(1));
   if (!serial.ok()) {
@@ -96,12 +109,15 @@ int Run() {
     return 1;
   }
   const std::string reference_digest = FleetDigest(*serial);
-  std::printf("serial (1 thread):   run %7.3f s\n", serial->run_seconds);
+  std::printf("serial (1 thread):   run %7.3f s  %7.2f sim-MIPS\n", serial->run_seconds,
+              sim_mips(*serial));
   json.Row();
   json.Field("jobs", static_cast<uint64_t>(1));
   json.Field("run_seconds", serial->run_seconds);
   json.Field("speedup", 1.0);
   json.Field("bit_identical", static_cast<uint64_t>(1));
+  json.Field("instructions", serial->aggregate.total_instructions);
+  json.Field("sim_mips", sim_mips(*serial));
 
   // Parallel runs; every digest must match the serial reference exactly.
   bool all_identical = true;
@@ -118,14 +134,16 @@ int Run() {
     const double speedup =
         parallel->run_seconds > 0 ? serial->run_seconds / parallel->run_seconds : 0.0;
     best_speedup = std::max(best_speedup, speedup);
-    std::printf("parallel (%d threads): run %7.3f s  speedup %5.2fx  aggregates %s\n", jobs,
-                parallel->run_seconds, speedup,
+    std::printf("parallel (%d threads): run %7.3f s  speedup %5.2fx  %7.2f sim-MIPS  aggregates %s\n",
+                jobs, parallel->run_seconds, speedup, sim_mips(*parallel),
                 identical ? "bit-identical" : "DIVERGED from serial");
     json.Row();
     json.Field("jobs", static_cast<uint64_t>(jobs));
     json.Field("run_seconds", parallel->run_seconds);
     json.Field("speedup", speedup);
     json.Field("bit_identical", static_cast<uint64_t>(identical ? 1 : 0));
+    json.Field("instructions", parallel->aggregate.total_instructions);
+    json.Field("sim_mips", sim_mips(*parallel));
   }
 
   // Checkpoint overhead + kill/resume digest identity.

@@ -90,6 +90,11 @@ class BenchJson {
   explicit BenchJson(std::string bench_name)
       : name_(std::move(bench_name)), t0_(std::chrono::steady_clock::now()) {}
 
+  // Restarts the wall clock. Benchmarks call this after their setup phase
+  // (firmware builds, template boots) so wall_seconds measures only the
+  // timed region; previously setup time was silently folded in.
+  void ResetTimer() { t0_ = std::chrono::steady_clock::now(); }
+
   void Scalar(const std::string& key, double value) {
     scalars_.emplace_back(key, Number(value));
   }
@@ -109,8 +114,9 @@ class BenchJson {
     rows_.back().emplace_back(key, Quote(value));
   }
 
-  // Writes BENCH_<name>.json (adding wall_seconds since construction).
-  // Returns false and warns on I/O failure; benchmarks keep their exit code.
+  // Writes BENCH_<name>.json (adding wall_seconds since construction or the
+  // last ResetTimer). Returns false and warns on I/O failure; benchmarks
+  // keep their exit code.
   bool Write() {
     Scalar("wall_seconds",
            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count());

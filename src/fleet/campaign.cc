@@ -103,6 +103,7 @@ void AddStats(DeviceStats* into, const DeviceStats& delta) {
   into->faults += delta.faults;
   into->pucs += delta.pucs;
   into->watchdog_resets += delta.watchdog_resets;
+  into->instructions += delta.instructions;
 }
 
 void RecordCampaignDeviceMetrics(const CampaignDeviceRow& row, MetricRegistry* m) {
@@ -155,14 +156,15 @@ Status RunCampaignDevice(int device_id, const CampaignContext& ctx,
   ASSIGN_OR_RETURN(std::unique_ptr<ClonedDevice> device,
                    ClonedDevice::Clone(device_seed, config.fleet.fram_wait_states,
                                        *ctx.firmware_from, *ctx.snapshot_from,
-                                       *ctx.booted_from));
+                                       *ctx.booted_from, config.fleet.predecode));
   RETURN_IF_ERROR(device->Run(config.fleet.sim_ms, ctx.regions_from, &row->stats));
 
   // Phase 2: the bootloader verifies the staged image's MAC as simulated
   // MSP430 code; the cycle cost is this device's genuine verification bill.
   ASSIGN_OR_RETURN(
       MacVerifyRun verify,
-      SimulateImageVerify(*ctx.deploy, config.key, config.fleet.fram_wait_states));
+      SimulateImageVerify(*ctx.deploy, config.key, config.fleet.fram_wait_states,
+                          config.fleet.predecode));
   row->verify_cycles = verify.cycles;
   uint64_t span_ms = config.fleet.sim_ms;
 
@@ -176,7 +178,7 @@ Status RunCampaignDevice(int device_id, const CampaignContext& ctx,
     ASSIGN_OR_RETURN(std::unique_ptr<ClonedDevice> updated,
                      ClonedDevice::Clone(health_seed, config.fleet.fram_wait_states,
                                          *ctx.firmware_to, *ctx.snapshot_to,
-                                         *ctx.booted_to));
+                                         *ctx.booted_to, config.fleet.predecode));
     BlData bl;
     bl.active_bank = 1;
     bl.attempt_count = 1;
@@ -266,10 +268,12 @@ Result<CampaignReport> RunCampaignImpl(const CampaignConfig& config_in,
   template_options.fault_policy = FaultPolicy::kRestartApp;
   template_options.sensor_seed = config.fleet.fleet_seed;
   Machine template_machine_from;
+  template_machine_from.cpu().set_predecode(config.fleet.predecode);
   AmuletOs template_os_from(&template_machine_from, firmware_from, template_options);
   RETURN_IF_ERROR(template_os_from.Boot());
   const MachineSnapshot snapshot_from = CaptureSnapshot(template_machine_from);
   Machine template_machine_to;
+  template_machine_to.cpu().set_predecode(config.fleet.predecode);
   AmuletOs template_os_to(&template_machine_to, firmware_to, template_options);
   RETURN_IF_ERROR(template_os_to.Boot());
   const MachineSnapshot snapshot_to = CaptureSnapshot(template_machine_to);
@@ -595,7 +599,7 @@ std::string CampaignDigest(const CampaignReport& report) {
   std::string out;
   for (const CampaignDeviceRow& row : report.devices) {
     const DeviceStats& d = row.stats;
-    out += StrFormat("d%d:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%a,o%d,v%u,vc%llu\n",
+    out += StrFormat("d%d:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%a,o%d,v%u,vc%llu\n",
                      d.device_id, static_cast<unsigned long long>(d.cycles),
                      static_cast<unsigned long long>(d.data_accesses),
                      static_cast<unsigned long long>(d.syscalls),
@@ -603,6 +607,7 @@ std::string CampaignDigest(const CampaignReport& report) {
                      static_cast<unsigned long long>(d.faults),
                      static_cast<unsigned long long>(d.pucs),
                      static_cast<unsigned long long>(d.watchdog_resets),
+                     static_cast<unsigned long long>(d.instructions),
                      d.battery_impact_percent, static_cast<int>(row.outcome),
                      row.firmware_version,
                      static_cast<unsigned long long>(row.verify_cycles));

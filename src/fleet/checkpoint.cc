@@ -88,6 +88,7 @@ std::vector<uint8_t> EncodeFleetCheckpoint(const FleetCheckpoint& checkpoint) {
     w.U64(d.faults);
     w.U64(d.pucs);
     w.U64(d.watchdog_resets);
+    w.U64(d.instructions);
     w.F64(d.battery_impact_percent);
   }
   w.EndSection();
@@ -143,6 +144,12 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
           "fleet checkpoint version 1 was written by an older build and cannot be "
           "resumed (v2 added firmware hashing, watchdog counters, and an integrity "
           "checksum); delete the checkpoint and re-run without --resume");
+    }
+    if (version == 2) {
+      return InvalidArgumentError(
+          "fleet checkpoint version 2 was written by an older build and cannot be "
+          "resumed (v3 added the instructions-retired column to device rows); delete "
+          "the checkpoint and re-run without --resume");
     }
     if (version != kFleetCheckpointVersion) {
       return InvalidArgumentError(
@@ -206,6 +213,7 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
     d.faults = r.U64();
     d.pucs = r.U64();
     d.watchdog_resets = r.U64();
+    d.instructions = r.U64();
     d.battery_impact_percent = r.F64();
     out.devices.push_back(d);
   }

@@ -23,8 +23,9 @@
 //                   cycle cost
 //
 // Version history: v1 (PR 1-3) had no kind byte, no integrity trailer, no
-// watchdog_resets column, and no campaign section. v2 files are not
-// readable by v1 builds and vice versa; decoding a v1 file returns a clear
+// watchdog_resets column, and no campaign section. v3 added the
+// instructions-retired column to device rows. Files are only readable by
+// builds of the same version; decoding an older file returns a clear
 // InvalidArgumentError telling the caller to re-run without --resume.
 //
 // Every decode failure — bad magic, unsupported version, truncation,
@@ -44,7 +45,7 @@
 namespace amulet {
 
 inline constexpr uint32_t kFleetCheckpointMagic = 0x43464D41;  // "AMFC"
-inline constexpr uint32_t kFleetCheckpointVersion = 2;
+inline constexpr uint32_t kFleetCheckpointVersion = 3;
 
 // What produced the checkpoint; a fleet resume rejects campaign checkpoints
 // and vice versa.

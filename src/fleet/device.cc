@@ -88,9 +88,11 @@ Result<std::unique_ptr<ClonedDevice>> ClonedDevice::Clone(uint32_t device_seed,
                                                           int fram_wait_states,
                                                           const Firmware& firmware,
                                                           const MachineSnapshot& snapshot,
-                                                          const AmuletOs& booted) {
+                                                          const AmuletOs& booted,
+                                                          bool predecode) {
   std::unique_ptr<ClonedDevice> device(
       new ClonedDevice(firmware, fram_wait_states, device_seed));
+  device->machine_.cpu().set_predecode(predecode);
   RETURN_IF_ERROR(device->os_.BootFromSnapshot(snapshot, booted));
   // The clone carries the template's sensor/RNG state; apply this device's
   // identity before any event is delivered.
@@ -110,6 +112,7 @@ Status ClonedDevice::Run(uint64_t sim_ms, const DataRegions& regions, DeviceStat
   // Deltas relative to the call point, so neither the template's boot cost
   // nor a previous phase of the same device leaks into this span's numbers.
   const uint64_t cycles_before = machine_.cpu().cycle_count();
+  const uint64_t instructions_before = machine_.cpu().instruction_count();
   const uint64_t syscalls_before = machine_.hostio().syscall_count();
   const uint64_t pucs_before = machine_.puc_count();
   const uint64_t wdt_before = machine_.watchdog().expiries();
@@ -126,6 +129,7 @@ Status ClonedDevice::Run(uint64_t sim_ms, const DataRegions& regions, DeviceStat
   RETURN_IF_ERROR(run_status);
 
   out->cycles += machine_.cpu().cycle_count() - cycles_before;
+  out->instructions += machine_.cpu().instruction_count() - instructions_before;
   out->data_accesses += data_accesses;
   out->syscalls += machine_.hostio().syscall_count() - syscalls_before;
   out->pucs += machine_.puc_count() - pucs_before;
@@ -172,6 +176,7 @@ void RecordDeviceMetrics(const DeviceStats& stats, MetricRegistry* m) {
   m->Add("fleet.faults", stats.faults);
   m->Add("fleet.pucs", stats.pucs);
   m->Add("fleet.watchdog_resets", stats.watchdog_resets);
+  m->Add("fleet.instructions", stats.instructions);
   m->Observe("device.cycles", stats.cycles);
   m->Observe("device.data_accesses", stats.data_accesses);
   m->Observe("device.syscalls", stats.syscalls);
@@ -179,6 +184,7 @@ void RecordDeviceMetrics(const DeviceStats& stats, MetricRegistry* m) {
   m->Observe("device.faults", stats.faults);
   m->Observe("device.pucs", stats.pucs);
   m->Observe("device.watchdog_resets", stats.watchdog_resets);
+  m->Observe("device.instructions", stats.instructions);
   m->Observe("device.battery_upct", BatteryMicroPercent(stats.battery_impact_percent));
 }
 

@@ -59,11 +59,14 @@ struct DataRegions {
 // runs.
 class ClonedDevice {
  public:
+  // `predecode` selects the CPU execution path (fast cache vs reference
+  // interpreter); counters and digests are bit-identical either way.
   static Result<std::unique_ptr<ClonedDevice>> Clone(uint32_t device_seed,
                                                      int fram_wait_states,
                                                      const Firmware& firmware,
                                                      const MachineSnapshot& snapshot,
-                                                     const AmuletOs& booted);
+                                                     const AmuletOs& booted,
+                                                     bool predecode = true);
 
   Machine& machine() { return machine_; }
 

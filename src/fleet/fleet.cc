@@ -33,9 +33,9 @@ Status RunDevice(int device_id, const FleetConfig& config, const Firmware& firmw
                  const MachineSnapshot& snapshot, const AmuletOs& booted,
                  const DataRegions& regions, DeviceStats* out) {
   const uint32_t device_seed = config.fleet_seed ^ static_cast<uint32_t>(device_id);
-  ASSIGN_OR_RETURN(
-      std::unique_ptr<ClonedDevice> device,
-      ClonedDevice::Clone(device_seed, config.fram_wait_states, firmware, snapshot, booted));
+  ASSIGN_OR_RETURN(std::unique_ptr<ClonedDevice> device,
+                   ClonedDevice::Clone(device_seed, config.fram_wait_states, firmware,
+                                       snapshot, booted, config.predecode));
   DeviceStats stats;
   stats.device_id = device_id;
   RETURN_IF_ERROR(device->Run(config.sim_ms, regions, &stats));
@@ -50,7 +50,7 @@ using fleet_internal::RecordDeviceMetrics;
 void Aggregate(FleetReport* report) {
   const size_t n = report->devices.size();
   std::vector<double> cycles(n), data(n), syscalls(n), dispatches(n), faults(n), pucs(n),
-      wdt(n), battery(n);
+      wdt(n), instructions(n), battery(n);
   FleetAggregate& agg = report->aggregate;
   for (size_t i = 0; i < n; ++i) {
     const DeviceStats& d = report->devices[i];
@@ -61,6 +61,7 @@ void Aggregate(FleetReport* report) {
     faults[i] = static_cast<double>(d.faults);
     pucs[i] = static_cast<double>(d.pucs);
     wdt[i] = static_cast<double>(d.watchdog_resets);
+    instructions[i] = static_cast<double>(d.instructions);
     battery[i] = d.battery_impact_percent;
     agg.total_cycles += d.cycles;
     agg.total_data_accesses += d.data_accesses;
@@ -69,6 +70,7 @@ void Aggregate(FleetReport* report) {
     agg.total_faults += d.faults;
     agg.total_pucs += d.pucs;
     agg.total_watchdog_resets += d.watchdog_resets;
+    agg.total_instructions += d.instructions;
   }
   agg.cycles = Summarize(std::move(cycles));
   agg.data_accesses = Summarize(std::move(data));
@@ -77,6 +79,7 @@ void Aggregate(FleetReport* report) {
   agg.faults = Summarize(std::move(faults));
   agg.pucs = Summarize(std::move(pucs));
   agg.watchdog_resets = Summarize(std::move(wdt));
+  agg.instructions = Summarize(std::move(instructions));
   agg.battery_impact_percent = Summarize(std::move(battery));
 }
 
@@ -91,6 +94,7 @@ void AggregateFromMetrics(FleetReport* report) {
   agg.total_faults = report->metrics.counter("fleet.faults");
   agg.total_pucs = report->metrics.counter("fleet.pucs");
   agg.total_watchdog_resets = report->metrics.counter("fleet.watchdog_resets");
+  agg.total_instructions = report->metrics.counter("fleet.instructions");
   auto fill = [&](const char* name, StatSummary* s, double scale) {
     const LogHistogram* h = report->metrics.histogram(name);
     if (h == nullptr || h->count == 0) {
@@ -111,6 +115,7 @@ void AggregateFromMetrics(FleetReport* report) {
   fill("device.faults", &agg.faults, 1.0);
   fill("device.pucs", &agg.pucs, 1.0);
   fill("device.watchdog_resets", &agg.watchdog_resets, 1.0);
+  fill("device.instructions", &agg.instructions, 1.0);
   fill("device.battery_upct", &agg.battery_impact_percent, 1e-6);
 }
 
@@ -136,6 +141,7 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
   // Template device: pays the image load and every on_init dispatch exactly
   // once; every fleet device starts from its snapshot.
   Machine template_machine;
+  template_machine.cpu().set_predecode(config.predecode);
   OsOptions template_options;
   template_options.fram_wait_states = config.fram_wait_states;
   template_options.fault_policy = FaultPolicy::kRestartApp;
@@ -360,7 +366,7 @@ Result<FleetReport> ResumeFleet(const FleetConfig& config) {
 std::string FleetDigest(const FleetReport& report) {
   std::string out;
   for (const DeviceStats& d : report.devices) {
-    out += StrFormat("d%d:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%a\n", d.device_id,
+    out += StrFormat("d%d:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%a\n", d.device_id,
                      static_cast<unsigned long long>(d.cycles),
                      static_cast<unsigned long long>(d.data_accesses),
                      static_cast<unsigned long long>(d.syscalls),
@@ -368,23 +374,25 @@ std::string FleetDigest(const FleetReport& report) {
                      static_cast<unsigned long long>(d.faults),
                      static_cast<unsigned long long>(d.pucs),
                      static_cast<unsigned long long>(d.watchdog_resets),
+                     static_cast<unsigned long long>(d.instructions),
                      d.battery_impact_percent);
   }
   const FleetAggregate& a = report.aggregate;
   for (const StatSummary* s :
        {&a.cycles, &a.data_accesses, &a.syscalls, &a.dispatches, &a.faults, &a.pucs,
-        &a.watchdog_resets, &a.battery_impact_percent}) {
+        &a.watchdog_resets, &a.instructions, &a.battery_impact_percent}) {
     out += StrFormat("agg:%a,%a,%a,%a,%a,%a,%d\n", s->min, s->p50, s->p95, s->p99, s->max,
                      s->mean, s->count);
   }
-  out += StrFormat("tot:%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+  out += StrFormat("tot:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
                    static_cast<unsigned long long>(a.total_cycles),
                    static_cast<unsigned long long>(a.total_data_accesses),
                    static_cast<unsigned long long>(a.total_syscalls),
                    static_cast<unsigned long long>(a.total_dispatches),
                    static_cast<unsigned long long>(a.total_faults),
                    static_cast<unsigned long long>(a.total_pucs),
-                   static_cast<unsigned long long>(a.total_watchdog_resets));
+                   static_cast<unsigned long long>(a.total_watchdog_resets),
+                   static_cast<unsigned long long>(a.total_instructions));
   out += "metrics:";
   out += report.metrics.ToJson();
   out += "\n";
@@ -427,6 +435,13 @@ std::string RenderFleetReport(const FleetReport& report) {
                                    (static_cast<double>(config.sim_ms) / 1000.0) /
                                    report.run_seconds
                              : 0.0);
+  out += StrFormat(
+      "throughput: %llu instructions retired, %.2f sim-MIPS host-side (%s path)\n",
+      static_cast<unsigned long long>(report.aggregate.total_instructions),
+      report.run_seconds > 0
+          ? static_cast<double>(report.aggregate.total_instructions) / report.run_seconds / 1e6
+          : 0.0,
+      config.predecode ? "predecode" : "interpreter");
   out += StrFormat("  %-16s %14s %14s %14s %14s %14s\n", "per-device", "p50", "p95", "p99",
                    "max", "mean");
   const FleetAggregate& a = report.aggregate;
@@ -437,14 +452,16 @@ std::string RenderFleetReport(const FleetReport& report) {
   out += SummaryRow("faults", a.faults);
   out += SummaryRow("PUCs", a.pucs);
   out += SummaryRow("WDT resets", a.watchdog_resets);
+  out += SummaryRow("instructions", a.instructions);
   out += StrFormat("  %-16s %14.4f %14.4f %14.4f %14.4f %14.4f   (%% battery/week)\n",
                    "battery impact", a.battery_impact_percent.p50,
                    a.battery_impact_percent.p95, a.battery_impact_percent.p99,
                    a.battery_impact_percent.max, a.battery_impact_percent.mean);
   out += StrFormat(
-      "totals: %llu cycles, %llu data accesses, %llu syscalls, %llu dispatches, %llu "
-      "faults, %llu PUCs, %llu WDT resets\n",
+      "totals: %llu cycles, %llu instructions, %llu data accesses, %llu syscalls, %llu "
+      "dispatches, %llu faults, %llu PUCs, %llu WDT resets\n",
       static_cast<unsigned long long>(a.total_cycles),
+      static_cast<unsigned long long>(a.total_instructions),
       static_cast<unsigned long long>(a.total_data_accesses),
       static_cast<unsigned long long>(a.total_syscalls),
       static_cast<unsigned long long>(a.total_dispatches),

@@ -44,6 +44,12 @@ struct FleetConfig {
   bool retain_device_stats = true;
   // >= 1: progress lines on stderr while devices run (count, rate, ETA).
   int verbosity = 0;
+  // When false every device runs on the reference interpreter instead of the
+  // predecoded fast path (`amuletc fleet --no-predecode`). Host-side
+  // execution-strategy knob like `jobs`: results and digests are
+  // bit-identical either way, so it is excluded from the canonical config
+  // (checkpoints resume across modes).
+  bool predecode = true;
 
   // --- Checkpoint/resume (docs/fleet.md "Checkpoint & resume") ---
   // When non-empty, RunFleet persists a fleet checkpoint at this path —
@@ -79,6 +85,9 @@ struct DeviceStats {
   // Watchdog-style resets: genuine WDT expiries plus fault-forced app
   // restarts. The OTA bootloader's rollback trigger watches this rate.
   uint64_t watchdog_resets = 0;
+  // Instructions retired after the clone point (idle ticks excluded); the
+  // numerator of the host-side sim_mips throughput metric.
+  uint64_t instructions = 0;
   // Weekly battery cost of this device's measured cycle rate.
   double battery_impact_percent = 0;
 };
@@ -91,6 +100,7 @@ struct FleetAggregate {
   StatSummary faults;
   StatSummary pucs;
   StatSummary watchdog_resets;
+  StatSummary instructions;
   StatSummary battery_impact_percent;
   uint64_t total_cycles = 0;
   uint64_t total_data_accesses = 0;
@@ -99,6 +109,7 @@ struct FleetAggregate {
   uint64_t total_faults = 0;
   uint64_t total_pucs = 0;
   uint64_t total_watchdog_resets = 0;
+  uint64_t total_instructions = 0;
 };
 
 struct FleetReport {

@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/mcu/code_cache.h"
 #include "src/mcu/snapshot.h"
 
 namespace amulet {
@@ -17,12 +18,6 @@ Bus::Bus() = default;
 void Bus::AttachDevice(BusDevice* device) {
   AMULET_CHECK(device != nullptr);
   devices_.push_back(device);
-}
-
-uint64_t Bus::TakePenaltyCycles() {
-  uint64_t taken = penalty_cycles_;
-  penalty_cycles_ = 0;
-  return taken;
 }
 
 BusDevice* Bus::DeviceFor(uint16_t addr) {
@@ -53,6 +48,23 @@ uint8_t* Bus::BackingFor(uint16_t addr, AccessKind kind, bool* writable) {
     return nullptr;
   }
   return nullptr;  // hole (0x1A00-0x1BFF, 0x2400-0x43FF)
+}
+
+bool Bus::IsPlainMemory(uint16_t addr) const {
+  for (const BusDevice* device : devices_) {
+    if (addr >= device->base() &&
+        addr < static_cast<uint32_t>(device->base()) + device->size_bytes()) {
+      return false;
+    }
+  }
+  const uint32_t a = addr;
+  return InRange(a, kBslStart, kBslEnd) || IsInfoMem(a) || IsSram(a) || a >= kFramStart;
+}
+
+void Bus::InvalidateCode(uint16_t addr) {
+  if (code_cache_ != nullptr) {
+    code_cache_->InvalidateWord(addr);
+  }
 }
 
 void Bus::Observe(uint16_t addr, AccessKind kind, bool byte, uint16_t value) {
@@ -119,6 +131,7 @@ void Bus::WriteWord(uint16_t addr, uint16_t value, AccessKind kind) {
   Observe(addr, AccessKind::kWrite, false, value);
   backing[0] = static_cast<uint8_t>(value & 0xFF);
   backing[1] = static_cast<uint8_t>(value >> 8);
+  InvalidateCode(addr);
 }
 
 uint8_t Bus::ReadByte(uint16_t addr, AccessKind kind) {
@@ -174,11 +187,15 @@ void Bus::WriteByte(uint16_t addr, uint8_t value, AccessKind kind) {
   }
   Observe(addr, AccessKind::kWrite, true, value);
   *backing = value;
+  InvalidateCode(addr);
 }
 
 uint8_t Bus::PeekByte(uint16_t addr) const { return mem_[addr]; }
 
-void Bus::PokeByte(uint16_t addr, uint8_t value) { mem_[addr] = value; }
+void Bus::PokeByte(uint16_t addr, uint8_t value) {
+  mem_[addr] = value;
+  InvalidateCode(addr);
+}
 
 uint16_t Bus::PeekWord(uint16_t addr) const {
   addr &= ~uint16_t{1};
@@ -189,6 +206,7 @@ void Bus::PokeWord(uint16_t addr, uint16_t value) {
   addr &= ~uint16_t{1};
   mem_[addr] = static_cast<uint8_t>(value & 0xFF);
   mem_[addr + 1] = static_cast<uint8_t>(value >> 8);
+  InvalidateCode(addr);
 }
 
 void Bus::SaveState(SnapshotWriter& w) const {
@@ -203,6 +221,11 @@ void Bus::LoadState(SnapshotReader& r) {
   fram_wait_states_ = static_cast<int>(r.U32());
   penalty_cycles_ = r.U64();
   r.Bytes(mem_.data(), mem_.size());
+  // The whole memory image just changed: predecoded records are stale. The
+  // cache is derived state and never serialized, so restore == rebuild.
+  if (code_cache_ != nullptr) {
+    code_cache_->InvalidateAll();
+  }
 }
 
 Status Bus::LoadImage(uint16_t base, const std::vector<uint8_t>& bytes) {
@@ -212,6 +235,9 @@ Status Bus::LoadImage(uint16_t base, const std::vector<uint8_t>& bytes) {
   }
   for (size_t i = 0; i < bytes.size(); ++i) {
     mem_[base + i] = bytes[i];
+  }
+  if (code_cache_ != nullptr) {
+    code_cache_->InvalidateAll();
   }
   return OkStatus();
 }

@@ -52,6 +52,26 @@ class MemoryProtection {
   // Returns true if the access is permitted. A refusal must latch the
   // violation inside the implementation (flag + NMI request).
   virtual bool CheckAccess(uint16_t addr, AccessKind kind) = 0;
+  // Pure preflight for the predecode fast path: returns what CheckAccess()
+  // would return, without latching anything. The conservative default sends
+  // every access down the slow path.
+  virtual bool WouldPermit(uint16_t addr, AccessKind kind) const {
+    (void)addr;
+    (void)kind;
+    return false;
+  }
+  // Monotonic generation counter, bumped whenever the permission
+  // configuration may have changed; lets the fast path cache WouldPermit()
+  // verdicts per instruction. Starts at 1 so that 0 can mean "never
+  // computed". Deliberately a non-virtual field load: the fast path reads
+  // it on every cached step, and a vtable dispatch here is measurable.
+  uint32_t ConfigGeneration() const { return config_generation_; }
+
+ protected:
+  // Implementations bump this on every configuration change (register
+  // writes, reset, snapshot restore). Host-side derived state, never
+  // serialized.
+  uint32_t config_generation_ = 1;
 };
 
 struct BusObserverEvent {
@@ -61,6 +81,8 @@ struct BusObserverEvent {
   uint16_t value = 0;
 };
 
+class CodeCache;
+
 class Bus {
  public:
   Bus();
@@ -68,9 +90,15 @@ class Bus {
   // Devices are consulted in registration order; ranges must not overlap.
   void AttachDevice(BusDevice* device);
   void SetMpu(MemoryProtection* mpu) { mpu_ = mpu; }
+  MemoryProtection* mpu() const { return mpu_; }
+  // Registers the CPU's predecoded-instruction cache so the bus can kill
+  // stale entries whenever backing memory changes (architectural writes,
+  // pokes, image loads, snapshot restore).
+  void SetCodeCache(CodeCache* cache) { code_cache_ = cache; }
   void SetObserver(std::function<void(const BusObserverEvent&)> observer) {
     observer_ = std::move(observer);
   }
+  bool has_observer() const { return static_cast<bool>(observer_); }
 
   // Wait states added per FRAM access (fetch or data). The FR5969 runs FRAM
   // at 8 MHz behind a cache; `1` approximates the average penalty at 16 MHz.
@@ -78,7 +106,27 @@ class Bus {
   int fram_wait_states() const { return fram_wait_states_; }
 
   // Penalty cycles accumulated since the last TakePenaltyCycles() call.
-  uint64_t TakePenaltyCycles();
+  // Inline: the CPU drains this once per retired instruction.
+  uint64_t TakePenaltyCycles() {
+    uint64_t taken = penalty_cycles_;
+    penalty_cycles_ = 0;
+    return taken;
+  }
+  // Accrues precomputed wait-state penalties; used by the predecode fast
+  // path to replay a cached instruction's FRAM fetch cost in one add.
+  void AddPenaltyCycles(uint64_t n) { penalty_cycles_ += n; }
+
+  // True when `addr` resolves to plain backed memory (BSL/InfoMem/SRAM/FRAM)
+  // with no device in front of it: reads there are side-effect-free and
+  // fault-free, so the fast path may cache fetched words. Pure.
+  bool IsPlainMemory(uint16_t addr) const;
+
+  // Replays an instruction-stream fetch event to the observer without
+  // touching memory; the fast path uses this to keep profiler/test observer
+  // streams bit-identical to the interpreter's.
+  void ObserveFetch(uint16_t addr, uint16_t value) {
+    Observe(addr, AccessKind::kFetch, false, value);
+  }
 
   // CPU-facing accessors. Word addresses have bit 0 ignored (as on the real
   // part). An MPU refusal yields value 0x3FFF on reads and drops writes; the
@@ -113,9 +161,14 @@ class Bus {
   void Observe(uint16_t addr, AccessKind kind, bool byte, uint16_t value);
   void AddFramPenalty(uint16_t addr);
 
+  // Invalidates code-cache entries covering `addr` (no-op when no cache is
+  // registered). Called from every path that mutates mem_.
+  void InvalidateCode(uint16_t addr);
+
   std::array<uint8_t, 0x10000> mem_{};  // flat backing store for all memory regions
   std::vector<BusDevice*> devices_;
   MemoryProtection* mpu_ = nullptr;
+  CodeCache* code_cache_ = nullptr;
   std::function<void(const BusObserverEvent&)> observer_;
   BusFault fault_ = BusFault::kNone;
   int fram_wait_states_ = 0;

@@ -12,10 +12,15 @@ namespace amulet {
 namespace {
 constexpr uint16_t Mask(bool byte) { return byte ? 0x00FF : 0xFFFF; }
 constexpr uint16_t SignBit(bool byte) { return byte ? 0x0080 : 0x8000; }
+constexpr uint16_t kAluFlags = kSrCarry | kSrZero | kSrNegative | kSrOverflow;
 }  // namespace
 
 Cpu::Cpu(Bus* bus, Timer* timer, McuSignals* signals)
-    : bus_(bus), timer_(timer), signals_(signals) {}
+    : bus_(bus), timer_(timer), signals_(signals) {
+  // The bus kills stale predecoded entries on every backing-memory mutation
+  // (architectural writes, pokes, image loads, snapshot restore).
+  bus_->SetCodeCache(&cache_);
+}
 
 void Cpu::Reset() {
   regs_.fill(0);
@@ -417,6 +422,10 @@ StepResult Cpu::Step() {
     return StepResult::kHalted;
   }
 
+  return predecode_enabled_ ? StepFast(insn_addr) : StepSlow(insn_addr);
+}
+
+StepResult Cpu::StepSlow(uint16_t insn_addr) {
   bus_->ClearFault();
   const uint16_t w0 = bus_->ReadWord(insn_addr, AccessKind::kFetch);
   if (bus_->fault() != BusFault::kNone) {
@@ -471,6 +480,344 @@ StepResult Cpu::Step() {
 
   const uint64_t spent =
       static_cast<uint64_t>(InstructionCycles(insn)) + bus_->TakePenaltyCycles();
+  cycles_ += spent;
+  timer_->Advance(spent);
+  if (watchdog_ != nullptr) {
+    watchdog_->Advance(spent);
+  }
+  ++instructions_;
+  AMULET_PROBE_ATTRIBUTE(profiler_, insn_addr, spent);
+
+  if (signals_->puc_requested) {
+    return StepResult::kPuc;
+  }
+  if (signals_->stop_requested) {
+    return StepResult::kStopped;
+  }
+  return StepResult::kOk;
+}
+
+// Specialized Format-I execution for register destinations with
+// register/constant/immediate sources: no bus access can occur, so the
+// generic ReadOperand/Loc/WriteToLoc machinery collapses into direct
+// register-file reads and writes. Every flag computation, its ordering
+// relative to the destination write (visible when the destination is SR),
+// the byte-mode high-byte clear, and the PC bit-0 clear in set_reg() mirror
+// ExecuteFormatOne exactly.
+template <Opcode kOp>
+void Cpu::FastAluRegDst(const PredecodedInsn& pd, uint16_t insn_addr) {
+  (void)insn_addr;
+  const Instruction& insn = pd.insn;
+  const bool byte = insn.byte;
+  const uint16_t mask = Mask(byte);
+  const uint16_t sign = SignBit(byte);
+  const uint16_t s = static_cast<uint16_t>(
+      (insn.src.mode == AddrMode::kRegister ? reg(insn.src.reg) : insn.src.ext) & mask);
+  const Reg dst = insn.dst.reg;
+  const uint16_t d = static_cast<uint16_t>(reg(dst) & mask);
+
+  // Flags are folded into one SR read-modify-write instead of the baseline's
+  // four SetFlag() calls; the final SR value is identical (and when the
+  // destination IS SR, the subsequent write_dst overwrites it, exactly as
+  // WriteToLoc does after ExecuteFormatOne's flag updates).
+  auto set_flags = [&](uint16_t bits, uint16_t cleared = kAluFlags) {
+    uint16_t& sr = regs_[RegIndex(Reg::kSr)];
+    sr = static_cast<uint16_t>((sr & static_cast<uint16_t>(~cleared)) | bits);
+  };
+  auto add_like = [&](uint16_t a, uint16_t b, uint16_t carry_in) {
+    uint32_t full = static_cast<uint32_t>(a) + b + carry_in;
+    uint16_t r = static_cast<uint16_t>(full & mask);
+    uint16_t bits = 0;
+    if (full > mask) bits |= kSrCarry;
+    if (r == 0) bits |= kSrZero;
+    if ((r & sign) != 0) bits |= kSrNegative;
+    if (((a ^ r) & (b ^ r) & sign) != 0) bits |= kSrOverflow;
+    set_flags(bits);
+    return r;
+  };
+  // N,Z from the result, C = !Z, V = 0 (SetFlagsLogical semantics).
+  auto logical_flags = [&](uint16_t r) {
+    uint16_t bits = 0;
+    if (r == 0) bits |= kSrZero;
+    if ((r & sign) != 0) bits |= kSrNegative;
+    if (r != 0) bits |= kSrCarry;
+    set_flags(bits);
+  };
+  // Byte operations clear the destination register's high byte (WriteToLoc
+  // semantics); every result below is already masked to `mask`.
+  auto write_dst = [&](uint16_t value) { set_reg(dst, value); };
+
+  if constexpr (kOp == Opcode::kMov) {
+    write_dst(s);
+  } else if constexpr (kOp == Opcode::kAdd) {
+    write_dst(add_like(d, s, 0));
+  } else if constexpr (kOp == Opcode::kAddc) {
+    write_dst(add_like(d, s, GetFlag(kSrCarry) ? 1 : 0));
+  } else if constexpr (kOp == Opcode::kSubc) {
+    write_dst(add_like(d, static_cast<uint16_t>(~s & mask), GetFlag(kSrCarry) ? 1 : 0));
+  } else if constexpr (kOp == Opcode::kSub) {
+    write_dst(add_like(d, static_cast<uint16_t>(~s & mask), 1));
+  } else if constexpr (kOp == Opcode::kCmp) {
+    add_like(d, static_cast<uint16_t>(~s & mask), 1);
+  } else if constexpr (kOp == Opcode::kDadd) {
+    uint16_t carry = GetFlag(kSrCarry) ? 1 : 0;
+    uint16_t result = 0;
+    int digits = byte ? 2 : 4;
+    for (int i = 0; i < digits; ++i) {
+      uint16_t dn = static_cast<uint16_t>((d >> (4 * i)) & 0xF);
+      uint16_t sn = static_cast<uint16_t>((s >> (4 * i)) & 0xF);
+      uint16_t t = static_cast<uint16_t>(dn + sn + carry);
+      if (t > 9) {
+        t = static_cast<uint16_t>(t + 6);
+        carry = 1;
+      } else {
+        carry = 0;
+      }
+      result |= static_cast<uint16_t>((t & 0xF) << (4 * i));
+    }
+    // DADD leaves V untouched: clear/set only C, Z, N.
+    uint16_t bits = 0;
+    if (carry != 0) bits |= kSrCarry;
+    if ((result & mask) == 0) bits |= kSrZero;
+    if ((result & sign) != 0) bits |= kSrNegative;
+    set_flags(bits, kSrCarry | kSrZero | kSrNegative);
+    write_dst(static_cast<uint16_t>(result & mask));
+  } else if constexpr (kOp == Opcode::kBit) {
+    logical_flags(static_cast<uint16_t>(s & d & mask));
+  } else if constexpr (kOp == Opcode::kBic) {
+    write_dst(static_cast<uint16_t>(d & ~s & mask));
+  } else if constexpr (kOp == Opcode::kBis) {
+    write_dst(static_cast<uint16_t>((d | s) & mask));
+  } else if constexpr (kOp == Opcode::kXor) {
+    uint16_t r = static_cast<uint16_t>((d ^ s) & mask);
+    uint16_t bits = 0;
+    if (r == 0) bits |= kSrZero;
+    if ((r & sign) != 0) bits |= kSrNegative;
+    if (r != 0) bits |= kSrCarry;
+    if (((s & sign) != 0) && ((d & sign) != 0)) bits |= kSrOverflow;
+    set_flags(bits);
+    write_dst(r);
+  } else {
+    static_assert(kOp == Opcode::kAnd);
+    uint16_t r = static_cast<uint16_t>((s & d) & mask);
+    logical_flags(r);
+    write_dst(r);
+  }
+}
+
+// Register-operand RRC/SWPB/RRA/SXT: single-word, no bus traffic, flag and
+// write-back semantics copied from ExecuteFormatTwo with the same one-write
+// SR update as FastAluRegDst.
+template <Opcode kOp>
+void Cpu::FastFmt2Reg(const PredecodedInsn& pd, uint16_t insn_addr) {
+  (void)insn_addr;
+  const Instruction& insn = pd.insn;
+  const bool byte = insn.byte;
+  const uint16_t mask = Mask(byte);
+  const uint16_t sign = SignBit(byte);
+  const Reg dst = insn.dst.reg;
+  const uint16_t v = static_cast<uint16_t>(reg(dst) & mask);
+
+  auto set_flags = [&](uint16_t bits) {
+    uint16_t& sr = regs_[RegIndex(Reg::kSr)];
+    sr = static_cast<uint16_t>((sr & static_cast<uint16_t>(~kAluFlags)) | bits);
+  };
+
+  if constexpr (kOp == Opcode::kRrc) {
+    const bool old_c = GetFlag(kSrCarry);
+    const uint16_t r = static_cast<uint16_t>((v >> 1) | (old_c ? sign : 0));
+    uint16_t bits = 0;
+    if ((v & 1) != 0) bits |= kSrCarry;
+    if ((r & mask) == 0) bits |= kSrZero;
+    if ((r & sign) != 0) bits |= kSrNegative;
+    set_flags(bits);
+    set_reg(dst, static_cast<uint16_t>(r & mask));
+  } else if constexpr (kOp == Opcode::kRra) {
+    const uint16_t r = static_cast<uint16_t>((v >> 1) | (v & sign));
+    uint16_t bits = 0;
+    if ((v & 1) != 0) bits |= kSrCarry;
+    if ((r & mask) == 0) bits |= kSrZero;
+    if ((r & sign) != 0) bits |= kSrNegative;
+    set_flags(bits);
+    set_reg(dst, static_cast<uint16_t>(r & mask));
+  } else if constexpr (kOp == Opcode::kSwpb) {
+    // No flags; always a word write (WriteToLoc byte=false in the baseline).
+    set_reg(dst, static_cast<uint16_t>((v << 8) | (v >> 8)));
+  } else {
+    static_assert(kOp == Opcode::kSxt);
+    const uint16_t r = static_cast<uint16_t>((v & 0x80) != 0 ? (v | 0xFF00) : (v & 0x00FF));
+    uint16_t bits = 0;
+    if (r == 0) bits |= kSrZero;
+    if ((r & 0x8000) != 0) bits |= kSrNegative;
+    if (r != 0) bits |= kSrCarry;
+    set_flags(bits);
+    set_reg(dst, r);
+  }
+}
+
+namespace {
+// Trampoline turning a compile-time member-function pointer into a plain
+// function the dispatch table can hold; the handler inlines into it.
+template <auto kFn>
+void Dispatch(Cpu& cpu, const PredecodedInsn& pd, uint16_t insn_addr) {
+  (cpu.*kFn)(pd, insn_addr);
+}
+}  // namespace
+
+// Slot layout must match FastHandlerIndex(): Format I 0..11, Format II
+// 12..18, jumps 19..26, then the specialized handlers at
+// kFastAluRegDstBase + (op - kMov) and kFastFmt2RegBase + (op - kRrc).
+const std::array<Cpu::FastHandler, kNumFastHandlers> Cpu::kFastDispatch = {{
+    // MOV ADD ADDC SUBC SUB CMP DADD BIT BIC BIS XOR AND
+    &Dispatch<&Cpu::FastFormatOne>, &Dispatch<&Cpu::FastFormatOne>,
+    &Dispatch<&Cpu::FastFormatOne>, &Dispatch<&Cpu::FastFormatOne>,
+    &Dispatch<&Cpu::FastFormatOne>, &Dispatch<&Cpu::FastFormatOne>,
+    &Dispatch<&Cpu::FastFormatOne>, &Dispatch<&Cpu::FastFormatOne>,
+    &Dispatch<&Cpu::FastFormatOne>, &Dispatch<&Cpu::FastFormatOne>,
+    &Dispatch<&Cpu::FastFormatOne>, &Dispatch<&Cpu::FastFormatOne>,
+    // RRC SWPB RRA SXT PUSH CALL RETI
+    &Dispatch<&Cpu::FastFormatTwo>, &Dispatch<&Cpu::FastFormatTwo>,
+    &Dispatch<&Cpu::FastFormatTwo>, &Dispatch<&Cpu::FastFormatTwo>,
+    &Dispatch<&Cpu::FastFormatTwo>, &Dispatch<&Cpu::FastFormatTwo>,
+    &Dispatch<&Cpu::FastFormatTwo>,
+    // JNZ JZ JNC JC JN JGE JL JMP
+    &Dispatch<&Cpu::FastJump>, &Dispatch<&Cpu::FastJump>, &Dispatch<&Cpu::FastJump>,
+    &Dispatch<&Cpu::FastJump>, &Dispatch<&Cpu::FastJump>, &Dispatch<&Cpu::FastJump>,
+    &Dispatch<&Cpu::FastJump>, &Dispatch<&Cpu::FastJump>,
+    // Register-destination specializations, same opcode order as Format I.
+    &Dispatch<&Cpu::FastAluRegDst<Opcode::kMov>>, &Dispatch<&Cpu::FastAluRegDst<Opcode::kAdd>>,
+    &Dispatch<&Cpu::FastAluRegDst<Opcode::kAddc>>, &Dispatch<&Cpu::FastAluRegDst<Opcode::kSubc>>,
+    &Dispatch<&Cpu::FastAluRegDst<Opcode::kSub>>, &Dispatch<&Cpu::FastAluRegDst<Opcode::kCmp>>,
+    &Dispatch<&Cpu::FastAluRegDst<Opcode::kDadd>>, &Dispatch<&Cpu::FastAluRegDst<Opcode::kBit>>,
+    &Dispatch<&Cpu::FastAluRegDst<Opcode::kBic>>, &Dispatch<&Cpu::FastAluRegDst<Opcode::kBis>>,
+    &Dispatch<&Cpu::FastAluRegDst<Opcode::kXor>>, &Dispatch<&Cpu::FastAluRegDst<Opcode::kAnd>>,
+    // Register-operand Format-II specializations: RRC SWPB RRA SXT.
+    &Dispatch<&Cpu::FastFmt2Reg<Opcode::kRrc>>, &Dispatch<&Cpu::FastFmt2Reg<Opcode::kSwpb>>,
+    &Dispatch<&Cpu::FastFmt2Reg<Opcode::kRra>>, &Dispatch<&Cpu::FastFmt2Reg<Opcode::kSxt>>,
+}};
+
+void Cpu::FastFormatOne(const PredecodedInsn& pd, uint16_t insn_addr) {
+  (void)insn_addr;
+  ExecuteFormatOne(pd.insn, pd.src_ext_addr, pd.dst_ext_addr);
+}
+
+void Cpu::FastFormatTwo(const PredecodedInsn& pd, uint16_t insn_addr) {
+  (void)insn_addr;
+  ExecuteFormatTwo(pd.insn, pd.dst_ext_addr);
+}
+
+void Cpu::FastJump(const PredecodedInsn& pd, uint16_t insn_addr) {
+  ExecuteJump(pd.insn, insn_addr);
+}
+
+bool Cpu::FillEntry(uint16_t addr, CodeCache::Entry* entry) {
+  // Only plain backed memory is cacheable: reading it has no side effects,
+  // raises no fault, and the bus invalidates us when it changes. Anything
+  // else (device registers, unmapped holes) takes the interpreter, uncached,
+  // so its fault/side-effect behavior stays exactly the baseline's.
+  if (!bus_->IsPlainMemory(addr)) {
+    return false;
+  }
+  entry->raw[0] = bus_->PeekWord(addr);
+  entry->raw[1] = bus_->PeekWord(static_cast<uint16_t>(addr + 2));
+  entry->raw[2] = bus_->PeekWord(static_cast<uint16_t>(addr + 4));
+  PredecodeInto(addr, entry->raw, &entry->pd);
+  entry->slow_only = false;
+  entry->fram_words = IsAnyFram(addr) ? 1 : 0;
+  for (int i = 1; i < entry->pd.length_words; ++i) {
+    const uint16_t word_addr = static_cast<uint16_t>(addr + 2 * i);
+    if (!bus_->IsPlainMemory(word_addr)) {
+      // An extension-word fetch would hit device space or fault; the replay
+      // below cannot reproduce that, so this address is permanently slow.
+      entry->slow_only = true;
+      break;
+    }
+    if (IsAnyFram(word_addr)) {
+      ++entry->fram_words;
+    }
+  }
+  entry->mpu_gen = 0;  // force a WouldPermit() pass on first execution
+  entry->fetch_ok = false;
+  cache_.MarkValid(entry);
+  return true;
+}
+
+StepResult Cpu::StepFast(uint16_t insn_addr) {
+  CodeCache::Entry* entry = cache_.Slot(insn_addr);
+  if (!cache_.IsValid(*entry)) {
+    if (!FillEntry(insn_addr, entry)) {
+      return StepSlow(insn_addr);
+    }
+  }
+  if (entry->slow_only) {
+    return StepSlow(insn_addr);
+  }
+  const PredecodedInsn& pd = entry->pd;
+
+  // Fetch-permission preflight, cached per entry and revalidated with one
+  // generation compare. WouldPermit() is pure and CheckAccess() has no side
+  // effects when it allows, so skipping the per-word checks on the hot path
+  // is bit-identical. A refusal anywhere defers to the interpreter, which
+  // replays the whole fetch sequence from scratch (penalties, 0x3FFF reads,
+  // violation latching, NMI) exactly as the baseline would.
+  if (MemoryProtection* mpu = bus_->mpu()) {
+    const uint32_t mpu_gen = mpu->ConfigGeneration();
+    if (entry->mpu_gen != mpu_gen) {
+      const int fetch_words = pd.cls == InsnClass::kInvalid ? 1 : pd.length_words;
+      bool ok = true;
+      for (int i = 0; i < fetch_words; ++i) {
+        if (!mpu->WouldPermit(static_cast<uint16_t>(insn_addr + 2 * i), AccessKind::kFetch)) {
+          ok = false;
+          break;
+        }
+      }
+      entry->fetch_ok = ok;
+      entry->mpu_gen = mpu_gen;
+    }
+    if (!entry->fetch_ok) {
+      return StepSlow(insn_addr);
+    }
+  }
+
+  bus_->ClearFault();
+
+  // Replay the fetch stream's observable side effects without touching
+  // memory: FRAM wait-state penalties into the bus accumulator (recomputed
+  // per step -- the wait-state setting can change at runtime), then observer
+  // fetch events with the cached word values (invalidation guarantees they
+  // equal memory). An invalid opcode only ever fetched its first word.
+  const int fetch_words = pd.cls == InsnClass::kInvalid ? 1 : pd.length_words;
+  const int wait_states = bus_->fram_wait_states();
+  if (wait_states > 0 && entry->fram_words > 0) {
+    bus_->AddPenaltyCycles(static_cast<uint64_t>(entry->fram_words) *
+                           static_cast<uint64_t>(wait_states));
+  }
+  if (bus_->has_observer()) {
+    for (int i = 0; i < fetch_words; ++i) {
+      bus_->ObserveFetch(static_cast<uint16_t>(insn_addr + 2 * i), entry->raw[i]);
+    }
+  }
+
+  if (pd.cls == InsnClass::kInvalid) {
+    halt_reason_ = HaltReason::kInvalidOpcode;
+    halt_pc_ = insn_addr;
+    return StepResult::kHalted;
+  }
+
+  set_reg(Reg::kPc, pd.next_pc);
+  kFastDispatch[pd.handler](*this, pd, insn_addr);
+
+  if (bus_->fault() != BusFault::kNone) {
+    halt_reason_ = HaltReason::kBusFault;
+    halt_pc_ = insn_addr;
+    return StepResult::kHalted;
+  }
+  if (halt_reason_ != HaltReason::kNone) {
+    halt_pc_ = insn_addr;
+    return StepResult::kHalted;
+  }
+
+  const uint64_t spent = static_cast<uint64_t>(pd.base_cycles) + bus_->TakePenaltyCycles();
   cycles_ += spent;
   timer_->Advance(spent);
   if (watchdog_ != nullptr) {

@@ -1,6 +1,16 @@
 // The MSP430 CPU core: fetch/decode/execute interpreter with architectural
 // flag semantics, interrupt/NMI handling, and cycle accounting (ISA base
 // cycles + FRAM wait-state penalties accumulated on the bus).
+//
+// Two execution paths share one set of semantics:
+//   * StepSlow() -- the reference interpreter: bus fetch + isa::Decode() on
+//     every step. Always correct, used for uncacheable corner cases and as
+//     the baseline for differential testing (set_predecode(false)).
+//   * StepFast() -- the default: executes dense PredecodedInsn records from
+//     a CodeCache keyed by word address, replaying the interpreter's
+//     observable side effects (FRAM wait states, observer fetch events,
+//     cycle attribution) bit-identically. Falls back to StepSlow() whenever
+//     a fetch would touch device space or the MPU would refuse it.
 #ifndef SRC_MCU_CPU_H_
 #define SRC_MCU_CPU_H_
 
@@ -8,7 +18,9 @@
 #include <cstdint>
 
 #include "src/isa/instruction.h"
+#include "src/isa/predecode.h"
 #include "src/mcu/bus.h"
+#include "src/mcu/code_cache.h"
 #include "src/mcu/signals.h"
 #include "src/mcu/timer.h"
 #include "src/mcu/trace.h"
@@ -71,6 +83,13 @@ class Cpu {
   // Optional watchdog (not owned); advanced with every retired cycle.
   void set_watchdog(Watchdog* watchdog) { watchdog_ = watchdog; }
 
+  // Toggles the predecoded fast path (on by default). Off forces the
+  // reference interpreter for every step -- the `--no-predecode` escape
+  // hatch and the baseline half of the differential tests. Results are
+  // bit-identical either way; only wall-clock speed differs.
+  void set_predecode(bool enabled) { predecode_enabled_ = enabled; }
+  bool predecode_enabled() const { return predecode_enabled_; }
+
   uint64_t cycle_count() const { return cycles_; }
   uint64_t instruction_count() const { return instructions_; }
   HaltReason halt_reason() const { return halt_reason_; }
@@ -94,6 +113,40 @@ class Cpu {
   void ExecuteFormatOne(const Instruction& insn, uint16_t src_ext_addr, uint16_t dst_ext_addr);
   void ExecuteFormatTwo(const Instruction& insn, uint16_t ext_addr);
   void ExecuteJump(const Instruction& insn, uint16_t insn_addr);
+
+  // Reference interpreter body: fetch, decode, execute one instruction at
+  // `insn_addr` (the preamble in Step() has already run).
+  StepResult StepSlow(uint16_t insn_addr);
+  // Cache-driven body; defers to StepSlow() for anything it cannot replay
+  // bit-identically (device-space fetches, MPU-refused fetches).
+  StepResult StepFast(uint16_t insn_addr);
+  // Predecodes the instruction at `addr` into `entry`. Returns false (entry
+  // left invalid) when the first word is not plain cacheable memory.
+  bool FillEntry(uint16_t addr, CodeCache::Entry* entry);
+
+  // Fast dispatch handlers, indexed by PredecodedInsn::handler through
+  // kFastDispatch (one dense slot per opcode; same-format opcodes share an
+  // executor, the per-opcode switch lives inside it).
+  void FastFormatOne(const PredecodedInsn& pd, uint16_t insn_addr);
+  void FastFormatTwo(const PredecodedInsn& pd, uint16_t insn_addr);
+  void FastJump(const PredecodedInsn& pd, uint16_t insn_addr);
+  // Specialized Format-I handler for the dominant operand class -- register
+  // destination with a register/constant/immediate source (slots
+  // kFastAluRegDstBase..+11, selected by PredecodeInto). Skips the generic
+  // operand-resolution machinery while mirroring ExecuteFormatOne's flag
+  // order and write semantics exactly (cpu_semantics_test + the differential
+  // fuzzer hold it to the interpreter byte-for-byte).
+  template <Opcode kOp>
+  void FastAluRegDst(const PredecodedInsn& pd, uint16_t insn_addr);
+  // Specialized register-operand RRC/SWPB/RRA/SXT (slots
+  // kFastFmt2RegBase..+3); same contract as FastAluRegDst.
+  template <Opcode kOp>
+  void FastFmt2Reg(const PredecodedInsn& pd, uint16_t insn_addr);
+  // Plain function pointers, not pointers-to-member: a member-pointer call
+  // through a table pays the Itanium-ABI virtual-adjustment test on every
+  // dispatch. The table holds trampolines that inline the handlers.
+  using FastHandler = void (*)(Cpu&, const PredecodedInsn&, uint16_t);
+  static const std::array<FastHandler, kNumFastHandlers> kFastDispatch;
   void AcceptInterrupt(uint16_t vector_slot);
   void SetFlagsLogical(uint16_t result, bool byte);  // N,Z from result; C=!Z; V=0
   void SetFlag(uint16_t flag, bool set);
@@ -113,6 +166,10 @@ class Cpu {
   uint64_t instructions_ = 0;
   HaltReason halt_reason_ = HaltReason::kNone;
   uint16_t halt_pc_ = 0;
+  bool predecode_enabled_ = true;
+  // Derived state: never serialized (snapshots stay O(memcpy)); the bus
+  // invalidates entries whenever backing memory changes.
+  CodeCache cache_;
 };
 
 }  // namespace amulet

@@ -41,11 +41,13 @@ void Mpu::WriteWord(uint16_t offset, uint16_t value) {
       AMULET_PROBE_SPAN_BEGIN(tracer_, "mpu.reconfig", value & 0x00FF);
     }
     ctl0_ = value & 0x00FF;
+    ++config_generation_;
     return;
   }
   if (locked()) {
     return;
   }
+  ++config_generation_;
   switch (offset) {
     case kMpuCtl1:
       // Write-1-to-clear violation flags.
@@ -121,39 +123,47 @@ void Mpu::LatchViolation(int segment, uint16_t addr, AccessKind kind) {
   }
 }
 
-bool Mpu::CheckAccess(uint16_t addr, AccessKind kind) {
+bool Mpu::AccessAllowed(uint16_t addr, AccessKind kind, int* segment) const {
+  *segment = -1;
   if (!enabled()) {
     return true;
   }
-  const int segment = SegmentOf(addr);
-  if (segment < 0) {
+  *segment = SegmentOf(addr);
+  if (*segment < 0) {
     return true;  // SRAM / peripherals / vectors: never covered
   }
   int shift = kMpuSamInfoShift;
-  if (segment == 1) {
+  if (*segment == 1) {
     shift = kMpuSamSeg1Shift;
-  } else if (segment == 2) {
+  } else if (*segment == 2) {
     shift = kMpuSamSeg2Shift;
-  } else if (segment == 3) {
+  } else if (*segment == 3) {
     shift = kMpuSamSeg3Shift;
   }
   const uint16_t rights = static_cast<uint16_t>(sam_ >> shift);
-  bool allowed = false;
   switch (kind) {
     case AccessKind::kFetch:
-      allowed = (rights & kMpuSamExec) != 0;
-      break;
+      return (rights & kMpuSamExec) != 0;
     case AccessKind::kRead:
-      allowed = (rights & kMpuSamRead) != 0;
-      break;
+      return (rights & kMpuSamRead) != 0;
     case AccessKind::kWrite:
-      allowed = (rights & kMpuSamWrite) != 0;
-      break;
+      return (rights & kMpuSamWrite) != 0;
   }
+  return false;
+}
+
+bool Mpu::CheckAccess(uint16_t addr, AccessKind kind) {
+  int segment = -1;
+  const bool allowed = AccessAllowed(addr, kind, &segment);
   if (!allowed) {
     LatchViolation(segment, addr, kind);
   }
   return allowed;
+}
+
+bool Mpu::WouldPermit(uint16_t addr, AccessKind kind) const {
+  int segment = -1;
+  return AccessAllowed(addr, kind, &segment);
 }
 
 void Mpu::Reset() {
@@ -169,6 +179,7 @@ void Mpu::Reset() {
   segb2_ = 0;
   sam_ = 0x7777;  // all segments R+W+X, NMI on violation
   last_violation_addr_ = 0;
+  ++config_generation_;
 }
 
 void Mpu::SaveState(SnapshotWriter& w) const {
@@ -189,6 +200,7 @@ void Mpu::LoadState(SnapshotReader& r) {
   sam_ = r.U16();
   last_violation_addr_ = r.U16();
   last_violation_kind_ = static_cast<AccessKind>(r.U8());
+  ++config_generation_;
 }
 
 }  // namespace amulet

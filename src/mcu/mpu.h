@@ -76,6 +76,9 @@ class Mpu : public BusDevice, public MemoryProtection {
 
   // MemoryProtection:
   bool CheckAccess(uint16_t addr, AccessKind kind) override;
+  // Pure twin of CheckAccess(): same verdict, nothing latched. Used by the
+  // predecode fast path to prove a cached fetch needs no per-step check.
+  bool WouldPermit(uint16_t addr, AccessKind kind) const override;
 
   // State inspection (host-side; used by OS fault handling and tests).
   bool enabled() const { return (ctl0_ & kMpuEna) != 0; }
@@ -102,6 +105,9 @@ class Mpu : public BusDevice, public MemoryProtection {
 
  private:
   int SegmentOf(uint16_t addr) const;  // 1..3 main, 0 info, -1 uncovered
+  // Shared allow-logic of CheckAccess/WouldPermit; fills *segment for the
+  // latch path. Pure.
+  bool AccessAllowed(uint16_t addr, AccessKind kind, int* segment) const;
   void LatchViolation(int segment, uint16_t addr, AccessKind kind);
 
   McuSignals* signals_;
@@ -114,6 +120,9 @@ class Mpu : public BusDevice, public MemoryProtection {
   uint16_t sam_ = 0x7777;  // reset: all segments R+W+X, NMI on violation
   uint16_t last_violation_addr_ = 0;
   AccessKind last_violation_kind_ = AccessKind::kRead;
+  // MemoryProtection::config_generation_ (inherited) is bumped on every
+  // register write, reset, and snapshot restore so cached WouldPermit()
+  // verdicts can be revalidated with one compare.
 };
 
 }  // namespace amulet

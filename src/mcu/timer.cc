@@ -40,12 +40,7 @@ void Timer::WriteWord(uint16_t offset, uint16_t value) {
   }
 }
 
-void Timer::Advance(uint64_t cycles) {
-  const uint64_t before = cycles_;
-  cycles_ += cycles;
-  if ((ctl_ & 0x1) == 0) {
-    return;
-  }
+void Timer::AdvanceCompare(uint64_t before) {
   // Fire when the low 16 bits pass the compare value.
   const uint64_t target = (before & ~0xFFFFull) | compare_;
   const uint64_t next_target = target >= before ? target : target + 0x10000;

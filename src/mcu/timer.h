@@ -33,7 +33,16 @@ class Timer : public BusDevice {
   void WriteWord(uint16_t offset, uint16_t value) override;
 
   // Called by the CPU core after each instruction with the elapsed cycles.
-  void Advance(uint64_t cycles);
+  // Inline: this sits on the per-instruction hot path of both simulator
+  // cores; the compare-fire logic only runs while the interrupt is enabled.
+  void Advance(uint64_t cycles) {
+    const uint64_t before = cycles_;
+    cycles_ += cycles;
+    if ((ctl_ & 0x1) == 0) {
+      return;
+    }
+    AdvanceCompare(before);
+  }
 
   uint64_t now_cycles() const { return cycles_; }
 
@@ -42,6 +51,10 @@ class Timer : public BusDevice {
   void LoadState(SnapshotReader& r);
 
  private:
+  // IRQ-fire half of Advance(): raises the compare interrupt when the low 16
+  // bits of the counter passed `compare_` during the last advance.
+  void AdvanceCompare(uint64_t before);
+
   McuSignals* signals_;
   uint64_t cycles_ = 0;
   uint16_t ctl_ = 0;

@@ -35,10 +35,7 @@ void Watchdog::WriteWord(uint16_t offset, uint16_t value) {
   }
 }
 
-void Watchdog::Advance(uint64_t cycles) {
-  if (held()) {
-    return;
-  }
+void Watchdog::AdvanceRunning(uint64_t cycles) {
   counter_ += cycles;
   if (counter_ >= IntervalForSelect(ctl_)) {
     counter_ = 0;

@@ -36,7 +36,14 @@ class Watchdog : public BusDevice {
   void WriteWord(uint16_t offset, uint16_t value) override;
 
   // Called with retired cycles (wired through the CPU like the timer).
-  void Advance(uint64_t cycles);
+  // Inline: per-instruction hot path; the counting/expiry half only runs
+  // while the watchdog is actually enabled.
+  void Advance(uint64_t cycles) {
+    if (held()) {
+      return;
+    }
+    AdvanceRunning(cycles);
+  }
 
   // Interval in cycles for a WDTIS selection (subset of the WDT_A table).
   static uint64_t IntervalForSelect(uint16_t select);
@@ -54,6 +61,9 @@ class Watchdog : public BusDevice {
   void LoadState(SnapshotReader& r);
 
  private:
+  // Counting/expiry half of Advance(), only reached while not held.
+  void AdvanceRunning(uint64_t cycles);
+
   McuSignals* signals_;
   EventTracer* tracer_ = nullptr;
   uint16_t ctl_ = kWdtHold;  // reset: held (matches AmuletOS boot behaviour)

@@ -135,9 +135,10 @@ Result<BlData> ReadBlData(const Bus& bus) {
 
 Result<MacVerifyRun> SimulateMacVerify(const std::vector<uint8_t>& payload,
                                        const MacTag& expected, const OtaKey& key,
-                                       int fram_wait_states) {
+                                       int fram_wait_states, bool predecode) {
   const Image& image = VerifierImage();
   Machine machine;
+  machine.cpu().set_predecode(predecode);
   machine.bus().set_fram_wait_states(fram_wait_states);
   LoadImage(image, &machine.bus());
   machine.bus().PokeWord(kResetVector, image.SymbolOrZero("start"));
@@ -229,8 +230,8 @@ Result<MacVerifyRun> SimulateMacVerify(const std::vector<uint8_t>& payload,
 }
 
 Result<MacVerifyRun> SimulateImageVerify(const OtaImage& image, const OtaKey& key,
-                                         int fram_wait_states) {
-  return SimulateMacVerify(image.payload, image.mac, key, fram_wait_states);
+                                         int fram_wait_states, bool predecode) {
+  return SimulateMacVerify(image.payload, image.mac, key, fram_wait_states, predecode);
 }
 
 }  // namespace amulet

@@ -61,15 +61,17 @@ struct MacVerifyRun {
 // Runs the bootloader's MAC check for `payload` against `expected` on a
 // scratch simulated machine with the given FRAM wait states. The tag is
 // recomputed word by word on the simulated CPU (inner pass, outer pass,
-// constant-shape compare); `cycles` is the full simulated cost.
+// constant-shape compare); `cycles` is the full simulated cost. `predecode`
+// selects the scratch machine's execution path (cycle counts are identical
+// either way; campaigns thread their --no-predecode choice through here).
 Result<MacVerifyRun> SimulateMacVerify(const std::vector<uint8_t>& payload,
                                        const MacTag& expected, const OtaKey& key,
-                                       int fram_wait_states);
+                                       int fram_wait_states, bool predecode = true);
 
 // Convenience: verify a decoded OTA image (its payload against its header
 // MAC).
 Result<MacVerifyRun> SimulateImageVerify(const OtaImage& image, const OtaKey& key,
-                                         int fram_wait_states);
+                                         int fram_wait_states, bool predecode = true);
 
 }  // namespace amulet
 

@@ -4,12 +4,19 @@
 // shift counts masked), compile and run them on the simulated MSP430, and
 // compare — under every memory model. Any divergence is a codegen, runtime-
 // routine, or isolation-transparency bug.
+//
+// Every program additionally runs twice on the simulator — once on the
+// predecoded fast-dispatch core and once on the baseline interpreter
+// (cpu().set_predecode(false)) — and the two machines' full snapshots must
+// be byte-identical. This is the bit-identity gate for the predecode cache
+// (docs/simulator.md, "Predecoded instruction cache").
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
 #include "src/common/strings.h"
+#include "src/mcu/snapshot.h"
 #include "tests/compile_test_util.h"
 
 namespace amulet {
@@ -187,6 +194,21 @@ TEST_P(FuzzDifferential, HostAndSimulatorAgreeUnderEveryModel) {
     auto out = CompileAndRun(&m, source, model, 50'000'000);
     ASSERT_TRUE(out.ok()) << out.status().ToString() << "\nprogram:\n" << source;
     ASSERT_EQ(out->run.stop_code, 4) << source;
+
+    // Fast-dispatch vs baseline-interpreter bit identity: the same program on
+    // a second machine with predecode disabled must end in the exact same
+    // architectural state (snapshot bytes cover registers, memory, cycle and
+    // instruction counters, bus accumulators — everything serialized).
+    Machine baseline;
+    baseline.cpu().set_predecode(false);
+    auto slow = CompileAndRun(&baseline, source, model, 50'000'000);
+    ASSERT_TRUE(slow.ok()) << slow.status().ToString() << "\nprogram:\n" << source;
+    EXPECT_EQ(slow->run.stop_code, out->run.stop_code) << source;
+    EXPECT_EQ(slow->run.cycles, out->run.cycles)
+        << "cycle divergence under " << MemoryModelName(model) << "\nprogram:\n" << source;
+    EXPECT_EQ(CaptureSnapshot(baseline).bytes, CaptureSnapshot(m).bytes)
+        << "snapshot divergence under " << MemoryModelName(model) << "\nprogram:\n"
+        << source;
     for (int i = 0; i < 3; ++i) {
       uint16_t addr = out->image.SymbolOrZero(StrFormat("t_g_r%d", i));
       int32_t got = static_cast<int32_t>(

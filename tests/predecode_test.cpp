@@ -1,0 +1,214 @@
+// Predecoded-instruction-cache correctness: the fast-dispatch core must be
+// observationally identical to the baseline interpreter even when code
+// changes under the cache — self-modifying firmware, host-side pokes,
+// snapshot restores, and MPU reconfiguration — and a fleet run must produce
+// the exact same digest in either mode (docs/simulator.md, "Predecoded
+// instruction cache").
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fleet/fleet.h"
+#include "src/mcu/machine.h"
+#include "src/mcu/memory_map.h"
+#include "tests/sim_test_util.h"
+
+namespace amulet {
+namespace {
+
+constexpr char kStop[] = "  mov #4, &0x0710\n";
+
+constexpr char kMpuRegs[] =
+    ".equ MPUCTL0, 0x05A0\n"
+    ".equ MPUCTL1, 0x05A2\n"
+    ".equ MPUSEGB2, 0x05A4\n"
+    ".equ MPUSEGB1, 0x05A6\n"
+    ".equ MPUSAM, 0x05A8\n";
+
+// Runs `source` on a fast-dispatch machine and a baseline-interpreter
+// machine and checks the outcomes and final snapshots are byte-identical.
+// Returns the fast machine's outcome for semantic assertions.
+struct DualRun {
+  Machine fast;
+  Machine slow;
+  Cpu::RunOutcome outcome;
+};
+
+void RunBoth(DualRun* dual, const std::string& source, uint64_t max_cycles = 100000) {
+  dual->fast.cpu().set_predecode(true);
+  dual->slow.cpu().set_predecode(false);
+  AssembleAndLoad(&dual->fast, source);
+  AssembleAndLoad(&dual->slow, source);
+  dual->outcome = dual->fast.Run(max_cycles);
+  const Cpu::RunOutcome slow_outcome = dual->slow.Run(max_cycles);
+  EXPECT_EQ(dual->outcome.result, slow_outcome.result);
+  EXPECT_EQ(dual->outcome.stop_code, slow_outcome.stop_code);
+  EXPECT_EQ(dual->outcome.cycles, slow_outcome.cycles);
+  EXPECT_EQ(dual->fast.cpu().instruction_count(), dual->slow.cpu().instruction_count());
+  EXPECT_EQ(CaptureSnapshot(dual->fast).bytes, CaptureSnapshot(dual->slow).bytes)
+      << "fast-dispatch and interpreter snapshots diverged";
+}
+
+// Firmware that writes its own instructions: builds a tiny routine in SRAM
+// (`mov #1, r4; ret`), calls it, patches first the immediate ext word and
+// then the opcode word through ordinary stores, and calls it again. A stale
+// predecode entry would replay the old instruction.
+TEST(PredecodeTest, SelfModifyingCodeMatchesInterpreter) {
+  DualRun dual;
+  RunBoth(&dual,
+          "start:\n"
+          "  mov #0x2400, sp\n"
+          "  mov #0x4034, &0x2000\n"  // mov #imm, r4
+          "  mov #1, &0x2002\n"       // imm = 1
+          "  mov #0x4130, &0x2004\n"  // ret
+          "  call #0x2000\n"
+          "  mov r4, r6\n"            // r6 = 1
+          "  mov #42, &0x2002\n"      // patch the ext word: imm = 42
+          "  call #0x2000\n"
+          "  mov r4, r7\n"            // r7 = 42 (stale cache would leave 1)
+          "  mov #0x4035, &0x2000\n"  // patch the opcode word: mov #imm, r5
+          "  call #0x2000\n"          // r5 = 42
+          + std::string(kStop));
+  EXPECT_EQ(dual.outcome.result, StepResult::kStopped);
+  EXPECT_EQ(dual.fast.cpu().reg(Reg::kR6), 1);
+  EXPECT_EQ(dual.fast.cpu().reg(Reg::kR7), 42);
+  EXPECT_EQ(dual.fast.cpu().reg(Reg::kR5), 42);
+}
+
+// Same pattern, but the routine under modification lives in FRAM: the
+// firmware patches one word of its own already-executed code in place,
+// addressing it through a register so no hand-counted offsets are needed.
+TEST(PredecodeTest, SelfModifyingFramExtWordMatchesInterpreter) {
+  DualRun dual;
+  RunBoth(&dual,
+          "start:\n"
+          "  mov #0x2400, sp\n"
+          "  call #leaf\n"
+          "  mov r4, r6\n"      // r6 = 5
+          "  mov #leaf, r10\n"
+          "  mov #99, 2(r10)\n" // patch the immediate ext word of `mov #5, r4`
+          "  call #leaf\n"
+          "  mov r4, r7\n"      // r7 = 99
+          "  mov #0x4035, 0(r10)\n"  // patch the opcode word: mov #imm, r5
+          "  call #leaf\n"      // r5 = 99
+          + std::string(kStop) +
+          "leaf:\n"
+          "  mov #5, r4\n"
+          "  ret\n");
+  EXPECT_EQ(dual.outcome.result, StepResult::kStopped);
+  EXPECT_EQ(dual.fast.cpu().reg(Reg::kR6), 5);
+  EXPECT_EQ(dual.fast.cpu().reg(Reg::kR7), 99);
+  EXPECT_EQ(dual.fast.cpu().reg(Reg::kR5), 99);
+}
+
+// Host-side PokeWord into already-executed code must invalidate the cached
+// entry, exactly like tooling that patches a running machine.
+TEST(PredecodeTest, HostPokeInvalidatesCachedCode) {
+  for (const bool predecode : {true, false}) {
+    Machine m;
+    m.cpu().set_predecode(predecode);
+    const Image image = AssembleAndLoad(&m,
+                                        "start:\n"
+                                        "  mov #1, r4\n"
+                                        "loop:\n"
+                                        "  jmp loop\n");
+    // Spin long enough that `loop` is fetched (and cached) many times.
+    Cpu::RunOutcome out = m.Run(200);
+    ASSERT_EQ(out.result, StepResult::kOk);
+    // Overwrite the spin jump with `mov #4, &0x0710` (stop).
+    const uint16_t loop_addr = image.SymbolOrZero("loop");
+    ASSERT_NE(loop_addr, 0);
+    m.bus().PokeWord(loop_addr, 0x40B2);
+    m.bus().PokeWord(static_cast<uint16_t>(loop_addr + 2), 4);
+    m.bus().PokeWord(static_cast<uint16_t>(loop_addr + 4), 0x0710);
+    out = m.Run(1000);
+    EXPECT_EQ(out.result, StepResult::kStopped)
+        << (predecode ? "predecode" : "interpreter") << " kept running stale code";
+    EXPECT_EQ(out.stop_code, 4);
+  }
+}
+
+// Restoring a snapshot replaces all of memory; cached predecode entries from
+// the pre-restore program must not survive into the restored one.
+TEST(PredecodeTest, RestoreSnapshotDropsStaleEntries) {
+  // Donor machine: program B loaded (never run), captured as a snapshot.
+  Machine donor;
+  AssembleAndLoad(&donor,
+                  "start:\n"
+                  "  mov #222, r4\n" +
+                      std::string(kStop));
+  const MachineSnapshot snapshot = CaptureSnapshot(donor);
+
+  // Victim machine: runs program A to completion (same addresses, different
+  // code), then gets the donor snapshot restored over it.
+  Machine m;
+  m.cpu().set_predecode(true);
+  Cpu::RunOutcome out;
+  AssembleAndLoad(&m,
+                  "start:\n"
+                  "  mov #111, r4\n" +
+                      std::string(kStop));
+  out = m.Run(100000);
+  ASSERT_EQ(out.result, StepResult::kStopped);
+  ASSERT_EQ(m.cpu().reg(Reg::kR4), 111);
+
+  ASSERT_TRUE(RestoreSnapshot(snapshot, &m).ok());
+  out = m.Run(100000);
+  EXPECT_EQ(out.result, StepResult::kStopped);
+  EXPECT_EQ(m.cpu().reg(Reg::kR4), 222) << "stale predecode entries executed after restore";
+}
+
+// MPU enabled mid-program, then a fetch from a non-executable segment: the
+// fast path must take the same NMI at the same cycle as the interpreter.
+// Enabling the MPU after code has been cached also exercises the cached
+// fetch-permission revalidation (the MPU config generation check).
+TEST(PredecodeTest, MpuFetchViolationMatchesInterpreter) {
+  DualRun dual;
+  RunBoth(&dual,
+          std::string(kMpuRegs) +
+              "start:\n"
+              "  mov #0x2400, sp\n"
+              "  mov #nmi, &0xFFFC\n"
+              "  mov #0x0800, &MPUSEGB1\n"
+              "  mov #0x0A00, &MPUSEGB2\n"
+              "  mov #0x0034, &MPUSAM\n"    // seg1 X, seg2 RW, seg3 none
+              "  mov #0xA501, &MPUCTL0\n"   // enable after this code was cached
+              "  br #0x9000\n"              // fetch from RW segment -> violation
+              "nmi:\n"
+              "  mov #1, r10\n"
+              "  mov #3, &0x0710\n",
+          50000);
+  EXPECT_EQ(dual.outcome.result, StepResult::kStopped);
+  EXPECT_EQ(dual.outcome.stop_code, 3);
+  EXPECT_EQ(dual.fast.cpu().reg(Reg::kR10), 1);
+  EXPECT_TRUE(dual.fast.mpu().violation_flags() != 0);
+}
+
+// End-to-end: a small fleet simulated with and without predecode produces
+// the exact same FleetDigest (the determinism contract the CI gate enforces
+// at scale with `amuletc fleet --no-predecode`).
+TEST(PredecodeTest, FleetDigestIdenticalAcrossModes) {
+  FleetConfig config;
+  config.device_count = 4;
+  config.apps = {"pedometer", "clock"};
+  config.model = MemoryModel::kMpu;
+  config.fleet_seed = 20180711;
+  config.sim_ms = 200;
+  config.jobs = 2;
+
+  config.predecode = true;
+  auto fast = RunFleet(config);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+
+  config.predecode = false;
+  config.jobs = 1;  // digest identity must also hold across thread counts
+  auto slow = RunFleet(config);
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+
+  EXPECT_EQ(FleetDigest(*fast), FleetDigest(*slow));
+  EXPECT_GT(fast->aggregate.total_instructions, 0u);
+  EXPECT_EQ(fast->aggregate.total_instructions, slow->aggregate.total_instructions);
+}
+
+}  // namespace
+}  // namespace amulet

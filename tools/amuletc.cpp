@@ -61,6 +61,8 @@ const char kFleetHelp[] =
     "  --jobs N                worker threads (default: hardware concurrency)\n"
     "  --metrics-out FILE      write streaming fleet metrics as JSON\n"
     "  --no-device-stats       streaming aggregation only (O(1) memory per fleet)\n"
+    "  --no-predecode          baseline interpreter core (no predecoded-insn\n"
+    "                          cache); results are bit-identical, just slower\n"
     "  --checkpoint FILE       persist a resumable checkpoint (atomic rename)\n"
     "  --checkpoint-every N    checkpoint cadence in completed devices (default: 64)\n"
     "  --resume                continue from --checkpoint FILE if it exists; only\n"
@@ -323,6 +325,8 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
       }
     } else if (arg == "--no-device-stats") {
       config.retain_device_stats = false;
+    } else if (arg == "--no-predecode") {
+      config.predecode = false;
     } else if (arg == "--checkpoint") {
       const char* value = next();
       if (value == nullptr || value[0] == '\0') {
@@ -490,6 +494,15 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
       return 1;
     }
     std::printf("%s", amulet::RenderCampaignReport(*report).c_str());
+    {
+      // Hash of the full deterministic digest: two runs with the same seeded
+      // config must print the same line regardless of --jobs, --resume, or
+      // --no-predecode (CI's determinism gate greps and compares it).
+      const std::string digest = amulet::CampaignDigest(*report);
+      std::printf("campaign digest: %016llx\n",
+                  static_cast<unsigned long long>(amulet::Fnv1a64(
+                      reinterpret_cast<const uint8_t*>(digest.data()), digest.size())));
+    }
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path);
       if (!out) {
@@ -521,6 +534,14 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
     return 1;
   }
   std::printf("%s", amulet::RenderFleetReport(*report).c_str());
+  {
+    // See the campaign path: one greppable line proving run-to-run and
+    // predecode-vs-interpreter determinism.
+    const std::string digest = amulet::FleetDigest(*report);
+    std::printf("fleet digest: %016llx\n",
+                static_cast<unsigned long long>(amulet::Fnv1a64(
+                    reinterpret_cast<const uint8_t*>(digest.data()), digest.size())));
+  }
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
     if (!out) {
