@@ -11,6 +11,7 @@
 // The checkpoint section measures the wall-clock cost of periodic fleet
 // checkpointing, then simulates a kill after half the fleet and verifies the
 // resumed run's FleetDigest matches the uninterrupted reference exactly.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -144,6 +145,52 @@ int Run() {
     json.Field("bit_identical", static_cast<uint64_t>(identical ? 1 : 0));
     json.Field("instructions", parallel->aggregate.total_instructions);
     json.Field("sim_mips", sim_mips(*parallel));
+  }
+
+  // Flight-recorder overhead gate: the per-device recorder (branch/store/
+  // syscall events on the hot simulation paths) must stay within 10% of the
+  // recorder-off wall time, and its digest must match the reference exactly
+  // (the recorder observes simulated state, never perturbs it).
+  {
+    // Best-of-3 per configuration: single ~0.1 s fleet runs are jittery on a
+    // loaded CI host, and the gate compares two of them.
+    FleetConfig no_flight = BenchConfig(0);
+    no_flight.flight_recorder = false;
+    double off_seconds = 0.0;
+    double on_seconds = 0.0;
+    bool identical = true;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto recorder_off = RunFleet(no_flight);
+      if (!recorder_off.ok()) {
+        std::fprintf(stderr, "recorder-off fleet failed: %s\n",
+                     recorder_off.status().ToString().c_str());
+        return 1;
+      }
+      auto recorder_on = RunFleet(BenchConfig(0));
+      if (!recorder_on.ok()) {
+        std::fprintf(stderr, "recorder-on fleet failed: %s\n",
+                     recorder_on.status().ToString().c_str());
+        return 1;
+      }
+      identical = identical && FleetDigest(*recorder_on) == reference_digest &&
+                  FleetDigest(*recorder_off) == reference_digest;
+      off_seconds = rep == 0 ? recorder_off->run_seconds
+                             : std::min(off_seconds, recorder_off->run_seconds);
+      on_seconds = rep == 0 ? recorder_on->run_seconds
+                            : std::min(on_seconds, recorder_on->run_seconds);
+    }
+    all_identical = all_identical && identical;
+    const double overhead = off_seconds > 0 ? on_seconds / off_seconds : 1.0;
+    const bool within_gate = overhead <= 1.10;
+    std::printf(
+        "\nflight recorder: run %7.3f s vs %7.3f s without (%.3fx wall best-of-3, "
+        "gate <= 1.10x %s), digests %s\n",
+        on_seconds, off_seconds, overhead, within_gate ? "OK" : "EXCEEDED",
+        identical ? "bit-identical" : "DIVERGED");
+    json.Scalar("flight_recorder_overhead", overhead);
+    json.Scalar("flight_recorder_gate", 1.10);
+    json.Scalar("flight_recorder_within_gate", within_gate ? 1.0 : 0.0);
+    json.Scalar("flight_recorder_digest_match", identical ? 1.0 : 0.0);
   }
 
   // Checkpoint overhead + kill/resume digest identity.

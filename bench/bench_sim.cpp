@@ -28,8 +28,10 @@
 #include "bench/bench_util.h"
 #include "src/asm/assembler.h"
 #include "src/asm/linker.h"
+#include "src/mcu/code_cache.h"
 #include "src/mcu/machine.h"
 #include "src/mcu/snapshot.h"
+#include "src/scope/metrics.h"
 
 namespace amulet {
 namespace {
@@ -113,6 +115,7 @@ struct RunResult {
   double seconds = 0;           // min wall time over kReps
   uint64_t instructions = 0;
   std::vector<uint8_t> snapshot;
+  CodeCache::Stats cache;  // predecode runs only; one rep's worth
 };
 
 Image LinkWorkload(const Workload& w) {
@@ -157,6 +160,7 @@ bool RunRep(const Workload& w, const Image& image, bool predecode, bool first, R
     out->seconds = seconds;
     out->instructions = instructions;
     out->snapshot = CaptureSnapshot(machine).bytes;
+    out->cache = machine.cpu().code_cache_stats();
     return true;
   }
   out->seconds = std::min(out->seconds, seconds);
@@ -192,6 +196,9 @@ int Run() {
   std::printf("  %-14s %3s %12s %12s %12s %8s %10s %s\n", "workload", "ws", "insns",
               "interp i/s", "fast i/s", "speedup", "sim-MIPS", "identical");
   bool all_identical = true;
+  // Predecode cache behaviour across all workloads, routed through the same
+  // registry machinery the fleet uses (host-side only — never digested).
+  MetricRegistry cache_metrics;
   double headline_speedup = 0;  // the dispatch-bound workload (alu_reg)
   double min_speedup = 0;
   double log_sum = 0;
@@ -229,6 +236,20 @@ int Run() {
     json.Field("speedup", speedup);
     json.Field("sim_mips", fast_ips / 1e6);
     json.Field("bit_identical", static_cast<uint64_t>(identical ? 1 : 0));
+    const CodeCache::Stats& cache = fast.cache;
+    cache_metrics.Add("codecache.hits", cache.hits);
+    cache_metrics.Add("codecache.misses", cache.misses);
+    cache_metrics.Add("codecache.slow_paths", cache.slow_paths);
+    cache_metrics.Add("codecache.invalidations", cache.invalidations);
+    cache_metrics.Add("codecache.full_invalidations", cache.full_invalidations);
+    json.Field("cache_hits", cache.hits);
+    json.Field("cache_misses", cache.misses);
+    json.Field("cache_slow_paths", cache.slow_paths);
+    json.Field("cache_invalidations", cache.invalidations);
+    const uint64_t lookups = cache.hits + cache.misses;
+    json.Field("cache_hit_rate",
+               lookups > 0 ? static_cast<double>(cache.hits) / static_cast<double>(lookups)
+                           : 0.0);
   }
 
   const double geomean = rows > 0 ? std::exp(log_sum / rows) : 0;
@@ -237,11 +258,34 @@ int Run() {
   std::printf("bit identity (snapshots after %llu-cycle runs): %s\n",
               static_cast<unsigned long long>(kCycleBudget),
               all_identical ? "HOLDS" : "VIOLATED");
+  const uint64_t total_hits = cache_metrics.counter("codecache.hits");
+  const uint64_t total_misses = cache_metrics.counter("codecache.misses");
+  const uint64_t total_lookups = total_hits + total_misses;
+  std::printf(
+      "predecode cache: %llu hit(s), %llu miss(es), %llu slow path(s), %llu "
+      "invalidation(s) (%.4f%% hit rate)\n",
+      static_cast<unsigned long long>(total_hits),
+      static_cast<unsigned long long>(total_misses),
+      static_cast<unsigned long long>(cache_metrics.counter("codecache.slow_paths")),
+      static_cast<unsigned long long>(cache_metrics.counter("codecache.invalidations")),
+      total_lookups > 0 ? 100.0 * static_cast<double>(total_hits) /
+                              static_cast<double>(total_lookups)
+                        : 0.0);
   json.Scalar("speedup_headline", headline_speedup);
   json.Scalar("speedup_min", min_speedup);
   json.Scalar("speedup_geomean", geomean);
   json.Scalar("speedup_target", 5.0);
   json.Scalar("all_identical", all_identical ? 1.0 : 0.0);
+  json.Scalar("cache_hits_total", static_cast<double>(total_hits));
+  json.Scalar("cache_misses_total", static_cast<double>(total_misses));
+  json.Scalar("cache_slow_paths_total",
+              static_cast<double>(cache_metrics.counter("codecache.slow_paths")));
+  json.Scalar("cache_invalidations_total",
+              static_cast<double>(cache_metrics.counter("codecache.invalidations")));
+  json.Scalar("cache_hit_rate",
+              total_lookups > 0 ? static_cast<double>(total_hits) /
+                                      static_cast<double>(total_lookups)
+                                : 0.0);
   json.Write();
   return all_identical ? 0 : 1;
 }

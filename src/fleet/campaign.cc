@@ -145,7 +145,7 @@ struct CampaignContext {
 // CPU, and — if the image is authentic — activation of the new bank plus a
 // health window in which a watchdog-reset storm rolls the device back.
 Status RunCampaignDevice(int device_id, const CampaignContext& ctx,
-                         CampaignDeviceRow* row) {
+                         CampaignDeviceRow* row, FaultLedger* ledger) {
   const CampaignConfig& config = *ctx.config;
   const uint32_t device_seed =
       config.fleet.fleet_seed ^ static_cast<uint32_t>(device_id);
@@ -156,8 +156,9 @@ Status RunCampaignDevice(int device_id, const CampaignContext& ctx,
   ASSIGN_OR_RETURN(std::unique_ptr<ClonedDevice> device,
                    ClonedDevice::Clone(device_seed, config.fleet.fram_wait_states,
                                        *ctx.firmware_from, *ctx.snapshot_from,
-                                       *ctx.booted_from, config.fleet.predecode));
-  RETURN_IF_ERROR(device->Run(config.fleet.sim_ms, ctx.regions_from, &row->stats));
+                                       *ctx.booted_from, config.fleet.predecode,
+                                       config.fleet.flight_recorder));
+  RETURN_IF_ERROR(device->Run(config.fleet.sim_ms, ctx.regions_from, &row->stats, ledger));
 
   // Phase 2: the bootloader verifies the staged image's MAC as simulated
   // MSP430 code; the cycle cost is this device's genuine verification bill.
@@ -178,7 +179,8 @@ Status RunCampaignDevice(int device_id, const CampaignContext& ctx,
     ASSIGN_OR_RETURN(std::unique_ptr<ClonedDevice> updated,
                      ClonedDevice::Clone(health_seed, config.fleet.fram_wait_states,
                                          *ctx.firmware_to, *ctx.snapshot_to,
-                                         *ctx.booted_to, config.fleet.predecode));
+                                         *ctx.booted_to, config.fleet.predecode,
+                                         config.fleet.flight_recorder));
     BlData bl;
     bl.active_bank = 1;
     bl.attempt_count = 1;
@@ -188,7 +190,7 @@ Status RunCampaignDevice(int device_id, const CampaignContext& ctx,
 
     DeviceStats health;
     health.device_id = device_id;
-    RETURN_IF_ERROR(updated->Run(config.health_ms, ctx.regions_to, &health));
+    RETURN_IF_ERROR(updated->Run(config.health_ms, ctx.regions_to, &health, ledger));
     AddStats(&row->stats, health);
     span_ms += config.health_ms;
 
@@ -330,6 +332,7 @@ Result<CampaignReport> RunCampaignImpl(const CampaignConfig& config_in,
   if (resume != nullptr) {
     completed = resume->completed;
     report.metrics = resume->metrics;
+    report.faults = resume->faults;
     report.resumed_devices = resume->CompletedCount();
     for (const DeviceStats& d : resume->devices) {
       report.devices[static_cast<size_t>(d.device_id)].stats = d;
@@ -377,6 +380,7 @@ Result<CampaignReport> RunCampaignImpl(const CampaignConfig& config_in,
     cp.config_text = canonical;
     cp.template_snapshot = snapshot_from;
     cp.metrics = report.metrics;
+    cp.faults = report.faults;
     cp.completed = completed;
     cp.device_count = device_count;
     for (int i = 0; i < device_count; ++i) {
@@ -398,11 +402,12 @@ Result<CampaignReport> RunCampaignImpl(const CampaignConfig& config_in,
   auto run_one = [&](int id) {
     CampaignDeviceRow& row = report.devices[static_cast<size_t>(id)];
     Status status;
+    FaultLedger device_ledger;
     if (config.fleet.fail_device_id == id) {
       status = InternalError(StrFormat("injected failure on device %d", id));
     } else {
       CampaignDeviceRow fresh;
-      status = RunCampaignDevice(id, ctx, &fresh);
+      status = RunCampaignDevice(id, ctx, &fresh, &device_ledger);
       if (status.ok()) {
         row = fresh;
       }
@@ -418,6 +423,7 @@ Result<CampaignReport> RunCampaignImpl(const CampaignConfig& config_in,
       return;
     }
     report.metrics.Merge(device_metrics);
+    report.faults.Merge(device_ledger);
     completed[static_cast<size_t>(id)] = true;
     ++completed_this_run;
     if (config.fleet.abort_after_devices > 0 &&
@@ -622,6 +628,8 @@ std::string CampaignDigest(const CampaignReport& report) {
   out += "metrics:";
   out += report.metrics.ToJson();
   out += "\n";
+  out += "ledger:\n";
+  out += report.faults.DigestText();
   return out;
 }
 
@@ -685,6 +693,19 @@ std::string RenderCampaignReport(const CampaignReport& report) {
   if (report.aborted_stage >= 0) {
     out += StrFormat("campaign ABORTED after stage %d exceeded its failure threshold\n",
                      report.aborted_stage);
+    if (!report.faults.empty()) {
+      out += "dominant fault buckets behind the abort:\n";
+      const std::vector<const FaultBucket*> top = report.faults.TopK(3);
+      for (size_t i = 0; i < top.size(); ++i) {
+        const FaultBucket& b = *top[i];
+        out += StrFormat(
+            "  %zu. %llu fault(s) on %llu device(s): %s at pc %s in %s (%s)\n", i + 1,
+            static_cast<unsigned long long>(b.count),
+            static_cast<unsigned long long>(b.devices), FaultKindName(b.kind),
+            HexWord(b.pc).c_str(), RegionTagName(b.scope),
+            b.app_name.empty() ? b.description.c_str() : b.app_name.c_str());
+      }
+    }
   }
   return out;
 }

@@ -103,6 +103,11 @@ struct CampaignReport {
   // campaign.not_attempted, per-version campaign.version.<v> counters (the
   // version-skew view), and the device.verify_cycles histogram.
   MetricRegistry metrics;
+  // Merged crash buckets over both phases (old-firmware workload and the
+  // post-update health window) of every attempted device. When a stage abort
+  // fires, RenderCampaignReport cites the dominant buckets so the abort is
+  // attributable to a fault signature, not just a rate.
+  FaultLedger faults;
   int aborted_stage = -1;  // stage index whose threshold tripped, -1 if none
   int resumed_devices = 0;
   size_t snapshot_bytes = 0;

@@ -105,6 +105,10 @@ std::vector<uint8_t> EncodeFleetCheckpoint(const FleetCheckpoint& checkpoint) {
   w.Bytes(bitmap.data(), bitmap.size());
   w.EndSection();
 
+  w.BeginSection(FleetCheckpointSection::kFleetLedger);
+  checkpoint.faults.SaveState(w);
+  w.EndSection();
+
   if (checkpoint.kind == FleetCheckpointKind::kCampaign) {
     w.BeginSection(FleetCheckpointSection::kCampaignDevices);
     w.U32(static_cast<uint32_t>(checkpoint.campaign_devices.size()));
@@ -150,6 +154,12 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
           "fleet checkpoint version 2 was written by an older build and cannot be "
           "resumed (v3 added the instructions-retired column to device rows); delete "
           "the checkpoint and re-run without --resume");
+    }
+    if (version == 3) {
+      return InvalidArgumentError(
+          "fleet checkpoint version 3 was written by an older build and cannot be "
+          "resumed (v4 added the fault-ledger section); delete the checkpoint and "
+          "re-run without --resume");
     }
     if (version != kFleetCheckpointVersion) {
       return InvalidArgumentError(
@@ -232,6 +242,15 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
     for (int i = 0; i < out.device_count; ++i) {
       out.completed[i] =
           (bitmap[static_cast<size_t>(i) / 8] >> (i % 8) & 1u) != 0;
+    }
+  }
+  r.LeaveSection();
+
+  r.EnterSection(FleetCheckpointSection::kFleetLedger);
+  if (r.ok()) {
+    const Status ledger_status = out.faults.LoadState(r);
+    if (!ledger_status.ok()) {
+      return AsCheckpointError(ledger_status);
     }
   }
   r.LeaveSection();

@@ -21,12 +21,15 @@
 //   kCampaignDevices  per-device OTA outcome rows (campaign checkpoints
 //                   only): outcome, installed firmware version, MAC-verify
 //                   cycle cost
+//   kFleetLedger    the merged FaultLedger of completed devices (crash
+//                   buckets with exemplar forensics)
 //
 // Version history: v1 (PR 1-3) had no kind byte, no integrity trailer, no
 // watchdog_resets column, and no campaign section. v3 added the
-// instructions-retired column to device rows. Files are only readable by
-// builds of the same version; decoding an older file returns a clear
-// InvalidArgumentError telling the caller to re-run without --resume.
+// instructions-retired column to device rows. v4 added the fault-ledger
+// section. Files are only readable by builds of the same version; decoding
+// an older file returns a clear InvalidArgumentError telling the caller to
+// re-run without --resume.
 //
 // Every decode failure — bad magic, unsupported version, truncation,
 // checksum mismatch, corrupt section, out-of-range ids — returns
@@ -45,7 +48,7 @@
 namespace amulet {
 
 inline constexpr uint32_t kFleetCheckpointMagic = 0x43464D41;  // "AMFC"
-inline constexpr uint32_t kFleetCheckpointVersion = 3;
+inline constexpr uint32_t kFleetCheckpointVersion = 4;
 
 // What produced the checkpoint; a fleet resume rejects campaign checkpoints
 // and vice versa.
@@ -62,6 +65,7 @@ enum class FleetCheckpointSection : uint8_t {
   kFleetDevices = 19,
   kFleetBitmap = 20,
   kCampaignDevices = 21,
+  kFleetLedger = 22,
 };
 
 // One completed device's OTA outcome (campaign checkpoints only). `outcome`
@@ -81,6 +85,7 @@ struct FleetCheckpoint {
   std::string config_text;  // canonical config, for mismatch diagnostics
   MachineSnapshot template_snapshot;
   MetricRegistry metrics;             // merged over completed devices
+  FaultLedger faults;                 // merged crash buckets of completed devices
   std::vector<DeviceStats> devices;   // completed rows only; empty when streaming
   // Campaign checkpoints only; one row per completed device.
   std::vector<CampaignDeviceRecord> campaign_devices;

@@ -89,11 +89,15 @@ Result<std::unique_ptr<ClonedDevice>> ClonedDevice::Clone(uint32_t device_seed,
                                                           const Firmware& firmware,
                                                           const MachineSnapshot& snapshot,
                                                           const AmuletOs& booted,
-                                                          bool predecode) {
+                                                          bool predecode,
+                                                          bool flight_recorder) {
   std::unique_ptr<ClonedDevice> device(
       new ClonedDevice(firmware, fram_wait_states, device_seed));
   device->machine_.cpu().set_predecode(predecode);
   RETURN_IF_ERROR(device->os_.BootFromSnapshot(snapshot, booted));
+  if (flight_recorder) {
+    device->os_.AttachFlightRecorder(&device->flight_);
+  }
   // The clone carries the template's sensor/RNG state; apply this device's
   // identity before any event is delivered.
   device->os_.sensors().Reseed(device_seed);
@@ -101,7 +105,9 @@ Result<std::unique_ptr<ClonedDevice>> ClonedDevice::Clone(uint32_t device_seed,
   return device;
 }
 
-Status ClonedDevice::Run(uint64_t sim_ms, const DataRegions& regions, DeviceStats* out) {
+Status ClonedDevice::Run(uint64_t sim_ms, const DataRegions& regions, DeviceStats* out,
+                         FaultLedger* ledger) {
+  const size_t faults_watermark = os_.faults().size();
   uint64_t data_accesses = 0;
   machine_.bus().SetObserver([&](const BusObserverEvent& event) {
     if (event.kind != AccessKind::kFetch && regions.Contains(event.addr)) {
@@ -148,6 +154,17 @@ Status ClonedDevice::Run(uint64_t sim_ms, const DataRegions& regions, DeviceStat
   // both genuine WDT expiries and forced restarts count here.
   out->watchdog_resets += (machine_.watchdog().expiries() - wdt_before) +
                           (restarts_after - restarts_before);
+  if (ledger != nullptr) {
+    for (size_t i = faults_watermark; i < os_.faults().size(); ++i) {
+      const FaultRecord& record = os_.faults()[i];
+      std::string app_name;
+      if (record.app_index >= 0 &&
+          record.app_index < static_cast<int>(os_.firmware().apps.size())) {
+        app_name = os_.firmware().apps[record.app_index].name;
+      }
+      ledger->Record(record, out->device_id, app_name);
+    }
+  }
   return OkStatus();
 }
 

@@ -15,9 +15,11 @@
 #include "src/aft/aft.h"
 #include "src/apps/app_sources.h"
 #include "src/common/status.h"
+#include "src/fleet/fault_ledger.h"
 #include "src/fleet/fleet.h"
 #include "src/mcu/machine.h"
 #include "src/os/os.h"
+#include "src/scope/flight_recorder.h"
 
 namespace amulet {
 namespace fleet_internal {
@@ -61,26 +63,37 @@ class ClonedDevice {
  public:
   // `predecode` selects the CPU execution path (fast cache vs reference
   // interpreter); counters and digests are bit-identical either way.
+  // `flight_recorder` attaches the device's flight recorder so fault records
+  // carry a flight tail — host-side observability, also digest-neutral
+  // (every recorded field derives from simulated state).
   static Result<std::unique_ptr<ClonedDevice>> Clone(uint32_t device_seed,
                                                      int fram_wait_states,
                                                      const Firmware& firmware,
                                                      const MachineSnapshot& snapshot,
                                                      const AmuletOs& booted,
-                                                     bool predecode = true);
+                                                     bool predecode = true,
+                                                     bool flight_recorder = true);
 
   Machine& machine() { return machine_; }
+  AmuletOs& os() { return os_; }
 
   // Runs sim_ms of device time and ADDS the resulting deltas (cycles, data
   // accesses, syscalls, dispatches, faults, PUCs, watchdog resets) into
   // *out, so multi-phase callers accumulate one row. Does not touch
   // out->battery_impact_percent (span-dependent; see BatteryPercentFor).
-  Status Run(uint64_t sim_ms, const DataRegions& regions, DeviceStats* out);
+  // When `ledger` is non-null, every fault the span produced is folded into
+  // it under out->device_id (the caller owns one ledger per device and
+  // merges it into the fleet ledger exactly once, keeping the bucket
+  // `devices` counters equal to distinct-device counts).
+  Status Run(uint64_t sim_ms, const DataRegions& regions, DeviceStats* out,
+             FaultLedger* ledger = nullptr);
 
  private:
   ClonedDevice(const Firmware& firmware, int fram_wait_states, uint32_t device_seed);
 
   Machine machine_;
   AmuletOs os_;
+  FlightRecorder flight_;
 };
 
 // Weekly battery cost of `cycles` measured over a `sim_ms` span.

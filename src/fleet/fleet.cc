@@ -31,14 +31,15 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 
 Status RunDevice(int device_id, const FleetConfig& config, const Firmware& firmware,
                  const MachineSnapshot& snapshot, const AmuletOs& booted,
-                 const DataRegions& regions, DeviceStats* out) {
+                 const DataRegions& regions, DeviceStats* out, FaultLedger* ledger) {
   const uint32_t device_seed = config.fleet_seed ^ static_cast<uint32_t>(device_id);
   ASSIGN_OR_RETURN(std::unique_ptr<ClonedDevice> device,
                    ClonedDevice::Clone(device_seed, config.fram_wait_states, firmware,
-                                       snapshot, booted, config.predecode));
+                                       snapshot, booted, config.predecode,
+                                       config.flight_recorder));
   DeviceStats stats;
   stats.device_id = device_id;
-  RETURN_IF_ERROR(device->Run(config.sim_ms, regions, &stats));
+  RETURN_IF_ERROR(device->Run(config.sim_ms, regions, &stats, ledger));
   stats.battery_impact_percent =
       fleet_internal::BatteryPercentFor(stats.cycles, config.sim_ms, config.energy);
   *out = stats;
@@ -188,6 +189,7 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
   if (resume != nullptr) {
     completed = resume->completed;
     report.metrics = resume->metrics;
+    report.faults = resume->faults;
     report.resumed_devices = resume->CompletedCount();
     if (retain) {
       for (const DeviceStats& d : resume->devices) {
@@ -236,6 +238,7 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
     cp.config_text = canonical;
     cp.template_snapshot = snapshot;
     cp.metrics = report.metrics;
+    cp.faults = report.faults;
     cp.completed = completed;
     cp.device_count = config.device_count;
     if (retain) {
@@ -256,10 +259,12 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
     DeviceStats local;
     DeviceStats* slot = retain ? &report.devices[static_cast<size_t>(id)] : &local;
     Status status;
+    FaultLedger device_ledger;
     if (config.fail_device_id == id) {
       status = InternalError(StrFormat("injected failure on device %d", id));
     } else {
-      status = RunDevice(id, config, firmware, snapshot, template_os, regions, slot);
+      status = RunDevice(id, config, firmware, snapshot, template_os, regions, slot,
+                         &device_ledger);
     }
     device_status[static_cast<size_t>(id)] = status;
     MetricRegistry device_metrics;
@@ -273,6 +278,7 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
       return;
     }
     report.metrics.Merge(device_metrics);
+    report.faults.Merge(device_ledger);
     completed[static_cast<size_t>(id)] = true;
     ++completed_this_run;
     if (config.abort_after_devices > 0 && completed_this_run >= config.abort_after_devices &&
@@ -396,6 +402,8 @@ std::string FleetDigest(const FleetReport& report) {
   out += "metrics:";
   out += report.metrics.ToJson();
   out += "\n";
+  out += "ledger:\n";
+  out += report.faults.DigestText();
   return out;
 }
 
@@ -468,6 +476,9 @@ std::string RenderFleetReport(const FleetReport& report) {
       static_cast<unsigned long long>(a.total_faults),
       static_cast<unsigned long long>(a.total_pucs),
       static_cast<unsigned long long>(a.total_watchdog_resets));
+  if (!report.faults.empty()) {
+    out += report.faults.RenderTriage(5);
+  }
   return out;
 }
 

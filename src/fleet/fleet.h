@@ -18,6 +18,7 @@
 #include "src/arp/arp.h"
 #include "src/arp/energy_model.h"
 #include "src/common/status.h"
+#include "src/fleet/fault_ledger.h"
 #include "src/scope/metrics.h"
 
 namespace amulet {
@@ -50,6 +51,12 @@ struct FleetConfig {
   // bit-identical either way, so it is excluded from the canonical config
   // (checkpoints resume across modes).
   bool predecode = true;
+  // When true each device carries a flight recorder so its fault records
+  // include the flight tail (`amuletc fleet --no-flight-recorder` disables
+  // it). Host-side observability knob: every fault field derives from
+  // simulated state, so digests are bit-identical either way and the flag is
+  // excluded from the canonical config, like `predecode`.
+  bool flight_recorder = true;
 
   // --- Checkpoint/resume (docs/fleet.md "Checkpoint & resume") ---
   // When non-empty, RunFleet persists a fleet checkpoint at this path —
@@ -122,6 +129,10 @@ struct FleetReport {
   // --jobs values regardless of merge order; constant size regardless of
   // device count. Export with metrics.ToJson().
   MetricRegistry metrics;
+  // Fleet-wide crash buckets: one per-device FaultLedger merged per device,
+  // order-independently, so the ledger (and its digest section) is
+  // bit-identical across --jobs values and checkpoint/resume.
+  FaultLedger faults;
   size_t snapshot_bytes = 0;
   double boot_seconds = 0;  // firmware build + template boot + snapshot
   double run_seconds = 0;   // wall time of the parallel device runs

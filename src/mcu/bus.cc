@@ -4,6 +4,8 @@
 #include "src/common/strings.h"
 #include "src/mcu/code_cache.h"
 #include "src/mcu/snapshot.h"
+#include "src/scope/flight_recorder.h"
+#include "src/scope/probe.h"
 
 namespace amulet {
 
@@ -109,6 +111,7 @@ uint16_t Bus::ReadWord(uint16_t addr, AccessKind kind) {
 void Bus::WriteWord(uint16_t addr, uint16_t value, AccessKind kind) {
   addr &= ~uint16_t{1};
   AddFramPenalty(addr);
+  AMULET_PROBE_FLIGHT(flight_, FlightEventKind::kStore, addr, value);
   if (mpu_ != nullptr && !mpu_->CheckAccess(addr, AccessKind::kWrite)) {
     Observe(addr, AccessKind::kWrite, false, value);
     return;  // blocked; violation latched in the MPU
@@ -159,6 +162,7 @@ uint8_t Bus::ReadByte(uint16_t addr, AccessKind kind) {
 
 void Bus::WriteByte(uint16_t addr, uint8_t value, AccessKind kind) {
   AddFramPenalty(addr);
+  AMULET_PROBE_FLIGHT(flight_, FlightEventKind::kStore, addr, value);
   if (mpu_ != nullptr && !mpu_->CheckAccess(addr, AccessKind::kWrite)) {
     Observe(addr, AccessKind::kWrite, true, value);
     return;

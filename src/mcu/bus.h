@@ -16,6 +16,7 @@
 
 namespace amulet {
 
+class FlightRecorder;
 class SnapshotReader;
 class SnapshotWriter;
 
@@ -99,6 +100,12 @@ class Bus {
     observer_ = std::move(observer);
   }
   bool has_observer() const { return static_cast<bool>(observer_); }
+  // Optional flight recorder (not owned; host wiring, never serialized).
+  // Receives one store event per architectural write — including writes the
+  // MPU blocks, which are exactly the interesting ones in a fault tail.
+  // Distinct from the observer: ClonedDevice::Run() installs and removes the
+  // observer around every run slice, so it cannot double as a forensic tap.
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
 
   // Wait states added per FRAM access (fetch or data). The FR5969 runs FRAM
   // at 8 MHz behind a cache; `1` approximates the average penalty at 16 MHz.
@@ -169,6 +176,7 @@ class Bus {
   std::vector<BusDevice*> devices_;
   MemoryProtection* mpu_ = nullptr;
   CodeCache* code_cache_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   std::function<void(const BusObserverEvent&)> observer_;
   BusFault fault_ = BusFault::kNone;
   int fram_wait_states_ = 0;

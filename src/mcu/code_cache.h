@@ -43,6 +43,19 @@ class CodeCache {
     PredecodedInsn pd;
   };
 
+  // Host-side effectiveness counters, maintained by Cpu::StepFast() (hits,
+  // misses, slow paths) and by the invalidation entry points below. Never
+  // serialized and never part of any digest: they measure the host
+  // simulator, not the simulated machine, and differ between the fast and
+  // interpreter cores by construction.
+  struct Stats {
+    uint64_t hits = 0;           // valid entry found for the fetch address
+    uint64_t misses = 0;         // FillEntry() runs (including failures)
+    uint64_t slow_paths = 0;     // deferrals to the interpreter from StepFast
+    uint64_t invalidations = 0;  // InvalidateWord() calls (memory writes)
+    uint64_t full_invalidations = 0;  // InvalidateAll() calls
+  };
+
   CodeCache() : entries_(kEntries) {}
 
   // Returns the entry slot for `addr` (word-aligned internally). The caller
@@ -60,6 +73,7 @@ class CodeCache {
     entries_[a >> 1].gen = 0;
     entries_[static_cast<uint16_t>(a - 2) >> 1].gen = 0;
     entries_[static_cast<uint16_t>(a - 4) >> 1].gen = 0;
+    ++stats_.invalidations;
   }
 
   // O(1) full invalidation via generation bump (image load, snapshot
@@ -71,7 +85,13 @@ class CodeCache {
       }
       generation_ = 1;
     }
+    ++stats_.full_invalidations;
   }
+
+  const Stats& stats() const { return stats_; }
+  void CountHit() { ++stats_.hits; }
+  void CountMiss() { ++stats_.misses; }
+  void CountSlowPath() { ++stats_.slow_paths; }
 
  private:
   static constexpr uint16_t kWordMask = 0xFFFE;
@@ -79,6 +99,7 @@ class CodeCache {
 
   std::vector<Entry> entries_;
   uint32_t generation_ = 1;
+  Stats stats_;
 };
 
 }  // namespace amulet

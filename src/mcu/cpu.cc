@@ -4,6 +4,7 @@
 #include "src/mcu/snapshot.h"
 #include "src/isa/encoding.h"
 #include "src/mcu/memory_map.h"
+#include "src/scope/flight_recorder.h"
 #include "src/scope/probe.h"
 #include "src/scope/profiler.h"
 
@@ -370,6 +371,7 @@ void Cpu::AcceptInterrupt(uint16_t vector_slot) {
   // Attributed to the handler's region (the accept is work done on its
   // behalf); the pushes' FRAM penalties land with the next retired insn.
   AMULET_PROBE_ATTRIBUTE(profiler_, handler, kInterruptAcceptCycles);
+  AMULET_PROBE_FLIGHT(flight_, FlightEventKind::kIrq, vector_slot, handler);
 }
 
 StepResult Cpu::Step() {
@@ -487,6 +489,12 @@ StepResult Cpu::StepSlow(uint16_t insn_addr) {
   }
   ++instructions_;
   AMULET_PROBE_ATTRIBUTE(profiler_, insn_addr, spent);
+  // reg(kPc) was set to the fall-through address before execution, so any
+  // difference now is a taken control transfer (jump, call, ret, PC write).
+  // StepFast() hooks the same retirement point with the same predicate.
+  if (reg(Reg::kPc) != next) {
+    AMULET_PROBE_FLIGHT(flight_, FlightEventKind::kBranch, insn_addr, reg(Reg::kPc));
+  }
 
   if (signals_->puc_requested) {
     return StepResult::kPuc;
@@ -745,11 +753,16 @@ bool Cpu::FillEntry(uint16_t addr, CodeCache::Entry* entry) {
 StepResult Cpu::StepFast(uint16_t insn_addr) {
   CodeCache::Entry* entry = cache_.Slot(insn_addr);
   if (!cache_.IsValid(*entry)) {
+    cache_.CountMiss();
     if (!FillEntry(insn_addr, entry)) {
+      cache_.CountSlowPath();
       return StepSlow(insn_addr);
     }
+  } else {
+    cache_.CountHit();
   }
   if (entry->slow_only) {
+    cache_.CountSlowPath();
     return StepSlow(insn_addr);
   }
   const PredecodedInsn& pd = entry->pd;
@@ -775,6 +788,7 @@ StepResult Cpu::StepFast(uint16_t insn_addr) {
       entry->mpu_gen = mpu_gen;
     }
     if (!entry->fetch_ok) {
+      cache_.CountSlowPath();
       return StepSlow(insn_addr);
     }
   }
@@ -825,6 +839,11 @@ StepResult Cpu::StepFast(uint16_t insn_addr) {
   }
   ++instructions_;
   AMULET_PROBE_ATTRIBUTE(profiler_, insn_addr, spent);
+  // Same taken-transfer predicate as StepSlow(): pd.next_pc is the
+  // fall-through address the dispatch handler started from.
+  if (reg(Reg::kPc) != pd.next_pc) {
+    AMULET_PROBE_FLIGHT(flight_, FlightEventKind::kBranch, insn_addr, reg(Reg::kPc));
+  }
 
   if (signals_->puc_requested) {
     return StepResult::kPuc;

@@ -29,6 +29,7 @@
 namespace amulet {
 
 class CycleProfiler;
+class FlightRecorder;
 class SnapshotReader;
 class SnapshotWriter;
 
@@ -82,6 +83,11 @@ class Cpu {
   void set_profiler(CycleProfiler* profiler) { profiler_ = profiler; }
   // Optional watchdog (not owned); advanced with every retired cycle.
   void set_watchdog(Watchdog* watchdog) { watchdog_ = watchdog; }
+  // Optional flight recorder (not owned); receives a compact event for every
+  // taken control transfer and interrupt accept. Both cores hook the same
+  // retirement point, so the recorded stream is identical under
+  // StepFast/StepSlow. Compiles out entirely under AMULET_SCOPE=OFF.
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
 
   // Toggles the predecoded fast path (on by default). Off forces the
   // reference interpreter for every step -- the `--no-predecode` escape
@@ -92,6 +98,8 @@ class Cpu {
 
   uint64_t cycle_count() const { return cycles_; }
   uint64_t instruction_count() const { return instructions_; }
+  // Predecode-cache effectiveness counters (host-side; never digested).
+  const CodeCache::Stats& code_cache_stats() const { return cache_.stats(); }
   HaltReason halt_reason() const { return halt_reason_; }
   uint16_t halt_pc() const { return halt_pc_; }
 
@@ -161,6 +169,7 @@ class Cpu {
   ExecutionTrace* trace_ = nullptr;
   CycleProfiler* profiler_ = nullptr;
   Watchdog* watchdog_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   std::array<uint16_t, kNumRegisters> regs_{};
   uint64_t cycles_ = 0;
   uint64_t instructions_ = 0;

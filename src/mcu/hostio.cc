@@ -1,6 +1,7 @@
 #include "src/mcu/hostio.h"
 
 #include "src/mcu/snapshot.h"
+#include "src/scope/flight_recorder.h"
 #include "src/scope/probe.h"
 #include "src/scope/tracer.h"
 
@@ -40,6 +41,8 @@ void HostIo::WriteWord(uint16_t offset, uint16_t value) {
     case kHostIoTrigger:
       ++syscall_count_;
       AMULET_PROBE_SPAN_BEGIN(tracer_, "syscall", request_.number, request_.args[0]);
+      AMULET_PROBE_FLIGHT(flight_, FlightEventKind::kSyscall, request_.number,
+                          request_.args[0]);
       if (syscall_handler_) {
         result_ = syscall_handler_(request_);
       } else {
@@ -51,6 +54,7 @@ void HostIo::WriteWord(uint16_t offset, uint16_t value) {
       console_.push_back(static_cast<char>(value & 0xFF));
       break;
     case kHostIoStop:
+      AMULET_PROBE_FLIGHT(flight_, FlightEventKind::kHostIo, offset, value);
       signals_->stop_requested = true;
       signals_->stop_code = value;
       break;

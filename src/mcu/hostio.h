@@ -22,6 +22,7 @@
 namespace amulet {
 
 class EventTracer;
+class FlightRecorder;
 class SnapshotReader;
 class SnapshotWriter;
 
@@ -67,6 +68,9 @@ class HostIo : public BusDevice {
   // Each TRIGGER strobe records a "syscall" entry/exit span around the
   // host-side service.
   void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+  // Optional flight recorder (same wiring rules); records each TRIGGER
+  // strobe (syscall number + first arg) and each STOP write.
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
 
   // Console text emitted by the simulated program since the last Take.
   std::string TakeConsoleOutput();
@@ -86,6 +90,7 @@ class HostIo : public BusDevice {
  private:
   McuSignals* signals_;
   EventTracer* tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   std::function<uint16_t(const SyscallRequest&)> syscall_handler_;
   SyscallRequest request_;
   uint16_t result_ = 0;

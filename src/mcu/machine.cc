@@ -1,6 +1,7 @@
 #include "src/mcu/machine.h"
 
 #include "src/common/strings.h"
+#include "src/scope/flight_recorder.h"
 #include "src/scope/tracer.h"
 
 namespace amulet {
@@ -36,6 +37,16 @@ void Machine::AttachTracer(EventTracer* tracer) {
 
 void Machine::AttachProfiler(CycleProfiler* profiler) {
   cpu_.set_profiler(profiler);
+}
+
+void Machine::AttachFlightRecorder(FlightRecorder* recorder) {
+  if (recorder != nullptr) {
+    recorder->set_clock([this] { return cpu_.cycle_count(); });
+  }
+  cpu_.set_flight_recorder(recorder);
+  bus_.set_flight_recorder(recorder);
+  mpu_.set_flight_recorder(recorder);
+  hostio_.set_flight_recorder(recorder);
 }
 
 Cpu::RunOutcome Machine::Run(uint64_t max_cycles) {

@@ -20,6 +20,7 @@ namespace amulet {
 
 class CycleProfiler;
 class EventTracer;
+class FlightRecorder;
 
 class Machine {
  public:
@@ -65,6 +66,13 @@ class Machine {
   // Attaches a cycle-attribution profiler to the CPU step loop. Host wiring,
   // same snapshot rules as AttachTracer. Pass nullptr to detach.
   void AttachProfiler(CycleProfiler* profiler);
+
+  // Attaches a flight recorder to every AMULET_PROBE_FLIGHT point (taken
+  // branches and interrupt accepts in the CPU, stores on the bus, MPU
+  // register writes, HOSTIO syscall/stop strobes) and sets its clock to this
+  // CPU's cycle counter. Host wiring, same snapshot rules as AttachTracer.
+  // Pass nullptr to detach.
+  void AttachFlightRecorder(FlightRecorder* recorder);
 
   // Serializes the complete machine state (memory, CPU, peripherals,
   // signals) into `w`. Host-side wiring — the HOSTIO syscall handler, bus

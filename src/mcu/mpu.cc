@@ -1,6 +1,7 @@
 #include "src/mcu/mpu.h"
 
 #include "src/mcu/snapshot.h"
+#include "src/scope/flight_recorder.h"
 #include "src/scope/probe.h"
 #include "src/scope/tracer.h"
 
@@ -25,6 +26,7 @@ uint16_t Mpu::ReadWord(uint16_t offset) {
 }
 
 void Mpu::WriteWord(uint16_t offset, uint16_t value) {
+  AMULET_PROBE_FLIGHT(flight_, FlightEventKind::kMpuWrite, offset, value);
   // Every MPU register write must carry the password in MPUCTL0's high byte;
   // our model requires the password on the MPUCTL0 write and freezes
   // everything once LOCK is set. A wrong password resets the device (PUC).

@@ -27,6 +27,7 @@
 namespace amulet {
 
 class EventTracer;
+class FlightRecorder;
 class SnapshotReader;
 class SnapshotWriter;
 
@@ -98,6 +99,9 @@ class Mpu : public BusDevice, public MemoryProtection {
   // A reprogramming sequence — password CTL0 write through the SAM write —
   // is recorded as one "mpu.reconfig" span; violations as instants.
   void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+  // Optional flight recorder (same wiring rules); every register write is
+  // recorded — MPU reconfiguration is a first-class forensic event.
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
 
   // Snapshot support: full register state including latched violations.
   void SaveState(SnapshotWriter& w) const;
@@ -112,6 +116,7 @@ class Mpu : public BusDevice, public MemoryProtection {
 
   McuSignals* signals_;
   EventTracer* tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   bool reconfig_open_ = false;  // trace-only: a CTL0 write opened a span
   uint16_t ctl0_ = 0;
   uint16_t ctl1_ = 0;

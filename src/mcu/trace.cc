@@ -18,8 +18,12 @@ std::vector<uint16_t> ExecutionTrace::Recent() const {
 }
 
 std::string RenderTrace(const ExecutionTrace& trace, const Bus& bus) {
+  return RenderTrace(trace.Recent(), bus);
+}
+
+std::string RenderTrace(const std::vector<uint16_t>& pcs, const Bus& bus) {
   std::string out;
-  for (uint16_t pc : trace.Recent()) {
+  for (uint16_t pc : pcs) {
     uint16_t words[3] = {bus.PeekWord(pc), bus.PeekWord(static_cast<uint16_t>(pc + 2)),
                          bus.PeekWord(static_cast<uint16_t>(pc + 4))};
     auto decoded = Decode(words);

@@ -56,6 +56,8 @@ class ExecutionTrace {
 // Renders the trace tail as "  0x4412: mov #1, r10" lines, reading the
 // instruction bytes back from memory (best effort: memory may have moved on).
 std::string RenderTrace(const ExecutionTrace& trace, const Bus& bus);
+// Same rendering for a raw PC list (e.g. FaultRecord::recent_pcs).
+std::string RenderTrace(const std::vector<uint16_t>& pcs, const Bus& bus);
 
 }  // namespace amulet
 

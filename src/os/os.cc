@@ -4,10 +4,94 @@
 
 #include "src/common/strings.h"
 #include "src/mcu/mpu.h"
+#include "src/scope/firmware_map.h"
 #include "src/scope/probe.h"
 #include "src/scope/tracer.h"
 
 namespace amulet {
+
+namespace {
+// Forensic bounds: how far the call-stack scan walks and how much flight
+// tail a record carries. Small on purpose — records are per-fault, and
+// fleets with chronically faulting apps produce many of them.
+constexpr uint32_t kStackScanWords = 64;
+constexpr size_t kMaxCallStackFrames = 8;
+constexpr size_t kFaultFlightTail = 32;
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kUnknown:
+      return "unknown";
+    case FaultKind::kCheckIndex:
+      return "check-index";
+    case FaultKind::kCheckMemory:
+      return "check-memory";
+    case FaultKind::kCheckReturn:
+      return "check-return";
+    case FaultKind::kMpuViolation:
+      return "mpu-violation";
+    case FaultKind::kRunaway:
+      return "runaway";
+    case FaultKind::kCpuCrash:
+      return "cpu-crash";
+  }
+  return "?";
+}
+
+FaultKind ClassifyFault(bool from_mpu, uint16_t code) {
+  if (from_mpu) {
+    return FaultKind::kMpuViolation;
+  }
+  switch (code) {
+    case 1:
+      return FaultKind::kCheckIndex;
+    case 2:
+      return FaultKind::kCheckMemory;
+    case 3:
+      return FaultKind::kCheckReturn;
+    case 0xFFFF:
+      return FaultKind::kRunaway;
+    case 0xDEAD:
+      return FaultKind::kCpuCrash;
+    default:
+      return FaultKind::kUnknown;
+  }
+}
+
+std::string RenderFaultForensics(const FaultRecord& record, const Bus& bus) {
+  std::string out = record.description + "\n";
+  out += StrFormat("  kind %s, pc %s (%s), addr %s, cycle %llu\n",
+                   FaultKindName(record.kind), HexWord(record.pc).c_str(),
+                   RegionTagName(record.scope), HexWord(record.addr).c_str(),
+                   static_cast<unsigned long long>(record.at_cycles));
+  out += "  regs:";
+  for (size_t i = 0; i < record.regs.size(); ++i) {
+    out += StrFormat(" r%zu=%s", i, HexWord(record.regs[i]).c_str());
+    if (i == 7) {
+      out += "\n       ";
+    }
+  }
+  out += "\n";
+  if (!record.call_stack.empty()) {
+    out += "  call stack (reconstructed):";
+    for (uint16_t ra : record.call_stack) {
+      out += StrFormat(" %s", HexWord(ra).c_str());
+    }
+    out += "\n";
+  }
+  if (!record.recent_pcs.empty()) {
+    out += "  recent instructions:\n";
+    out += RenderTrace(record.recent_pcs, bus);
+  }
+  if (!record.flight.empty()) {
+    out += "  flight recorder tail:\n";
+    for (const FlightEvent& event : record.flight) {
+      out += RenderFlightEvent(event) + "\n";
+    }
+  }
+  return out;
+}
 
 AmuletOs::AmuletOs(Machine* machine, Firmware firmware, OsOptions options)
     : machine_(machine),
@@ -28,6 +112,23 @@ Status AmuletOs::Boot() {
     machine_->cpu().set_trace(&trace_);
   }
   LoadImage(firmware_.image, &machine_->bus());
+  // Fault attribution support. The map is immutable per firmware and shared
+  // with every BootFromSnapshot() clone; the code-range list filters the
+  // call-stack scan (app data/stack chunks are not plausible return sites).
+  region_map_ = std::make_shared<RegionMap>(BuildRegionMap(firmware_));
+  code_ranges_.clear();
+  for (const auto& [base, bytes] : firmware_.image.chunks) {
+    bool is_app_data = false;
+    for (const AppImage& app : firmware_.apps) {
+      if (base >= app.data_lo && base < app.data_hi) {
+        is_app_data = true;
+        break;
+      }
+    }
+    if (!is_app_data && !bytes.empty()) {
+      code_ranges_.emplace_back(base, static_cast<uint32_t>(base) + bytes.size());
+    }
+  }
   machine_->bus().PokeWord(kResetVector, firmware_.idle_addr);
   machine_->bus().PokeWord(kNmiVector, firmware_.nmi_handler);
   machine_->cpu().Reset();
@@ -61,6 +162,8 @@ Status AmuletOs::BootFromSnapshot(const MachineSnapshot& snapshot, const AmuletO
   }
   machine_->hostio().SetSyscallHandler(
       [this](const SyscallRequest& request) { return HandleSyscall(request); });
+  region_map_ = booted.region_map_;
+  code_ranges_ = booted.code_ranges_;
   subs_ = booted.subs_;
   stats_ = booted.stats_;
   enabled_ = booted.enabled_;
@@ -152,13 +255,14 @@ Result<AmuletOs::DispatchResult> AmuletOs::Deliver(int app_index, EventType type
       FaultRecord record;
       record.app_index = app_index;
       record.code = 0xDEAD;
+      record.kind = FaultKind::kCpuCrash;
       record.addr = cpu.halt_pc();
       record.at_cycles = cpu.cycle_count();
       record.description = StrFormat(
           "app '%s': CRASHED THE CPU (halt reason %d at %s) — device reset",
           app.name.c_str(), static_cast<int>(cpu.halt_reason()),
           HexWord(cpu.halt_pc()).c_str());
-      record.recent_trace = RenderTrace(trace_, machine_->bus());
+      CaptureForensics(&record, cpu.halt_pc());
       faults_.push_back(record);
       stats_[app_index].faults += 1;
       machine_->Reset();
@@ -184,6 +288,7 @@ Status AmuletOs::HandleFault(int app_index, bool from_mpu, uint16_t code, uint16
   record.app_index = app_index;
   record.from_mpu = from_mpu;
   record.code = code;
+  record.kind = ClassifyFault(from_mpu, code);
   record.addr = addr;
   record.at_cycles = machine_->cpu().cycle_count();
   if (from_mpu) {
@@ -206,7 +311,7 @@ Status AmuletOs::HandleFault(int app_index, bool from_mpu, uint16_t code, uint16
                                    firmware_.apps[app_index].name.c_str(),
                                    HexWord(addr).c_str());
   }
-  record.recent_trace = RenderTrace(trace_, machine_->bus());
+  CaptureForensics(&record, /*pc_hint=*/0);
   faults_.push_back(record);
   stats_[app_index].faults += 1;
 
@@ -417,6 +522,73 @@ Status AmuletOs::PressButton(int button_id) {
 void AmuletOs::AttachTracer(EventTracer* tracer) {
   tracer_ = tracer;
   machine_->AttachTracer(tracer);
+}
+
+void AmuletOs::AttachFlightRecorder(FlightRecorder* recorder) {
+  flight_ = recorder;
+  machine_->AttachFlightRecorder(recorder);
+}
+
+void AmuletOs::CaptureForensics(FaultRecord* record, uint16_t pc_hint) {
+  const Cpu& cpu = machine_->cpu();
+  for (int i = 0; i < kNumRegisters; ++i) {
+    record->regs[static_cast<size_t>(i)] = cpu.reg(static_cast<Reg>(i));
+  }
+  if (options_.trace_depth > 0) {
+    record->recent_pcs = trace_.Recent();
+  }
+
+  // Faulting PC: by the time the fault surfaces, the live PC sits in the
+  // fault stub (software checks) or past the NMI veneer (MPU), so walk the
+  // trace newest-to-oldest for the last instruction attributed to app code.
+  // Fallbacks keep the field meaningful with tracing disabled.
+  uint16_t pc = pc_hint;
+  if (pc == 0) {
+    pc = cpu.pc();
+    if (region_map_ != nullptr) {
+      uint16_t tagged = 0;
+      bool have_tagged = false;
+      bool have_app = false;
+      for (auto it = record->recent_pcs.rbegin(); it != record->recent_pcs.rend(); ++it) {
+        const RegionTag tag = region_map_->At(*it);
+        if (tag == RegionTag::kApp) {
+          pc = *it;
+          have_app = true;
+          break;
+        }
+        if (!have_tagged && tag != RegionTag::kOther) {
+          tagged = *it;
+          have_tagged = true;
+        }
+      }
+      if (!have_app && have_tagged) {
+        pc = tagged;
+      }
+    }
+  }
+  record->pc = pc;
+  record->scope = region_map_ != nullptr ? region_map_->At(pc) : RegionTag::kOther;
+
+  // Raw backtrace: even, nonzero stack words that point into linked code.
+  const uint16_t sp = cpu.sp();
+  for (uint32_t a = sp; a + 1 < 0x10000 && a < static_cast<uint32_t>(sp) + 2 * kStackScanWords &&
+                        record->call_stack.size() < kMaxCallStackFrames;
+       a += 2) {
+    const uint16_t v = machine_->bus().PeekWord(static_cast<uint16_t>(a));
+    if (v == 0 || (v & 1) != 0) {
+      continue;
+    }
+    for (const auto& [lo, hi] : code_ranges_) {
+      if (v >= lo && v < hi) {
+        record->call_stack.push_back(v);
+        break;
+      }
+    }
+  }
+
+  if (flight_ != nullptr) {
+    record->flight = flight_->Tail(kFaultFlightTail);
+  }
 }
 
 std::string AmuletOs::StatusReport() const {

@@ -6,8 +6,10 @@
 #ifndef SRC_OS_OS_H_
 #define SRC_OS_OS_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,8 @@
 #include "src/mcu/trace.h"
 #include "src/os/api.h"
 #include "src/os/sensors.h"
+#include "src/scope/flight_recorder.h"
+#include "src/scope/region_map.h"
 
 namespace amulet {
 
@@ -37,6 +41,25 @@ struct OsOptions {
   uint32_t sensor_seed = 20180711;
 };
 
+// What kind of isolation event produced a FaultRecord. Derived from the
+// (from_mpu, code) pair; stable values — the fleet FaultLedger persists them.
+enum class FaultKind : uint8_t {
+  kUnknown = 0,
+  kCheckIndex = 1,    // compiler-inserted array index check (code 1)
+  kCheckMemory = 2,   // compiler-inserted address bound check (code 2)
+  kCheckReturn = 3,   // return-address check / shadow stack (code 3)
+  kMpuViolation = 4,  // hardware MPU violation NMI
+  kRunaway = 5,       // handler cycle budget exhausted (code 0xFFFF)
+  kCpuCrash = 6,      // CPU halted outright (code 0xDEAD)
+};
+
+const char* FaultKindName(FaultKind kind);
+FaultKind ClassifyFault(bool from_mpu, uint16_t code);
+
+// Structured fault record (v2). Everything in it is derived from simulated
+// state, so records are bit-identical across the fast/interpreter cores and
+// across host thread counts. The preformatted trace string of v1 is gone;
+// use RenderFaultForensics() for the human-readable crash dump.
 struct FaultRecord {
   int app_index = -1;
   bool from_mpu = false;  // true: MPU violation NMI; false: software check
@@ -44,9 +67,28 @@ struct FaultRecord {
   uint16_t addr = 0;      // offending address / index
   uint64_t at_cycles = 0;
   std::string description;
-  // Disassembly of the last few instructions before the fault (crash dump).
-  std::string recent_trace;
+
+  FaultKind kind = FaultKind::kUnknown;
+  // The app instruction nearest the fault: the newest execution-trace entry
+  // attributed to app code (check sequences and fault stubs are skipped), or
+  // the live PC when no trace is attached. (kind, pc, scope) is the fleet
+  // crash-bucket signature.
+  uint16_t pc = 0;
+  RegionTag scope = RegionTag::kOther;  // region of `pc` via the RegionMap
+  std::array<uint16_t, 16> regs{};      // full register file at fault time
+  // Plausible return addresses found by scanning the stack upward from SP
+  // (innermost first). Heuristic, like a debugger's raw backtrace.
+  std::vector<uint16_t> call_stack;
+  // Raw PCs of the last few retired instructions (oldest first).
+  std::vector<uint16_t> recent_pcs;
+  // Flight-recorder tail at fault time (oldest first); empty when no
+  // recorder is attached or the build has AMULET_SCOPE=OFF.
+  std::vector<FlightEvent> flight;
 };
+
+// Renders the crash dump: description, attribution, registers, disassembled
+// recent instructions, reconstructed call stack, and the flight tail.
+std::string RenderFaultForensics(const FaultRecord& record, const Bus& bus);
 
 struct AppStats {
   uint64_t dispatches = 0;
@@ -121,9 +163,23 @@ class AmuletOs {
   // nullptr to detach.
   void AttachTracer(EventTracer* tracer);
 
+  // Attaches a flight recorder to the machine's probe points; fault records
+  // then carry its tail. Same wiring rules as AttachTracer. Pass nullptr to
+  // detach.
+  void AttachFlightRecorder(FlightRecorder* recorder);
+
+  // Region-attribution map for this firmware, built during Boot() and shared
+  // (not rebuilt) by BootFromSnapshot() clones. Null before boot.
+  const std::shared_ptr<const RegionMap>& region_map() const { return region_map_; }
+
  private:
   uint16_t HandleSyscall(const SyscallRequest& request);
   Status HandleFault(int app_index, bool from_mpu, uint16_t code, uint16_t addr);
+  // Fills the v2 forensic fields (registers, faulting PC + scope, call
+  // stack, trace tail, flight tail) from live machine state. `pc_hint` is
+  // used instead of the trace walk when nonzero (CPU-crash records pin the
+  // halt PC).
+  void CaptureForensics(FaultRecord* record, uint16_t pc_hint);
   Status RestartApp(int app_index);
   Status RestartAppInner(int app_index);
   // Reloads an app's globals from the original image (restart semantics).
@@ -150,6 +206,13 @@ class AmuletOs {
   OsOptions options_;
   SensorSuite sensors_;
   EventTracer* tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
+  // Shared across clones: built once per template firmware in Boot(),
+  // copied (by pointer) in BootFromSnapshot().
+  std::shared_ptr<const RegionMap> region_map_;
+  // Executable address ranges of the linked image (app code + OS text, app
+  // data/stack chunks excluded); the call-stack scan's plausibility filter.
+  std::vector<std::pair<uint16_t, uint32_t>> code_ranges_;
 
   int current_app_ = -1;
   uint64_t now_ms_ = 0;

@@ -42,12 +42,22 @@
     }                                                \
   } while (0)
 
+// `recorder` is a FlightRecorder*; appends one compact event to the
+// per-device forensic ring (kept until a fault snapshots the tail).
+#define AMULET_PROBE_FLIGHT(recorder, kind, a, b) \
+  do {                                            \
+    if ((recorder) != nullptr) {                  \
+      (recorder)->Record((kind), (a), (b));       \
+    }                                             \
+  } while (0)
+
 #else  // !AMULET_SCOPE_ENABLED
 
 #define AMULET_PROBE_SPAN_BEGIN(tracer, ...) ((void)0)
 #define AMULET_PROBE_SPAN_END(tracer, ...) ((void)0)
 #define AMULET_PROBE_INSTANT(tracer, ...) ((void)0)
 #define AMULET_PROBE_ATTRIBUTE(profiler, pc, cycles) ((void)0)
+#define AMULET_PROBE_FLIGHT(recorder, kind, a, b) ((void)0)
 
 #endif  // AMULET_SCOPE_ENABLED
 

@@ -246,10 +246,13 @@ void on_button(int id) {
   ASSERT_TRUE(rig.os->Deliver(0, EventType::kButton, 0).ok());
   ASSERT_EQ(rig.os->faults().size(), 1u);
   const FaultRecord& fault = rig.os->faults()[0];
-  EXPECT_FALSE(fault.recent_trace.empty());
-  EXPECT_NE(fault.recent_trace.find("cmp"), std::string::npos)
+  EXPECT_FALSE(fault.recent_pcs.empty());
+  EXPECT_EQ(fault.kind, FaultKind::kCheckMemory);
+  const std::string dump = RenderFaultForensics(fault, rig.machine.bus());
+  EXPECT_NE(dump.find("cmp"), std::string::npos)
       << "the failed check's compare should be in the crash dump:\n"
-      << fault.recent_trace;
+      << dump;
+  EXPECT_NE(dump.find("kind check-memory"), std::string::npos) << dump;
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //   amuletc fleet [fleet options]                          fleet / OTA campaign
 //   amuletc ota-pack [pack options]                        pack an AMFU image
 //   amuletc trace [trace options] name=app.amc [...]       record a trace
+//   amuletc faults CHECKPOINT [faults options]             crash-bucket triage
 //
 // Run `amuletc --help` or `amuletc <subcommand> --help` for the full flag
 // list of each mode. Unknown flags are reported by name together with the
@@ -23,7 +24,9 @@
 #include "src/aft/listing.h"
 #include "src/apps/app_sources.h"
 #include "src/asm/ihex.h"
+#include "src/common/strings.h"
 #include "src/fleet/campaign.h"
+#include "src/fleet/checkpoint.h"
 #include "src/fleet/fleet.h"
 #include "src/os/os.h"
 #include "src/ota/image.h"
@@ -63,6 +66,9 @@ const char kFleetHelp[] =
     "  --no-device-stats       streaming aggregation only (O(1) memory per fleet)\n"
     "  --no-predecode          baseline interpreter core (no predecoded-insn\n"
     "                          cache); results are bit-identical, just slower\n"
+    "  --no-flight-recorder    skip per-device flight recorders; fault records\n"
+    "                          lose their flight tails, digests are unchanged\n"
+    "  --faults-out FILE       write the merged fault ledger as JSONL\n"
     "  --checkpoint FILE       persist a resumable checkpoint (atomic rename)\n"
     "  --checkpoint-every N    checkpoint cadence in completed devices (default: 64)\n"
     "  --resume                continue from --checkpoint FILE if it exists; only\n"
@@ -103,6 +109,18 @@ const char kOtaPackHelp[] =
     "                          re-fix the transport checksums\n"
     "  --help                  show this help\n";
 
+const char kFaultsHelp[] =
+    "usage: amuletc faults CHECKPOINT [options]\n"
+    "\n"
+    "Reads the fault ledger out of an AMFC fleet or campaign checkpoint and\n"
+    "prints the top-K crash-bucket triage report: fault kind, faulting PC,\n"
+    "scope attribution, device spread, and an exemplar per bucket\n"
+    "(docs/observability.md, \"Fault forensics\").\n"
+    "\n"
+    "  --top K                 buckets to show (default: 10)\n"
+    "  --jsonl FILE            also export every bucket as JSON lines\n"
+    "  --help                  show this help\n";
+
 const char kTraceHelp[] =
     "usage: amuletc trace [options] name=app.amc [name2=other.amc ...]\n"
     "\n"
@@ -121,8 +139,9 @@ int Usage(const char* argv0) {
                "       %s fleet [options]                 fleet / OTA campaign\n"
                "       %s ota-pack [options]              pack an AMFU image\n"
                "       %s trace [options] name=app.amc    record a trace\n"
+               "       %s faults CHECKPOINT [options]     crash-bucket triage\n"
                "run '%s <subcommand> --help' for per-subcommand options\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 1;
 }
 
@@ -247,6 +266,7 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
   amulet::CampaignConfig campaign;
   amulet::FleetConfig& config = campaign.fleet;
   std::string metrics_path;
+  std::string faults_path;
   std::string image_path;
   bool resume = false;
   bool campaign_mode = false;
@@ -327,6 +347,21 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
       config.retain_device_stats = false;
     } else if (arg == "--no-predecode") {
       config.predecode = false;
+    } else if (arg == "--no-flight-recorder") {
+      config.flight_recorder = false;
+    } else if (arg == "--faults-out" || arg.rfind("--faults-out=", 0) == 0) {
+      if (arg == "--faults-out") {
+        const char* value = next();
+        if (value == nullptr) {
+          return MissingValue("fleet", arg);
+        }
+        faults_path = value;
+      } else {
+        faults_path = arg.substr(std::strlen("--faults-out="));
+      }
+      if (faults_path.empty()) {
+        return MissingValue("fleet", "--faults-out");
+      }
     } else if (arg == "--checkpoint") {
       const char* value = next();
       if (value == nullptr || value[0] == '\0') {
@@ -512,6 +547,16 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
       out << report->metrics.ToJson();
       std::printf("wrote campaign metrics to %s\n", metrics_path.c_str());
     }
+    if (!faults_path.empty()) {
+      std::ofstream out(faults_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", faults_path.c_str());
+        return 1;
+      }
+      out << report->faults.ToJsonl();
+      std::printf("wrote %zu fault bucket(s) to %s\n", report->faults.bucket_count(),
+                  faults_path.c_str());
+    }
     // An aborted campaign still printed its report; reflect the abort in the
     // exit status so rollout scripts can halt their own pipelines.
     return report->aborted_stage >= 0 ? 2 : 0;
@@ -550,6 +595,16 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
     }
     out << report->metrics.ToJson();
     std::printf("wrote fleet metrics to %s\n", metrics_path.c_str());
+  }
+  if (!faults_path.empty()) {
+    std::ofstream out(faults_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", faults_path.c_str());
+      return 1;
+    }
+    out << report->faults.ToJsonl();
+    std::printf("wrote %zu fault bucket(s) to %s\n", report->faults.bucket_count(),
+                faults_path.c_str());
   }
   return 0;
 }
@@ -773,6 +828,13 @@ int RunTraceCommand(const char* argv0, int argc, char** argv) {
   std::printf("wrote %s (%llu event(s) recorded, %llu dropped)\n", out_path.c_str(),
               static_cast<unsigned long long>(tracer.recorded_total()),
               static_cast<unsigned long long>(tracer.dropped()));
+  if (tracer.dropped() > 0) {
+    std::fprintf(stderr,
+                 "amuletc trace: warning: the event ring wrapped and %llu event(s) were "
+                 "dropped; the trace covers only the most recent activity (rerun with "
+                 "fewer --seconds for full coverage)\n",
+                 static_cast<unsigned long long>(tracer.dropped()));
+  }
   if (validate) {
     auto verdict = amulet::ValidateChromeTrace(json);
     if (!verdict.ok()) {
@@ -788,11 +850,110 @@ int RunTraceCommand(const char* argv0, int argc, char** argv) {
   return 0;
 }
 
+// `amuletc faults`: offline triage over a persisted AMFC checkpoint. Works
+// on both plain-fleet and campaign checkpoints (the ledger section is common
+// to both kinds), so a crashed or aborted rollout can be triaged from the
+// checkpoint it left behind without re-simulating anything.
+int RunFaultsCommand(const char* argv0, int argc, char** argv) {
+  (void)argv0;
+  std::string checkpoint_path;
+  std::string jsonl_path;
+  long top = 10;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kFaultsHelp, stdout);
+      return 0;
+    } else if (arg == "--top") {
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("faults", arg);
+      }
+      top = std::strtol(value, nullptr, 10);
+      if (top <= 0) {
+        return BadValue("faults", arg, value);
+      }
+    } else if (arg == "--jsonl") {
+      const char* value = next();
+      if (value == nullptr || value[0] == '\0') {
+        return MissingValue("faults", arg);
+      }
+      jsonl_path = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      return UnknownFlag("faults", arg);
+    } else if (checkpoint_path.empty()) {
+      checkpoint_path = arg;
+    } else {
+      std::fprintf(stderr, "amuletc faults: more than one checkpoint given: %s\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+  if (checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "amuletc faults: a checkpoint path is required (see 'amuletc faults "
+                 "--help')\n");
+    return 1;
+  }
+  amulet::Result<amulet::FleetCheckpoint> checkpoint =
+      amulet::ReadFleetCheckpoint(checkpoint_path);
+  if (!checkpoint.ok()) {
+    std::fprintf(stderr, "amuletc faults: %s\n", checkpoint.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s checkpoint, %d/%d device(s) completed\n", checkpoint_path.c_str(),
+              checkpoint->kind == amulet::FleetCheckpointKind::kCampaign ? "campaign"
+                                                                         : "fleet",
+              checkpoint->CompletedCount(), checkpoint->device_count);
+  std::printf("%s", checkpoint->faults.RenderTriage(static_cast<size_t>(top)).c_str());
+  if (!checkpoint->faults.empty()) {
+    // Exemplar forensics of the #1 bucket, so the report alone pinpoints the
+    // dominant crash: kind, PC, scope, call stack, flight tail.
+    const amulet::FaultBucket& worst = *checkpoint->faults.TopK(1)[0];
+    std::printf("top bucket exemplar (device %d%s%s):\n", worst.exemplar_device,
+                worst.app_name.empty() ? "" : ", app ",
+                worst.app_name.empty() ? "" : worst.app_name.c_str());
+    std::printf("  %s\n", worst.description.c_str());
+    std::printf("  kind %s, pc %s, scope %s, addr 0x%04x, cycle %llu\n",
+                amulet::FaultKindName(worst.kind), amulet::HexWord(worst.pc).c_str(),
+                amulet::RegionTagName(worst.scope), worst.addr,
+                static_cast<unsigned long long>(worst.at_cycles));
+    if (!worst.call_stack.empty()) {
+      std::string stack;
+      for (uint16_t ra : worst.call_stack) {
+        if (!stack.empty()) {
+          stack += " <- ";
+        }
+        stack += amulet::HexWord(ra);
+      }
+      std::printf("  call stack: %s\n", stack.c_str());
+    }
+    for (const amulet::FlightEvent& event : worst.flight) {
+      std::printf("%s\n", amulet::RenderFlightEvent(event).c_str());
+    }
+  }
+  if (!jsonl_path.empty()) {
+    std::ofstream out(jsonl_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", jsonl_path.c_str());
+      return 1;
+    }
+    out << checkpoint->faults.ToJsonl();
+    std::printf("wrote %zu fault bucket(s) to %s\n", checkpoint->faults.bucket_count(),
+                jsonl_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "fleet") == 0) {
     return RunFleetCommand(argv[0], argc - 2, argv + 2);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "faults") == 0) {
+    return RunFaultsCommand(argv[0], argc - 2, argv + 2);
   }
   if (argc >= 2 && std::strcmp(argv[1], "ota-pack") == 0) {
     return RunOtaPackCommand(argv[0], argc - 2, argv + 2);
@@ -924,11 +1085,13 @@ int main(int argc, char** argv) {
   if (run_seconds > 0) {
     amulet::Machine machine;
     amulet::AmuletOs os(&machine, std::move(*firmware), amulet::OsOptions{});
+    amulet::FlightRecorder flight;
     amulet::Status status = os.Boot();
     if (!status.ok()) {
       std::fprintf(stderr, "boot: %s\n", status.ToString().c_str());
       return 1;
     }
+    os.AttachFlightRecorder(&flight);
     if (walk) {
       os.sensors().set_mode(amulet::ActivityMode::kWalking);
     }
@@ -941,7 +1104,7 @@ int main(int argc, char** argv) {
     if (!os.faults().empty()) {
       std::printf("faults:\n");
       for (const amulet::FaultRecord& fault : os.faults()) {
-        std::printf("  %s\n", fault.description.c_str());
+        std::printf("%s", amulet::RenderFaultForensics(fault, machine.bus()).c_str());
       }
     }
   }
