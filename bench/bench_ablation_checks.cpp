@@ -36,9 +36,21 @@ void on_button(int id) {
   return spec;
 }
 
+// Marginal-cost rows pin the phase-2.5 optimizer OFF: they measure the cost
+// of one check flavour, which requires the checks to still be there (the
+// optimizer deletes every check in the synthetic app's masked loop).
 double PerIter(const AppSpec& app, MemoryModel model, uint16_t button) {
-  auto rig = BootApp(app, model, /*fram_wait_states=*/0);
+  auto rig = BootApp(app, model, /*fram_wait_states=*/0, /*future_mpu=*/false,
+                     /*zero_shared_stack=*/false, /*optimize_checks=*/false);
   return MeanButtonCycles(rig.get(), button, kRuns) / kLoopIters;
+}
+
+// Full-dispatch cycles for the check-optimizer ablation.
+double DispatchCycles(const AppSpec& app, MemoryModel model, uint16_t button,
+                      bool optimize_checks) {
+  auto rig = BootApp(app, model, /*fram_wait_states=*/0, /*future_mpu=*/false,
+                     /*zero_shared_stack=*/false, optimize_checks);
+  return MeanButtonCycles(rig.get(), button, kRuns);
 }
 
 double PerIterShadow(const AppSpec& app, MemoryModel model, uint16_t button) {
@@ -129,8 +141,64 @@ int Run() {
   }
   json.Scalar("baseline_call_cycles", none_call);
   json.Scalar("shape_ok", shape ? 1.0 : 0.0);
+
+  // Phase-2.5 check-optimizer ablation: total check cycles per dispatch
+  // (model minus NoIsolation) with the optimizer off vs on. Quicksort is the
+  // negative control: its partition indices are data-dependent, so little is
+  // provably in bounds and the reduction should stay small.
+  struct AblationCase {
+    const char* app;
+    const char* label;
+    const AppSpec& spec;
+    uint16_t button;
+  };
+  const AblationCase cases[] = {
+      {"synthetic", "synthetic (masked loop)", SyntheticApp(), 1},
+      {"activity", "activity case 1 (stats)", ActivityApp(), 1},
+      {"activity", "activity case 2 (corr)", ActivityApp(), 2},
+      {"quicksort", "quicksort (control)", QuicksortApp(), 0},
+  };
+  const MemoryModel models[] = {MemoryModel::kFeatureLimited, MemoryModel::kMpu,
+                                MemoryModel::kSoftwareOnly};
+
+  std::printf("\nCheck-optimizer ablation (check cycles per dispatch = model - "
+              "NoIsolation):\n");
+  std::printf("  %-26s %-4s %10s %10s %8s\n", "app/case", "mdl", "unopt", "opt",
+              "reduct");
+  // Distinct apps whose SoftwareOnly check cycles drop by more than 10%.
+  int sw_wins = 0;
+  const char* last_win_app = "";
+  for (const AblationCase& c : cases) {
+    const double baseline =
+        DispatchCycles(c.spec, MemoryModel::kNoIsolation, c.button, false);
+    for (MemoryModel model : models) {
+      const double unopt = DispatchCycles(c.spec, model, c.button, false) - baseline;
+      const double opt = DispatchCycles(c.spec, model, c.button, true) - baseline;
+      const double reduction = unopt > 0 ? 100.0 * (unopt - opt) / unopt : 0.0;
+      std::printf("  %-26s %-4s %10.1f %10.1f %7.1f%%\n", c.label,
+                  std::string(MemoryModelName(model)).substr(0, 4).c_str(), unopt, opt,
+                  reduction);
+      if (model == MemoryModel::kSoftwareOnly && reduction > 10.0 &&
+          std::string(last_win_app) != c.app) {
+        sw_wins++;
+        last_win_app = c.app;
+      }
+      json.Row();
+      json.Field("app", std::string(c.app));
+      json.Field("case", std::string(c.label));
+      json.Field("model", std::string(MemoryModelName(model)));
+      json.Field("check_cycles_unopt", unopt);
+      json.Field("check_cycles_opt", opt);
+      json.Field("reduction_pct", reduction);
+    }
+  }
+  const bool opt_gate = sw_wins >= 2;
+  std::printf("  gate: >10%% SoftwareOnly reduction on >=2 apps: %s (%d apps)\n",
+              opt_gate ? "OK" : "FAIL", sw_wins);
+  json.Scalar("check_opt_sw_wins", static_cast<double>(sw_wins));
+  json.Scalar("check_opt_gate_ok", opt_gate ? 1.0 : 0.0);
   json.Write();
-  return 0;
+  return opt_gate ? 0 : 1;
 }
 
 }  // namespace

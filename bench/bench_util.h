@@ -25,13 +25,22 @@ struct BenchRig {
 
 // Builds + boots a single-app firmware. Dies loudly on error (benchmarks are
 // developer tools).
+// Build-configured default of the phase-2.5 check optimizer (-DAMULET_CHECK_OPT).
+#if defined(AMULET_CHECK_OPT_DISABLED)
+inline constexpr bool kBenchCheckOptDefault = false;
+#else
+inline constexpr bool kBenchCheckOptDefault = true;
+#endif
+
 inline std::unique_ptr<BenchRig> BootApp(const AppSpec& app, MemoryModel model,
                                          int fram_wait_states, bool future_mpu = false,
-                                         bool zero_shared_stack = false) {
+                                         bool zero_shared_stack = false,
+                                         bool optimize_checks = kBenchCheckOptDefault) {
   AftOptions aft;
   aft.model = model;
   aft.future_mpu = future_mpu;
   aft.zero_shared_stack = zero_shared_stack;
+  aft.optimize_checks = optimize_checks;
   auto fw = BuildFirmware({{app.name, app.source}}, aft);
   if (!fw.ok()) {
     std::fprintf(stderr, "BuildFirmware(%s, %s) failed: %s\n", app.name.c_str(),

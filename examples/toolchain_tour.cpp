@@ -91,6 +91,17 @@ void on_timer(int timer_id) {
               trace->checks.data_checks, trace->checks.code_checks,
               trace->checks.index_checks, trace->checks.ret_checks);
 
+  if (!trace->ir_after_opt.empty()) {
+    // on_timer's samples[total & 7] store is provably in bounds, so its check
+    // disappears; record()'s pointer deref stays (the callee can't bound it).
+    std::printf("--- phase 2.5: IR of on_timer() after check optimization ---\n");
+    print_function(trace->ir_after_opt, "tour_f_on_timer:");
+    std::printf("\nelided: %d data, %d code, %d index check(s); hoisted: %d "
+                "(disable with --no-check-opt / -DAMULET_CHECK_OPT=OFF)\n\n",
+                trace->checks.elided_data_checks, trace->checks.elided_code_checks,
+                trace->checks.elided_index_checks, trace->checks.hoisted_checks);
+  }
+
   std::printf("--- phase 3: generated MSP430 assembly for record() ---\n");
   size_t fn_pos = trace->assembly.find("tour_f_record:");
   size_t fn_end = trace->assembly.find("\ntour_f_on_init:", fn_pos);

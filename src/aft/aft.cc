@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "src/aft/opt.h"
 #include "src/asm/assembler.h"
 #include "src/common/strings.h"
 #include "src/compiler/codegen.h"
@@ -262,6 +263,9 @@ Result<CompiledApp> CompileApp(const AppSource& app, MemoryModel model,
 
   // Phase 2.
   ASSIGN_OR_RETURN(IrProgram ir, LowerProgram(program.get(), app.name));
+  if (options.verify_ir) {
+    RETURN_IF_ERROR(VerifyIr(ir, /*allow_markers=*/true));
+  }
   const MemoryModel check_model =
       options.future_mpu ? MemoryModel::kNoIsolation : model;
   ASSIGN_OR_RETURN(out.checks, InsertChecks(&ir, check_model, BoundSymbolsFor(app.name)));
@@ -271,6 +275,24 @@ Result<CompiledApp> CompileApp(const AppSource& app, MemoryModel model,
       fn.ret_check = RetCheckKind::kNone;
     }
     out.checks.ret_checks = 0;
+  }
+  if (options.verify_ir) {
+    RETURN_IF_ERROR(VerifyIr(ir, /*allow_markers=*/false));
+  }
+
+  // Phase 2.5: delete provably-redundant checks, hoist loop-invariant ones.
+  if (options.optimize_checks) {
+    CheckOptOptions opt;
+    opt.frame_safe = !out.audit.uses_recursion && !out.audit.has_indirect_calls;
+    ASSIGN_OR_RETURN(CheckOptStats opt_stats,
+                     OptimizeChecks(&ir, BoundSymbolsFor(app.name), opt));
+    out.checks.elided_data_checks = opt_stats.elided_data_checks;
+    out.checks.elided_code_checks = opt_stats.elided_code_checks;
+    out.checks.elided_index_checks = opt_stats.elided_index_checks;
+    out.checks.hoisted_checks = opt_stats.hoisted_checks;
+    if (options.verify_ir) {
+      RETURN_IF_ERROR(VerifyIr(ir, /*allow_markers=*/false));
+    }
   }
 
   // Phase 3 (app side): codegen into per-app sections.
@@ -440,44 +462,49 @@ Result<Firmware> BuildFirmware(const std::vector<AppSource>& apps, const AftOpti
   return fw;
 }
 
-Result<AftTrace> TraceAppBuild(const AppSource& app, MemoryModel model) {
+Result<AftTrace> TraceAppBuild(const AppSource& app, const AftOptions& options) {
   AftTrace trace;
   trace.prelude_source = ApiPrelude();
   ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
                    Parse(trace.prelude_source + app.source, app.name));
   RETURN_IF_ERROR(Analyze(program.get(), MakeSemaOptions(), &trace.audit));
   ASSIGN_OR_RETURN(IrProgram ir, LowerProgram(program.get(), app.name));
-
-  auto dump = [](const IrProgram& p) {
-    std::string out;
-    for (const IrFunction& fn : p.functions) {
-      out += fn.name + ":\n";
-      for (const IrInst& inst : fn.insts) {
-        static const char* kNames[] = {
-            "const",    "copy",       "bin",        "shift_imm",  "cmp",
-            "neg",      "not",        "load_local", "store_local","load_global",
-            "store_global", "load",   "store",      "addr_local", "addr_global",
-            "call",     "call_api",   "call_ind",   "ret",        "jump",
-            "br_zero",  "br_nonzero", "label",      "CHECK_MARKER", "check_low",
-            "check_high", "check_index", "widen",   "narrow"};
-        static_assert(std::size(kNames) == static_cast<size_t>(IrOp::kNarrow) + 1,
-                      "IR dump table out of sync with IrOp");
-        out += StrFormat("  %-12s dst=%-3d a=%-3d b=%-3d imm=%-6d %s\n",
-                         kNames[static_cast<int>(inst.op)], inst.dst, inst.a, inst.b,
-                         inst.imm, inst.symbol.c_str());
-      }
+  if (options.verify_ir) {
+    RETURN_IF_ERROR(VerifyIr(ir, /*allow_markers=*/true));
+  }
+  trace.ir_before_checks = DumpIr(ir);
+  ASSIGN_OR_RETURN(trace.checks,
+                   InsertChecks(&ir, options.model, BoundSymbolsFor(app.name)));
+  trace.ir_after_checks = DumpIr(ir);
+  if (options.verify_ir) {
+    RETURN_IF_ERROR(VerifyIr(ir, /*allow_markers=*/false));
+  }
+  if (options.optimize_checks) {
+    CheckOptOptions opt;
+    opt.frame_safe = !trace.audit.uses_recursion && !trace.audit.has_indirect_calls;
+    ASSIGN_OR_RETURN(CheckOptStats opt_stats,
+                     OptimizeChecks(&ir, BoundSymbolsFor(app.name), opt));
+    trace.checks.elided_data_checks = opt_stats.elided_data_checks;
+    trace.checks.elided_code_checks = opt_stats.elided_code_checks;
+    trace.checks.elided_index_checks = opt_stats.elided_index_checks;
+    trace.checks.hoisted_checks = opt_stats.hoisted_checks;
+    trace.ir_after_opt = DumpIr(ir);
+    if (options.verify_ir) {
+      RETURN_IF_ERROR(VerifyIr(ir, /*allow_markers=*/false));
     }
-    return out;
-  };
-  trace.ir_before_checks = dump(ir);
-  ASSIGN_OR_RETURN(trace.checks, InsertChecks(&ir, model, BoundSymbolsFor(app.name)));
-  trace.ir_after_checks = dump(ir);
+  }
   CodegenOptions cg;
   cg.text_section = "." + app.name + ".text";
   cg.data_section = "." + app.name + ".data";
   ASSIGN_OR_RETURN(CodegenResult code, GenerateAssembly(ir, cg));
   trace.assembly = code.assembly;
   return trace;
+}
+
+Result<AftTrace> TraceAppBuild(const AppSource& app, MemoryModel model) {
+  AftOptions options;
+  options.model = model;
+  return TraceAppBuild(app, options);
 }
 
 }  // namespace amulet

@@ -59,6 +59,19 @@ struct AftOptions {
   // verifies it at exit (fault on mismatch). Replaces the bounds-style
   // return-address checks of phase 2 with strictly stronger protection.
   bool shadow_return_stack = false;
+  // Phase 2.5: CFG/dominator/range analysis that deletes provably-redundant
+  // bound checks and hoists loop-invariant header checks (src/aft/opt.h).
+  // Trap-for-trap equivalent to the unoptimized pipeline. On by default;
+  // `amuletc build/fleet --no-check-opt` and -DAMULET_CHECK_OPT=OFF flip it
+  // for the smart-software-baseline ablation.
+#if defined(AMULET_CHECK_OPT_DISABLED)
+  bool optimize_checks = false;
+#else
+  bool optimize_checks = true;
+#endif
+  // Run the structural IR verifier after every phase (cheap; catches pass
+  // bugs at compile time instead of as silent miscompiles).
+  bool verify_ir = true;
 };
 
 // Per-app results of the build.
@@ -120,9 +133,11 @@ struct AftTrace {
   FeatureAudit audit;
   std::string ir_before_checks;
   std::string ir_after_checks;
+  std::string ir_after_opt;  // empty when the check optimizer is disabled
   std::string assembly;
   CheckStats checks;
 };
+Result<AftTrace> TraceAppBuild(const AppSource& app, const AftOptions& options);
 Result<AftTrace> TraceAppBuild(const AppSource& app, MemoryModel model);
 
 }  // namespace amulet

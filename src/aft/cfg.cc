@@ -1,0 +1,350 @@
+#include "src/aft/cfg.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/strings.h"
+
+namespace amulet {
+namespace {
+
+bool EndsBlock(IrOp op) {
+  switch (op) {
+    case IrOp::kJump:
+    case IrOp::kBranchZero:
+    case IrOp::kBranchNonZero:
+    case IrOp::kRet:
+    case IrOp::kCall:
+    case IrOp::kCallApi:
+    case IrOp::kCallInd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool Cfg::Dominates(int a, int b) const {
+  if (a < 0 || b < 0 || a >= static_cast<int>(blocks.size()) ||
+      b >= static_cast<int>(blocks.size())) {
+    return false;
+  }
+  if (rpo_index[a] < 0 || rpo_index[b] < 0) return false;
+  int x = b;
+  while (x != a) {
+    int up = idom[x];
+    if (up < 0 || up == x) return false;
+    x = up;
+  }
+  return true;
+}
+
+void AppendVregUses(const IrInst& inst, std::vector<int>* uses) {
+  auto add = [&](int vr) {
+    if (vr >= 0) uses->push_back(vr);
+  };
+  switch (inst.op) {
+    case IrOp::kCopy:
+    case IrOp::kShiftImm:
+    case IrOp::kNeg:
+    case IrOp::kNot:
+    case IrOp::kWiden:
+    case IrOp::kNarrow:
+    case IrOp::kLoad:
+    case IrOp::kBranchZero:
+    case IrOp::kBranchNonZero:
+    case IrOp::kCheckLow:
+    case IrOp::kCheckHigh:
+    case IrOp::kCheckIndex:
+      add(inst.a);
+      break;
+    case IrOp::kBin:
+    case IrOp::kCmp:
+    case IrOp::kStore:
+      add(inst.a);
+      add(inst.b);
+      break;
+    case IrOp::kStoreLocal:
+    case IrOp::kStoreGlobal:
+      add(inst.b);
+      break;
+    case IrOp::kRet:
+      add(inst.a);
+      break;
+    case IrOp::kCall:
+    case IrOp::kCallApi:
+      for (int vr : inst.args) add(vr);
+      break;
+    case IrOp::kCallInd:
+      add(inst.a);
+      for (int vr : inst.args) add(vr);
+      break;
+    case IrOp::kCheckMarker:
+      add(inst.marker.addr_vr);
+      add(inst.marker.index_vr);
+      break;
+    default:
+      break;  // kConst, kLoadLocal, kLoadGlobal, kAddrLocal, kAddrGlobal,
+              // kJump, kLabel read no vregs.
+  }
+}
+
+Result<Cfg> BuildCfg(const IrFunction& fn) {
+  Cfg cfg;
+  const int n = static_cast<int>(fn.insts.size());
+  if (n == 0) return cfg;
+
+  std::vector<char> leader(n, 0);
+  leader[0] = 1;
+  for (int i = 0; i < n; i++) {
+    if (fn.insts[i].op == IrOp::kLabel) leader[i] = 1;
+    if (EndsBlock(fn.insts[i].op) && i + 1 < n) leader[i + 1] = 1;
+  }
+
+  cfg.block_of_inst.assign(n, -1);
+  for (int i = 0; i < n; i++) {
+    if (leader[i]) {
+      if (!cfg.blocks.empty()) cfg.blocks.back().end = i;
+      BasicBlock bb;
+      bb.begin = i;
+      cfg.blocks.push_back(bb);
+    }
+    cfg.block_of_inst[i] = static_cast<int>(cfg.blocks.size()) - 1;
+  }
+  cfg.blocks.back().end = n;
+
+  std::map<int, int> label_block;
+  for (int b = 0; b < static_cast<int>(cfg.blocks.size()); b++) {
+    const IrInst& first = fn.insts[cfg.blocks[b].begin];
+    if (first.op == IrOp::kLabel) label_block[first.imm] = b;
+  }
+
+  auto target_block = [&](int label) -> Result<int> {
+    auto it = label_block.find(label);
+    if (it == label_block.end()) {
+      return InternalError(
+          StrFormat("%s: branch to undefined IR label L%d", fn.name.c_str(), label));
+    }
+    return it->second;
+  };
+
+  const int num_blocks = static_cast<int>(cfg.blocks.size());
+  for (int b = 0; b < num_blocks; b++) {
+    BasicBlock& bb = cfg.blocks[b];
+    const IrInst& last = fn.insts[bb.end - 1];
+    auto add_succ = [&](int s) {
+      if (std::find(bb.succs.begin(), bb.succs.end(), s) == bb.succs.end()) {
+        bb.succs.push_back(s);
+      }
+    };
+    switch (last.op) {
+      case IrOp::kJump: {
+        ASSIGN_OR_RETURN(int t, target_block(last.imm));
+        add_succ(t);
+        break;
+      }
+      case IrOp::kBranchZero:
+      case IrOp::kBranchNonZero: {
+        ASSIGN_OR_RETURN(int t, target_block(last.imm));
+        add_succ(t);
+        if (b + 1 < num_blocks) add_succ(b + 1);
+        break;
+      }
+      case IrOp::kRet:
+        break;
+      default:
+        if (b + 1 < num_blocks) add_succ(b + 1);
+        break;
+    }
+  }
+  for (int b = 0; b < num_blocks; b++) {
+    for (int s : cfg.blocks[b].succs) cfg.blocks[s].preds.push_back(b);
+  }
+
+  // Reverse postorder from the entry block (iterative DFS).
+  cfg.rpo_index.assign(num_blocks, -1);
+  std::vector<char> visited(num_blocks, 0);
+  std::vector<int> postorder;
+  std::vector<std::pair<int, size_t>> stack;
+  visited[0] = 1;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    if (next < cfg.blocks[b].succs.size()) {
+      int s = cfg.blocks[b].succs[next++];
+      if (!visited[s]) {
+        visited[s] = 1;
+        stack.push_back({s, 0});
+      }
+    } else {
+      postorder.push_back(b);
+      stack.pop_back();
+    }
+  }
+  cfg.rpo.assign(postorder.rbegin(), postorder.rend());
+  for (int i = 0; i < static_cast<int>(cfg.rpo.size()); i++) {
+    cfg.rpo_index[cfg.rpo[i]] = i;
+  }
+
+  // Cooper-Harvey-Kennedy iterative dominators over the RPO.
+  cfg.idom.assign(num_blocks, -1);
+  cfg.idom[0] = 0;
+  auto intersect = [&](int x, int y) {
+    while (x != y) {
+      while (cfg.rpo_index[x] > cfg.rpo_index[y]) x = cfg.idom[x];
+      while (cfg.rpo_index[y] > cfg.rpo_index[x]) y = cfg.idom[y];
+    }
+    return x;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 1; i < static_cast<int>(cfg.rpo.size()); i++) {
+      int b = cfg.rpo[i];
+      int new_idom = -1;
+      for (int p : cfg.blocks[b].preds) {
+        if (cfg.rpo_index[p] < 0 || cfg.idom[p] < 0) continue;
+        new_idom = new_idom < 0 ? p : intersect(new_idom, p);
+      }
+      if (new_idom >= 0 && cfg.idom[b] != new_idom) {
+        cfg.idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  cfg.idom[0] = -1;  // the entry has no immediate dominator
+  return cfg;
+}
+
+ReachingDefs ComputeReachingDefs(const IrFunction& fn, const Cfg& cfg) {
+  ReachingDefs rd;
+  const int n = static_cast<int>(fn.insts.size());
+  rd.def_of_inst.assign(n, -1);
+  for (int i = 0; i < n; i++) {
+    if (fn.insts[i].dst >= 0) {
+      rd.def_of_inst[i] = static_cast<int>(rd.def_sites.size());
+      rd.def_sites.push_back(i);
+    }
+  }
+  const int num_defs = static_cast<int>(rd.def_sites.size());
+  const int num_blocks = static_cast<int>(cfg.blocks.size());
+  const int words = (num_defs + 63) / 64;
+  using Bits = std::vector<uint64_t>;
+  auto set_bit = [](Bits& b, int i) { b[i / 64] |= uint64_t{1} << (i % 64); };
+  auto test_bit = [](const Bits& b, int i) {
+    return (b[i / 64] >> (i % 64)) & 1;
+  };
+
+  // Defs of each vreg, for KILL sets.
+  std::vector<Bits> defs_of_vreg(fn.num_vregs, Bits(words, 0));
+  for (int d = 0; d < num_defs; d++) {
+    set_bit(defs_of_vreg[fn.insts[rd.def_sites[d]].dst], d);
+  }
+
+  std::vector<Bits> gen(num_blocks, Bits(words, 0));
+  std::vector<Bits> kill(num_blocks, Bits(words, 0));
+  for (int b = 0; b < num_blocks; b++) {
+    for (int i = cfg.blocks[b].begin; i < cfg.blocks[b].end; i++) {
+      int dst = fn.insts[i].dst;
+      if (dst < 0) continue;
+      const Bits& all = defs_of_vreg[dst];
+      for (int w = 0; w < words; w++) {
+        kill[b][w] |= all[w];
+        gen[b][w] &= ~all[w];
+      }
+      set_bit(gen[b], rd.def_of_inst[i]);
+    }
+  }
+
+  std::vector<Bits> in(num_blocks, Bits(words, 0));
+  std::vector<Bits> out(num_blocks, Bits(words, 0));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b : cfg.rpo) {
+      Bits new_in(words, 0);
+      for (int p : cfg.blocks[b].preds) {
+        for (int w = 0; w < words; w++) new_in[w] |= out[p][w];
+      }
+      Bits new_out(words, 0);
+      for (int w = 0; w < words; w++) {
+        new_out[w] = gen[b][w] | (new_in[w] & ~kill[b][w]);
+      }
+      if (new_in != in[b] || new_out != out[b]) {
+        in[b] = std::move(new_in);
+        out[b] = std::move(new_out);
+        changed = true;
+      }
+    }
+  }
+
+  rd.in.assign(num_blocks, {});
+  for (int b = 0; b < num_blocks; b++) {
+    for (int d = 0; d < num_defs; d++) {
+      if (test_bit(in[b], d)) rd.in[b].push_back(d);
+    }
+  }
+  return rd;
+}
+
+std::vector<int> ReachingDefs::DefsReaching(const IrFunction& fn, const Cfg& cfg,
+                                           int inst_index, int vreg) const {
+  int b = cfg.block_of_inst[inst_index];
+  std::vector<int> defs;
+  for (int d : in[b]) {
+    if (fn.insts[def_sites[d]].dst == vreg) defs.push_back(d);
+  }
+  for (int i = cfg.blocks[b].begin; i < inst_index; i++) {
+    if (fn.insts[i].dst == vreg) {
+      defs.clear();
+      defs.push_back(def_of_inst[i]);
+    }
+  }
+  return defs;
+}
+
+bool NaturalLoop::Contains(int block) const {
+  return std::binary_search(blocks.begin(), blocks.end(), block);
+}
+
+std::vector<NaturalLoop> FindNaturalLoops(const Cfg& cfg) {
+  std::map<int, NaturalLoop> by_header;
+  for (int u = 0; u < static_cast<int>(cfg.blocks.size()); u++) {
+    if (cfg.rpo_index[u] < 0) continue;
+    for (int h : cfg.blocks[u].succs) {
+      if (!cfg.Dominates(h, u)) continue;
+      NaturalLoop& loop = by_header[h];
+      loop.header = h;
+      loop.back_edges.push_back(u);
+      // Backward walk from the latch collects the loop body.
+      std::vector<char> seen(cfg.blocks.size(), 0);
+      for (int b : loop.blocks) seen[b] = 1;
+      seen[h] = 1;
+      std::vector<int> stack;
+      if (!seen[u]) {
+        seen[u] = 1;
+        stack.push_back(u);
+      }
+      while (!stack.empty()) {
+        int x = stack.back();
+        stack.pop_back();
+        for (int p : cfg.blocks[x].preds) {
+          if (cfg.rpo_index[p] >= 0 && !seen[p]) {
+            seen[p] = 1;
+            stack.push_back(p);
+          }
+        }
+      }
+      loop.blocks.clear();
+      for (int b = 0; b < static_cast<int>(cfg.blocks.size()); b++) {
+        if (seen[b]) loop.blocks.push_back(b);
+      }
+    }
+  }
+  std::vector<NaturalLoop> loops;
+  for (auto& [h, loop] : by_header) loops.push_back(std::move(loop));
+  return loops;
+}
+
+}  // namespace amulet

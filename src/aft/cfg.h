@@ -1,0 +1,74 @@
+// Control-flow analyses over the three-address IR: basic blocks, dominator
+// tree (Cooper-Harvey-Kennedy), reaching definitions for vregs, and natural
+// loop detection. This is the reusable substrate under the phase-2.5 check
+// optimizer (opt.h) but is deliberately free of any check-specific logic so
+// future IR passes can build on it too.
+#ifndef SRC_AFT_CFG_H_
+#define SRC_AFT_CFG_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/compiler/ir.h"
+
+namespace amulet {
+
+// Half-open instruction range [begin, end) plus edges. Leaders are labels,
+// the targets of jumps/branches, and the instruction following a jump,
+// branch, return, or call (calls end blocks so callee side effects line up
+// with block boundaries in the dataflow).
+struct BasicBlock {
+  int begin = 0;
+  int end = 0;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  std::vector<int> block_of_inst;  // inst index -> block id
+  std::vector<int> rpo;            // reverse postorder over reachable blocks
+  std::vector<int> rpo_index;      // block id -> rpo position, -1 if unreachable
+  std::vector<int> idom;           // immediate dominator, -1 for entry/unreachable
+
+  // Does block `a` dominate block `b`? Unreachable blocks dominate nothing
+  // and are dominated by nothing.
+  bool Dominates(int a, int b) const;
+};
+
+// Fails only on malformed IR (branch to a label that does not exist).
+Result<Cfg> BuildCfg(const IrFunction& fn);
+
+// Appends the vregs read by `inst` (not slots, labels, or immediates).
+void AppendVregUses(const IrInst& inst, std::vector<int>* uses);
+
+// Reaching definitions: which instruction-level defs of each vreg can reach a
+// given program point. A "def" is any instruction with dst >= 0.
+struct ReachingDefs {
+  std::vector<int> def_sites;            // def id -> inst index
+  std::vector<int> def_of_inst;          // inst index -> def id, -1 if not a def
+  std::vector<std::vector<int>> in;      // block id -> sorted def ids at entry
+
+  // Def sites of `vreg` that reach instruction `inst_index` (its block's IN
+  // adjusted for defs earlier in the same block).
+  std::vector<int> DefsReaching(const IrFunction& fn, const Cfg& cfg,
+                                int inst_index, int vreg) const;
+};
+
+ReachingDefs ComputeReachingDefs(const IrFunction& fn, const Cfg& cfg);
+
+// A natural loop discovered from a back edge u -> h where h dominates u.
+// Loops sharing a header are merged into one entry.
+struct NaturalLoop {
+  int header = -1;
+  std::vector<int> blocks;      // sorted block ids, header included
+  std::vector<int> back_edges;  // latch block ids
+
+  bool Contains(int block) const;
+};
+
+std::vector<NaturalLoop> FindNaturalLoops(const Cfg& cfg);
+
+}  // namespace amulet
+
+#endif  // SRC_AFT_CFG_H_

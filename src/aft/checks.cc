@@ -56,6 +56,7 @@ Result<CheckStats> InsertChecks(IrProgram* program, MemoryModel model,
           check.imm = marker.limit;
           rewritten.push_back(check);
           ++stats.index_checks;
+          ++stats.check_insts;
           break;
         }
 
@@ -71,6 +72,7 @@ Result<CheckStats> InsertChecks(IrProgram* program, MemoryModel model,
             ++stats.data_checks;
           }
           rewritten.push_back(low);
+          ++stats.check_insts;
           break;
         }
 
@@ -92,6 +94,7 @@ Result<CheckStats> InsertChecks(IrProgram* program, MemoryModel model,
           }
           rewritten.push_back(low);
           rewritten.push_back(high);
+          stats.check_insts += 2;
           break;
         }
       }

@@ -32,12 +32,19 @@ struct BoundSymbols {
 // Canonical bound-symbol names for an app.
 BoundSymbols BoundSymbolsFor(const std::string& app_name);
 
-// Statistics phase 2 reports (ARP consumes these).
+// Statistics phase 2 reports (ARP consumes these). The marker counts stay
+// fixed per (app, model); the elided_*/hoisted_* fields are filled in by the
+// phase-2.5 optimizer (opt.h) when it runs.
 struct CheckStats {
   int data_checks = 0;   // address-compare checks on data accesses
   int code_checks = 0;   // fn-pointer target checks
   int index_checks = 0;  // feature-limited array checks
   int ret_checks = 0;    // functions that got a return-address check
+  int check_insts = 0;   // check instructions emitted (SoftwareOnly: 2/marker)
+  int elided_data_checks = 0;   // check instructions deleted as provably safe
+  int elided_code_checks = 0;
+  int elided_index_checks = 0;
+  int hoisted_checks = 0;       // loop-invariant checks moved to a preheader
 };
 
 Result<CheckStats> InsertChecks(IrProgram* program, MemoryModel model,

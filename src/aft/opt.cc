@@ -1,0 +1,1366 @@
+#include "src/aft/opt.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/aft/cfg.h"
+#include "src/common/strings.h"
+
+namespace amulet {
+namespace {
+
+constexpr int32_t kInt16Min = -32768;
+constexpr int32_t kInt16Max = 32767;
+
+// Abstract value of a vreg at a program point. Three independent facets:
+//  - a signed value range [lo, hi] (only trusted when every value the vreg can
+//    hold lies in the signed 16-bit window, so unsigned check comparisons
+//    agree with it whenever lo >= 0);
+//  - a base-symbol derivation "&symbol + [blo, bhi]" for addresses built from
+//    kAddrGlobal / kAddrLocal plus constant-range offsets;
+//  - a copy origin ("current value of local slot s" / "of global word g+imm")
+//    used to key previously-passed-check facts across re-loads.
+struct AbsVal {
+  bool has_range = false;
+  int32_t lo = 0;
+  int32_t hi = 0;
+
+  enum BaseKind : uint8_t { kNoBase, kGlobalBase, kFrameBase };
+  BaseKind base = kNoBase;
+  std::string base_sym;
+  int base_slot = -1;
+  int32_t blo = 0;
+  int32_t bhi = 0;
+
+  enum OriginKind : uint8_t { kNoOrigin, kLocalWord, kGlobalWord };
+  OriginKind origin = kNoOrigin;
+  int origin_slot = -1;
+  std::string origin_sym;
+  int32_t origin_imm = 0;
+
+  bool operator==(const AbsVal&) const = default;
+
+  void SetRange(int32_t l, int32_t h) {
+    has_range = true;
+    lo = l;
+    hi = h;
+  }
+};
+
+// Keys under which a passed check is remembered: the checked vreg itself,
+// and (when the vreg is a pure copy of a local/global word) the location it
+// was loaded from, so a re-load of the same unmodified word inherits it.
+struct FactKey {
+  uint8_t kind = 0;  // 0 = vreg, 1 = local slot, 2 = global word
+  int id = -1;
+  std::string sym;
+  int32_t imm = 0;
+
+  auto operator<=>(const FactKey&) const = default;
+};
+
+struct FactSet {
+  // (0 = kCheckLow, 1 = kCheckHigh) x bound symbol already proven to pass.
+  std::set<std::pair<uint8_t, std::string>> bounds;
+  // > 0: the value is proven < index_limit (an earlier kCheckIndex passed).
+  int32_t index_limit = 0;
+
+  bool operator==(const FactSet&) const = default;
+  bool Empty() const { return bounds.empty() && index_limit == 0; }
+};
+
+struct State {
+  bool reachable = false;
+  std::vector<AbsVal> vreg;
+  std::vector<char> slot_known;
+  std::vector<std::pair<int32_t, int32_t>> slot_range;
+  std::map<FactKey, FactSet> facts;
+
+  bool operator==(const State&) const = default;
+};
+
+// The comparison feeding a block-terminating branch, captured so edges can
+// refine ranges ("i < 64 held on this edge").
+struct BranchCmp {
+  int cmp_index = -1;
+  int dst = -1;
+  IrRel rel = IrRel::kEq;
+  AbsVal a;
+  AbsVal b;
+};
+
+AbsVal MergeAbs(const AbsVal& x, const AbsVal& y) {
+  AbsVal r;
+  if (x.has_range && y.has_range) {
+    r.SetRange(std::min(x.lo, y.lo), std::max(x.hi, y.hi));
+  }
+  if (x.base != AbsVal::kNoBase && x.base == y.base && x.base_sym == y.base_sym &&
+      x.base_slot == y.base_slot) {
+    r.base = x.base;
+    r.base_sym = x.base_sym;
+    r.base_slot = x.base_slot;
+    r.blo = std::min(x.blo, y.blo);
+    r.bhi = std::max(x.bhi, y.bhi);
+  }
+  if (x.origin != AbsVal::kNoOrigin && x.origin == y.origin &&
+      x.origin_slot == y.origin_slot && x.origin_sym == y.origin_sym &&
+      x.origin_imm == y.origin_imm) {
+    r.origin = x.origin;
+    r.origin_slot = x.origin_slot;
+    r.origin_sym = x.origin_sym;
+    r.origin_imm = x.origin_imm;
+  }
+  return r;
+}
+
+void MergeInto(State* acc, const State& s) {
+  if (!s.reachable) return;
+  if (!acc->reachable) {
+    *acc = s;
+    return;
+  }
+  for (size_t i = 0; i < acc->vreg.size(); i++) {
+    acc->vreg[i] = MergeAbs(acc->vreg[i], s.vreg[i]);
+  }
+  for (size_t i = 0; i < acc->slot_known.size(); i++) {
+    if (acc->slot_known[i] && s.slot_known[i]) {
+      acc->slot_range[i].first = std::min(acc->slot_range[i].first, s.slot_range[i].first);
+      acc->slot_range[i].second = std::max(acc->slot_range[i].second, s.slot_range[i].second);
+    } else {
+      acc->slot_known[i] = 0;
+    }
+  }
+  // Must-facts: keep only what both paths guarantee.
+  for (auto it = acc->facts.begin(); it != acc->facts.end();) {
+    auto other = s.facts.find(it->first);
+    if (other == s.facts.end()) {
+      it = acc->facts.erase(it);
+      continue;
+    }
+    FactSet merged;
+    for (const auto& bnd : it->second.bounds) {
+      if (other->second.bounds.count(bnd)) merged.bounds.insert(bnd);
+    }
+    if (it->second.index_limit > 0 && other->second.index_limit > 0) {
+      merged.index_limit = std::max(it->second.index_limit, other->second.index_limit);
+    }
+    if (merged.Empty()) {
+      it = acc->facts.erase(it);
+    } else {
+      it->second = std::move(merged);
+      ++it;
+    }
+  }
+}
+
+// Widening: once a block has been revisited enough times, any still-changing
+// component is demoted straight to "unknown" so the fixpoint terminates.
+// Interval widening: a bound that is still moving after kWidenAfter visits
+// jumps straight past anything the transfer functions can compute (they clamp
+// at 1 << 24), so one more visit reaches a fixpoint. The stable bound is
+// kept — that is what lets a loop counter retain "lo = 0" while its upper
+// bound blows up and is later clipped back by the branch refinement on the
+// loop-body edge. Widening only ever grows the interval, so the result still
+// over-approximates both inputs.
+constexpr int32_t kWidenBig = 1 << 26;
+
+// Threshold widening: a moving bound jumps to the nearest constant that
+// appears in the function (loop tests compare against exactly these), so a
+// counter guarded by "i < 64" stabilizes at [0, 64] instead of blowing up to
+// an interval whose back-edge increment would wrap 16-bit arithmetic and
+// collapse to unknown. Only if no threshold helps does the bound jump to
+// +-kWidenBig. `thr` is sorted ascending.
+void WidenBound(const std::vector<int32_t>& thr, int32_t stable_lo, int32_t stable_hi,
+                int32_t* lo, int32_t* hi) {
+  if (*lo < stable_lo) {
+    int32_t pick = -kWidenBig;
+    for (auto it = thr.rbegin(); it != thr.rend(); ++it) {
+      if (*it <= *lo) {
+        pick = *it;
+        break;
+      }
+    }
+    *lo = std::min(*lo, pick);
+  } else {
+    *lo = stable_lo;
+  }
+  if (*hi > stable_hi) {
+    int32_t pick = kWidenBig;
+    for (int32_t t : thr) {
+      if (t >= *hi) {
+        pick = t;
+        break;
+      }
+    }
+    *hi = std::max(*hi, pick);
+  } else {
+    *hi = stable_hi;
+  }
+}
+
+AbsVal WidenAbs(const std::vector<int32_t>& thr, const AbsVal& stable, const AbsVal& next) {
+  AbsVal r;
+  if (stable.has_range && next.has_range) {
+    int32_t lo = next.lo;
+    int32_t hi = next.hi;
+    WidenBound(thr, stable.lo, stable.hi, &lo, &hi);
+    r.SetRange(lo, hi);
+  }
+  if (stable.base != AbsVal::kNoBase && stable.base == next.base &&
+      stable.base_sym == next.base_sym && stable.base_slot == next.base_slot) {
+    r.base = stable.base;
+    r.base_sym = stable.base_sym;
+    r.base_slot = stable.base_slot;
+    r.blo = next.blo;
+    r.bhi = next.bhi;
+    WidenBound(thr, stable.blo, stable.bhi, &r.blo, &r.bhi);
+  }
+  if (stable.origin != AbsVal::kNoOrigin && stable.origin == next.origin &&
+      stable.origin_slot == next.origin_slot && stable.origin_sym == next.origin_sym &&
+      stable.origin_imm == next.origin_imm) {
+    r.origin = stable.origin;
+    r.origin_slot = stable.origin_slot;
+    r.origin_sym = stable.origin_sym;
+    r.origin_imm = stable.origin_imm;
+  }
+  return r;
+}
+
+void WidenInto(const std::vector<int32_t>& thr, State* stable, const State& next) {
+  if (!stable->reachable) {
+    *stable = next;
+    return;
+  }
+  for (size_t i = 0; i < stable->vreg.size(); i++) {
+    if (!(stable->vreg[i] == next.vreg[i])) {
+      stable->vreg[i] = WidenAbs(thr, stable->vreg[i], next.vreg[i]);
+    }
+  }
+  for (size_t i = 0; i < stable->slot_known.size(); i++) {
+    if (!stable->slot_known[i] || !next.slot_known[i]) {
+      stable->slot_known[i] = 0;
+    } else if (stable->slot_range[i] != next.slot_range[i]) {
+      int32_t lo = next.slot_range[i].first;
+      int32_t hi = next.slot_range[i].second;
+      WidenBound(thr, stable->slot_range[i].first, stable->slot_range[i].second, &lo, &hi);
+      stable->slot_range[i] = {lo, hi};
+    }
+  }
+  for (auto it = stable->facts.begin(); it != stable->facts.end();) {
+    auto other = next.facts.find(it->first);
+    if (other == next.facts.end() || !(other->second == it->second)) {
+      it = stable->facts.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// True relation mirror for "const REL value" normalized to "value REL const".
+IrRel MirrorRel(IrRel rel) {
+  switch (rel) {
+    case IrRel::kLtS: return IrRel::kGtS;
+    case IrRel::kLeS: return IrRel::kGeS;
+    case IrRel::kGtS: return IrRel::kLtS;
+    case IrRel::kGeS: return IrRel::kLeS;
+    case IrRel::kLtU: return IrRel::kGtU;
+    case IrRel::kLeU: return IrRel::kGeU;
+    case IrRel::kGtU: return IrRel::kLtU;
+    case IrRel::kGeU: return IrRel::kLeU;
+    default: return rel;
+  }
+}
+
+// Refines [lo, hi] with "value REL k" known to hold (or fail). Returns false
+// when the interval becomes empty (the edge is unreachable).
+bool RefineInterval(bool* known, int32_t* lo, int32_t* hi, IrRel rel, int32_t k,
+                    bool holds) {
+  int32_t l = *known ? *lo : kInt16Min;
+  int32_t h = *known ? *hi : kInt16Max;
+  bool refined = true;
+  if (!holds) {
+    // value !REL k: flip to the complementary relation.
+    switch (rel) {
+      case IrRel::kEq: rel = IrRel::kNe; break;
+      case IrRel::kNe: rel = IrRel::kEq; break;
+      case IrRel::kLtS: rel = IrRel::kGeS; break;
+      case IrRel::kLeS: rel = IrRel::kGtS; break;
+      case IrRel::kGtS: rel = IrRel::kLeS; break;
+      case IrRel::kGeS: rel = IrRel::kLtS; break;
+      case IrRel::kLtU: rel = IrRel::kGeU; break;
+      case IrRel::kLeU: rel = IrRel::kGtU; break;
+      case IrRel::kGtU: rel = IrRel::kLeU; break;
+      case IrRel::kGeU: rel = IrRel::kLtU; break;
+    }
+  }
+  switch (rel) {
+    case IrRel::kEq: l = std::max(l, k); h = std::min(h, k); break;
+    case IrRel::kNe: refined = false; break;
+    case IrRel::kLtS: h = std::min(h, k - 1); break;
+    case IrRel::kLeS: h = std::min(h, k); break;
+    case IrRel::kGtS: l = std::max(l, k + 1); break;
+    case IrRel::kGeS: l = std::max(l, k); break;
+    // Unsigned comparisons against a constant in [0, 32767]: an upper bound
+    // also forces the value non-negative (its unsigned reading is small); a
+    // lower bound is usable only when the value is already non-negative.
+    case IrRel::kLtU:
+      if (k < 0 || k > kInt16Max) { refined = false; break; }
+      l = std::max(l, 0); h = std::min(h, k - 1);
+      break;
+    case IrRel::kLeU:
+      if (k < 0 || k > kInt16Max) { refined = false; break; }
+      l = std::max(l, 0); h = std::min(h, k);
+      break;
+    case IrRel::kGtU:
+      if (k < 0 || k > kInt16Max || l < 0) { refined = false; break; }
+      l = std::max(l, k + 1);
+      break;
+    case IrRel::kGeU:
+      if (k < 0 || k > kInt16Max || l < 0) { refined = false; break; }
+      l = std::max(l, k);
+      break;
+  }
+  if (!refined) return true;
+  if (l > h) return false;
+  *known = true;
+  *lo = l;
+  *hi = h;
+  return true;
+}
+
+int32_t NextPow2Minus1(int32_t v) {
+  int32_t m = 1;
+  while (m - 1 < v && m <= (1 << 20)) m <<= 1;
+  return m - 1;
+}
+
+// Per-function analysis + transforms.
+class FnOptimizer {
+ public:
+  FnOptimizer(IrFunction* fn, const std::map<std::string, int32_t>& global_size,
+              const std::set<std::string>& func_syms,
+              const std::set<std::string>& mem_safe_fns, const BoundSymbols& bounds,
+              const CheckOptOptions& options)
+      : fn_(fn), global_size_(global_size), func_syms_(func_syms),
+        mem_safe_fns_(mem_safe_fns), bounds_(bounds), options_(options) {}
+
+  Status Run(CheckOptStats* stats) {
+    bool has_checks = false;
+    for (const IrInst& inst : fn_->insts) {
+      if (IsCheck(inst.op)) has_checks = true;
+    }
+    if (!has_checks) return OkStatus();
+    ComputeTrackableSlots();
+    ComputeWidenThresholds();
+    RETURN_IF_ERROR(Eliminate(stats));
+    RETURN_IF_ERROR(Hoist(stats));
+    return OkStatus();
+  }
+
+ private:
+  static bool IsCheck(IrOp op) {
+    return op == IrOp::kCheckLow || op == IrOp::kCheckHigh || op == IrOp::kCheckIndex;
+  }
+
+  // A slot's value range is tracked only when every direct access is a whole
+  // 16-bit word; partial or wide accesses make the cached range meaningless.
+  void ComputeTrackableSlots() {
+    trackable_.assign(fn_->locals.size(), 1);
+    for (size_t s = 0; s < fn_->locals.size(); s++) {
+      if (fn_->locals[s].size != 2) trackable_[s] = 0;
+    }
+    for (const IrInst& inst : fn_->insts) {
+      if (inst.op == IrOp::kLoadLocal || inst.op == IrOp::kStoreLocal) {
+        if (inst.width != 2 || inst.imm != 0) {
+          if (inst.a >= 0 && inst.a < static_cast<int>(trackable_.size())) {
+            trackable_[inst.a] = 0;
+          }
+        }
+      }
+    }
+  }
+
+  // Widening thresholds: every constant the function mentions, plus its
+  // neighbors (for <= vs < loop tests) and the int16 extremes. Loop bounds
+  // are always among these, so threshold widening lands exactly on them.
+  void ComputeWidenThresholds() {
+    std::set<int32_t> t = {kInt16Min, -1, 0, 1, kInt16Max};
+    auto add = [&](int32_t v) {
+      for (int32_t d = -1; d <= 1; d++) {
+        if (v + d >= -kWidenBig && v + d <= kWidenBig) t.insert(v + d);
+      }
+    };
+    for (const IrInst& inst : fn_->insts) {
+      if (inst.op == IrOp::kConst || inst.op == IrOp::kCheckIndex) add(inst.imm);
+    }
+    thresholds_.assign(t.begin(), t.end());
+  }
+
+  State EntryState() const {
+    State s;
+    s.reachable = true;
+    s.vreg.assign(fn_->num_vregs, AbsVal{});
+    s.slot_known.assign(fn_->locals.size(), 0);
+    s.slot_range.assign(fn_->locals.size(), {0, 0});
+    return s;
+  }
+
+  int VregWidth(int vr) const {
+    return vr >= 0 && vr < static_cast<int>(fn_->vreg_width.size())
+               ? fn_->vreg_width[vr]
+               : 2;
+  }
+
+  void EraseVregFacts(State* s, int vr) {
+    s->facts.erase(FactKey{0, vr, "", 0});
+  }
+  void EraseSlotFacts(State* s, int slot) {
+    s->facts.erase(FactKey{1, slot, "", 0});
+  }
+  void EraseGlobalFacts(State* s, const std::string& sym) {
+    for (auto it = s->facts.begin(); it != s->facts.end();) {
+      if (it->first.kind == 2 && it->first.sym == sym) {
+        it = s->facts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void ClearLocalOrigins(State* s, int slot) {
+    for (AbsVal& v : s->vreg) {
+      if (v.origin == AbsVal::kLocalWord && v.origin_slot == slot) {
+        v.origin = AbsVal::kNoOrigin;
+        v.origin_slot = -1;
+      }
+    }
+  }
+  void ClearGlobalOrigins(State* s, const std::string& sym) {
+    for (AbsVal& v : s->vreg) {
+      if (v.origin == AbsVal::kGlobalWord && v.origin_sym == sym) {
+        v.origin = AbsVal::kNoOrigin;
+        v.origin_sym.clear();
+      }
+    }
+  }
+
+  // An in-bounds computed store can land anywhere in the app data window —
+  // including this frame's local and vreg spill slots — so unless its target
+  // is pinned to one global blob or one local slot, every cached fact dies.
+  void KillForWildStore(State* s) {
+    for (AbsVal& v : s->vreg) v = AbsVal{};
+    std::fill(s->slot_known.begin(), s->slot_known.end(), 0);
+    s->facts.clear();
+  }
+
+  void KillForCall(State* s) { KillForWildStore(s); }
+
+  std::vector<FactKey> FactKeysFor(int vr, const AbsVal& v) const {
+    std::vector<FactKey> keys;
+    keys.push_back(FactKey{0, vr, "", 0});
+    if (v.origin == AbsVal::kLocalWord) {
+      keys.push_back(FactKey{1, v.origin_slot, "", 0});
+    } else if (v.origin == AbsVal::kGlobalWord) {
+      keys.push_back(FactKey{2, -1, v.origin_sym, v.origin_imm});
+    }
+    return keys;
+  }
+
+  int32_t GlobalSizeOf(const std::string& sym) const {
+    auto it = global_size_.find(sym);
+    return it == global_size_.end() ? -1 : it->second;
+  }
+
+  bool IsCodeBound(const std::string& sym) const {
+    return sym == bounds_.code_lo || sym == bounds_.code_hi;
+  }
+
+  // Would this check provably pass, given the state just before it?
+  bool CheckPasses(const IrInst& inst, const State& s) const {
+    const AbsVal& v = s.vreg[inst.a];
+    if (inst.op == IrOp::kCheckIndex) {
+      if (v.has_range && v.lo >= 0 && v.hi < inst.imm) return true;
+      for (const FactKey& key : FactKeysFor(inst.a, v)) {
+        auto it = s.facts.find(key);
+        if (it != s.facts.end() && it->second.index_limit > 0 &&
+            it->second.index_limit <= inst.imm) {
+          return true;
+        }
+      }
+      return false;
+    }
+    // kCheckLow / kCheckHigh. The inserted check compares only the base
+    // address of the access, so "within the symbol's blob" is exactly as
+    // strong as the original test.
+    const bool code = IsCodeBound(inst.symbol);
+    if (code) {
+      if (v.base == AbsVal::kGlobalBase && v.blo == 0 && v.bhi == 0 &&
+          func_syms_.count(v.base_sym)) {
+        return true;
+      }
+    } else {
+      if (v.base == AbsVal::kGlobalBase) {
+        int32_t size = GlobalSizeOf(v.base_sym);
+        if (size > 0 && v.blo >= 0 && v.bhi <= size - 1) return true;
+      }
+      if (v.base == AbsVal::kFrameBase && options_.frame_safe &&
+          v.base_slot >= 0 && v.base_slot < static_cast<int>(fn_->locals.size())) {
+        int32_t size = fn_->locals[v.base_slot].size;
+        if (v.blo >= 0 && v.bhi <= size - 1) return true;
+      }
+    }
+    const uint8_t which = inst.op == IrOp::kCheckLow ? 0 : 1;
+    for (const FactKey& key : FactKeysFor(inst.a, v)) {
+      auto it = s.facts.find(key);
+      if (it != s.facts.end() &&
+          it->second.bounds.count({which, inst.symbol})) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Transfer function for one instruction. Check instructions always record
+  // their fact (they either ran and passed, or were elided because they
+  // provably pass — the fact holds either way).
+  void Apply(const IrInst& inst, State* s, BranchCmp* cmp) {
+    auto def = [&](int dst) -> AbsVal& {
+      EraseVregFacts(s, dst);
+      s->vreg[dst] = AbsVal{};
+      return s->vreg[dst];
+    };
+    switch (inst.op) {
+      case IrOp::kConst: {
+        AbsVal& d = def(inst.dst);
+        if (VregWidth(inst.dst) == 2) {
+          int32_t v = static_cast<int16_t>(static_cast<uint16_t>(inst.imm));
+          d.SetRange(v, v);
+        } else {
+          d.SetRange(inst.imm, inst.imm);
+        }
+        break;
+      }
+      case IrOp::kCopy: {
+        AbsVal v = s->vreg[inst.a];
+        def(inst.dst) = v;
+        break;
+      }
+      case IrOp::kBin: {
+        AbsVal a = s->vreg[inst.a];
+        AbsVal b = s->vreg[inst.b];
+        AbsVal& d = def(inst.dst);
+        ApplyBin(inst.bin, a, b, VregWidth(inst.dst), &d);
+        break;
+      }
+      case IrOp::kShiftImm: {
+        AbsVal a = s->vreg[inst.a];
+        AbsVal k;
+        k.SetRange(inst.imm, inst.imm);
+        AbsVal& d = def(inst.dst);
+        ApplyBin(inst.bin, a, k, VregWidth(inst.dst), &d);
+        break;
+      }
+      case IrOp::kCmp: {
+        BranchCmp c;
+        c.dst = inst.dst;
+        c.rel = inst.rel;
+        c.a = s->vreg[inst.a];
+        c.b = s->vreg[inst.b];
+        AbsVal& d = def(inst.dst);
+        d.SetRange(0, 1);
+        if (inst.width == 2 && cmp != nullptr) {
+          *cmp = c;
+          cmp->cmp_index = 0;  // caller fills the real index
+        }
+        break;
+      }
+      case IrOp::kNeg: {
+        AbsVal a = s->vreg[inst.a];
+        AbsVal& d = def(inst.dst);
+        if (a.has_range && -a.hi >= kInt16Min && -a.lo <= kInt16Max) {
+          d.SetRange(-a.hi, -a.lo);
+        }
+        break;
+      }
+      case IrOp::kNot:
+        def(inst.dst);
+        break;
+      case IrOp::kLoadLocal: {
+        AbsVal& d = def(inst.dst);
+        if (inst.width == 1) {
+          d.SetRange(inst.signed_load ? -128 : 0, inst.signed_load ? 127 : 255);
+        } else if (inst.width == 2 && inst.imm == 0 && inst.a >= 0 &&
+                   inst.a < static_cast<int>(trackable_.size()) && trackable_[inst.a]) {
+          d.origin = AbsVal::kLocalWord;
+          d.origin_slot = inst.a;
+          if (s->slot_known[inst.a]) {
+            d.SetRange(s->slot_range[inst.a].first, s->slot_range[inst.a].second);
+          }
+        }
+        break;
+      }
+      case IrOp::kStoreLocal: {
+        const int slot = inst.a;
+        EraseSlotFacts(s, slot);
+        ClearLocalOrigins(s, slot);
+        if (slot >= 0 && slot < static_cast<int>(trackable_.size()) && trackable_[slot]) {
+          const AbsVal& v = s->vreg[inst.b];
+          if (v.has_range) {
+            s->slot_known[slot] = 1;
+            s->slot_range[slot] = {v.lo, v.hi};
+          } else {
+            s->slot_known[slot] = 0;
+          }
+        }
+        break;
+      }
+      case IrOp::kLoadGlobal: {
+        AbsVal& d = def(inst.dst);
+        if (inst.width == 1) {
+          d.SetRange(inst.signed_load ? -128 : 0, inst.signed_load ? 127 : 255);
+        } else if (inst.width == 2) {
+          d.origin = AbsVal::kGlobalWord;
+          d.origin_sym = inst.symbol;
+          d.origin_imm = inst.imm;
+        }
+        break;
+      }
+      case IrOp::kStoreGlobal:
+        EraseGlobalFacts(s, inst.symbol);
+        ClearGlobalOrigins(s, inst.symbol);
+        break;
+      case IrOp::kLoad: {
+        AbsVal& d = def(inst.dst);
+        if (inst.width == 1) {
+          d.SetRange(inst.signed_load ? -128 : 0, inst.signed_load ? 127 : 255);
+        }
+        break;
+      }
+      case IrOp::kStore: {
+        const AbsVal addr = s->vreg[inst.a];
+        if (addr.base == AbsVal::kGlobalBase) {
+          int32_t size = GlobalSizeOf(addr.base_sym);
+          if (size > 0 && addr.blo >= 0 && addr.bhi + inst.width - 1 <= size - 1) {
+            // The write stays inside one global blob: only values read from
+            // that blob are stale.
+            EraseGlobalFacts(s, addr.base_sym);
+            ClearGlobalOrigins(s, addr.base_sym);
+            break;
+          }
+        }
+        if (addr.base == AbsVal::kFrameBase && addr.base_slot >= 0 &&
+            addr.base_slot < static_cast<int>(fn_->locals.size())) {
+          int32_t size = fn_->locals[addr.base_slot].size;
+          if (addr.blo >= 0 && addr.bhi + inst.width - 1 <= size - 1) {
+            EraseSlotFacts(s, addr.base_slot);
+            ClearLocalOrigins(s, addr.base_slot);
+            if (addr.base_slot < static_cast<int>(s->slot_known.size())) {
+              s->slot_known[addr.base_slot] = 0;
+            }
+            break;
+          }
+        }
+        KillForWildStore(s);
+        break;
+      }
+      case IrOp::kAddrLocal: {
+        AbsVal& d = def(inst.dst);
+        d.base = AbsVal::kFrameBase;
+        d.base_slot = inst.a;
+        d.blo = d.bhi = inst.imm;
+        break;
+      }
+      case IrOp::kAddrGlobal: {
+        AbsVal& d = def(inst.dst);
+        d.base = AbsVal::kGlobalBase;
+        d.base_sym = inst.symbol;
+        d.blo = d.bhi = inst.imm;
+        break;
+      }
+      case IrOp::kCall:
+        // A call to a function that (transitively) writes no memory outside
+        // its own frame cannot invalidate anything we track: caller vregs
+        // and frame slots are unreachable to it, and it stores no globals.
+        if (!mem_safe_fns_.count(inst.symbol)) KillForCall(s);
+        if (inst.dst >= 0) def(inst.dst);
+        break;
+      case IrOp::kCallApi:
+      case IrOp::kCallInd:
+        KillForCall(s);
+        if (inst.dst >= 0) def(inst.dst);
+        break;
+      case IrOp::kWiden: {
+        AbsVal a = s->vreg[inst.a];
+        AbsVal& d = def(inst.dst);
+        if (a.has_range && (inst.signed_load || a.lo >= 0)) {
+          d.SetRange(a.lo, a.hi);
+        }
+        break;
+      }
+      case IrOp::kNarrow: {
+        AbsVal a = s->vreg[inst.a];
+        AbsVal& d = def(inst.dst);
+        if (a.has_range && a.lo >= kInt16Min && a.hi <= kInt16Max) {
+          d.SetRange(a.lo, a.hi);
+        }
+        break;
+      }
+      case IrOp::kCheckLow:
+      case IrOp::kCheckHigh: {
+        const uint8_t which = inst.op == IrOp::kCheckLow ? 0 : 1;
+        for (const FactKey& key : FactKeysFor(inst.a, s->vreg[inst.a])) {
+          s->facts[key].bounds.insert({which, inst.symbol});
+        }
+        break;
+      }
+      case IrOp::kCheckIndex: {
+        for (const FactKey& key : FactKeysFor(inst.a, s->vreg[inst.a])) {
+          FactSet& f = s->facts[key];
+          f.index_limit = f.index_limit > 0 ? std::min(f.index_limit, inst.imm)
+                                            : inst.imm;
+        }
+        break;
+      }
+      case IrOp::kRet:
+      case IrOp::kJump:
+      case IrOp::kBranchZero:
+      case IrOp::kBranchNonZero:
+      case IrOp::kLabel:
+      case IrOp::kCheckMarker:
+        break;
+    }
+  }
+
+  void ApplyBin(IrBin bin, const AbsVal& a, const AbsVal& b, int width, AbsVal* d) {
+    const int64_t wmin = width == 4 ? INT32_MIN : kInt16Min;
+    const int64_t wmax = width == 4 ? INT32_MAX : kInt16Max;
+    switch (bin) {
+      case IrBin::kAdd:
+        if (a.base != AbsVal::kNoBase && b.has_range && width == 2) {
+          *d = a;
+          d->has_range = false;
+          d->origin = AbsVal::kNoOrigin;
+          d->blo += b.lo;
+          d->bhi += b.hi;
+          if (std::abs(d->blo) > (1 << 24) || std::abs(d->bhi) > (1 << 24)) {
+            d->base = AbsVal::kNoBase;
+          }
+          return;
+        }
+        if (b.base != AbsVal::kNoBase && a.has_range && width == 2) {
+          ApplyBin(bin, b, a, width, d);
+          return;
+        }
+        if (a.has_range && b.has_range) {
+          int64_t lo = int64_t{a.lo} + b.lo;
+          int64_t hi = int64_t{a.hi} + b.hi;
+          if (lo >= wmin && hi <= wmax) d->SetRange(lo, hi);
+        }
+        break;
+      case IrBin::kSub:
+        if (a.base != AbsVal::kNoBase && b.has_range && width == 2) {
+          *d = a;
+          d->has_range = false;
+          d->origin = AbsVal::kNoOrigin;
+          d->blo -= b.hi;
+          d->bhi -= b.lo;
+          if (std::abs(d->blo) > (1 << 24) || std::abs(d->bhi) > (1 << 24)) {
+            d->base = AbsVal::kNoBase;
+          }
+          return;
+        }
+        if (a.has_range && b.has_range) {
+          int64_t lo = int64_t{a.lo} - b.hi;
+          int64_t hi = int64_t{a.hi} - b.lo;
+          if (lo >= wmin && hi <= wmax) d->SetRange(lo, hi);
+        }
+        break;
+      case IrBin::kAnd:
+        // Masking with a non-negative constant bounds the result regardless
+        // of the other operand — even a corrupted input lands in [0, mask].
+        if (b.has_range && b.lo == b.hi && b.lo >= 0) {
+          d->SetRange(0, b.lo);
+        } else if (a.has_range && a.lo == a.hi && a.lo >= 0) {
+          d->SetRange(0, a.lo);
+        } else if (a.has_range && b.has_range && a.lo >= 0 && b.lo >= 0) {
+          d->SetRange(0, std::min(a.hi, b.hi));
+        }
+        break;
+      case IrBin::kOr:
+      case IrBin::kXor:
+        if (a.has_range && b.has_range && a.lo >= 0 && b.lo >= 0) {
+          int32_t cap = NextPow2Minus1(std::max(a.hi, b.hi));
+          if (cap <= wmax) d->SetRange(0, cap);
+        }
+        break;
+      case IrBin::kShl:
+        if (a.has_range && b.has_range && b.lo == b.hi && b.lo >= 0 && b.lo <= 15 &&
+            a.lo >= 0 && (int64_t{a.hi} << b.lo) <= wmax) {
+          d->SetRange(a.lo << b.lo, a.hi << b.lo);
+        }
+        break;
+      case IrBin::kShr:
+        if (b.has_range && b.lo == b.hi && b.lo >= 1 && b.lo <= 15 && width == 2) {
+          int32_t cap = 0xFFFF >> b.lo;
+          if (a.has_range && a.lo >= 0) {
+            d->SetRange(a.lo >> b.lo, a.hi >> b.lo);
+          } else {
+            d->SetRange(0, cap);
+          }
+        }
+        break;
+      case IrBin::kSar:
+        if (a.has_range && a.lo >= 0 && b.has_range && b.lo == b.hi && b.lo >= 0 &&
+            b.lo <= 15) {
+          d->SetRange(a.lo >> b.lo, a.hi >> b.lo);
+        }
+        break;
+      case IrBin::kMul:
+        if (a.has_range && b.has_range && a.lo >= 0 && b.lo >= 0 &&
+            int64_t{a.hi} * b.hi <= wmax) {
+          d->SetRange(a.lo * b.lo, static_cast<int32_t>(int64_t{a.hi} * b.hi));
+        }
+        break;
+      case IrBin::kDivS:
+      case IrBin::kDivU:
+        if (a.has_range && a.lo >= 0 && b.has_range && b.lo == b.hi && b.lo > 0) {
+          d->SetRange(a.lo / b.lo, a.hi / b.lo);
+        }
+        break;
+      case IrBin::kModU:
+        // Unsigned modulo by a positive constant lands in [0, c-1] for any
+        // dividend, corrupted or not.
+        if (b.has_range && b.lo == b.hi && b.lo > 0) {
+          d->SetRange(0, b.lo - 1);
+        }
+        break;
+      case IrBin::kModS:
+        if (a.has_range && a.lo >= 0 && b.has_range && b.lo == b.hi && b.lo > 0) {
+          d->SetRange(0, b.lo - 1);
+        }
+        break;
+    }
+  }
+
+  // Runs the transfer function over a block. `elide` (when non-null) collects
+  // instruction indices of checks that provably pass.
+  State TransferBlock(const Cfg& cfg, int b, State s, BranchCmp* out_cmp,
+                      std::set<int>* elide) {
+    BranchCmp cmp;
+    int cmp_at = -1;
+    for (int i = cfg.blocks[b].begin; i < cfg.blocks[b].end; i++) {
+      const IrInst& inst = fn_->insts[i];
+      if (elide != nullptr && IsCheck(inst.op) && CheckPasses(inst, s)) {
+        elide->insert(i);
+      }
+      BranchCmp local;
+      Apply(inst, &s, &local);
+      if (local.cmp_index == 0) {
+        cmp = local;
+        cmp.cmp_index = i;
+        cmp_at = i;
+      }
+    }
+    if (out_cmp != nullptr) {
+      out_cmp->cmp_index = -1;
+      const int last = cfg.blocks[b].end - 1;
+      const IrInst& term = fn_->insts[last];
+      if ((term.op == IrOp::kBranchZero || term.op == IrOp::kBranchNonZero) &&
+          cmp_at == last - 1 && term.a == cmp.dst) {
+        *out_cmp = cmp;
+      }
+    }
+    return s;
+  }
+
+  // State on the edge b -> succ, refining ranges using the branch condition.
+  State EdgeState(const Cfg& cfg, int b, int succ, State end, const BranchCmp& cmp) {
+    const IrInst& term = fn_->insts[cfg.blocks[b].end - 1];
+    if (term.op != IrOp::kBranchZero && term.op != IrOp::kBranchNonZero) return end;
+    // A branch whose target is also its fallthrough decides nothing.
+    if (cfg.blocks[b].succs.size() < 2) return end;
+    const bool to_target = succ == TargetBlock(cfg, term.imm);
+    // kBranchNonZero jumps when the condition is non-zero; kBranchZero when
+    // it is zero. On the edge where the branch vreg is known zero/non-zero,
+    // the comparison that produced it held or failed accordingly.
+    const bool cond_nonzero =
+        term.op == IrOp::kBranchNonZero ? to_target : !to_target;
+    if (cmp.cmp_index >= 0) {
+      // Normalize to "tracked value REL constant".
+      const AbsVal* val = nullptr;
+      int val_vr = -1;
+      IrRel rel = cmp.rel;
+      int32_t k = 0;
+      if (cmp.b.has_range && cmp.b.lo == cmp.b.hi) {
+        val = &cmp.a;
+        val_vr = fn_->insts[cmp.cmp_index].a;
+        k = cmp.b.lo;
+      } else if (cmp.a.has_range && cmp.a.lo == cmp.a.hi) {
+        val = &cmp.b;
+        val_vr = fn_->insts[cmp.cmp_index].b;
+        rel = MirrorRel(rel);
+        k = cmp.a.lo;
+      }
+      if (val != nullptr) {
+        bool known = val->has_range;
+        int32_t lo = val->lo;
+        int32_t hi = val->hi;
+        if (!RefineInterval(&known, &lo, &hi, rel, k, cond_nonzero)) {
+          end.reachable = false;
+          return end;
+        }
+        if (known) {
+          if (val_vr >= 0) {
+            AbsVal& v = end.vreg[val_vr];
+            // The cmp immediately precedes the branch, so the vreg still
+            // holds the compared value; guard anyway in case of reuse.
+            if (v == *val) v.SetRange(lo, hi);
+          }
+          if (val->origin == AbsVal::kLocalWord && val->origin_slot >= 0 &&
+              val->origin_slot < static_cast<int>(end.slot_known.size()) &&
+              trackable_[val->origin_slot]) {
+            end.slot_known[val->origin_slot] = 1;
+            end.slot_range[val->origin_slot] = {lo, hi};
+          }
+        }
+      }
+      return end;
+    }
+    // Branch directly on a value: the zero edge pins it to [0, 0].
+    if (!cond_nonzero && term.a >= 0) {
+      AbsVal& v = end.vreg[term.a];
+      v.SetRange(0, 0);
+      if (v.origin == AbsVal::kLocalWord && v.origin_slot >= 0 &&
+          v.origin_slot < static_cast<int>(end.slot_known.size()) &&
+          trackable_[v.origin_slot]) {
+        end.slot_known[v.origin_slot] = 1;
+        end.slot_range[v.origin_slot] = {0, 0};
+      }
+    }
+    return end;
+  }
+
+  int TargetBlock(const Cfg& cfg, int label) const {
+    for (int b = 0; b < static_cast<int>(cfg.blocks.size()); b++) {
+      const IrInst& first = fn_->insts[cfg.blocks[b].begin];
+      if (first.op == IrOp::kLabel && first.imm == label) return b;
+    }
+    return -1;
+  }
+
+  Status Eliminate(CheckOptStats* stats) {
+    ASSIGN_OR_RETURN(Cfg cfg, BuildCfg(*fn_));
+    if (cfg.blocks.empty()) return OkStatus();
+    const int num_blocks = static_cast<int>(cfg.blocks.size());
+    std::vector<State> in(num_blocks);
+    std::vector<int> visits(num_blocks, 0);
+    in[0] = EntryState();
+
+    constexpr int kWidenAfter = 8;
+    int budget = 40 * num_blocks + 4000;
+
+    auto merged_in = [&](int b) {
+      State merged;
+      for (int p : cfg.blocks[b].preds) {
+        if (!in[p].reachable) continue;
+        BranchCmp cmp;
+        State end = TransferBlock(cfg, p, in[p], &cmp, nullptr);
+        MergeInto(&merged, EdgeState(cfg, p, b, std::move(end), cmp));
+      }
+      return merged;
+    };
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int b : cfg.rpo) {
+        if (--budget < 0) return OkStatus();  // bail: leave all checks in place
+        if (b != 0) {
+          State merged = merged_in(b);
+          if (!(merged == in[b])) {
+            if (visits[b] >= kWidenAfter) {
+              State widened = in[b];
+              WidenInto(thresholds_, &widened, merged);
+              if (!(widened == in[b])) {
+                in[b] = std::move(widened);
+                visits[b]++;
+                changed = true;
+              }
+            } else {
+              in[b] = std::move(merged);
+              visits[b]++;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+
+    // Narrowing: widening is applied at every block that keeps changing —
+    // including loop bodies, where it wipes out the branch-refined ranges
+    // the elision decisions need. From the widened post-fixpoint, each plain
+    // recomputation descends but stays a sound over-approximation (the
+    // concrete states are below it, and the transfer function is monotone),
+    // so two descending passes recover the refined ranges.
+    for (int pass = 0; pass < 2; pass++) {
+      for (int b : cfg.rpo) {
+        if (b == 0) continue;
+        in[b] = merged_in(b);
+      }
+    }
+
+    std::set<int> elide;
+    for (int b = 0; b < num_blocks; b++) {
+      if (!in[b].reachable) continue;
+      TransferBlock(cfg, b, in[b], nullptr, &elide);
+    }
+    if (elide.empty()) return OkStatus();
+
+    std::vector<IrInst> kept;
+    kept.reserve(fn_->insts.size() - elide.size());
+    for (int i = 0; i < static_cast<int>(fn_->insts.size()); i++) {
+      if (!elide.count(i)) {
+        kept.push_back(std::move(fn_->insts[i]));
+        continue;
+      }
+      const IrInst& inst = fn_->insts[i];
+      if (inst.op == IrOp::kCheckIndex) {
+        stats->elided_index_checks++;
+      } else if (IsCodeBound(inst.symbol)) {
+        stats->elided_code_checks++;
+      } else {
+        stats->elided_data_checks++;
+      }
+    }
+    fn_->insts = std::move(kept);
+    return OkStatus();
+  }
+
+  // Loop-invariant check hoisting. Only checks in the loop *header* move:
+  // the header runs at least once per loop entry (a while-loop evaluates its
+  // condition even for zero iterations), so a hoisted check is never
+  // speculative — it faults exactly when the first header execution would
+  // have. Loops containing stores or calls are skipped entirely: nothing in
+  // such a loop is provably invariant against an in-bounds wild store.
+  Status Hoist(CheckOptStats* stats) {
+    for (int round = 0; round < 8; round++) {
+      ASSIGN_OR_RETURN(Cfg cfg, BuildCfg(*fn_));
+      if (cfg.blocks.empty()) return OkStatus();
+      ReachingDefs rd = ComputeReachingDefs(*fn_, cfg);
+      bool moved_any = false;
+      for (const NaturalLoop& loop : FindNaturalLoops(cfg)) {
+        if (TryHoistLoop(cfg, rd, loop, stats)) {
+          moved_any = true;
+          break;  // instruction indices changed; rebuild before continuing
+        }
+      }
+      if (!moved_any) return OkStatus();
+    }
+    return OkStatus();
+  }
+
+  bool TryHoistLoop(const Cfg& cfg, const ReachingDefs& rd, const NaturalLoop& loop,
+                    CheckOptStats* stats) {
+    if (loop.header == 0) return false;
+    // No stores or calls anywhere in the loop.
+    for (int b : loop.blocks) {
+      for (int i = cfg.blocks[b].begin; i < cfg.blocks[b].end; i++) {
+        switch (fn_->insts[i].op) {
+          case IrOp::kStore:
+          case IrOp::kCall:
+          case IrOp::kCallApi:
+          case IrOp::kCallInd:
+            return false;
+          default:
+            break;
+        }
+      }
+    }
+    // Unique outside predecessor that enters the header by fallthrough or by
+    // an unconditional jump — the preheader the checks move into.
+    int pre = -1;
+    for (int p : cfg.blocks[loop.header].preds) {
+      if (loop.Contains(p)) continue;
+      if (pre != -1) return false;
+      pre = p;
+    }
+    if (pre < 0 || cfg.rpo_index[pre] < 0) return false;
+    const IrInst& pre_term = fn_->insts[cfg.blocks[pre].end - 1];
+    int insert_at;
+    if (pre_term.op == IrOp::kJump) {
+      insert_at = cfg.blocks[pre].end - 1;  // before the jump to the header
+    } else if (pre_term.op == IrOp::kBranchZero || pre_term.op == IrOp::kBranchNonZero ||
+               pre_term.op == IrOp::kRet) {
+      return false;  // conditional entry: hoisting would be speculative
+    } else {
+      insert_at = cfg.blocks[pre].end;  // plain fallthrough into the header
+    }
+
+    // Which locals/globals are stored anywhere in the loop (loads of anything
+    // else are invariant, since the loop has no computed stores or calls).
+    std::set<int> stored_slots;
+    std::set<std::string> stored_globals;
+    for (int b : loop.blocks) {
+      for (int i = cfg.blocks[b].begin; i < cfg.blocks[b].end; i++) {
+        const IrInst& inst = fn_->insts[i];
+        if (inst.op == IrOp::kStoreLocal) stored_slots.insert(inst.a);
+        if (inst.op == IrOp::kStoreGlobal) stored_globals.insert(inst.symbol);
+      }
+    }
+
+    auto in_loop = [&](int inst_index) {
+      return loop.Contains(cfg.block_of_inst[inst_index]);
+    };
+
+    // Scan the header in order: grow the movable set until the first
+    // instruction that is neither movable nor a hoistable check. Stopping
+    // there keeps a hoisted check from migrating past a potentially-faulting
+    // kLoad (the MPU path faults on the access itself).
+    std::set<int> movable;
+    std::vector<int> hoisted;
+    std::vector<int> uses;
+    for (int i = cfg.blocks[loop.header].begin; i < cfg.blocks[loop.header].end; i++) {
+      const IrInst& inst = fn_->insts[i];
+      if (inst.op == IrOp::kLabel) continue;
+      auto operands_movable = [&]() {
+        uses.clear();
+        AppendVregUses(inst, &uses);
+        for (int vr : uses) {
+          for (int d : rd.DefsReaching(*fn_, cfg, i, vr)) {
+            int site = rd.def_sites[d];
+            if (in_loop(site) && !movable.count(site)) return false;
+          }
+        }
+        return true;
+      };
+      if (IsCheck(inst.op)) {
+        if (operands_movable()) hoisted.push_back(i);
+        continue;  // a kept check blocks nothing: it has no side effects
+      }
+      bool pure = false;
+      switch (inst.op) {
+        case IrOp::kConst:
+        case IrOp::kCopy:
+        case IrOp::kBin:
+        case IrOp::kShiftImm:
+        case IrOp::kCmp:
+        case IrOp::kNeg:
+        case IrOp::kNot:
+        case IrOp::kAddrLocal:
+        case IrOp::kAddrGlobal:
+        case IrOp::kWiden:
+        case IrOp::kNarrow:
+          pure = true;
+          break;
+        case IrOp::kLoadLocal:
+          pure = !stored_slots.count(inst.a);
+          break;
+        case IrOp::kLoadGlobal:
+          pure = !stored_globals.count(inst.symbol);
+          break;
+        default:
+          pure = false;
+          break;
+      }
+      if (pure && operands_movable()) {
+        movable.insert(i);
+      } else {
+        break;
+      }
+    }
+    if (hoisted.empty()) return false;
+
+    // The move set: each hoisted check plus the in-loop defs its operand
+    // depends on, transitively (all inside `movable` by construction).
+    std::set<int> move(hoisted.begin(), hoisted.end());
+    std::vector<int> work(hoisted.begin(), hoisted.end());
+    while (!work.empty()) {
+      int i = work.back();
+      work.pop_back();
+      uses.clear();
+      AppendVregUses(fn_->insts[i], &uses);
+      for (int vr : uses) {
+        for (int d : rd.DefsReaching(*fn_, cfg, i, vr)) {
+          int site = rd.def_sites[d];
+          if (in_loop(site) && !move.count(site)) {
+            move.insert(site);
+            work.push_back(site);
+          }
+        }
+      }
+    }
+
+    std::vector<IrInst> rebuilt;
+    rebuilt.reserve(fn_->insts.size());
+    for (int i = 0; i < static_cast<int>(fn_->insts.size()); i++) {
+      if (i == insert_at) {
+        for (int m : move) rebuilt.push_back(fn_->insts[m]);  // set is ordered
+      }
+      if (!move.count(i)) rebuilt.push_back(std::move(fn_->insts[i]));
+    }
+    if (insert_at == static_cast<int>(fn_->insts.size())) {
+      for (int m : move) rebuilt.push_back(fn_->insts[m]);
+    }
+    fn_->insts = std::move(rebuilt);
+    stats->hoisted_checks += static_cast<int>(hoisted.size());
+    return true;
+  }
+
+  IrFunction* fn_;
+  const std::map<std::string, int32_t>& global_size_;
+  const std::set<std::string>& func_syms_;
+  const std::set<std::string>& mem_safe_fns_;
+  const BoundSymbols& bounds_;
+  const CheckOptOptions& options_;
+  std::vector<char> trackable_;
+  std::vector<int32_t> thresholds_;
+};
+
+}  // namespace
+
+Result<CheckOptStats> OptimizeChecks(IrProgram* program, const BoundSymbols& bounds,
+                                     const CheckOptOptions& options) {
+  CheckOptStats stats;
+  std::map<std::string, int32_t> global_size;
+  for (const IrProgram::GlobalBlob& g : program->globals) {
+    global_size[g.symbol] = static_cast<int32_t>(g.bytes.size());
+  }
+  for (size_t i = 0; i < program->strings.size(); i++) {
+    global_size[StrFormat("%s_s_%d", program->app_name.c_str(), static_cast<int>(i))] =
+        static_cast<int32_t>(program->strings[i].size()) + 1;
+  }
+  std::set<std::string> func_syms;
+  for (const IrFunction& fn : program->functions) func_syms.insert(fn.name);
+
+  // Functions that (transitively) write no memory outside their own frame:
+  // no kStore/kStoreGlobal, no API or indirect calls, only mem-safe direct
+  // callees. Optimistic start + pessimistic shrink handles recursion.
+  std::set<std::string> mem_safe = func_syms;
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (const IrFunction& fn : program->functions) {
+      if (!mem_safe.count(fn.name)) continue;
+      bool safe = true;
+      for (const IrInst& inst : fn.insts) {
+        if (inst.op == IrOp::kStore || inst.op == IrOp::kStoreGlobal ||
+            inst.op == IrOp::kCallApi || inst.op == IrOp::kCallInd ||
+            (inst.op == IrOp::kCall && !mem_safe.count(inst.symbol))) {
+          safe = false;
+          break;
+        }
+      }
+      if (!safe) {
+        mem_safe.erase(fn.name);
+        shrunk = true;
+      }
+    }
+  }
+
+  for (IrFunction& fn : program->functions) {
+    FnOptimizer opt(&fn, global_size, func_syms, mem_safe, bounds, options);
+    RETURN_IF_ERROR(opt.Run(&stats));
+  }
+  return stats;
+}
+
+Status VerifyIr(const IrProgram& program, bool allow_markers) {
+  for (const IrFunction& fn : program.functions) {
+    auto fail = [&](int i, const std::string& what) {
+      return InternalError(StrFormat("VerifyIr: %s inst %d: %s", fn.name.c_str(), i,
+                                     what.c_str()));
+    };
+    if (fn.insts.empty() || fn.insts.back().op != IrOp::kRet) {
+      return InternalError(
+          StrFormat("VerifyIr: %s does not end with ret", fn.name.c_str()));
+    }
+    std::set<int> labels;
+    for (int i = 0; i < static_cast<int>(fn.insts.size()); i++) {
+      const IrInst& inst = fn.insts[i];
+      if (inst.op == IrOp::kLabel) {
+        if (!labels.insert(inst.imm).second) {
+          return fail(i, StrFormat("duplicate label L%d", inst.imm));
+        }
+      }
+    }
+    std::vector<int> uses;
+    for (int i = 0; i < static_cast<int>(fn.insts.size()); i++) {
+      const IrInst& inst = fn.insts[i];
+      if (inst.op == IrOp::kCheckMarker && !allow_markers) {
+        return fail(i, "kCheckMarker survived past phase 2");
+      }
+      if (inst.dst >= fn.num_vregs) {
+        return fail(i, StrFormat("dst vreg %d out of range", inst.dst));
+      }
+      uses.clear();
+      AppendVregUses(inst, &uses);
+      for (int vr : uses) {
+        if (vr < 0 || vr >= fn.num_vregs) {
+          return fail(i, StrFormat("vreg operand %d out of range", vr));
+        }
+      }
+      switch (inst.op) {
+        case IrOp::kLoadLocal:
+        case IrOp::kStoreLocal:
+        case IrOp::kAddrLocal:
+          if (inst.a < 0 || inst.a >= static_cast<int>(fn.locals.size())) {
+            return fail(i, StrFormat("local slot %d out of range", inst.a));
+          }
+          break;
+        case IrOp::kJump:
+        case IrOp::kBranchZero:
+        case IrOp::kBranchNonZero:
+          if (!labels.count(inst.imm)) {
+            return fail(i, StrFormat("branch to undefined label L%d", inst.imm));
+          }
+          break;
+        case IrOp::kCheckLow:
+        case IrOp::kCheckHigh:
+          if (inst.symbol.empty()) return fail(i, "check without a bound symbol");
+          break;
+        case IrOp::kCheckIndex:
+          if (inst.imm <= 0) return fail(i, "index check with non-positive limit");
+          break;
+        case IrOp::kLoad:
+        case IrOp::kStore:
+        case IrOp::kLoadGlobal:
+        case IrOp::kStoreGlobal:
+          if (inst.width != 1 && inst.width != 2 && inst.width != 4) {
+            return fail(i, StrFormat("bad access width %d", inst.width));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+std::string DumpIr(const IrProgram& program) {
+  std::string out;
+  for (const IrFunction& fn : program.functions) {
+    out += fn.name + ":\n";
+    for (const IrInst& inst : fn.insts) {
+      static const char* kNames[] = {
+          "const",    "copy",       "bin",        "shift_imm",  "cmp",
+          "neg",      "not",        "load_local", "store_local","load_global",
+          "store_global", "load",   "store",      "addr_local", "addr_global",
+          "call",     "call_api",   "call_ind",   "ret",        "jump",
+          "br_zero",  "br_nonzero", "label",      "CHECK_MARKER", "check_low",
+          "check_high", "check_index", "widen",   "narrow"};
+      static_assert(std::size(kNames) == static_cast<size_t>(IrOp::kNarrow) + 1,
+                    "IR dump table out of sync with IrOp");
+      out += StrFormat("  %-12s dst=%-3d a=%-3d b=%-3d imm=%-6d %s\n",
+                       kNames[static_cast<int>(inst.op)], inst.dst, inst.a, inst.b,
+                       inst.imm, inst.symbol.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace amulet

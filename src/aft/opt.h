@@ -1,0 +1,55 @@
+// Phase 2.5 of the AFT pipeline: a bound-check optimizer that runs between
+// InsertChecks (phase 2) and code generation. Built on the CFG/dominator/
+// reaching-definition layer in cfg.h plus a conservative value-range and
+// base-symbol analysis, it (1) deletes checks that provably pass — accesses
+// to in-app symbols at in-range offsets, in-range constant or masked indices,
+// and re-checks of an address already checked on every path with no
+// intervening clobber — and (2) hoists loop-invariant header checks into a
+// preheader. Removing only checks that provably pass (and moving header
+// checks that run at least once per loop entry) keeps optimized firmware
+// trap-for-trap equivalent to unoptimized firmware: both fault on exactly
+// the same access, with the same fault kind and address.
+#ifndef SRC_AFT_OPT_H_
+#define SRC_AFT_OPT_H_
+
+#include <string>
+
+#include "src/aft/checks.h"
+#include "src/common/status.h"
+#include "src/compiler/ir.h"
+
+namespace amulet {
+
+struct CheckOptOptions {
+  // True when the app's stack depth is statically bounded (no recursion, no
+  // indirect calls), so every frame lives inside the app's data window and
+  // checks on in-range frame addresses can be elided.
+  bool frame_safe = false;
+};
+
+struct CheckOptStats {
+  int elided_data_checks = 0;
+  int elided_code_checks = 0;
+  int elided_index_checks = 0;
+  int hoisted_checks = 0;
+};
+
+// Runs both transforms over every function. `bounds` distinguishes code
+// checks from data checks for the stats. The IR must already be past phase 2
+// (no kCheckMarker left).
+Result<CheckOptStats> OptimizeChecks(IrProgram* program,
+                                     const BoundSymbols& bounds,
+                                     const CheckOptOptions& options);
+
+// Structural self-check run after every AFT phase: vreg/slot operands in
+// range, branch targets defined, labels unique, functions terminated by kRet,
+// and — once phase 2 has run — no kCheckMarker left (`allow_markers` permits
+// them for the post-lowering verification).
+Status VerifyIr(const IrProgram& program, bool allow_markers);
+
+// Human-readable IR listing (AftTrace stages, `amuletc build --dump-ir`).
+std::string DumpIr(const IrProgram& program);
+
+}  // namespace amulet
+
+#endif  // SRC_AFT_OPT_H_

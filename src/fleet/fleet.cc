@@ -135,6 +135,7 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
   const auto boot_t0 = std::chrono::steady_clock::now();
   AftOptions aft;
   aft.model = config.model;
+  aft.optimize_checks = config.check_opt;
   ASSIGN_OR_RETURN(Firmware firmware, BuildFirmware(sources, aft));
 
   const DataRegions regions = DataRegions::For(firmware);
@@ -186,6 +187,21 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
   }
 
   std::vector<bool> completed(static_cast<size_t>(config.device_count), false);
+  if (resume == nullptr) {
+    // Build-time check counters: phase-2 instructions inserted vs phase-2.5
+    // instructions deleted, summed over the firmware's apps. Recorded once
+    // per run (a checkpointed resume restores them with the registry).
+    uint64_t checks_total = 0;
+    uint64_t checks_elided = 0;
+    for (const AppImage& app : firmware.apps) {
+      checks_total += static_cast<uint64_t>(app.checks.check_insts);
+      checks_elided += static_cast<uint64_t>(app.checks.elided_data_checks) +
+                       static_cast<uint64_t>(app.checks.elided_code_checks) +
+                       static_cast<uint64_t>(app.checks.elided_index_checks);
+    }
+    report.metrics.Add("fleet.checks_total", checks_total);
+    report.metrics.Add("fleet.checks_elided", checks_elided);
+  }
   if (resume != nullptr) {
     completed = resume->completed;
     report.metrics = resume->metrics;

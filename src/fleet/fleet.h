@@ -57,6 +57,15 @@ struct FleetConfig {
   // simulated state, so digests are bit-identical either way and the flag is
   // excluded from the canonical config, like `predecode`.
   bool flight_recorder = true;
+  // Phase-2.5 bound-check optimizer (src/aft/opt.h). Unlike `predecode` this
+  // changes the firmware image, so it participates in the firmware hash and
+  // checkpoints do not resume across the two settings. `amuletc fleet
+  // --no-check-opt` flips it for the smart-software-baseline ablation.
+#if defined(AMULET_CHECK_OPT_DISABLED)
+  bool check_opt = false;
+#else
+  bool check_opt = true;
+#endif
 
   // --- Checkpoint/resume (docs/fleet.md "Checkpoint & resume") ---
   // When non-empty, RunFleet persists a fleet checkpoint at this path —

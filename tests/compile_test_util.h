@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/aft/checks.h"
+#include "src/aft/opt.h"
 #include "src/asm/assembler.h"
 #include "src/asm/linker.h"
 #include "src/common/status.h"
@@ -28,13 +29,22 @@ struct CompileOutcome {
   CheckStats checks;
 };
 
+// Build-configured default for the phase-2.5 check optimizer, so the whole
+// test suite exercises whichever pipeline -DAMULET_CHECK_OPT selected.
+#if defined(AMULET_CHECK_OPT_DISABLED)
+inline constexpr bool kCheckOptDefault = false;
+#else
+inline constexpr bool kCheckOptDefault = true;
+#endif
+
 // Compiles `source` under `model` and runs its main() to completion.
 // Data/code bounds for the checked models cover exactly the test layout
 // (code [0x4400,0x7000), data+stack [0x7000,0x8800)); the test stack lives
 // at the top of the data region so in-app pointers stay in bounds.
 inline Result<CompileOutcome> CompileAndRun(Machine* machine, const std::string& source,
                                             MemoryModel model = MemoryModel::kNoIsolation,
-                                            uint64_t max_cycles = 2'000'000) {
+                                            uint64_t max_cycles = 2'000'000,
+                                            bool optimize_checks = kCheckOptDefault) {
   CompileOutcome out;
   ASSIGN_OR_RETURN(std::unique_ptr<Program> program, Parse(source, "t"));
   SemaOptions sema_options;
@@ -45,6 +55,17 @@ inline Result<CompileOutcome> CompileAndRun(Machine* machine, const std::string&
   }
   ASSIGN_OR_RETURN(IrProgram ir, LowerProgram(program.get(), "t"));
   ASSIGN_OR_RETURN(out.checks, InsertChecks(&ir, model, BoundSymbolsFor("t")));
+  RETURN_IF_ERROR(VerifyIr(ir, /*allow_markers=*/false));
+  if (optimize_checks) {
+    CheckOptOptions opt;
+    opt.frame_safe = !out.audit.uses_recursion && !out.audit.has_indirect_calls;
+    ASSIGN_OR_RETURN(CheckOptStats opt_stats, OptimizeChecks(&ir, BoundSymbolsFor("t"), opt));
+    out.checks.elided_data_checks = opt_stats.elided_data_checks;
+    out.checks.elided_code_checks = opt_stats.elided_code_checks;
+    out.checks.elided_index_checks = opt_stats.elided_index_checks;
+    out.checks.hoisted_checks = opt_stats.hoisted_checks;
+    RETURN_IF_ERROR(VerifyIr(ir, /*allow_markers=*/false));
+  }
   ASSIGN_OR_RETURN(CodegenResult code, GenerateAssembly(ir, CodegenOptions{".text", ".data"}));
 
   const std::string startup =

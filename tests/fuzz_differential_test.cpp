@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "src/common/strings.h"
+#include "src/mcu/hostio.h"
+#include "src/mcu/memory_map.h"
 #include "src/mcu/snapshot.h"
 #include "tests/compile_test_util.h"
 
@@ -226,6 +228,87 @@ TEST_P(FuzzDifferential, HostAndSimulatorAgreeUnderEveryModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential, ::testing::Range(1, 101));
+
+// Differential gate for the phase-2.5 check optimizer: every seeded program
+// compiles twice — optimizer on and off — and the two firmwares must be
+// trap-for-trap equivalent under every memory model: same stop code, same
+// HOSTIO fault code/address on the first fault, and (for clean runs) the
+// same final globals. Programs mix elidable accesses (counted loops, masked
+// and clamped indices — the optimizer deletes these checks) with
+// data-dependent ones it must keep, and a third of the seeds end in a
+// deliberate out-of-bounds store (negative for the low check, huge positive
+// for the high check).
+class CheckOptDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckOptDifferential, OptOnAndOffAgreeUnderEveryModel) {
+  Rng rng(static_cast<uint32_t>(GetParam()) * 2246822519u + 3);
+  std::string body;
+  // Elidable: counted loop covering the whole array.
+  body += StrFormat("  for (int i = 0; i < 16; i++) { a[i] = i * %d; }\n", rng.Range(1, 9));
+  // Elidable: masked index, trip count past the array length.
+  body += StrFormat("  for (int i = 0; i < %d; i++) { m[i & 7] = m[i & 7] + i; }\n",
+                    rng.Range(8, 40));
+  // Elidable: clamped scalar index.
+  body += StrFormat(
+      "  int j = %d;\n  if (j < 0) { j = 0; }\n  if (j > 15) { j = 15; }\n  a[j] = %d;\n",
+      rng.Range(-30, 40), rng.Range(1, 99));
+  // Not elidable: the index depends on a global, which the analysis cannot
+  // bound — these checks must survive and still pass.
+  body += "  idx = m[0] & 15;\n  sum = sum + a[idx];\n";
+  body += "  for (int i = 0; i < 16; i++) { sum = sum + a[i]; }\n";
+  const int oob = rng.Range(0, 2);
+  if (oob == 1) {
+    body += StrFormat("  a[idx - %d] = 1;\n", rng.Range(20, 90));  // low-bound fault
+  } else if (oob == 2) {
+    body += StrFormat("  a[idx + %d] = 1;\n", rng.Range(4000, 9000));  // high-bound fault
+  }
+  const std::string source =
+      "int a[16];\nint m[8];\nint sum;\nint idx;\nvoid main(void) {\n" + body + "}\n";
+
+  for (MemoryModel model : {MemoryModel::kNoIsolation, MemoryModel::kFeatureLimited,
+                            MemoryModel::kMpu, MemoryModel::kSoftwareOnly}) {
+    Machine opt_machine;
+    Machine ref_machine;
+    auto opt = CompileAndRun(&opt_machine, source, model, 2'000'000, /*optimize_checks=*/true);
+    auto ref = CompileAndRun(&ref_machine, source, model, 2'000'000, /*optimize_checks=*/false);
+    ASSERT_TRUE(opt.ok()) << opt.status().ToString() << "\nprogram:\n" << source;
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\nprogram:\n" << source;
+    EXPECT_EQ(opt->run.stop_code, ref->run.stop_code)
+        << "stop divergence under " << MemoryModelName(model) << "\nprogram:\n" << source;
+    EXPECT_EQ(opt_machine.bus().PeekWord(kHostIoRegBase + kHostIoFaultCode),
+              ref_machine.bus().PeekWord(kHostIoRegBase + kHostIoFaultCode))
+        << "fault-code divergence under " << MemoryModelName(model) << "\nprogram:\n"
+        << source;
+    EXPECT_EQ(opt_machine.bus().PeekWord(kHostIoRegBase + kHostIoFaultAddr),
+              ref_machine.bus().PeekWord(kHostIoRegBase + kHostIoFaultAddr))
+        << "fault-addr divergence under " << MemoryModelName(model) << "\nprogram:\n"
+        << source;
+    if (ref->run.stop_code == kStopMainDone) {
+      const uint16_t a_opt = opt->image.SymbolOrZero("t_g_a");
+      const uint16_t a_ref = ref->image.SymbolOrZero("t_g_a");
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(opt_machine.bus().PeekWord(a_opt + 2 * i),
+                  ref_machine.bus().PeekWord(a_ref + 2 * i))
+            << "a[" << i << "] under " << MemoryModelName(model) << "\nprogram:\n" << source;
+      }
+      const uint16_t m_opt = opt->image.SymbolOrZero("t_g_m");
+      const uint16_t m_ref = ref->image.SymbolOrZero("t_g_m");
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(opt_machine.bus().PeekWord(m_opt + 2 * i),
+                  ref_machine.bus().PeekWord(m_ref + 2 * i))
+            << "m[" << i << "] under " << MemoryModelName(model) << "\nprogram:\n" << source;
+      }
+      EXPECT_EQ(GlobalWord(&opt_machine, opt->image, "sum"),
+                GlobalWord(&ref_machine, ref->image, "sum"))
+          << source;
+      EXPECT_EQ(GlobalWord(&opt_machine, opt->image, "idx"),
+                GlobalWord(&ref_machine, ref->image, "idx"))
+          << source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckOptDifferential, ::testing::Range(1, 61));
 
 }  // namespace
 }  // namespace amulet

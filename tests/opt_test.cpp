@@ -1,0 +1,450 @@
+// Units for the reusable static-analysis layer (src/aft/cfg.h) and the
+// phase-2.5 check optimizer (src/aft/opt.h): CFG shape, dominators, reaching
+// definitions, natural loops, the IR verifier, and — via the real front end —
+// which checks the optimizer does and (just as important) does not elide.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/aft/cfg.h"
+#include "src/aft/checks.h"
+#include "src/aft/opt.h"
+#include "src/compiler/lower.h"
+#include "src/lang/parser.h"
+#include "src/lang/sema.h"
+
+namespace amulet {
+namespace {
+
+// ---- hand-built IR helpers --------------------------------------------------
+
+IrInst Const(int dst, int32_t imm) {
+  IrInst i;
+  i.op = IrOp::kConst;
+  i.dst = dst;
+  i.imm = imm;
+  return i;
+}
+
+IrInst Copy(int dst, int a) {
+  IrInst i;
+  i.op = IrOp::kCopy;
+  i.dst = dst;
+  i.a = a;
+  return i;
+}
+
+IrInst Add(int dst, int a, int b) {
+  IrInst i;
+  i.op = IrOp::kBin;
+  i.bin = IrBin::kAdd;
+  i.dst = dst;
+  i.a = a;
+  i.b = b;
+  return i;
+}
+
+IrInst CmpLt(int dst, int a, int b) {
+  IrInst i;
+  i.op = IrOp::kCmp;
+  i.rel = IrRel::kLtS;
+  i.dst = dst;
+  i.a = a;
+  i.b = b;
+  return i;
+}
+
+IrInst Label(int l) {
+  IrInst i;
+  i.op = IrOp::kLabel;
+  i.imm = l;
+  return i;
+}
+
+IrInst Jump(int l) {
+  IrInst i;
+  i.op = IrOp::kJump;
+  i.imm = l;
+  return i;
+}
+
+IrInst BranchZero(int a, int l) {
+  IrInst i;
+  i.op = IrOp::kBranchZero;
+  i.a = a;
+  i.imm = l;
+  return i;
+}
+
+IrInst Ret() {
+  IrInst i;
+  i.op = IrOp::kRet;
+  return i;
+}
+
+// if (c) t = 7; else t = 5; u = t; return
+//   B0: {const c, br_zero}  B1: {const t5, jump}  B2: {label, const t7}
+//   B3: {label, copy u<-t, ret}
+IrFunction DiamondFn() {
+  IrFunction fn;
+  fn.name = "diamond";
+  const int c = fn.NewVreg();
+  const int t = fn.NewVreg();
+  const int u = fn.NewVreg();
+  const int l_else = fn.NewLabel();
+  const int l_join = fn.NewLabel();
+  fn.insts = {Const(c, 1),      BranchZero(c, l_else), Const(t, 5), Jump(l_join),
+              Label(l_else),    Const(t, 7),           Label(l_join),
+              Copy(u, t),       Ret()};
+  return fn;
+}
+
+// i = 0; while (i < 10) i = i + 1; return
+//   B0: {const i}  B1: {label, const lim, cmp, br_zero}  B2: {const one, add, jump}
+//   B3: {label, ret}
+IrFunction CountingLoopFn() {
+  IrFunction fn;
+  fn.name = "loop";
+  const int i = fn.NewVreg();
+  const int lim = fn.NewVreg();
+  const int cond = fn.NewVreg();
+  const int one = fn.NewVreg();
+  const int l_head = fn.NewLabel();
+  const int l_exit = fn.NewLabel();
+  fn.insts = {Const(i, 0),
+              Label(l_head),
+              Const(lim, 10),
+              CmpLt(cond, i, lim),
+              BranchZero(cond, l_exit),
+              Const(one, 1),
+              Add(i, i, one),
+              Jump(l_head),
+              Label(l_exit),
+              Ret()};
+  return fn;
+}
+
+// ---- CFG --------------------------------------------------------------------
+
+TEST(CfgTest, DiamondShape) {
+  IrFunction fn = DiamondFn();
+  auto cfg = BuildCfg(fn);
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  ASSERT_EQ(cfg->blocks.size(), 4u);
+  // Entry splits, join merges.
+  EXPECT_EQ(cfg->blocks[0].succs.size(), 2u);
+  EXPECT_EQ(cfg->blocks[3].preds.size(), 2u);
+  // Every instruction maps into a block whose range covers it.
+  for (int i = 0; i < static_cast<int>(fn.insts.size()); i++) {
+    const int b = cfg->block_of_inst[i];
+    ASSERT_GE(b, 0);
+    EXPECT_GE(i, cfg->blocks[b].begin);
+    EXPECT_LT(i, cfg->blocks[b].end);
+  }
+}
+
+TEST(CfgTest, DiamondDominators) {
+  auto cfg = BuildCfg(DiamondFn());
+  ASSERT_TRUE(cfg.ok());
+  // The entry dominates everything; neither arm dominates the join.
+  for (int b = 0; b < 4; b++) {
+    EXPECT_TRUE(cfg->Dominates(0, b)) << b;
+  }
+  EXPECT_FALSE(cfg->Dominates(1, 3));
+  EXPECT_FALSE(cfg->Dominates(2, 3));
+  EXPECT_EQ(cfg->idom[3], 0);
+  EXPECT_EQ(cfg->rpo[0], 0);
+}
+
+TEST(CfgTest, BranchToMissingLabelFails) {
+  IrFunction fn;
+  fn.name = "bad";
+  const int c = fn.NewVreg();
+  fn.insts = {Const(c, 1), BranchZero(c, 9), Ret()};
+  EXPECT_FALSE(BuildCfg(fn).ok());
+}
+
+TEST(ReachingDefsTest, JoinSeesBothArmDefs) {
+  IrFunction fn = DiamondFn();
+  auto cfg = BuildCfg(fn);
+  ASSERT_TRUE(cfg.ok());
+  ReachingDefs rd = ComputeReachingDefs(fn, *cfg);
+  // u = t at inst 7: both arm defs of t (insts 2 and 5) reach.
+  std::vector<int> defs = rd.DefsReaching(fn, *cfg, 7, /*vreg=*/1);
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(rd.def_sites[defs[0]], 2);
+  EXPECT_EQ(rd.def_sites[defs[1]], 5);
+  // The branch at inst 1 sees exactly the one def of c.
+  defs = rd.DefsReaching(fn, *cfg, 1, /*vreg=*/0);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(rd.def_sites[defs[0]], 0);
+}
+
+TEST(ReachingDefsTest, LoopCarriedDefReachesHeader) {
+  IrFunction fn = CountingLoopFn();
+  auto cfg = BuildCfg(fn);
+  ASSERT_TRUE(cfg.ok());
+  ReachingDefs rd = ComputeReachingDefs(fn, *cfg);
+  // At the header compare (inst 3), both the init (inst 0) and the
+  // back-edge increment (inst 6) of i reach.
+  std::vector<int> defs = rd.DefsReaching(fn, *cfg, 3, /*vreg=*/0);
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(rd.def_sites[defs[0]], 0);
+  EXPECT_EQ(rd.def_sites[defs[1]], 6);
+}
+
+TEST(NaturalLoopTest, FindsCountingLoop) {
+  auto cfg = BuildCfg(CountingLoopFn());
+  ASSERT_TRUE(cfg.ok());
+  std::vector<NaturalLoop> loops = FindNaturalLoops(*cfg);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].header, 1);
+  ASSERT_EQ(loops[0].back_edges.size(), 1u);
+  EXPECT_EQ(loops[0].back_edges[0], 2);
+  EXPECT_TRUE(loops[0].Contains(1));
+  EXPECT_TRUE(loops[0].Contains(2));
+  EXPECT_FALSE(loops[0].Contains(0));
+  EXPECT_TRUE(cfg->Dominates(loops[0].header, loops[0].back_edges[0]));
+}
+
+TEST(NaturalLoopTest, DiamondHasNoLoops) {
+  auto cfg = BuildCfg(DiamondFn());
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(FindNaturalLoops(*cfg).empty());
+}
+
+// ---- IR verifier ------------------------------------------------------------
+
+IrProgram WrapFn(IrFunction fn) {
+  IrProgram p;
+  p.app_name = "t";
+  p.functions.push_back(std::move(fn));
+  return p;
+}
+
+TEST(IrVerifyTest, AcceptsWellFormedIr) {
+  EXPECT_TRUE(VerifyIr(WrapFn(CountingLoopFn()), /*allow_markers=*/false).ok());
+  EXPECT_TRUE(VerifyIr(WrapFn(DiamondFn()), /*allow_markers=*/false).ok());
+}
+
+TEST(IrVerifyTest, CatchesOutOfRangeVreg) {
+  IrFunction fn;
+  fn.name = "bad";
+  const int c = fn.NewVreg();
+  fn.insts = {Const(c, 1), Copy(c, 7), Ret()};  // vreg 7 never allocated
+  EXPECT_FALSE(VerifyIr(WrapFn(std::move(fn)), false).ok());
+}
+
+TEST(IrVerifyTest, CatchesUndefinedBranchTarget) {
+  IrFunction fn;
+  fn.name = "bad";
+  const int c = fn.NewVreg();
+  fn.insts = {Const(c, 1), BranchZero(c, 3), Ret()};
+  EXPECT_FALSE(VerifyIr(WrapFn(std::move(fn)), false).ok());
+}
+
+TEST(IrVerifyTest, CatchesMissingRet) {
+  IrFunction fn;
+  fn.name = "bad";
+  const int c = fn.NewVreg();
+  fn.insts = {Const(c, 1)};
+  EXPECT_FALSE(VerifyIr(WrapFn(std::move(fn)), false).ok());
+}
+
+TEST(IrVerifyTest, CatchesDuplicateLabel) {
+  IrFunction fn;
+  fn.name = "bad";
+  fn.next_label = 1;
+  fn.insts = {Label(0), Label(0), Ret()};
+  EXPECT_FALSE(VerifyIr(WrapFn(std::move(fn)), false).ok());
+}
+
+TEST(IrVerifyTest, MarkersOnlyBeforePhaseTwo) {
+  IrFunction fn;
+  fn.name = "marked";
+  const int a = fn.NewVreg();
+  IrInst marker;
+  marker.op = IrOp::kCheckMarker;
+  marker.marker.kind = AccessKindIr::kPointer;
+  marker.marker.addr_vr = a;
+  fn.insts = {Const(a, 0x7000), marker, Ret()};
+  IrProgram p = WrapFn(std::move(fn));
+  EXPECT_TRUE(VerifyIr(p, /*allow_markers=*/true).ok());
+  EXPECT_FALSE(VerifyIr(p, /*allow_markers=*/false).ok());
+}
+
+// ---- check optimizer (through the real front end) ---------------------------
+
+// Lowers `source`, runs phase 2 under `model`, then the phase-2.5 optimizer.
+Result<CheckOptStats> OptStatsFor(const std::string& source, MemoryModel model) {
+  ASSIGN_OR_RETURN(std::unique_ptr<Program> program, Parse(source, "t"));
+  FeatureAudit audit;
+  RETURN_IF_ERROR(Analyze(program.get(), SemaOptions{}, &audit));
+  ASSIGN_OR_RETURN(IrProgram ir, LowerProgram(program.get(), "t"));
+  ASSIGN_OR_RETURN(CheckStats phase2, InsertChecks(&ir, model, BoundSymbolsFor("t")));
+  (void)phase2;
+  CheckOptOptions options;
+  options.frame_safe = !audit.uses_recursion && !audit.has_indirect_calls;
+  ASSIGN_OR_RETURN(CheckOptStats stats, OptimizeChecks(&ir, BoundSymbolsFor("t"), options));
+  RETURN_IF_ERROR(VerifyIr(ir, /*allow_markers=*/false));
+  return stats;
+}
+
+CheckOptStats MustOptStats(const std::string& source, MemoryModel model) {
+  auto stats = OptStatsFor(source, model);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return stats.ok() ? *stats : CheckOptStats{};
+}
+
+TEST(CheckOptTest, GuardedLoopIndexElides) {
+  // Threshold widening must stabilize i at exactly [0, 64] so the branch
+  // refinement [0, 63] proves win[i] in bounds.
+  const std::string source = R"(
+int win[64];
+int sum;
+void main(void) {
+  int s = 0;
+  for (int i = 0; i < 64; i++) {
+    s = s + win[i];
+  }
+  sum = s;
+}
+)";
+  EXPECT_GE(MustOptStats(source, MemoryModel::kSoftwareOnly).elided_data_checks, 1);
+  EXPECT_GE(MustOptStats(source, MemoryModel::kFeatureLimited).elided_index_checks, 1);
+  EXPECT_GE(MustOptStats(source, MemoryModel::kMpu).elided_data_checks, 1);
+}
+
+TEST(CheckOptTest, MaskedIndexElides) {
+  const std::string source = R"(
+int sink[64];
+void main(void) {
+  for (int i = 0; i < 512; i++) {
+    sink[i & 63] = i;
+  }
+}
+)";
+  EXPECT_GE(MustOptStats(source, MemoryModel::kSoftwareOnly).elided_data_checks, 1);
+}
+
+TEST(CheckOptTest, ClampedIndexElides) {
+  const std::string source = R"(
+int a[16];
+int g;
+void main(void) {
+  int j = g;
+  if (j < 0) { j = 0; }
+  if (j > 15) { j = 15; }
+  a[j] = 1;
+}
+)";
+  EXPECT_GE(MustOptStats(source, MemoryModel::kSoftwareOnly).elided_data_checks, 1);
+}
+
+TEST(CheckOptTest, MemSafeCalleeDoesNotKillFacts) {
+  // iabs writes nothing outside its frame, so the loop-counter range
+  // survives the call and the win[i] check still elides.
+  const std::string source = R"(
+int win[64];
+int sum;
+int iabs(int v) {
+  if (v < 0) { return -v; }
+  return v;
+}
+void main(void) {
+  int s = 0;
+  for (int i = 0; i < 64; i++) {
+    s = s + iabs(win[i]);
+  }
+  sum = s;
+}
+)";
+  EXPECT_GE(MustOptStats(source, MemoryModel::kSoftwareOnly).elided_data_checks, 1);
+}
+
+TEST(CheckOptTest, GlobalWritingCalleeKillsFacts) {
+  // Same shape, but the callee stores a global: a wild-but-in-bounds store
+  // cannot be ruled out, so the analysis must drop its slot facts at the
+  // call and keep the check.
+  const std::string source = R"(
+int win[64];
+int scratch;
+int sum;
+int leak(int v) {
+  scratch = v;
+  return v;
+}
+void main(void) {
+  int s = 0;
+  int j = scratch;
+  for (int i = 0; i < 64; i++) {
+    s = s + leak(win[j]);
+  }
+  sum = s;
+}
+)";
+  EXPECT_EQ(MustOptStats(source, MemoryModel::kSoftwareOnly).elided_data_checks, 0);
+}
+
+TEST(CheckOptTest, UnknownIndexKept) {
+  const std::string source = R"(
+int a[16];
+int g;
+void main(void) {
+  a[g] = 1;
+}
+)";
+  EXPECT_EQ(MustOptStats(source, MemoryModel::kSoftwareOnly).elided_data_checks, 0);
+  EXPECT_EQ(MustOptStats(source, MemoryModel::kFeatureLimited).elided_index_checks, 0);
+}
+
+TEST(CheckOptTest, ProvablyOutOfBoundsKept) {
+  // Trap-for-trap: the optimizer only deletes checks that provably PASS. A
+  // known-bad index must keep its check so the fault still fires.
+  const std::string source = R"(
+int a[4];
+void main(void) {
+  int j = 9;
+  a[j] = 1;
+}
+)";
+  CheckOptStats stats = MustOptStats(source, MemoryModel::kSoftwareOnly);
+  EXPECT_EQ(stats.elided_data_checks, 0);
+  EXPECT_EQ(MustOptStats(source, MemoryModel::kFeatureLimited).elided_index_checks, 0);
+}
+
+TEST(CheckOptTest, LoopInvariantHeaderCheckHoists) {
+  // The while-condition access a[j] has an unprovable but loop-invariant
+  // index, sits in the loop header, and the loop is store/call-free (only
+  // kStoreLocal), so the check moves to the preheader.
+  const std::string source = R"(
+int a[16];
+int g;
+void main(void) {
+  int j = g;
+  int s = 0;
+  while (a[j] > s) {
+    s = s + 1;
+  }
+  g = s;
+}
+)";
+  EXPECT_GE(MustOptStats(source, MemoryModel::kSoftwareOnly).hoisted_checks, 1);
+}
+
+TEST(CheckOptTest, SignedModuloKept) {
+  // wpos % 64 can be negative for negative wpos (C truncation semantics), so
+  // the low-bound check must survive.
+  const std::string source = R"(
+int win[64];
+int wpos;
+void main(void) {
+  win[wpos % 64] = 1;
+  wpos = wpos + 1;
+}
+)";
+  EXPECT_EQ(MustOptStats(source, MemoryModel::kSoftwareOnly).elided_data_checks, 0);
+}
+
+}  // namespace
+}  // namespace amulet

@@ -87,6 +87,9 @@ TEST(RegionMapTest, FinestSpanWinsRegardlessOfInputOrder) {
 TEST(RegionMapTest, FirmwareMapTagsChecksGatesAndApps) {
   AftOptions options;
   options.model = MemoryModel::kSoftwareOnly;
+  // The synthetic app's masked accesses are provably safe, so the phase-2.5
+  // optimizer would delete every check; this test maps the checked pipeline.
+  options.optimize_checks = false;
   const AppSpec& app = SyntheticApp();
   auto fw = BuildFirmware({{app.name, app.source}}, options);
   ASSERT_TRUE(fw.ok()) << fw.status().ToString();
@@ -125,6 +128,8 @@ TEST(ProfilerTest, BucketsCyclesByRegionTag) {
 TEST(ProfilerTest, AttributedCyclesEqualCpuCycles) {
   AftOptions options;
   options.model = MemoryModel::kMpu;
+  // Keep the checks: attribution needs cklo spans to land cycles in.
+  options.optimize_checks = false;
   const AppSpec& app = SyntheticApp();
   auto fw = BuildFirmware({{app.name, app.source}}, options);
   ASSERT_TRUE(fw.ok()) << fw.status().ToString();

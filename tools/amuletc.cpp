@@ -43,6 +43,10 @@ const char kBuildHelp[] =
     "  --shadow-ret-stack      InfoMem shadow return-address stack (paper '5)\n"
     "  --future-mpu            hypothetical >=4-region MPU (no checks/reconfig)\n"
     "  --zero-shared-stack     rejected design: shared stack + bzero on switch\n"
+    "  --no-check-opt          keep every phase-2 bound check (disable the\n"
+    "                          phase-2.5 redundant-check optimizer, docs/aft.md)\n"
+    "  --dump-ir               print each app's IR after phase 2 and (when the\n"
+    "                          optimizer runs) after phase 2.5\n"
     "  --hex FILE              write the firmware as Intel HEX (flashable form)\n"
     "  --report                per-app build report (checks, stack, sizes)\n"
     "  --listing               full firmware listing (map + disassembly)\n"
@@ -68,6 +72,8 @@ const char kFleetHelp[] =
     "                          cache); results are bit-identical, just slower\n"
     "  --no-flight-recorder    skip per-device flight recorders; fault records\n"
     "                          lose their flight tails, digests are unchanged\n"
+    "  --no-check-opt          build the firmware without the phase-2.5 check\n"
+    "                          optimizer (changes the image and firmware hash)\n"
     "  --faults-out FILE       write the merged fault ledger as JSONL\n"
     "  --checkpoint FILE       persist a resumable checkpoint (atomic rename)\n"
     "  --checkpoint-every N    checkpoint cadence in completed devices (default: 64)\n"
@@ -349,6 +355,8 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
       config.predecode = false;
     } else if (arg == "--no-flight-recorder") {
       config.flight_recorder = false;
+    } else if (arg == "--no-check-opt") {
+      config.check_opt = false;
     } else if (arg == "--faults-out" || arg.rfind("--faults-out=", 0) == 0) {
       if (arg == "--faults-out") {
         const char* value = next();
@@ -970,6 +978,7 @@ int main(int argc, char** argv) {
   amulet::AftOptions options;
   bool want_report = false;
   bool want_listing = false;
+  bool want_dump_ir = false;
   std::string hex_path;
   bool walk = false;
   long run_seconds = -1;
@@ -990,6 +999,10 @@ int main(int argc, char** argv) {
       options.future_mpu = true;
     } else if (arg == "--zero-shared-stack") {
       options.zero_shared_stack = true;
+    } else if (arg == "--no-check-opt") {
+      options.optimize_checks = false;
+    } else if (arg == "--dump-ir") {
+      want_dump_ir = true;
     } else if (arg == "--hex") {
       if (++i >= argc) {
         return MissingValue("build", arg);
@@ -1053,6 +1066,23 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", hex_path.c_str());
   }
 
+  if (want_dump_ir) {
+    for (const amulet::AppSource& app : apps) {
+      auto trace = amulet::TraceAppBuild(app, options);
+      if (!trace.ok()) {
+        std::fprintf(stderr, "amuletc: --dump-ir %s: %s\n", app.name.c_str(),
+                     trace.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("\n--- %s: IR after phase 2 (checks inserted) ---\n%s", app.name.c_str(),
+                  trace->ir_after_checks.c_str());
+      if (!trace->ir_after_opt.empty()) {
+        std::printf("\n--- %s: IR after phase 2.5 (check optimizer) ---\n%s",
+                    app.name.c_str(), trace->ir_after_opt.c_str());
+      }
+    }
+  }
+
   if (want_report) {
     for (const amulet::AppImage& app : firmware->apps) {
       std::printf("\napp '%s'\n", app.name.c_str());
@@ -1066,6 +1096,10 @@ int main(int argc, char** argv) {
       std::printf("  checks: %d data, %d code, %d index; ret checks on %d function(s)\n",
                   app.checks.data_checks, app.checks.code_checks, app.checks.index_checks,
                   app.checks.ret_checks);
+      std::printf("  check opt: %d of %d check insn(s) elided, %d hoisted\n",
+                  app.checks.elided_data_checks + app.checks.elided_code_checks +
+                      app.checks.elided_index_checks,
+                  app.checks.check_insts, app.checks.hoisted_checks);
       std::printf("  features: pointers=%s recursion=%s indirect-calls=%s\n",
                   app.audit.uses_pointers ? "yes" : "no",
                   app.audit.uses_recursion ? "yes" : "no",
