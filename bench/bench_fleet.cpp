@@ -11,6 +11,11 @@
 // The checkpoint section measures the wall-clock cost of periodic fleet
 // checkpointing, then simulates a kill after half the fleet and verifies the
 // resumed run's FleetDigest matches the uninterrupted reference exactly.
+//
+// The shard section splits the same fleet across S simulated hosts
+// (--shard i/S), merges the shard checkpoints, and verifies the merged
+// digest is byte-identical to the single-host reference while the slowest
+// shard's wall time shrinks near-linearly in S.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -18,8 +23,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/fleet/checkpoint.h"
 #include "src/fleet/executor.h"
 #include "src/fleet/fleet.h"
+#include "src/fleet/merge.h"
 #include "src/mcu/snapshot.h"
 
 namespace amulet {
@@ -236,6 +243,67 @@ int Run() {
                 resumed.ok() ? static_cast<double>(resumed->resumed_devices) : 0.0);
     std::remove(kCkptPath);
     all_identical = all_identical && aborted_as_expected && digest_match;
+  }
+
+  // Cross-host sharding: run each shard serially (one simulated host per
+  // shard), merge the shard checkpoints, and compare against the serial
+  // single-host reference. The slowest shard bounds the fleet's wall clock,
+  // so near-linear scaling means max-shard wall ~= serial wall / S.
+  for (int shard_count : {2, 4}) {
+    double max_shard_seconds = 0.0;
+    double sum_shard_seconds = 0.0;
+    std::vector<FleetCheckpoint> shards;
+    bool shard_ok = true;
+    for (int s = 0; s < shard_count && shard_ok; ++s) {
+      const std::string path =
+          "bench_fleet_shard_" + std::to_string(shard_count) + "_" + std::to_string(s) + ".bin";
+      std::remove(path.c_str());
+      FleetConfig shard = BenchConfig(1);
+      shard.shard_index = s;
+      shard.shard_count = shard_count;
+      shard.checkpoint_path = path;
+      shard.checkpoint_every_devices = 1 << 20;  // final checkpoint only
+      auto report = RunFleet(shard);
+      if (!report.ok()) {
+        std::fprintf(stderr, "shard %d/%d failed: %s\n", s, shard_count,
+                     report.status().ToString().c_str());
+        shard_ok = false;
+        break;
+      }
+      max_shard_seconds = std::max(max_shard_seconds, report->run_seconds);
+      sum_shard_seconds += report->run_seconds;
+      auto checkpoint = ReadFleetCheckpoint(path);
+      std::remove(path.c_str());
+      if (!checkpoint.ok()) {
+        std::fprintf(stderr, "shard %d/%d checkpoint unreadable: %s\n", s, shard_count,
+                     checkpoint.status().ToString().c_str());
+        shard_ok = false;
+        break;
+      }
+      shards.push_back(std::move(*checkpoint));
+    }
+    if (!shard_ok) {
+      all_identical = false;
+      continue;
+    }
+    auto merged = MergeFleetCheckpoints(shards);
+    auto merged_report = merged.ok() ? ReportFromCheckpoint(*merged) : merged.status();
+    const bool identical =
+        merged_report.ok() && FleetDigest(*merged_report) == reference_digest;
+    all_identical = all_identical && identical;
+    const double shard_speedup =
+        max_shard_seconds > 0 ? serial->run_seconds / max_shard_seconds : 0.0;
+    std::printf(
+        "%ssharded (%d hosts x 1 thread): slowest shard %7.3f s  speedup %5.2fx  "
+        "merged digest %s\n",
+        shard_count == 2 ? "\n" : "", shard_count, max_shard_seconds, shard_speedup,
+        identical ? "bit-identical" : "DIVERGED from single host");
+    json.Row();
+    json.Field("shard_count", static_cast<uint64_t>(shard_count));
+    json.Field("max_shard_seconds", max_shard_seconds);
+    json.Field("sum_shard_seconds", sum_shard_seconds);
+    json.Field("shard_speedup", shard_speedup);
+    json.Field("merged_digest_match", static_cast<uint64_t>(identical ? 1 : 0));
   }
 
   std::printf("\n%s\n", RenderFleetReport(*serial).c_str());

@@ -148,7 +148,7 @@ Status RunCampaignDevice(int device_id, const CampaignContext& ctx,
                          CampaignDeviceRow* row, FaultLedger* ledger) {
   const CampaignConfig& config = *ctx.config;
   const uint32_t device_seed =
-      config.fleet.fleet_seed ^ static_cast<uint32_t>(device_id);
+      fleet_internal::DeviceSeed(config.fleet.fleet_seed, device_id);
   row->stats.device_id = device_id;
   row->firmware_version = config.from_version;
 
@@ -229,6 +229,16 @@ Result<CampaignReport> RunCampaignImpl(const CampaignConfig& config_in,
   }
   if (config.storm_threshold < 1) {
     return InvalidArgumentError("campaign storm_threshold must be >= 1");
+  }
+  if (config.fleet.shard_index != 0 || config.fleet.shard_count != 1) {
+    return InvalidArgumentError(
+        "campaigns do not support --shard: the staged rollout schedule is a "
+        "fleet-wide ordering, so run the campaign on one host");
+  }
+  if (!config.fleet.profile.empty()) {
+    return InvalidArgumentError(
+        "campaigns do not support population profiles yet: the A/B firmware pair "
+        "assumes one app mix per fleet");
   }
   if (config.stages.empty()) {
     config.stages = DefaultStages();

@@ -51,8 +51,20 @@ std::string FleetConfigCanonical(const FleetConfig& config, uint64_t firmware_ha
       static_cast<unsigned long long>(firmware_hash));
 }
 
+std::string FleetConfigCanonical(const FleetConfig& config, uint64_t firmware_hash,
+                                 uint64_t profile_hash) {
+  return FleetConfigCanonical(config, firmware_hash) +
+         StrFormat(";profile=%016llx", static_cast<unsigned long long>(profile_hash));
+}
+
 uint64_t FleetConfigHash(const FleetConfig& config, uint64_t firmware_hash) {
   const std::string canonical = FleetConfigCanonical(config, firmware_hash);
+  return Fnv1a64(reinterpret_cast<const uint8_t*>(canonical.data()), canonical.size());
+}
+
+uint64_t FleetConfigHash(const FleetConfig& config, uint64_t firmware_hash,
+                         uint64_t profile_hash) {
+  const std::string canonical = FleetConfigCanonical(config, firmware_hash, profile_hash);
   return Fnv1a64(reinterpret_cast<const uint8_t*>(canonical.data()), canonical.size());
 }
 
@@ -109,6 +121,16 @@ std::vector<uint8_t> EncodeFleetCheckpoint(const FleetCheckpoint& checkpoint) {
   checkpoint.faults.SaveState(w);
   w.EndSection();
 
+  w.BeginSection(FleetCheckpointSection::kFleetShard);
+  w.U32(static_cast<uint32_t>(checkpoint.shard_index));
+  w.U32(static_cast<uint32_t>(checkpoint.shard_count));
+  w.EndSection();
+
+  w.BeginSection(FleetCheckpointSection::kFleetProfile);
+  w.U64(checkpoint.profile_hash);
+  w.Str(checkpoint.profile_text);
+  w.EndSection();
+
   if (checkpoint.kind == FleetCheckpointKind::kCampaign) {
     w.BeginSection(FleetCheckpointSection::kCampaignDevices);
     w.U32(static_cast<uint32_t>(checkpoint.campaign_devices.size()));
@@ -160,6 +182,13 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
           "fleet checkpoint version 3 was written by an older build and cannot be "
           "resumed (v4 added the fault-ledger section); delete the checkpoint and "
           "re-run without --resume");
+    }
+    if (version == 4) {
+      return InvalidArgumentError(
+          "fleet checkpoint version 4 was written by an older build and cannot be "
+          "resumed (v5 added shard-slice and population-profile sections and changed "
+          "the per-device seed mixer, so v4 device results are stale); delete the "
+          "checkpoint and re-run without --resume");
     }
     if (version != kFleetCheckpointVersion) {
       return InvalidArgumentError(
@@ -255,6 +284,21 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
   }
   r.LeaveSection();
 
+  r.EnterSection(FleetCheckpointSection::kFleetShard);
+  out.shard_index = static_cast<int>(r.U32());
+  out.shard_count = static_cast<int>(r.U32());
+  r.LeaveSection();
+  if (r.ok() && (out.shard_count < 1 || out.shard_index < 0 ||
+                 out.shard_index >= out.shard_count)) {
+    return InvalidArgumentError(StrFormat("fleet checkpoint has invalid shard slice %d/%d",
+                                          out.shard_index, out.shard_count));
+  }
+
+  r.EnterSection(FleetCheckpointSection::kFleetProfile);
+  out.profile_hash = r.U64();
+  out.profile_text = r.Str();
+  r.LeaveSection();
+
   if (out.kind == FleetCheckpointKind::kCampaign && r.ok()) {
     r.EnterSection(FleetCheckpointSection::kCampaignDevices);
     const uint32_t campaign_rows = r.U32();
@@ -302,6 +346,19 @@ Result<FleetCheckpoint> DecodeFleetCheckpoint(const std::vector<uint8_t>& bytes)
           rec.device_id));
     }
     seen_campaign[rec.device_id] = true;
+  }
+  // A shard checkpoint may only claim devices inside its slice.
+  if (out.shard_count > 1) {
+    const ShardRange range =
+        ShardRangeFor(out.device_count, out.shard_index, out.shard_count);
+    for (int i = 0; i < out.device_count; ++i) {
+      if (out.completed[static_cast<size_t>(i)] && !range.Contains(i)) {
+        return InvalidArgumentError(StrFormat(
+            "fleet checkpoint for shard %d/%d claims device %d outside its slice "
+            "[%d, %d)",
+            out.shard_index, out.shard_count, i, range.lo, range.hi));
+      }
+    }
   }
   return out;
 }

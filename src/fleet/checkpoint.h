@@ -23,13 +23,23 @@
 //                   cycle cost
 //   kFleetLedger    the merged FaultLedger of completed devices (crash
 //                   buckets with exemplar forensics)
+//   kFleetShard     the shard slice this checkpoint covers: shard_index and
+//                   shard_count (0/1 = whole fleet). The completed bitmap is
+//                   always global-sized; a shard checkpoint simply never
+//                   sets bits outside its slice, which is what lets
+//                   MergeFleetCheckpoints OR disjoint shards together.
+//   kFleetProfile   population-profile identity: ProfileHash (0 =
+//                   homogeneous) plus the canonical profile text for
+//                   mismatch diagnostics
 //
 // Version history: v1 (PR 1-3) had no kind byte, no integrity trailer, no
 // watchdog_resets column, and no campaign section. v3 added the
 // instructions-retired column to device rows. v4 added the fault-ledger
-// section. Files are only readable by builds of the same version; decoding
-// an older file returns a clear InvalidArgumentError telling the caller to
-// re-run without --resume.
+// section. v5 added the shard-slice and population-profile sections and
+// switched per-device seeding to the splitmix64 mixer (so every v4 digest is
+// stale even for configs v5 can express). Files are only readable by builds
+// of the same version; decoding an older file returns a clear
+// InvalidArgumentError telling the caller to re-run without --resume.
 //
 // Every decode failure — bad magic, unsupported version, truncation,
 // checksum mismatch, corrupt section, out-of-range ids — returns
@@ -48,7 +58,7 @@
 namespace amulet {
 
 inline constexpr uint32_t kFleetCheckpointMagic = 0x43464D41;  // "AMFC"
-inline constexpr uint32_t kFleetCheckpointVersion = 4;
+inline constexpr uint32_t kFleetCheckpointVersion = 5;
 
 // What produced the checkpoint; a fleet resume rejects campaign checkpoints
 // and vice versa.
@@ -66,6 +76,8 @@ enum class FleetCheckpointSection : uint8_t {
   kFleetBitmap = 20,
   kCampaignDevices = 21,
   kFleetLedger = 22,
+  kFleetShard = 23,
+  kFleetProfile = 24,
 };
 
 // One completed device's OTA outcome (campaign checkpoints only). `outcome`
@@ -89,8 +101,16 @@ struct FleetCheckpoint {
   std::vector<DeviceStats> devices;   // completed rows only; empty when streaming
   // Campaign checkpoints only; one row per completed device.
   std::vector<CampaignDeviceRecord> campaign_devices;
-  std::vector<bool> completed;        // indexed by device id
-  int device_count = 0;
+  std::vector<bool> completed;        // indexed by GLOBAL device id
+  int device_count = 0;               // fleet-wide total, not the shard's
+  // The shard slice this checkpoint covers (0/1 = the whole fleet) and the
+  // population-profile identity of the run that wrote it (hash 0 =
+  // homogeneous). The config hash above is shard-INDEPENDENT — all shards of
+  // one fleet share it, and the merge validates that equality.
+  int shard_index = 0;
+  int shard_count = 1;
+  uint64_t profile_hash = 0;
+  std::string profile_text;  // ProfileCanonical, for mismatch diagnostics
 
   int CompletedCount() const {
     int n = 0;
@@ -110,10 +130,21 @@ struct FleetCheckpoint {
 // verbosity, checkpoint cadence, fault-injection hooks) are deliberately
 // excluded so a run may be resumed at a different thread count or with the
 // injected failure removed.
+// `shard_index`/`shard_count` are also excluded: every shard of one fleet
+// shares the config hash (the shard slice lives in its own checkpoint
+// section), which is the equality MergeFleetCheckpoints validates.
 std::string FleetConfigCanonical(const FleetConfig& config, uint64_t firmware_hash);
+
+// Heterogeneous-fleet variant: appends `;profile=<hash>` (ProfileHash over
+// the cohort list + per-cohort firmware hashes; 0 for a homogeneous run) so
+// two runs differing only in population mix hash differently.
+std::string FleetConfigCanonical(const FleetConfig& config, uint64_t firmware_hash,
+                                 uint64_t profile_hash);
 
 // FNV-1a 64 over FleetConfigCanonical(config, firmware_hash).
 uint64_t FleetConfigHash(const FleetConfig& config, uint64_t firmware_hash);
+uint64_t FleetConfigHash(const FleetConfig& config, uint64_t firmware_hash,
+                         uint64_t profile_hash);
 
 // Serializes/parses the container. Decode validates magic, version, the
 // whole-file checksum, every section, the bitmap/device-row consistency,

@@ -20,6 +20,19 @@ uint32_t Mix32(uint32_t x) {
   return x;
 }
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint32_t DeviceSeed(uint32_t fleet_seed, int device_id) {
+  const uint64_t mixed = SplitMix64(
+      (static_cast<uint64_t>(fleet_seed) << 32) | static_cast<uint32_t>(device_id));
+  return static_cast<uint32_t>(mixed ^ (mixed >> 32));
+}
+
 ActivityMode ModeFor(uint32_t device_seed) {
   switch (Mix32(device_seed) % 3) {
     case 0:

@@ -28,6 +28,21 @@ namespace fleet_internal {
 // in one bit so activity modes spread evenly across the fleet.
 uint32_t Mix32(uint32_t x);
 
+// 64-bit avalanche (splitmix64 finalizer): every input bit flips every
+// output bit with ~1/2 probability.
+uint64_t SplitMix64(uint64_t x);
+
+// Per-device seed: a splitmix64-style mix over (fleet_seed, global device
+// id). This replaced the original `fleet_seed ^ device_id` derivation, whose
+// adjacent-id streams were correlated (ids differing in one low bit produced
+// seeds differing in one bit, and `seed ^ i == (seed ^ 1) ^ (i ^ 1)` meant
+// distinct (seed, id) pairs could collide on the same stream). The mix is a
+// pure function of the *global* device id, so a device's stream is identical
+// no matter which shard simulates it — the property cross-host sharding
+// (docs/fleet.md, "Sharding & merge") is built on. Changing this derivation
+// deliberately broke all pre-v5 fleet digests.
+uint32_t DeviceSeed(uint32_t fleet_seed, int device_id);
+
 ActivityMode ModeFor(uint32_t device_seed);
 
 // Looks a name up in the app suite (plus the benchmark apps).

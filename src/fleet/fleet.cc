@@ -29,17 +29,63 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-Status RunDevice(int device_id, const FleetConfig& config, const Firmware& firmware,
-                 const MachineSnapshot& snapshot, const AmuletOs& booted,
-                 const DataRegions& regions, DeviceStats* out, FaultLedger* ledger) {
-  const uint32_t device_seed = config.fleet_seed ^ static_cast<uint32_t>(device_id);
+// One cohort's boot products: its firmware build, the booted template
+// machine, and the snapshot every device of that cohort clones from. A
+// homogeneous fleet is the degenerate case of exactly one implicit cohort
+// built from config.apps/config.model.
+struct CohortRuntime {
+  Cohort cohort;  // apps resolved; default 1/1/1 activity for the implicit cohort
+  Firmware firmware;
+  DataRegions regions;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<AmuletOs> os;
+  MachineSnapshot snapshot;
+  uint64_t firmware_hash = 0;
+};
+
+Result<std::unique_ptr<CohortRuntime>> BootCohort(const Cohort& cohort,
+                                                  const FleetConfig& config) {
+  auto runtime = std::make_unique<CohortRuntime>();
+  runtime->cohort = cohort;
+  ASSIGN_OR_RETURN(std::vector<AppSource> sources,
+                   fleet_internal::ResolveApps(&runtime->cohort.apps));
+  AftOptions aft;
+  aft.model = cohort.model;
+  aft.optimize_checks = config.check_opt;
+  ASSIGN_OR_RETURN(runtime->firmware, BuildFirmware(sources, aft));
+  runtime->regions = DataRegions::For(runtime->firmware);
+
+  // Template device: pays the image load and every on_init dispatch exactly
+  // once; every device of this cohort starts from its snapshot.
+  runtime->machine = std::make_unique<Machine>();
+  runtime->machine->cpu().set_predecode(config.predecode);
+  OsOptions template_options;
+  template_options.fram_wait_states = config.fram_wait_states;
+  template_options.fault_policy = FaultPolicy::kRestartApp;
+  template_options.sensor_seed = config.fleet_seed;
+  runtime->os =
+      std::make_unique<AmuletOs>(runtime->machine.get(), runtime->firmware, template_options);
+  RETURN_IF_ERROR(runtime->os->Boot());
+  runtime->snapshot = CaptureSnapshot(*runtime->machine);
+  runtime->firmware_hash = FirmwareImageHash(runtime->firmware.image);
+  return runtime;
+}
+
+Status RunDevice(int device_id, const FleetConfig& config, const CohortRuntime& cohort,
+                 DeviceStats* out, FaultLedger* ledger) {
+  // Pure function of (fleet_seed, GLOBAL device id): the same device gets the
+  // same stream no matter which shard simulates it.
+  const uint32_t device_seed = fleet_internal::DeviceSeed(config.fleet_seed, device_id);
   ASSIGN_OR_RETURN(std::unique_ptr<ClonedDevice> device,
-                   ClonedDevice::Clone(device_seed, config.fram_wait_states, firmware,
-                                       snapshot, booted, config.predecode,
-                                       config.flight_recorder));
+                   ClonedDevice::Clone(device_seed, config.fram_wait_states,
+                                       cohort.firmware, cohort.snapshot, *cohort.os,
+                                       config.predecode, config.flight_recorder));
+  // The cohort's rest/walk/run weights shape the activity draw; the default
+  // 1/1/1 weights reproduce the mode Clone already applied.
+  device->os().sensors().set_mode(ActivityForDevice(cohort.cohort, device_seed));
   DeviceStats stats;
   stats.device_id = device_id;
-  RETURN_IF_ERROR(device->Run(config.sim_ms, regions, &stats, ledger));
+  RETURN_IF_ERROR(device->Run(config.sim_ms, cohort.regions, &stats, ledger));
   stats.battery_impact_percent =
       fleet_internal::BatteryPercentFor(stats.cycles, config.sim_ms, config.energy);
   *out = stats;
@@ -49,12 +95,17 @@ Status RunDevice(int device_id, const FleetConfig& config, const Firmware& firmw
 using fleet_internal::RecordDeviceMetrics;
 
 void Aggregate(FleetReport* report) {
-  const size_t n = report->devices.size();
+  // Only this report's shard slice: rows outside it are untouched slots
+  // (another shard's devices).
+  const ShardRange range = ShardRangeFor(report->config.device_count,
+                                         report->config.shard_index,
+                                         report->config.shard_count);
+  const size_t n = static_cast<size_t>(range.size());
   std::vector<double> cycles(n), data(n), syscalls(n), dispatches(n), faults(n), pucs(n),
       wdt(n), instructions(n), battery(n);
   FleetAggregate& agg = report->aggregate;
   for (size_t i = 0; i < n; ++i) {
-    const DeviceStats& d = report->devices[i];
+    const DeviceStats& d = report->devices[static_cast<size_t>(range.lo) + i];
     cycles[i] = static_cast<double>(d.cycles);
     data[i] = static_cast<double>(d.data_accesses);
     syscalls[i] = static_cast<double>(d.syscalls);
@@ -129,39 +180,91 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
   if (config.device_count <= 0) {
     return InvalidArgumentError("fleet needs at least one device");
   }
-  std::vector<std::string> app_names = config.apps;
-  ASSIGN_OR_RETURN(std::vector<AppSource> sources, fleet_internal::ResolveApps(&app_names));
+  if (config.shard_count < 1 || config.shard_index < 0 ||
+      config.shard_index >= config.shard_count) {
+    return InvalidArgumentError(StrFormat(
+        "invalid shard slice %d/%d: --shard I/N needs 0 <= I < N", config.shard_index,
+        config.shard_count));
+  }
+  if (config.shard_count > config.device_count) {
+    return InvalidArgumentError(
+        StrFormat("shard count %d exceeds device count %d (some shards would be empty)",
+                  config.shard_count, config.device_count));
+  }
+  if (!config.profile.empty()) {
+    RETURN_IF_ERROR(ValidateProfile(config.profile));
+  }
 
   const auto boot_t0 = std::chrono::steady_clock::now();
-  AftOptions aft;
-  aft.model = config.model;
-  aft.optimize_checks = config.check_opt;
-  ASSIGN_OR_RETURN(Firmware firmware, BuildFirmware(sources, aft));
+  // One booted template per cohort; a homogeneous fleet gets exactly one
+  // implicit cohort from config.apps/config.model with 1/1/1 activity
+  // weights, reproducing the single-template behavior bit for bit.
+  std::vector<std::unique_ptr<CohortRuntime>> cohorts;
+  if (config.profile.empty()) {
+    Cohort implicit;
+    implicit.apps = config.apps;
+    implicit.model = config.model;
+    ASSIGN_OR_RETURN(std::unique_ptr<CohortRuntime> runtime, BootCohort(implicit, config));
+    cohorts.push_back(std::move(runtime));
+  } else {
+    for (const Cohort& cohort : config.profile.cohorts) {
+      ASSIGN_OR_RETURN(std::unique_ptr<CohortRuntime> runtime, BootCohort(cohort, config));
+      cohorts.push_back(std::move(runtime));
+    }
+  }
 
-  const DataRegions regions = DataRegions::For(firmware);
+  // Profile identity: the resolved cohort list plus each cohort's firmware
+  // image hash. Zero marks a homogeneous run.
+  PopulationProfile resolved_profile;
+  std::vector<uint64_t> cohort_fw_hashes;
+  for (const std::unique_ptr<CohortRuntime>& cohort : cohorts) {
+    resolved_profile.cohorts.push_back(cohort->cohort);
+    cohort_fw_hashes.push_back(cohort->firmware_hash);
+  }
+  const uint64_t profile_hash =
+      config.profile.empty() ? 0 : ProfileHash(resolved_profile, cohort_fw_hashes);
+  const std::string profile_text =
+      config.profile.empty() ? std::string()
+                             : ProfileCanonical(resolved_profile, cohort_fw_hashes);
 
-  // Template device: pays the image load and every on_init dispatch exactly
-  // once; every fleet device starts from its snapshot.
-  Machine template_machine;
-  template_machine.cpu().set_predecode(config.predecode);
-  OsOptions template_options;
-  template_options.fram_wait_states = config.fram_wait_states;
-  template_options.fault_policy = FaultPolicy::kRestartApp;
-  template_options.sensor_seed = config.fleet_seed;
-  AmuletOs template_os(&template_machine, firmware, template_options);
-  RETURN_IF_ERROR(template_os.Boot());
-  const MachineSnapshot snapshot = CaptureSnapshot(template_machine);
-
-  // The firmware image hash folds the template's loadable bytes into the
-  // config identity, so resuming against a different build of the same app
-  // list fails loudly instead of mixing incompatible device results.
-  const uint64_t firmware_hash = FirmwareImageHash(firmware.image);
-  const std::string canonical = FleetConfigCanonical(config, firmware_hash);
-  const uint64_t config_hash = FleetConfigHash(config, firmware_hash);
+  // The checkpoint's template snapshot is cohort 0's; the other cohorts'
+  // builds are pinned through the per-cohort firmware hashes in the profile
+  // hash. The firmware image hash folds the template's loadable bytes into
+  // the config identity, so resuming against a different build of the same
+  // app list fails loudly instead of mixing incompatible device results.
+  const MachineSnapshot& snapshot = cohorts[0]->snapshot;
+  const std::string canonical =
+      FleetConfigCanonical(config, cohorts[0]->firmware_hash, profile_hash);
+  const uint64_t config_hash =
+      FleetConfigHash(config, cohorts[0]->firmware_hash, profile_hash);
+  const ShardRange shard_range =
+      ShardRangeFor(config.device_count, config.shard_index, config.shard_count);
   if (resume != nullptr) {
     if (resume->kind != FleetCheckpointKind::kFleet) {
       return InvalidArgumentError(
           "checkpoint was written by a campaign run; resume it with the campaign driver");
+    }
+    // Specific shard/profile mismatches before the generic config-hash check,
+    // so a wrong --shard or --profile names both values instead of dumping
+    // two canonical strings.
+    if (resume->shard_index != config.shard_index ||
+        resume->shard_count != config.shard_count) {
+      const ShardRange ckpt_range =
+          ShardRangeFor(config.device_count, resume->shard_index, resume->shard_count);
+      return InvalidArgumentError(StrFormat(
+          "checkpoint shard mismatch: checkpoint covers shard %d/%d (devices [%d, %d)), "
+          "this run requests shard %d/%d (devices [%d, %d))",
+          resume->shard_index, resume->shard_count, ckpt_range.lo, ckpt_range.hi,
+          config.shard_index, config.shard_count, shard_range.lo, shard_range.hi));
+    }
+    if (resume->profile_hash != profile_hash) {
+      return InvalidArgumentError(StrFormat(
+          "checkpoint profile mismatch: checkpoint profile hash %016llx [%s], this run's "
+          "profile hash %016llx [%s]",
+          static_cast<unsigned long long>(resume->profile_hash),
+          resume->profile_hash == 0 ? "homogeneous" : resume->profile_text.c_str(),
+          static_cast<unsigned long long>(profile_hash),
+          profile_hash == 0 ? "homogeneous" : profile_text.c_str()));
     }
     if (resume->config_hash != config_hash) {
       return InvalidArgumentError(
@@ -178,26 +281,35 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
 
   FleetReport report;
   report.config = config;
-  report.config.apps = app_names;
+  report.config.apps = cohorts[0]->cohort.apps;
+  if (!config.profile.empty()) {
+    report.config.profile = resolved_profile;  // apps resolved per cohort
+  }
   report.snapshot_bytes = snapshot.bytes.size();
   report.boot_seconds = SecondsSince(boot_t0);
   const bool retain = config.retain_device_stats;
   if (retain) {
+    // Global-sized, slot-indexed by device id: a shard run fills only its
+    // slice, which is exactly the shape MergeFleetCheckpoints concatenates.
     report.devices.resize(static_cast<size_t>(config.device_count));
   }
 
   std::vector<bool> completed(static_cast<size_t>(config.device_count), false);
-  if (resume == nullptr) {
+  if (resume == nullptr && config.shard_index == 0) {
     // Build-time check counters: phase-2 instructions inserted vs phase-2.5
-    // instructions deleted, summed over the firmware's apps. Recorded once
-    // per run (a checkpointed resume restores them with the registry).
+    // instructions deleted, summed over every cohort's firmware. Recorded
+    // once per fleet — by shard 0 only, so the merged registry matches a
+    // single-host run's (a checkpointed resume restores them with the
+    // registry).
     uint64_t checks_total = 0;
     uint64_t checks_elided = 0;
-    for (const AppImage& app : firmware.apps) {
-      checks_total += static_cast<uint64_t>(app.checks.check_insts);
-      checks_elided += static_cast<uint64_t>(app.checks.elided_data_checks) +
-                       static_cast<uint64_t>(app.checks.elided_code_checks) +
-                       static_cast<uint64_t>(app.checks.elided_index_checks);
+    for (const std::unique_ptr<CohortRuntime>& cohort : cohorts) {
+      for (const AppImage& app : cohort->firmware.apps) {
+        checks_total += static_cast<uint64_t>(app.checks.check_insts);
+        checks_elided += static_cast<uint64_t>(app.checks.elided_data_checks) +
+                         static_cast<uint64_t>(app.checks.elided_code_checks) +
+                         static_cast<uint64_t>(app.checks.elided_index_checks);
+      }
     }
     report.metrics.Add("fleet.checks_total", checks_total);
     report.metrics.Add("fleet.checks_elided", checks_elided);
@@ -214,7 +326,7 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
     }
   }
   std::vector<int> pending;
-  for (int i = 0; i < config.device_count; ++i) {
+  for (int i = shard_range.lo; i < shard_range.hi; ++i) {
     if (!completed[static_cast<size_t>(i)]) {
       pending.push_back(i);
     }
@@ -257,6 +369,10 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
     cp.faults = report.faults;
     cp.completed = completed;
     cp.device_count = config.device_count;
+    cp.shard_index = config.shard_index;
+    cp.shard_count = config.shard_count;
+    cp.profile_hash = profile_hash;
+    cp.profile_text = profile_text;
     if (retain) {
       for (int i = 0; i < config.device_count; ++i) {
         if (completed[static_cast<size_t>(i)]) {
@@ -276,16 +392,24 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
     DeviceStats* slot = retain ? &report.devices[static_cast<size_t>(id)] : &local;
     Status status;
     FaultLedger device_ledger;
+    const int cohort_index =
+        config.profile.empty() ? 0
+                               : CohortForDevice(resolved_profile, config.fleet_seed, id);
+    const CohortRuntime& cohort = *cohorts[static_cast<size_t>(cohort_index)];
     if (config.fail_device_id == id) {
       status = InternalError(StrFormat("injected failure on device %d", id));
     } else {
-      status = RunDevice(id, config, firmware, snapshot, template_os, regions, slot,
-                         &device_ledger);
+      status = RunDevice(id, config, cohort, slot, &device_ledger);
     }
     device_status[static_cast<size_t>(id)] = status;
     MetricRegistry device_metrics;
     if (status.ok()) {
       RecordDeviceMetrics(*slot, &device_metrics);
+      if (!config.profile.empty()) {
+        // Per-device counter, so cohort sizes merge order-independently
+        // across jobs, resume, and shards.
+        device_metrics.Add("fleet.cohort." + cohort.cohort.name, 1);
+      }
     }
     const int done = processed.fetch_add(1, std::memory_order_relaxed) + 1;
     std::lock_guard<std::mutex> lock(merge_mu);
@@ -373,6 +497,29 @@ Result<FleetReport> RunFleetImpl(const FleetConfig& config, const FleetCheckpoin
 
 }  // namespace
 
+ShardRange ShardRangeFor(int device_count, int shard_index, int shard_count) {
+  ShardRange range;
+  if (device_count <= 0 || shard_count <= 0 || shard_index < 0 ||
+      shard_index >= shard_count) {
+    return range;  // empty [0, 0)
+  }
+  // Contiguous slices differing in size by at most one device; 64-bit
+  // intermediates so device_count * shard_count cannot overflow.
+  const int64_t n = device_count;
+  range.lo = static_cast<int>(n * shard_index / shard_count);
+  range.hi = static_cast<int>(n * (shard_index + 1) / shard_count);
+  return range;
+}
+
+void RecomputeFleetAggregate(FleetReport* report) {
+  report->aggregate = FleetAggregate();
+  if (report->config.retain_device_stats) {
+    Aggregate(report);
+  } else {
+    AggregateFromMetrics(report);
+  }
+}
+
 Result<FleetReport> RunFleet(const FleetConfig& config) {
   return RunFleetImpl(config, nullptr);
 }
@@ -387,7 +534,13 @@ Result<FleetReport> ResumeFleet(const FleetConfig& config) {
 
 std::string FleetDigest(const FleetReport& report) {
   std::string out;
-  for (const DeviceStats& d : report.devices) {
+  // Only the shard slice: slots outside it belong to other shards and are
+  // never filled. A merged or single-host report's slice is the whole fleet.
+  const ShardRange range = ShardRangeFor(report.config.device_count,
+                                         report.config.shard_index,
+                                         report.config.shard_count);
+  for (int id = range.lo; !report.devices.empty() && id < range.hi; ++id) {
+    const DeviceStats& d = report.devices[static_cast<size_t>(id)];
     out += StrFormat("d%d:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%a\n", d.device_id,
                      static_cast<unsigned long long>(d.cycles),
                      static_cast<unsigned long long>(d.data_accesses),
@@ -434,6 +587,10 @@ std::string SummaryRow(const char* name, const StatSummary& s) {
 
 std::string RenderFleetReport(const FleetReport& report) {
   const FleetConfig& config = report.config;
+  // Devices this host actually simulated (the shard slice), for the
+  // wall-clock throughput lines.
+  const int local_devices =
+      ShardRangeFor(config.device_count, config.shard_index, config.shard_count).size();
   std::string apps;
   for (const std::string& name : config.apps) {
     if (!apps.empty()) {
@@ -446,16 +603,36 @@ std::string RenderFleetReport(const FleetReport& report) {
       config.device_count, std::string(MemoryModelName(config.model)).c_str(),
       config.fleet_seed, static_cast<double>(config.sim_ms) / 1000.0, config.jobs);
   out += StrFormat("apps: %s\n", apps.c_str());
+  if (config.shard_count > 1) {
+    const ShardRange range =
+        ShardRangeFor(config.device_count, config.shard_index, config.shard_count);
+    out += StrFormat("shard: %d/%d — devices [%d, %d) of %d\n", config.shard_index,
+                     config.shard_count, range.lo, range.hi, config.device_count);
+  }
+  if (!config.profile.empty()) {
+    out += "profile:\n";
+    for (const Cohort& cohort : config.profile.cohorts) {
+      const uint64_t devices =
+          report.metrics.counter("fleet.cohort." + cohort.name);
+      out += StrFormat("  %-16s weight %u, model=%s, act=%u/%u/%u — %llu device(s)\n",
+                       cohort.name.c_str(), cohort.weight,
+                       std::string(MemoryModelName(cohort.model)).c_str(),
+                       cohort.rest_weight, cohort.walk_weight, cohort.run_weight,
+                       static_cast<unsigned long long>(devices));
+    }
+  }
   if (report.resumed_devices > 0) {
+    const int local_devices =
+        ShardRangeFor(config.device_count, config.shard_index, config.shard_count).size();
     out += StrFormat("resumed: %d device(s) restored from checkpoint, %d simulated\n",
-                     report.resumed_devices, config.device_count - report.resumed_devices);
+                     report.resumed_devices, local_devices - report.resumed_devices);
   }
   out += StrFormat(
       "template boot %.3f s (snapshot %zu bytes); fleet run %.3f s (%.1f devices/s, %.1f "
       "simulated-s/s)\n",
       report.boot_seconds, report.snapshot_bytes, report.run_seconds,
-      report.run_seconds > 0 ? config.device_count / report.run_seconds : 0.0,
-      report.run_seconds > 0 ? config.device_count *
+      report.run_seconds > 0 ? local_devices / report.run_seconds : 0.0,
+      report.run_seconds > 0 ? local_devices *
                                    (static_cast<double>(config.sim_ms) / 1000.0) /
                                    report.run_seconds
                              : 0.0);

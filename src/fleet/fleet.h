@@ -3,10 +3,13 @@
 // independent simulated devices in parallel on the work-stealing executor,
 // merging their ARP-style counters into fleet-wide percentiles.
 //
-// Determinism: device i's sensor stream and activity mode derive from
-// `fleet_seed ^ i`, every device owns its Machine/AmuletOs, and results land
-// in a slot indexed by device id — so a fleet run is bit-identical for a
-// fixed config regardless of worker-thread count (see docs/fleet.md).
+// Determinism: device i's sensor stream, cohort, and activity mode derive
+// from a splitmix64 mix of (fleet_seed, global device id), every device owns
+// its Machine/AmuletOs, and results land in a slot indexed by device id — so
+// a fleet run is bit-identical for a fixed config regardless of
+// worker-thread count, and a sharded run (each shard simulating a slice of
+// the global id range) merges to the same bytes as a single-host run (see
+// docs/fleet.md).
 #ifndef SRC_FLEET_FLEET_H_
 #define SRC_FLEET_FLEET_H_
 
@@ -19,6 +22,7 @@
 #include "src/arp/energy_model.h"
 #include "src/common/status.h"
 #include "src/fleet/fault_ledger.h"
+#include "src/fleet/profile.h"
 #include "src/scope/metrics.h"
 
 namespace amulet {
@@ -66,6 +70,24 @@ struct FleetConfig {
 #else
   bool check_opt = true;
 #endif
+
+  // --- Cross-host sharding (docs/fleet.md "Sharding & merge") ---
+  // This host simulates shard `shard_index` of `shard_count`: the contiguous
+  // slice ShardRangeFor(device_count, shard_index, shard_count) of the
+  // *global* device-id range [0, device_count). Every shard uses the full
+  // global config (device_count stays the fleet-wide total), so per-device
+  // seeds/cohorts are pure functions of the global id and the shards'
+  // checkpoints fold — via MergeFleetCheckpoints / `amuletc fleet-merge` —
+  // into a digest byte-identical to a single-host run. Default 0/1 = the
+  // whole fleet on this host.
+  int shard_index = 0;
+  int shard_count = 1;
+
+  // --- Heterogeneous population (docs/fleet.md "Population profiles") ---
+  // When non-empty, each device draws its cohort — memory model, app mix,
+  // activity weights — from this weighted distribution, keyed on the global
+  // device id. Empty = homogeneous fleet from `apps`/`model` above.
+  PopulationProfile profile;
 
   // --- Checkpoint/resume (docs/fleet.md "Checkpoint & resume") ---
   // When non-empty, RunFleet persists a fleet checkpoint at this path —
@@ -128,9 +150,22 @@ struct FleetAggregate {
   uint64_t total_instructions = 0;
 };
 
+// The contiguous global-device-id slice [lo, hi) shard `shard_index` of
+// `shard_count` owns. Slices are disjoint, cover [0, device_count), and
+// differ in size by at most one device.
+struct ShardRange {
+  int lo = 0;
+  int hi = 0;
+
+  int size() const { return hi - lo; }
+  bool Contains(int device_id) const { return device_id >= lo && device_id < hi; }
+};
+ShardRange ShardRangeFor(int device_count, int shard_index, int shard_count);
+
 struct FleetReport {
   FleetConfig config;  // as run (jobs resolved to the actual thread count)
-  // Indexed by device id; empty when config.retain_device_stats is false.
+  // Indexed by device id (global-sized even for a shard run: a shard fills
+  // only its slice); empty when config.retain_device_stats is false.
   std::vector<DeviceStats> devices;
   FleetAggregate aggregate;
   // Streaming fleet-wide metrics (counters + log2 histograms), merged one
@@ -161,6 +196,13 @@ Result<FleetReport> RunFleet(const FleetConfig& config);
 // byte-identical to an uninterrupted run at any thread count. Resuming a
 // fully complete checkpoint is a no-op that re-yields the same report.
 Result<FleetReport> ResumeFleet(const FleetConfig& config);
+
+// Recomputes report->aggregate over the report's shard slice — from the
+// retained per-device rows when config.retain_device_stats is true, else
+// from the streaming metric registry. The shard merge uses this to derive
+// the fleet-wide aggregate with exactly the arithmetic a single-host run
+// applies, which is what makes the merged digest byte-identical.
+void RecomputeFleetAggregate(FleetReport* report);
 
 // Deterministic digest over everything seed-dependent in the report (every
 // per-device counter and every aggregate, wall times excluded). Two runs of

@@ -1,0 +1,125 @@
+#include "src/fleet/merge.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace amulet {
+
+Result<FleetCheckpoint> MergeFleetCheckpoints(const std::vector<FleetCheckpoint>& shards) {
+  if (shards.empty()) {
+    return InvalidArgumentError("fleet merge needs at least one shard checkpoint");
+  }
+  const FleetCheckpoint& first = shards[0];
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const FleetCheckpoint& shard = shards[i];
+    if (shard.kind != FleetCheckpointKind::kFleet) {
+      return InvalidArgumentError(StrFormat(
+          "shard checkpoint #%zu was written by a campaign run and cannot be merged", i));
+    }
+    if (shard.config_hash != first.config_hash) {
+      return InvalidArgumentError(StrFormat(
+          "shard checkpoint #%zu is from a different fleet config: it was written by "
+          "[%s], shard #0 by [%s]",
+          i, shard.config_text.c_str(), first.config_text.c_str()));
+    }
+    if (shard.device_count != first.device_count) {
+      return InvalidArgumentError(
+          StrFormat("shard checkpoint #%zu covers a %d-device fleet, shard #0 a "
+                    "%d-device fleet",
+                    i, shard.device_count, first.device_count));
+    }
+    if (shard.profile_hash != first.profile_hash) {
+      return InvalidArgumentError(StrFormat(
+          "shard checkpoint #%zu has profile hash %016llx [%s], shard #0 has %016llx "
+          "[%s]",
+          i, static_cast<unsigned long long>(shard.profile_hash),
+          shard.profile_hash == 0 ? "homogeneous" : shard.profile_text.c_str(),
+          static_cast<unsigned long long>(first.profile_hash),
+          first.profile_hash == 0 ? "homogeneous" : first.profile_text.c_str()));
+    }
+    if (shard.shard_count != first.shard_count) {
+      return InvalidArgumentError(
+          StrFormat("shard checkpoint #%zu is 1 of %d shards, shard #0 is 1 of %d", i,
+                    shard.shard_count, first.shard_count));
+    }
+    if (shard.template_snapshot.bytes != first.template_snapshot.bytes) {
+      return InvalidArgumentError(StrFormat(
+          "shard checkpoint #%zu has a different template snapshot than shard #0 "
+          "(mixed builds?)",
+          i));
+    }
+  }
+  // Input order is irrelevant, but every slice 0..N-1 must appear exactly
+  // once — otherwise the "merged" digest would silently cover a partial
+  // fleet.
+  if (static_cast<int>(shards.size()) != first.shard_count) {
+    return InvalidArgumentError(StrFormat("fleet of %d shard(s) but %zu checkpoint(s) given",
+                                          first.shard_count, shards.size()));
+  }
+  std::vector<int> seen(static_cast<size_t>(first.shard_count), -1);
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const int index = shards[i].shard_index;
+    if (seen[static_cast<size_t>(index)] >= 0) {
+      return InvalidArgumentError(
+          StrFormat("shard %d/%d appears twice (checkpoints #%d and #%zu)", index,
+                    first.shard_count, seen[static_cast<size_t>(index)], i));
+    }
+    seen[static_cast<size_t>(index)] = static_cast<int>(i);
+  }
+
+  FleetCheckpoint merged;
+  merged.kind = FleetCheckpointKind::kFleet;
+  merged.config_hash = first.config_hash;
+  merged.config_text = first.config_text;
+  merged.template_snapshot = first.template_snapshot;
+  merged.device_count = first.device_count;
+  merged.shard_index = 0;
+  merged.shard_count = 1;
+  merged.profile_hash = first.profile_hash;
+  merged.profile_text = first.profile_text;
+  merged.completed.assign(static_cast<size_t>(first.device_count), false);
+  for (const FleetCheckpoint& shard : shards) {
+    // Disjointness is guaranteed by the decode-time slice check plus the
+    // exactly-once coverage above, so these are pure unions.
+    for (int id = 0; id < first.device_count; ++id) {
+      if (shard.completed[static_cast<size_t>(id)]) {
+        merged.completed[static_cast<size_t>(id)] = true;
+      }
+    }
+    merged.metrics.Merge(shard.metrics);
+    merged.faults.Merge(shard.faults);
+    merged.devices.insert(merged.devices.end(), shard.devices.begin(), shard.devices.end());
+  }
+  std::sort(merged.devices.begin(), merged.devices.end(),
+            [](const DeviceStats& a, const DeviceStats& b) {
+              return a.device_id < b.device_id;
+            });
+  return merged;
+}
+
+Result<FleetReport> ReportFromCheckpoint(const FleetCheckpoint& checkpoint) {
+  if (checkpoint.kind != FleetCheckpointKind::kFleet) {
+    return InvalidArgumentError("cannot build a fleet report from a campaign checkpoint");
+  }
+  FleetReport report;
+  report.config.device_count = checkpoint.device_count;
+  report.config.shard_index = checkpoint.shard_index;
+  report.config.shard_count = checkpoint.shard_count;
+  // A streaming-mode run retains no rows; detect the mode the same way the
+  // digest consumes it.
+  report.config.retain_device_stats = !checkpoint.devices.empty();
+  report.metrics = checkpoint.metrics;
+  report.faults = checkpoint.faults;
+  report.resumed_devices = checkpoint.CompletedCount();
+  if (report.config.retain_device_stats) {
+    report.devices.resize(static_cast<size_t>(checkpoint.device_count));
+    for (const DeviceStats& d : checkpoint.devices) {
+      report.devices[static_cast<size_t>(d.device_id)] = d;
+    }
+  }
+  RecomputeFleetAggregate(&report);
+  return report;
+}
+
+}  // namespace amulet

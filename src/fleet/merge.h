@@ -1,0 +1,41 @@
+// Cross-host shard merge: folds the AMFC checkpoints written by N shard runs
+// of one fleet (`--shard 0/N` ... `--shard N-1/N`) into a single checkpoint
+// covering the whole device-id range, using the same order-independent
+// merges (MetricRegistry, FaultLedger, slot-indexed device rows) the
+// in-process executor uses — so the merged FleetDigest is byte-identical to
+// a single-host run of the same config (docs/fleet.md, "Sharding & merge").
+#ifndef SRC_FLEET_MERGE_H_
+#define SRC_FLEET_MERGE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fleet/checkpoint.h"
+#include "src/fleet/fleet.h"
+
+namespace amulet {
+
+// Merges the shards of one fleet into a whole-fleet checkpoint
+// (shard 0/1), which is indistinguishable from — and resumable as — a
+// single-host checkpoint of the same config.
+//
+// Validates, with errors naming the offending values: every input is a
+// fleet (not campaign) checkpoint; all inputs agree on config hash, device
+// count, profile hash, shard count, and template snapshot; and the inputs
+// cover every shard index 0..N-1 exactly once (input order is irrelevant).
+// Individual shards may be incomplete (killed mid-run): the merge unions
+// their completed bitmaps, so a partial merge is a resumable whole-fleet
+// checkpoint rather than an error.
+Result<FleetCheckpoint> MergeFleetCheckpoints(const std::vector<FleetCheckpoint>& shards);
+
+// Reconstructs a FleetReport from a (typically merged) fleet checkpoint:
+// restores devices/metrics/faults and recomputes the aggregate with the same
+// arithmetic a live run uses, so FleetDigest(report) can be compared
+// byte-for-byte against a single-host run. Only digest-relevant config
+// fields (device count, retention mode) are recovered; boot/run wall times
+// are zero.
+Result<FleetReport> ReportFromCheckpoint(const FleetCheckpoint& checkpoint);
+
+}  // namespace amulet
+
+#endif  // SRC_FLEET_MERGE_H_

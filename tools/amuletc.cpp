@@ -2,6 +2,7 @@
 //
 //   amuletc [options] name=app.amc [name2=other.amc ...]   build firmware
 //   amuletc fleet [fleet options]                          fleet / OTA campaign
+//   amuletc fleet-merge SHARD.ckpt [...]                   merge shard checkpoints
 //   amuletc ota-pack [pack options]                        pack an AMFU image
 //   amuletc trace [trace options] name=app.amc [...]       record a trace
 //   amuletc faults CHECKPOINT [faults options]             crash-bucket triage
@@ -28,6 +29,7 @@
 #include "src/fleet/campaign.h"
 #include "src/fleet/checkpoint.h"
 #include "src/fleet/fleet.h"
+#include "src/fleet/merge.h"
 #include "src/os/os.h"
 #include "src/ota/image.h"
 #include "src/scope/tracer.h"
@@ -63,9 +65,19 @@ const char kFleetHelp[] =
     "  --devices N             number of simulated devices (default: 16)\n"
     "  --apps a,b,c            suite apps to install (default: the full suite)\n"
     "  --model none|fl|sw|mpu  isolation model (default: mpu)\n"
-    "  --seed N                fleet seed; device i uses seed^i (default: 20180711)\n"
+    "  --seed N                fleet seed; device i's stream is a splitmix64 mix\n"
+    "                          of (seed, i) (default: 20180711)\n"
     "  --duration SECONDS      simulated time per device (default: 10)\n"
     "  --jobs N                worker threads (default: hardware concurrency)\n"
+    "  --shard I/N             simulate only shard I of N (devices are split into\n"
+    "                          N contiguous global-id slices; pair with\n"
+    "                          --checkpoint and fold the N checkpoints together\n"
+    "                          with 'amuletc fleet-merge')\n"
+    "  --profile FILE          heterogeneous population: one cohort spec per line,\n"
+    "                          NAME:WEIGHT:MODEL[:APPS[:ACTIVITY]], '#' comments\n"
+    "                          (e.g. 'wear:90:mpu:pedometer+clock:1/2/1')\n"
+    "  --cohort SPEC           inline cohort spec (repeatable); same syntax as a\n"
+    "                          --profile line\n"
     "  --metrics-out FILE      write streaming fleet metrics as JSON\n"
     "  --no-device-stats       streaming aggregation only (O(1) memory per fleet)\n"
     "  --no-predecode          baseline interpreter core (no predecoded-insn\n"
@@ -97,6 +109,22 @@ const char kFleetHelp[] =
     "  --key HEX16             fleet MAC key as 16 hex digits\n"
     "  --image FILE            deploy this packed AMFU container instead of\n"
     "                          packing --to-apps (see amuletc ota-pack)\n";
+
+const char kFleetMergeHelp[] =
+    "usage: amuletc fleet-merge SHARD.ckpt [SHARD2.ckpt ...] [options]\n"
+    "\n"
+    "Folds the AMFC checkpoints written by the N shards of one fleet run\n"
+    "(`amuletc fleet --shard I/N --checkpoint ...`, one per host) into a single\n"
+    "whole-fleet checkpoint and prints the merged report and digest. The merged\n"
+    "digest is byte-identical to a single-host run of the same config, and the\n"
+    "merged checkpoint is resumable like any single-host checkpoint\n"
+    "(docs/fleet.md, \"Sharding & merge\"). Input order does not matter, but all\n"
+    "N shards must be present, from the same config and build.\n"
+    "\n"
+    "  --out FILE              write the merged whole-fleet checkpoint\n"
+    "  --metrics-out FILE      write the merged streaming metrics as JSON\n"
+    "  --faults-out FILE       write the merged fault ledger as JSONL\n"
+    "  --help                  show this help\n";
 
 const char kOtaPackHelp[] =
     "usage: amuletc ota-pack --out FILE [options] [name=app.amc ...]\n"
@@ -143,11 +171,12 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [options] name=app.amc [...]    build firmware\n"
                "       %s fleet [options]                 fleet / OTA campaign\n"
+               "       %s fleet-merge SHARD.ckpt [...]    merge shard checkpoints\n"
                "       %s ota-pack [options]              pack an AMFU image\n"
                "       %s trace [options] name=app.amc    record a trace\n"
                "       %s faults CHECKPOINT [options]     crash-bucket triage\n"
                "run '%s <subcommand> --help' for per-subcommand options\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 1;
 }
 
@@ -276,6 +305,8 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
   std::string image_path;
   bool resume = false;
   bool campaign_mode = false;
+  bool profile_from_file = false;
+  bool inline_cohorts = false;
   double stage_abort = -1;  // < 0: keep the per-stage default
   std::string first_campaign_flag;  // campaign flag seen without --campaign
   for (int i = 0; i < argc; ++i) {
@@ -336,6 +367,67 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
         return BadValue("fleet", arg, value);
       }
       config.jobs = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (arg == "--shard") {
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      char* end = nullptr;
+      const long index = std::strtol(value, &end, 10);
+      if (end == value || *end != '/') {
+        return BadValue("fleet", arg, value);
+      }
+      const char* count_str = end + 1;
+      const long count = std::strtol(count_str, &end, 10);
+      if (end == count_str || *end != '\0' || index < 0 || count < 1 || index >= count) {
+        return BadValue("fleet", arg, value);
+      }
+      config.shard_index = static_cast<int>(index);
+      config.shard_count = static_cast<int>(count);
+    } else if (arg == "--profile") {
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      if (profile_from_file || inline_cohorts) {
+        std::fprintf(stderr,
+                     "amuletc fleet: --profile cannot be combined with another "
+                     "--profile or --cohort\n");
+        return 1;
+      }
+      profile_from_file = true;
+      std::ifstream in(value);
+      if (!in) {
+        std::fprintf(stderr, "amuletc fleet: cannot read --profile %s\n", value);
+        return 1;
+      }
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      amulet::Result<amulet::PopulationProfile> profile =
+          amulet::ParsePopulationProfile(contents.str());
+      if (!profile.ok()) {
+        std::fprintf(stderr, "amuletc fleet: %s: %s\n", value,
+                     profile.status().ToString().c_str());
+        return 1;
+      }
+      config.profile = *profile;
+    } else if (arg == "--cohort") {
+      const char* value = next();
+      if (value == nullptr) {
+        return MissingValue("fleet", arg);
+      }
+      if (profile_from_file) {
+        std::fprintf(stderr,
+                     "amuletc fleet: --cohort cannot be combined with --profile\n");
+        return 1;
+      }
+      inline_cohorts = true;
+      amulet::Result<amulet::Cohort> cohort = amulet::ParseCohortSpec(value);
+      if (!cohort.ok()) {
+        std::fprintf(stderr, "amuletc fleet: %s\n", cohort.status().ToString().c_str());
+        return 1;
+      }
+      config.profile.cohorts.push_back(*cohort);
     } else if (arg == "--metrics-out" || arg.rfind("--metrics-out=", 0) == 0) {
       if (arg == "--metrics-out") {
         const char* value = next();
@@ -594,6 +686,115 @@ int RunFleetCommand(const char* argv0, int argc, char** argv) {
     std::printf("fleet digest: %016llx\n",
                 static_cast<unsigned long long>(amulet::Fnv1a64(
                     reinterpret_cast<const uint8_t*>(digest.data()), digest.size())));
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    out << report->metrics.ToJson();
+    std::printf("wrote fleet metrics to %s\n", metrics_path.c_str());
+  }
+  if (!faults_path.empty()) {
+    std::ofstream out(faults_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", faults_path.c_str());
+      return 1;
+    }
+    out << report->faults.ToJsonl();
+    std::printf("wrote %zu fault bucket(s) to %s\n", report->faults.bucket_count(),
+                faults_path.c_str());
+  }
+  return 0;
+}
+
+// `amuletc fleet-merge`: fold the AMFC checkpoints written by the N shards of
+// one fleet into a whole-fleet checkpoint and print the merged digest, which
+// is byte-identical to a single-host run of the same config.
+int RunFleetMergeCommand(const char* argv0, int argc, char** argv) {
+  (void)argv0;
+  std::vector<std::string> shard_paths;
+  std::string out_path;
+  std::string metrics_path;
+  std::string faults_path;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kFleetMergeHelp, stdout);
+      return 0;
+    } else if (arg == "--out") {
+      const char* value = next();
+      if (value == nullptr || value[0] == '\0') {
+        return MissingValue("fleet-merge", arg);
+      }
+      out_path = value;
+    } else if (arg == "--metrics-out") {
+      const char* value = next();
+      if (value == nullptr || value[0] == '\0') {
+        return MissingValue("fleet-merge", arg);
+      }
+      metrics_path = value;
+    } else if (arg == "--faults-out") {
+      const char* value = next();
+      if (value == nullptr || value[0] == '\0') {
+        return MissingValue("fleet-merge", arg);
+      }
+      faults_path = value;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return UnknownFlag("fleet-merge", arg);
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (shard_paths.empty()) {
+    std::fprintf(stderr,
+                 "amuletc fleet-merge: no shard checkpoints given (see 'amuletc "
+                 "fleet-merge --help')\n");
+    return 1;
+  }
+  std::vector<amulet::FleetCheckpoint> shards;
+  for (const std::string& path : shard_paths) {
+    amulet::Result<amulet::FleetCheckpoint> shard = amulet::ReadFleetCheckpoint(path);
+    if (!shard.ok()) {
+      std::fprintf(stderr, "amuletc fleet-merge: %s: %s\n", path.c_str(),
+                   shard.status().ToString().c_str());
+      return 1;
+    }
+    shards.push_back(std::move(*shard));
+  }
+  amulet::Result<amulet::FleetCheckpoint> merged = amulet::MergeFleetCheckpoints(shards);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "amuletc fleet-merge: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  amulet::Result<amulet::FleetReport> report = amulet::ReportFromCheckpoint(*merged);
+  if (!report.ok()) {
+    std::fprintf(stderr, "amuletc fleet-merge: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("merged %zu shard checkpoint(s): %d/%d device(s) complete\n", shards.size(),
+              merged->CompletedCount(), merged->device_count);
+  std::printf("config: %s\n", merged->config_text.c_str());
+  if (merged->profile_hash != 0) {
+    std::printf("profile: %s\n", merged->profile_text.c_str());
+  }
+  {
+    // Same greppable line as `amuletc fleet`, so CI can diff the merged
+    // digest against a single-host run of the identical config.
+    const std::string digest = amulet::FleetDigest(*report);
+    std::printf("fleet digest: %016llx\n",
+                static_cast<unsigned long long>(amulet::Fnv1a64(
+                    reinterpret_cast<const uint8_t*>(digest.data()), digest.size())));
+  }
+  if (!out_path.empty()) {
+    const amulet::Status write_status = amulet::WriteFleetCheckpoint(out_path, *merged);
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "amuletc fleet-merge: %s\n", write_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote merged checkpoint to %s\n", out_path.c_str());
   }
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
@@ -959,6 +1160,9 @@ int RunFaultsCommand(const char* argv0, int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "fleet") == 0) {
     return RunFleetCommand(argv[0], argc - 2, argv + 2);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "fleet-merge") == 0) {
+    return RunFleetMergeCommand(argv[0], argc - 2, argv + 2);
   }
   if (argc >= 2 && std::strcmp(argv[1], "faults") == 0) {
     return RunFaultsCommand(argv[0], argc - 2, argv + 2);
